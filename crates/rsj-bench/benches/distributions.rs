@@ -1,0 +1,58 @@
+//! Criterion: throughput of the from-scratch distribution primitives
+//! (pdf / cdf / quantile / sampling / conditional mean) across the Table 1
+//! families — these sit on the hot path of every heuristic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rsj_dist::{ContinuousDistribution, DistSpec};
+
+fn bench_distributions(c: &mut Criterion) {
+    let dists: Vec<(&str, Box<dyn ContinuousDistribution>)> = DistSpec::paper_table1()
+        .into_iter()
+        .map(|(name, spec)| (name, spec.build().unwrap()))
+        .collect();
+
+    let mut group = c.benchmark_group("cdf");
+    for (name, d) in &dists {
+        let t = d.mean();
+        group.bench_with_input(BenchmarkId::from_parameter(name), d, |b, d| {
+            b.iter(|| d.cdf(criterion::black_box(t)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("quantile");
+    for (name, d) in &dists {
+        group.bench_with_input(BenchmarkId::from_parameter(name), d, |b, d| {
+            b.iter(|| d.quantile(criterion::black_box(0.73)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("conditional_mean");
+    for (name, d) in &dists {
+        let tau = d.quantile(0.8);
+        group.bench_with_input(BenchmarkId::from_parameter(name), d, |b, d| {
+            b.iter(|| d.conditional_mean_above(criterion::black_box(tau)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sample_1k");
+    for (name, d) in &dists {
+        group.bench_with_input(BenchmarkId::from_parameter(name), d, |b, d| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for _ in 0..1000 {
+                    acc += d.sample(&mut rng);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributions);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion: the `O(n²)` scaling of the Theorem 5 dynamic program as the
+//! discretization sample count grows (the Table 4 axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsj_core::{optimal_discrete, CostModel};
+use rsj_dist::{discretize, DiscretizationScheme, LogNormal};
+
+fn bench_dp_scaling(c: &mut Criterion) {
+    let dist = LogNormal::new(3.0, 0.5).unwrap();
+    let cost = CostModel::new(0.95, 1.0, 1.05).unwrap();
+
+    let mut group = c.benchmark_group("dp_scaling");
+    for n in [100usize, 250, 500, 1000, 2000] {
+        let discrete = discretize(&dist, DiscretizationScheme::EqualProbability, n, 1e-7).unwrap();
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &discrete, |b, d| {
+            b.iter(|| optimal_discrete(d, &cost).unwrap());
+        });
+    }
+    group.finish();
+
+    // The §7 checkpoint-threshold DP shares the O(n²) structure; measure
+    // its constant factor against the plain Theorem 5 program.
+    let mut group = c.benchmark_group("checkpoint_dp_scaling");
+    let ck = rsj_core::extensions::CheckpointConfig::new(0.1, 0.1).unwrap();
+    for n in [100usize, 500, 1000] {
+        let discrete = discretize(&dist, DiscretizationScheme::EqualProbability, n, 1e-7).unwrap();
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &discrete, |b, d| {
+            b.iter(|| {
+                rsj_core::extensions::optimal_discrete_checkpointed(d, &cost, &ck).unwrap()
+            });
+        });
+    }
+    group.finish();
+
+    // Discretization itself (quantile-heavy for Equal-probability).
+    let mut group = c.benchmark_group("discretization");
+    for scheme in [
+        DiscretizationScheme::EqualTime,
+        DiscretizationScheme::EqualProbability,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scheme:?}_n1000")),
+            &scheme,
+            |b, &s| {
+                b.iter(|| discretize(&dist, s, 1000, 1e-7).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_scaling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion ablation: exact Eq. 4 series evaluation vs the paper's
+//! Monte-Carlo estimator (Eq. 13) at several sample counts, plus the
+//! sequential-vs-rayon brute-force sweep called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rsj_core::{
+    draw_samples, expected_cost_analytic, expected_cost_monte_carlo, sequence_from_t1,
+    BruteForce, CostModel, EvalMethod, RecurrenceConfig, Strategy,
+};
+use rsj_dist::LogNormal;
+
+fn bench_eval_methods(c: &mut Criterion) {
+    let dist = LogNormal::new(3.0, 0.5).unwrap();
+    let cost = CostModel::reservation_only();
+    let seq = sequence_from_t1(&dist, &cost, 30.0, &RecurrenceConfig::default()).unwrap();
+
+    let mut group = c.benchmark_group("expected_cost");
+    group.bench_function("analytic_eq4", |b| {
+        b.iter(|| expected_cost_analytic(&seq, &dist, &cost));
+    });
+    for n in [100usize, 1000, 10_000] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let samples = draw_samples(&dist, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("monte_carlo", n), &samples, |b, s| {
+            b.iter(|| expected_cost_monte_carlo(&seq, &cost, s));
+        });
+    }
+    group.finish();
+
+    // Parallel vs sequential brute-force sweep.
+    let mut group = c.benchmark_group("brute_force_parallelism");
+    group.sample_size(10);
+    let bf = BruteForce::new(2000, 1000, EvalMethod::Analytic, 1).unwrap();
+    group.bench_function("rayon_default_pool", |b| {
+        b.iter(|| bf.sequence(&dist, &cost).unwrap());
+    });
+    group.bench_function("single_thread_pool", |b| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        b.iter(|| pool.install(|| bf.sequence(&dist, &cost).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval_methods);
+criterion_main!(benches);

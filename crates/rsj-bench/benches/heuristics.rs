@@ -1,0 +1,59 @@
+//! Criterion: wall-clock cost of computing each heuristic's reservation
+//! sequence (the paper notes Brute-Force and the DP run "in a few seconds"
+//! at full scale; the library should be far faster).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsj_core::{
+    BruteForce, CostModel, DiscretizedDp, EvalMethod, MeanByMean, MeanDoubling, MeanStdev,
+    MedianByMedian, Strategy,
+};
+use rsj_dist::{DiscretizationScheme, LogNormal};
+
+fn bench_heuristics(c: &mut Criterion) {
+    let dist = LogNormal::new(3.0, 0.5).unwrap();
+    let cost = CostModel::reservation_only();
+
+    let mut group = c.benchmark_group("sequence_computation");
+    let simple: Vec<(&str, Box<dyn Strategy>)> = vec![
+        ("mean_by_mean", Box::new(MeanByMean::default())),
+        ("mean_stdev", Box::new(MeanStdev::default())),
+        ("mean_doubling", Box::new(MeanDoubling::default())),
+        ("median_by_median", Box::new(MedianByMedian::default())),
+    ];
+    for (name, h) in &simple {
+        group.bench_function(*name, |b| {
+            b.iter(|| h.sequence(&dist, &cost).unwrap());
+        });
+    }
+    group.bench_function("dp_equal_time_n1000", |b| {
+        let h = DiscretizedDp::paper(DiscretizationScheme::EqualTime);
+        b.iter(|| h.sequence(&dist, &cost).unwrap());
+    });
+    group.bench_function("dp_equal_probability_n1000", |b| {
+        let h = DiscretizedDp::paper(DiscretizationScheme::EqualProbability);
+        b.iter(|| h.sequence(&dist, &cost).unwrap());
+    });
+    group.sample_size(10);
+    for m in [500usize, 5000] {
+        group.bench_with_input(
+            BenchmarkId::new("brute_force_analytic", m),
+            &m,
+            |b, &m| {
+                let h = BruteForce::new(m, 1000, EvalMethod::Analytic, 1).unwrap();
+                b.iter(|| h.sequence(&dist, &cost).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("brute_force_monte_carlo", m),
+            &m,
+            |b, &m| {
+                let h = BruteForce::new(m, 1000, EvalMethod::MonteCarlo, 1).unwrap();
+                b.iter(|| h.sequence(&dist, &cost).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

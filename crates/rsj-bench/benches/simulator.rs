@@ -1,0 +1,60 @@
+//! Criterion: discrete-event queue-simulator throughput, and the FCFS vs
+//! EASY-backfilling policy ablation (DESIGN.md S9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rsj_dist::LogNormal;
+use rsj_sim::{generate_workload, simulate, ClusterConfig, SchedulerPolicy, WorkloadConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let runtime = LogNormal::from_moments(3.0, 3.0).unwrap();
+    let workload = |count: usize| WorkloadConfig {
+        arrival_rate: 1.85,
+        processor_choices: vec![(64, 0.25), (128, 0.2), (204, 0.2), (409, 0.15), (1024, 0.2)],
+        overestimate: (1.1, 3.0),
+        count,
+    };
+
+    let mut group = c.benchmark_group("queue_simulation");
+    group.sample_size(10);
+    for count in [1000usize, 4000, 16_000] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let jobs = generate_workload(&workload(count), &runtime, &mut rng);
+        group.throughput(Throughput::Elements(count as u64));
+        for policy in [
+            SchedulerPolicy::Fcfs,
+            SchedulerPolicy::EasyBackfill,
+            SchedulerPolicy::Conservative,
+            SchedulerPolicy::SlurmLike(rsj_sim::PriorityConfig {
+                high_priority_proc_hours: 500.0,
+                upgrade_after: 24.0,
+            }),
+        ] {
+            let cfg = ClusterConfig {
+                processors: 2048,
+                policy,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), count),
+                &jobs,
+                |b, jobs| {
+                    b.iter(|| simulate(&cfg, jobs));
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("workload_generation");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("generate_10k_jobs", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            generate_workload(&workload(10_000), &runtime, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

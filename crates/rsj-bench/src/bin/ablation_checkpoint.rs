@@ -1,0 +1,12 @@
+//! Runs the §7 checkpointing ablation (beyond the paper's own evaluation).
+
+use rsj_bench::scenarios::Fidelity;
+
+fn main() -> std::io::Result<()> {
+    let fidelity = Fidelity::from_env();
+    eprintln!(
+        "running ablation_checkpoint at {fidelity:?} fidelity (RSJ_FIDELITY=quick for a fast pass)"
+    );
+    rsj_bench::experiments::ablation_checkpoint::emit(fidelity)?;
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Runs the fit-then-plan fragility ablation (beyond the paper's own
+//! evaluation).
+
+use rsj_bench::scenarios::Fidelity;
+
+fn main() -> std::io::Result<()> {
+    let fidelity = Fidelity::from_env();
+    eprintln!(
+        "running ablation_misfit at {fidelity:?} fidelity (RSJ_FIDELITY=quick for a fast pass)"
+    );
+    rsj_bench::experiments::ablation_misfit::emit(fidelity, rsj_bench::DEFAULT_SEED)?;
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Verifies the §3.5 optimal exponential first reservation (s1 ≈ 0.74219).
+
+fn main() -> std::io::Result<()> {
+    rsj_bench::experiments::exp_s1::emit()?;
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Figure 4 variant: NeuroHPC under the cost model fitted from the
+//! simulated queue (cross-substrate robustness check).
+
+use rsj_bench::scenarios::Fidelity;
+
+fn main() -> std::io::Result<()> {
+    let fidelity = Fidelity::from_env();
+    eprintln!("running fig4_simqueue at {fidelity:?} fidelity");
+    rsj_bench::experiments::fig4_simqueue::emit(fidelity, rsj_bench::DEFAULT_SEED)?;
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Reproduction self-test: re-derives the paper's headline quantitative
+//! claims at reduced fidelity and prints PASS/FAIL per claim. Exits
+//! nonzero if any claim fails — usable as a CI gate for the reproduction.
+
+use rsj_bench::scenarios::{paper_distributions, Fidelity};
+use rsj_core::exact::{exp_optimal_cost, exp_optimal_s1};
+use rsj_core::{
+    normalized_cost_analytic, BruteForce, CostModel, DiscretizedDp, EvalMethod, Strategy,
+};
+use rsj_dist::{ContinuousDistribution, DiscretizationScheme, LogNormal, Uniform};
+
+struct Checker {
+    failures: usize,
+}
+
+impl Checker {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        if ok {
+            println!("PASS  {name}  ({detail})");
+        } else {
+            println!("FAIL  {name}  ({detail})");
+            self.failures += 1;
+        }
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let mut c = Checker { failures: 0 };
+    let cost = CostModel::reservation_only();
+
+    // §3.5: optimal exponential first reservation ≈ 0.74219, cost ≈ 2.36.
+    let s1 = exp_optimal_s1();
+    c.check(
+        "exp s1 ≈ 0.742",
+        (s1 - 0.74219).abs() < 0.02,
+        format!("s1 = {s1:.5}"),
+    );
+    let e1 = exp_optimal_cost(1.0);
+    c.check("exp E1 ≈ 2.36", (e1 - 2.3645).abs() < 0.01, format!("E1 = {e1:.4}"));
+
+    // Theorem 4: uniform optimum is the single reservation (b), ratio 4/3.
+    let uni = Uniform::new(10.0, 20.0).unwrap();
+    let bf = BruteForce::new(500, 1000, EvalMethod::Analytic, 1).unwrap();
+    match bf.best(&uni, &cost) {
+        Ok(r) => {
+            c.check(
+                "uniform t1 = b",
+                (r.t1 - 20.0).abs() < 0.05 && r.sequence.len() == 1,
+                format!("t1 = {:.3}, len {}", r.t1, r.sequence.len()),
+            );
+            c.check(
+                "uniform ratio = 4/3",
+                (r.normalized_cost - 4.0 / 3.0).abs() < 1e-6,
+                format!("ratio = {:.4}", r.normalized_cost),
+            );
+        }
+        Err(e) => c.check("uniform optimum", false, e.to_string()),
+    }
+
+    // Table 2 headline: every heuristic on every distribution beats the
+    // AWS break-even ratio of 4 (checked analytically with the DP).
+    let mut worst: (f64, String) = (0.0, String::new());
+    for nd in paper_distributions() {
+        let dp = DiscretizedDp::new(DiscretizationScheme::EqualProbability, 400, 1e-7).unwrap();
+        let seq = dp.sequence(nd.dist.as_ref(), &cost).unwrap();
+        let ratio = normalized_cost_analytic(&seq, nd.dist.as_ref(), &cost);
+        if ratio > worst.0 {
+            worst = (ratio, nd.name.to_string());
+        }
+    }
+    c.check(
+        "all ratios < 4 (RI vs OD)",
+        worst.0 < 4.0,
+        format!("worst: {} at {:.2}", worst.1, worst.0),
+    );
+
+    // Table 2 ordering: structured heuristics ≤ simple rules on LogNormal.
+    let logn = LogNormal::new(3.0, 0.5).unwrap();
+    let dp_ratio = {
+        let dp = DiscretizedDp::new(DiscretizationScheme::EqualTime, 500, 1e-7).unwrap();
+        normalized_cost_analytic(&dp.sequence(&logn, &cost).unwrap(), &logn, &cost)
+    };
+    let mbm_ratio = {
+        let seq = rsj_core::MeanByMean::default().sequence(&logn, &cost).unwrap();
+        normalized_cost_analytic(&seq, &logn, &cost)
+    };
+    c.check(
+        "DP beats Mean-by-Mean on LogNormal",
+        dp_ratio <= mbm_ratio,
+        format!("DP {dp_ratio:.3} vs MbM {mbm_ratio:.3}"),
+    );
+
+    // Figure 1: the VBMQA law's published moments.
+    let vbmqa = LogNormal::new(7.1128, 0.2039).unwrap();
+    c.check(
+        "VBMQA mean ≈ 1253 s",
+        (vbmqa.mean() - 1253.37).abs() < 1.0,
+        format!("mean = {:.2}", vbmqa.mean()),
+    );
+
+    // Fidelity note + verdict.
+    println!(
+        "\n{} claim(s) failed (fidelity: {:?})",
+        c.failures,
+        Fidelity::from_env()
+    );
+    if c.failures == 0 {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,46 @@
+//! Runs every experiment of the reproduction in sequence — the one-shot
+//! "regenerate the paper" entry point. Honours `RSJ_FIDELITY` and
+//! `RSJ_RESULTS_DIR` like the individual binaries.
+
+use rsj_bench::scenarios::Fidelity;
+use rsj_bench::{experiments, DEFAULT_SEED};
+
+fn main() -> std::io::Result<()> {
+    let fidelity = Fidelity::from_env();
+    eprintln!("running the full experiment suite at {fidelity:?} fidelity\n");
+
+    let t0 = std::time::Instant::now();
+    let step = |name: &str| {
+        eprintln!("── {name} ({:.1?} elapsed) ──", t0.elapsed());
+    };
+
+    step("Table 2");
+    experiments::table2::emit(fidelity, DEFAULT_SEED)?;
+    step("Table 3");
+    experiments::table3::emit(fidelity, DEFAULT_SEED)?;
+    step("Table 4");
+    experiments::table4::emit(fidelity, DEFAULT_SEED)?;
+    step("Figure 1");
+    experiments::fig1::emit(fidelity, DEFAULT_SEED)?;
+    step("Figure 2");
+    experiments::fig2::emit(fidelity, DEFAULT_SEED)?;
+    step("Figure 3");
+    experiments::fig3::emit(fidelity, DEFAULT_SEED)?;
+    step("Figure 4");
+    experiments::fig4::emit(fidelity, DEFAULT_SEED)?;
+    step("§3.5 exponential optimum");
+    experiments::exp_s1::emit()?;
+    step("Figure 4 (simulated-queue cost model)");
+    experiments::fig4_simqueue::emit(fidelity, DEFAULT_SEED)?;
+    step("Ablation: checkpointing");
+    experiments::ablation_checkpoint::emit(fidelity)?;
+    step("Ablation: fit-then-plan fragility");
+    experiments::ablation_misfit::emit(fidelity, DEFAULT_SEED)?;
+
+    eprintln!(
+        "\nall experiments done in {:.1?}; outputs in {}",
+        t0.elapsed(),
+        rsj_bench::report::results_dir().display()
+    );
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's table2 (see rsj-bench docs).
+
+use rsj_bench::scenarios::Fidelity;
+
+fn main() -> std::io::Result<()> {
+    let fidelity = Fidelity::from_env();
+    eprintln!("running table2 at {fidelity:?} fidelity (RSJ_FIDELITY=quick for a fast pass)");
+    rsj_bench::experiments::table2::emit(fidelity, rsj_bench::DEFAULT_SEED)?;
+    Ok(())
+}

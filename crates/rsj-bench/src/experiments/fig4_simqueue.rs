@@ -1,0 +1,101 @@
+//! Closing the loop across substrates (beyond the paper's evaluation):
+//! rerun the Figure 4 comparison with the NeuroHPC cost model derived from
+//! *our own* simulated batch queue (Figure 2's fit) instead of the paper's
+//! published Intrepid coefficients.
+//!
+//! If the paper's qualitative conclusion is robust, the heuristic ordering
+//! must not depend on whose queue produced the `(α, γ)` pair.
+
+use crate::report::{fmt_ratio, Table};
+use crate::scenarios::{heuristic_suite, Fidelity};
+use rand::SeedableRng;
+use rsj_core::{draw_samples, expected_cost_monte_carlo, CostModel};
+use rsj_dist::ContinuousDistribution;
+use rsj_sim::cost_model_from_queue;
+use rsj_traces::NeuroHpcScenario;
+
+/// Result: the derived cost model plus each heuristic's normalized cost on
+/// the base VBMQA scenario under it.
+#[derive(Debug, Clone)]
+pub struct SimQueueFig4 {
+    /// Cost model fitted from the simulated queue (409-processor class).
+    pub cost: CostModel,
+    /// `(heuristic, Ẽ(S)/E°)` in suite order.
+    pub costs: Vec<(String, Option<f64>)>,
+}
+
+/// Runs the cross-substrate experiment.
+pub fn compute(fidelity: Fidelity, seed: u64) -> SimQueueFig4 {
+    // 1. Figure 2's simulation → affine wait fit for the 409-wide class.
+    let fig2 = super::fig2::compute(fidelity, seed);
+    let analysis = fig2
+        .analyses
+        .iter()
+        .find(|a| a.processors == 409)
+        .or_else(|| fig2.analyses.first())
+        .expect("the Figure 2 workload produces at least one analyzable width");
+    let cost = cost_model_from_queue(analysis);
+
+    // 2. Figure 4's base VBMQA law (hours) under the derived model.
+    let scenario = NeuroHpcScenario::paper();
+    let dist: &dyn ContinuousDistribution = &scenario.dist;
+    let suite = heuristic_suite(fidelity, seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(17));
+    let samples = draw_samples(dist, fidelity.samples(), &mut rng);
+    let omniscient = cost.omniscient(dist);
+    let costs = suite
+        .iter()
+        .map(|h| {
+            let ratio = h
+                .sequence(dist, &cost)
+                .ok()
+                .map(|seq| expected_cost_monte_carlo(&seq, &cost, &samples) / omniscient);
+            (h.name().to_string(), ratio)
+        })
+        .collect();
+    SimQueueFig4 { cost, costs }
+}
+
+/// Runs and writes `results/fig4_simqueue.{md,csv}`.
+pub fn emit(fidelity: Fidelity, seed: u64) -> std::io::Result<SimQueueFig4> {
+    let result = compute(fidelity, seed);
+    let mut header = vec!["cost model".to_string()];
+    if !result.costs.is_empty() {
+        header.extend(result.costs.iter().map(|(n, _)| n.clone()));
+    }
+    let mut table = Table::new(header);
+    let mut cells = vec![format!(
+        "α={:.3}, β=1, γ={:.3}",
+        result.cost.alpha, result.cost.gamma
+    )];
+    cells.extend(result.costs.iter().map(|(_, c)| fmt_ratio(*c)));
+    table.push_row(cells);
+    table.emit(
+        "fig4_simqueue",
+        "Figure 4 variant — NeuroHPC under the cost model fitted from OUR simulated queue (cross-substrate robustness)",
+    )?;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristic_ordering_survives_the_queue_swap() {
+        let r = compute(Fidelity::Quick, 47);
+        assert_eq!(r.costs.len(), 7);
+        let get = |idx: usize| r.costs[idx].1.unwrap();
+        // Paper conclusion under the swapped cost model: structured
+        // heuristics (Brute-Force, Equal-time, Equal-probability) at least
+        // match the best simple rule.
+        let structured = get(0).min(get(5)).min(get(6));
+        let simple_best = get(1).min(get(2)).min(get(3)).min(get(4));
+        assert!(
+            structured <= simple_best + 0.05,
+            "structured {structured} vs simple {simple_best}"
+        );
+        // The derived model is valid and distinct from the paper's.
+        assert!(r.cost.alpha > 0.0 && r.cost.beta == 1.0 && r.cost.gamma >= 0.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per table/figure of the paper's evaluation (system S13 of
+//! DESIGN.md). Each exposes `compute` (pure data, testable at `Quick`
+//! fidelity) and `emit` (writes `results/<name>.{md,csv}` and prints the
+//! Markdown).
+
+pub mod ablation_checkpoint;
+pub mod ablation_misfit;
+pub mod exp_s1;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig4_simqueue;
+pub mod table2;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,183 @@
+//! Output plumbing shared by the experiment binaries: Markdown tables, CSV
+//! files and the `results/` directory convention.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Where experiment outputs go: `$RSJ_RESULTS_DIR` or `./results`.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("RSJ_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    PathBuf::from(dir)
+}
+
+/// Writes `content` to `results/<name>`, creating the directory, and
+/// returns the path.
+pub fn write_result_file(name: &str, content: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// A simple Markdown/CSV table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; its length must match the header.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let widths: Vec<usize> = self
+            .header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(&widths) {
+                let _ = write!(line, " {c:w$} |");
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{:-<width$}|", "", width = w + 2);
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV (comma-separated, quoting cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes both renderings under `results/` with the given stem and
+    /// prints the Markdown to stdout.
+    pub fn emit(&self, stem: &str, title: &str) -> std::io::Result<()> {
+        let md = format!("# {title}\n\n{}", self.to_markdown());
+        println!("{md}");
+        write_result_file(&format!("{stem}.md"), &md)?;
+        write_result_file(&format!("{stem}.csv"), &self.to_csv())?;
+        Ok(())
+    }
+}
+
+/// Formats a ratio like the paper's tables (2 decimals), with `-` for
+/// invalid entries.
+pub fn fmt_ratio(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.2}"),
+        None => "-".into(),
+    }
+}
+
+/// Checks that `path` exists (used by smoke tests).
+pub fn exists(path: &Path) -> bool {
+    path.exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["1", "2.50"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b"), "{md}");
+        assert!(md.contains("| 1 | 2.50 |"), "{md}");
+        assert!(md.lines().nth(1).unwrap().starts_with("|--"), "{md}");
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new(vec!["name", "v"]);
+        t.push_row(vec!["a,b", "1"]);
+        assert!(t.to_csv().contains("\"a,b\",1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn fmt_ratio_dash() {
+        assert_eq!(fmt_ratio(None), "-");
+        assert_eq!(fmt_ratio(Some(1.3333)), "1.33");
+    }
+}

@@ -1,0 +1,261 @@
+//! JSON configuration schemas for the CLI commands.
+
+use rsj_core::{
+    BruteForce, CostModel, DiscretizedDp, EvalMethod, MeanByMean, MeanDoubling, MeanStdev,
+    MedianByMedian, Strategy,
+};
+use rsj_dist::{DiscretizationScheme, DistSpec};
+use serde::{Deserialize, Serialize};
+
+/// Cost-model section (`alpha`, `beta`, `gamma` of Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostSpec {
+    /// Price per reserved time unit.
+    pub alpha: f64,
+    /// Price per used time unit (default 0).
+    #[serde(default)]
+    pub beta: f64,
+    /// Fixed per-reservation cost (default 0).
+    #[serde(default)]
+    pub gamma: f64,
+}
+
+impl CostSpec {
+    /// Builds the validated cost model.
+    pub fn build(&self) -> Result<CostModel, String> {
+        CostModel::new(self.alpha, self.beta, self.gamma).map_err(|e| e.to_string())
+    }
+}
+
+/// Which heuristic to run, with its parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum HeuristicSpec {
+    /// §4.1 Brute-Force.
+    BruteForce {
+        /// Grid size `M` (default 5000).
+        #[serde(default = "default_grid")]
+        grid: usize,
+        /// Monte-Carlo samples `N` (default 1000).
+        #[serde(default = "default_samples")]
+        samples: usize,
+        /// Score candidates analytically instead of by Monte Carlo.
+        #[serde(default)]
+        analytic: bool,
+        /// RNG seed (default 0).
+        #[serde(default)]
+        seed: u64,
+    },
+    /// §4.2 discretization + dynamic programming.
+    Dp {
+        /// `equal_time` or `equal_probability`.
+        scheme: String,
+        /// Sample count `n` (default 1000).
+        #[serde(default = "default_samples")]
+        n: usize,
+        /// Truncation quantile ε (default 1e-7).
+        #[serde(default = "default_epsilon")]
+        epsilon: f64,
+    },
+    /// §4.3 Mean-by-Mean.
+    MeanByMean,
+    /// §4.3 Mean-Stdev.
+    MeanStdev,
+    /// §4.3 Mean-Doubling.
+    MeanDoubling,
+    /// §4.3 Median-by-Median.
+    MedianByMedian,
+}
+
+fn default_grid() -> usize {
+    5000
+}
+fn default_samples() -> usize {
+    1000
+}
+fn default_epsilon() -> f64 {
+    1e-7
+}
+
+impl HeuristicSpec {
+    /// Instantiates the described strategy.
+    pub fn build(&self) -> Result<Box<dyn Strategy>, String> {
+        Ok(match self {
+            HeuristicSpec::BruteForce {
+                grid,
+                samples,
+                analytic,
+                seed,
+            } => {
+                let method = if *analytic {
+                    EvalMethod::Analytic
+                } else {
+                    EvalMethod::MonteCarlo
+                };
+                Box::new(
+                    BruteForce::new(*grid, *samples, method, *seed).map_err(|e| e.to_string())?,
+                )
+            }
+            HeuristicSpec::Dp { scheme, n, epsilon } => {
+                let scheme = match scheme.as_str() {
+                    "equal_time" => DiscretizationScheme::EqualTime,
+                    "equal_probability" => DiscretizationScheme::EqualProbability,
+                    other => return Err(format!("unknown discretization scheme: {other}")),
+                };
+                Box::new(DiscretizedDp::new(scheme, *n, *epsilon).map_err(|e| e.to_string())?)
+            }
+            HeuristicSpec::MeanByMean => Box::new(MeanByMean::default()),
+            HeuristicSpec::MeanStdev => Box::new(MeanStdev::default()),
+            HeuristicSpec::MeanDoubling => Box::new(MeanDoubling::default()),
+            HeuristicSpec::MedianByMedian => Box::new(MedianByMedian::default()),
+        })
+    }
+}
+
+/// `rsj plan` configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanConfig {
+    /// The job-runtime law.
+    pub distribution: DistSpec,
+    /// The platform cost model.
+    pub cost: CostSpec,
+    /// Which heuristic to run.
+    pub heuristic: HeuristicSpec,
+    /// Maximum ladder entries to print (default 10).
+    #[serde(default = "default_show")]
+    pub show: usize,
+}
+
+fn default_show() -> usize {
+    10
+}
+
+/// `rsj evaluate` configuration: an explicit request ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluateConfig {
+    /// The job-runtime law.
+    pub distribution: DistSpec,
+    /// The platform cost model.
+    pub cost: CostSpec,
+    /// The strictly increasing reservation lengths.
+    pub sequence: Vec<f64>,
+    /// Whether the last entry covers the whole support.
+    #[serde(default)]
+    pub complete: bool,
+    /// Additional Monte-Carlo cross-check samples (0 to skip).
+    #[serde(default)]
+    pub monte_carlo_samples: usize,
+    /// RNG seed for the cross-check.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+/// `rsj simulate` configuration: batch-queue simulation + Figure 2 fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulateConfig {
+    /// Cluster size in processors.
+    pub processors: usize,
+    /// `fcfs` or `easy`.
+    pub policy: String,
+    /// Mean arrival rate (jobs/hour).
+    pub arrival_rate: f64,
+    /// Weighted processor-count choices.
+    pub widths: Vec<(usize, f64)>,
+    /// Actual-runtime law (hours).
+    pub runtime: DistSpec,
+    /// Uniform over-estimation factor range.
+    pub overestimate: (f64, f64),
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Widths to analyze (wait-vs-request groups + affine fit).
+    pub analyze_widths: Vec<usize>,
+    /// Number of request-size groups (default 20).
+    #[serde(default = "default_groups")]
+    pub groups: usize,
+    /// RNG seed.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+fn default_groups() -> usize {
+    20
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_config_parses_minimal_json() {
+        let json = r#"{
+            "distribution": { "family": "log_normal", "mu": 3.0, "sigma": 0.5 },
+            "cost": { "alpha": 1.0 },
+            "heuristic": { "kind": "brute_force", "grid": 100, "samples": 200 }
+        }"#;
+        let cfg: PlanConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.show, 10);
+        assert_eq!(cfg.cost.beta, 0.0);
+        assert!(cfg.heuristic.build().is_ok());
+        assert!(cfg.distribution.build().is_ok());
+    }
+
+    #[test]
+    fn all_heuristic_kinds_build() {
+        for json in [
+            r#"{ "kind": "brute_force" }"#,
+            r#"{ "kind": "dp", "scheme": "equal_time" }"#,
+            r#"{ "kind": "dp", "scheme": "equal_probability", "n": 50 }"#,
+            r#"{ "kind": "mean_by_mean" }"#,
+            r#"{ "kind": "mean_stdev" }"#,
+            r#"{ "kind": "mean_doubling" }"#,
+            r#"{ "kind": "median_by_median" }"#,
+        ] {
+            let spec: HeuristicSpec = serde_json::from_str(json).unwrap();
+            assert!(spec.build().is_ok(), "{json}");
+        }
+    }
+
+    #[test]
+    fn bad_scheme_is_rejected() {
+        let spec: HeuristicSpec =
+            serde_json::from_str(r#"{ "kind": "dp", "scheme": "nope" }"#).unwrap();
+        assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn cost_spec_validation() {
+        assert!(CostSpec {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 0.0
+        }
+        .build()
+        .is_err());
+        assert!(CostSpec {
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 1.0
+        }
+        .build()
+        .is_ok());
+    }
+
+    #[test]
+    fn evaluate_config_round_trip() {
+        let cfg = EvaluateConfig {
+            distribution: DistSpec::Exponential { lambda: 1.0 },
+            cost: CostSpec {
+                alpha: 1.0,
+                beta: 0.0,
+                gamma: 0.0,
+            },
+            sequence: vec![1.0, 2.0, 4.0],
+            complete: false,
+            monte_carlo_samples: 100,
+            seed: 7,
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: EvaluateConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

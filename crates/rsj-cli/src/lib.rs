@@ -1,0 +1,44 @@
+//! # rsj-cli — command-line reservation planner
+//!
+//! A small front-end over the `rsj-*` crates. Four commands, all driven by
+//! JSON configurations (see [`PlanConfig`] etc.) or flags:
+//!
+//! * `rsj plan` — compute a request ladder for a distribution + cost model;
+//! * `rsj evaluate` — score an explicit sequence;
+//! * `rsj fit` — fit a LogNormal to a runtime-trace CSV;
+//! * `rsj simulate` — run the batch-queue simulator and fit the
+//!   wait-vs-request curve.
+//!
+//! The library half exposes every command as a pure function returning its
+//! output text, so the whole CLI is unit-testable without spawning
+//! processes.
+
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod config;
+
+pub use commands::{run_evaluate, run_fit, run_plan, run_risk, run_simulate};
+pub use config::{EvaluateConfig, HeuristicSpec, PlanConfig, SimulateConfig};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+rsj — reservation strategies for stochastic jobs (IPDPS 2019)
+
+USAGE:
+    rsj plan     --config <plan.json>     compute a request ladder
+    rsj risk     --config <plan.json>     cost quantiles / attempt counts of the plan
+    rsj evaluate --config <eval.json>     score an explicit sequence
+    rsj fit      --csv <traces.csv>       fit a LogNormal per application
+    rsj simulate --config <sim.json>      simulate a batch queue (Figure 2)
+
+Every command also accepts `--json` for machine-readable output.
+Configuration schemas are documented in the rsj-cli crate docs; a minimal
+plan.json:
+
+    {
+      \"distribution\": { \"family\": \"log_normal\", \"mu\": 3.0, \"sigma\": 0.5 },
+      \"cost\": { \"alpha\": 1.0, \"beta\": 0.0, \"gamma\": 0.0 },
+      \"heuristic\": { \"kind\": \"brute_force\", \"grid\": 2000, \"samples\": 1000 }
+    }
+";

@@ -1,0 +1,73 @@
+//! `rsj` binary: thin argv dispatch over the library commands.
+
+use rsj_cli::{run_evaluate, run_fit, run_plan, run_simulate, USAGE};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+/// Extracts `--flag <value>` from the argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    };
+    let json = args.iter().any(|a| a == "--json");
+
+    let result = match command.as_str() {
+        "plan" | "risk" | "evaluate" | "simulate" => {
+            let Some(path) = flag_value(&args, "--config") else {
+                return fail("missing --config <file.json>");
+            };
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("cannot read {path}: {e}")),
+            };
+            match command.as_str() {
+                "plan" => serde_json::from_str(&text)
+                    .map_err(|e| format!("invalid plan config: {e}"))
+                    .and_then(|cfg| run_plan(&cfg, json)),
+                "risk" => serde_json::from_str(&text)
+                    .map_err(|e| format!("invalid plan config: {e}"))
+                    .and_then(|cfg| rsj_cli::run_risk(&cfg, json)),
+                "evaluate" => serde_json::from_str(&text)
+                    .map_err(|e| format!("invalid evaluate config: {e}"))
+                    .and_then(|cfg| run_evaluate(&cfg, json)),
+                _ => serde_json::from_str(&text)
+                    .map_err(|e| format!("invalid simulate config: {e}"))
+                    .and_then(|cfg| run_simulate(&cfg, json)),
+            }
+        }
+        "fit" => {
+            let Some(path) = flag_value(&args, "--csv") else {
+                return fail("missing --csv <traces.csv>");
+            };
+            match std::fs::read_to_string(&path) {
+                Ok(text) => run_fit(&text, json),
+                Err(e) => return fail(&format!("cannot read {path}: {e}")),
+            }
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => return fail(&format!("unknown command: {other}")),
+    };
+
+    match result {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => fail(&msg),
+    }
+}

@@ -1,0 +1,78 @@
+//! Theorem 2: upper bounds on the optimal first reservation `t₁°` and on the
+//! optimal expected cost, for unbounded supports with finite `E[X²]`.
+
+use crate::cost::CostModel;
+use rsj_dist::ContinuousDistribution;
+
+/// Upper bound `A₁` on the optimal first reservation (Eq. 6):
+///
+/// ```text
+/// A₁ = E[X] + 1 + (α+β)/(2α)·(E[X²] - a²) + (α+β+γ)/α·(E[X] - a)
+/// ```
+///
+/// For bounded supports the natural bound is the upper endpoint `b` itself;
+/// this function returns `min(A₁, b)` in that case so it is usable as a
+/// search-interval end uniformly.
+pub fn upper_bound_t1(dist: &dyn ContinuousDistribution, cost: &CostModel) -> f64 {
+    let a = dist.support().lower();
+    let mean = dist.mean();
+    let m2 = dist.second_moment();
+    let a1 = mean
+        + 1.0
+        + (cost.alpha + cost.beta) / (2.0 * cost.alpha) * (m2 - a * a)
+        + (cost.alpha + cost.beta + cost.gamma) / cost.alpha * (mean - a);
+    match dist.support().upper() {
+        Some(b) => a1.min(b),
+        None => a1,
+    }
+}
+
+/// Upper bound `A₂` on the optimal expected cost (Eq. 7):
+/// `A₂ = β·E[X] + α·A₁ + γ`.
+pub fn upper_bound_expected_cost(dist: &dyn ContinuousDistribution, cost: &CostModel) -> f64 {
+    cost.beta * dist.mean() + cost.alpha * upper_bound_t1(dist, cost) + cost.gamma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::expected_cost_analytic;
+    use crate::sequence::ReservationSequence;
+    use rsj_dist::{Exponential, LogNormal, Uniform};
+
+    #[test]
+    fn exponential_reservation_only_bound() {
+        // Exp(1), RESERVATIONONLY: A₁ = 1 + 1 + (1/2)·2 + 1·1 = 4.
+        let d = Exponential::new(1.0).unwrap();
+        let c = CostModel::reservation_only();
+        assert!((upper_bound_t1(&d, &c) - 4.0).abs() < 1e-12);
+        assert!((upper_bound_expected_cost(&d, &c) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_support_capped_at_b() {
+        let d = Uniform::new(10.0, 20.0).unwrap();
+        let c = CostModel::reservation_only();
+        assert_eq!(upper_bound_t1(&d, &c), 20.0);
+    }
+
+    #[test]
+    fn theorem2_witness_sequence_respects_a2() {
+        // The proof's witness tᵢ = a + i must itself cost at most A₂.
+        let d = Exponential::new(1.0).unwrap();
+        let c = CostModel::new(1.0, 1.0, 0.5).unwrap();
+        let witness: Vec<f64> = (1..200).map(|i| i as f64).collect();
+        let s = ReservationSequence::new(witness, false).unwrap();
+        let cost = expected_cost_analytic(&s, &d, &c);
+        let a2 = upper_bound_expected_cost(&d, &c);
+        assert!(cost <= a2 + 1e-9, "witness {cost} exceeds A₂ {a2}");
+    }
+
+    #[test]
+    fn bound_grows_with_gamma() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        let c0 = CostModel::new(1.0, 0.0, 0.0).unwrap();
+        let c1 = CostModel::new(1.0, 0.0, 5.0).unwrap();
+        assert!(upper_bound_t1(&d, &c1) > upper_bound_t1(&d, &c0));
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for the reservation-strategy layer.
+
+use std::fmt;
+
+/// Errors produced while constructing cost models, generating reservation
+/// sequences or running heuristics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A cost-model parameter violated its constraint (§2.2: `α > 0`,
+    /// `β ≥ 0`, `γ ≥ 0`).
+    InvalidCostParameter {
+        /// Parameter name (`alpha`, `beta`, `gamma`, …).
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Requirement description.
+        requirement: &'static str,
+    },
+    /// The Eq. 11 recurrence produced a non-increasing step before reaching
+    /// the required coverage point — the candidate `t₁` is invalid (the
+    /// "gaps" of Figure 3).
+    NonIncreasingSequence {
+        /// Index (1-based, paper convention) of the offending term.
+        index: usize,
+        /// The previous reservation length.
+        t_prev: f64,
+        /// The newly computed (non-increasing) reservation length.
+        t_next: f64,
+    },
+    /// A sequence was empty or otherwise unusable.
+    EmptySequence,
+    /// A reservation sequence violated strict monotonicity at construction.
+    NotStrictlyIncreasing {
+        /// Index of the offending element.
+        index: usize,
+    },
+    /// A heuristic parameter was invalid (`M = 0`, `n = 0`, …).
+    InvalidHeuristicParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        reason: &'static str,
+    },
+    /// The brute-force sweep found no valid candidate sequence.
+    NoValidCandidate,
+    /// Propagated distribution-layer error.
+    Dist(rsj_dist::DistError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidCostParameter {
+                name,
+                value,
+                requirement,
+            } => write!(f, "invalid cost parameter {name} = {value}: {requirement}"),
+            CoreError::NonIncreasingSequence {
+                index,
+                t_prev,
+                t_next,
+            } => write!(
+                f,
+                "recurrence produced non-increasing step at index {index}: t[{}] = {t_prev} ≥ t[{index}] = {t_next}",
+                index - 1
+            ),
+            CoreError::EmptySequence => write!(f, "reservation sequence is empty"),
+            CoreError::NotStrictlyIncreasing { index } => {
+                write!(f, "sequence not strictly increasing at index {index}")
+            }
+            CoreError::InvalidHeuristicParameter { name, reason } => {
+                write!(f, "invalid heuristic parameter {name}: {reason}")
+            }
+            CoreError::NoValidCandidate => {
+                write!(f, "brute-force sweep found no valid candidate sequence")
+            }
+            CoreError::Dist(e) => write!(f, "distribution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Dist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rsj_dist::DistError> for CoreError {
+    fn from(e: rsj_dist::DistError) -> Self {
+        CoreError::Dist(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,94 @@
+//! Theorem 4: for `Uniform(a, b)` the optimal strategy is the single
+//! reservation `S° = (b)`, for any cost parameters `α, β, γ`.
+
+use crate::cost::CostModel;
+use crate::error::Result;
+use crate::sequence::ReservationSequence;
+use rsj_dist::Uniform;
+
+/// The optimal sequence `(b)` for a uniform distribution.
+pub fn uniform_optimal_sequence(dist: &Uniform) -> Result<ReservationSequence> {
+    ReservationSequence::single(dist.upper())
+}
+
+/// Expected cost of the optimal single reservation:
+/// `E(S°) = α·b + β·(a+b)/2 + γ`.
+pub fn uniform_optimal_cost(dist: &Uniform, cost: &CostModel) -> f64 {
+    cost.alpha * dist.upper() + cost.beta * (dist.lower() + dist.upper()) / 2.0 + cost.gamma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::expected_cost_analytic;
+
+    #[test]
+    fn closed_form_matches_series() {
+        let d = Uniform::new(10.0, 20.0).unwrap();
+        for cost in [
+            CostModel::reservation_only(),
+            CostModel::new(0.95, 1.0, 1.05).unwrap(),
+            CostModel::new(2.0, 0.5, 3.0).unwrap(),
+        ] {
+            let s = uniform_optimal_sequence(&d).unwrap();
+            let series = expected_cost_analytic(&s, &d, &cost);
+            let closed = uniform_optimal_cost(&d, &cost);
+            assert!(
+                (series - closed).abs() < 1e-10,
+                "series {series} vs closed {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_reservation_beats_two_step_strategies() {
+        // Theorem 4's statement: (b) is optimal; in particular it beats the
+        // intuitive ((a+b)/2, b) for any parameters.
+        let d = Uniform::new(10.0, 20.0).unwrap();
+        for cost in [
+            CostModel::reservation_only(),
+            CostModel::new(1.0, 1.0, 0.0).unwrap(),
+            CostModel::new(1.0, 0.0, 5.0).unwrap(),
+            CostModel::new(0.5, 2.0, 1.0).unwrap(),
+        ] {
+            let optimal = uniform_optimal_cost(&d, &cost);
+            let two_step =
+                ReservationSequence::new(vec![15.0, 20.0], true).unwrap();
+            let alt = expected_cost_analytic(&two_step, &d, &cost);
+            assert!(
+                optimal < alt,
+                "α={} β={} γ={}: optimal {optimal} vs two-step {alt}",
+                cost.alpha,
+                cost.beta,
+                cost.gamma
+            );
+        }
+    }
+
+    #[test]
+    fn suppressing_t1_always_helps() {
+        // The proof's core step: dropping the first element of any
+        // multi-step sequence strictly lowers the cost.
+        let d = Uniform::new(10.0, 20.0).unwrap();
+        let cost = CostModel::new(1.0, 1.0, 1.0).unwrap();
+        let with_t1 =
+            ReservationSequence::new(vec![12.0, 16.0, 20.0], true).unwrap();
+        let without =
+            ReservationSequence::new(vec![16.0, 20.0], true).unwrap();
+        assert!(
+            expected_cost_analytic(&without, &d, &cost)
+                < expected_cost_analytic(&with_t1, &d, &cost)
+        );
+    }
+
+    #[test]
+    fn normalized_cost_is_4_over_3_reservation_only() {
+        // Table 2's Uniform row: 1.33.
+        let d = Uniform::new(10.0, 20.0).unwrap();
+        let c = CostModel::reservation_only();
+        use rsj_dist::ContinuousDistribution;
+        let ratio = uniform_optimal_cost(&d, &c) / c.omniscient(&d);
+        assert!((ratio - 4.0 / 3.0).abs() < 1e-12);
+        let _ = d.mean();
+    }
+}

@@ -1,0 +1,306 @@
+//! The BRUTE-FORCE procedure of §4.1: grid search over the first
+//! reservation `t₁`, completing each candidate into a full sequence with
+//! the optimal recurrence (Eq. 11) and keeping the cheapest.
+//!
+//! The search interval is `[a, b̄]` with `b̄` the distribution's upper
+//! endpoint for bounded supports, or the Theorem 2 bound `A₁` otherwise.
+//! Candidates whose recurrence breaks down (non-increasing step before the
+//! evaluation horizon) are discarded — these are the gaps of Figure 3.
+
+use super::Strategy;
+use crate::bounds::upper_bound_t1;
+use crate::cost::CostModel;
+use crate::error::{CoreError, Result};
+use crate::eval::{expected_cost_analytic, expected_cost_monte_carlo};
+use crate::recurrence::{sequence_from_t1, RecurrenceConfig};
+use crate::sequence::ReservationSequence;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use rsj_dist::ContinuousDistribution;
+use serde::{Deserialize, Serialize};
+
+/// How candidate sequences are scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalMethod {
+    /// The paper's §5.1 estimator: average cost over `N` sampled job times
+    /// (common random numbers across all candidates).
+    MonteCarlo,
+    /// The exact Eq. 4 series (an ablation over the paper's method; see
+    /// `rsj-bench/benches/eval_methods.rs`).
+    Analytic,
+}
+
+/// One point of a `t₁` sweep (the data behind Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The candidate first reservation.
+    pub t1: f64,
+    /// Normalized expected cost, or `None` when the candidate's recurrence
+    /// is invalid (non-increasing).
+    pub normalized_cost: Option<f64>,
+}
+
+/// Result of a brute-force search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BruteForceResult {
+    /// The best first reservation `t₁ᵇᶠ` found.
+    pub t1: f64,
+    /// The full sequence generated from it.
+    pub sequence: ReservationSequence,
+    /// Its expected cost (per the configured evaluation method).
+    pub expected_cost: f64,
+    /// Expected cost normalized by the omniscient scheduler.
+    pub normalized_cost: f64,
+    /// Number of grid candidates that yielded valid sequences.
+    pub valid_candidates: usize,
+}
+
+/// The BRUTE-FORCE heuristic (§4.1). Paper parameters: `M = 5000` grid
+/// points, `N = 1000` Monte-Carlo samples.
+#[derive(Debug, Clone)]
+pub struct BruteForce {
+    m: usize,
+    n_samples: usize,
+    eval: EvalMethod,
+    seed: u64,
+    config: RecurrenceConfig,
+}
+
+impl BruteForce {
+    /// Creates a brute-force search with `m` grid points and `n_samples`
+    /// Monte-Carlo samples (also used to set the recurrence validity
+    /// horizon `Q(1 - 1/N)`).
+    pub fn new(m: usize, n_samples: usize, eval: EvalMethod, seed: u64) -> Result<Self> {
+        if m == 0 {
+            return Err(CoreError::InvalidHeuristicParameter {
+                name: "m",
+                reason: "grid size must be positive",
+            });
+        }
+        if n_samples < 2 {
+            return Err(CoreError::InvalidHeuristicParameter {
+                name: "n_samples",
+                reason: "need at least two Monte-Carlo samples",
+            });
+        }
+        Ok(Self {
+            m,
+            n_samples,
+            eval,
+            seed,
+            config: RecurrenceConfig::for_monte_carlo(n_samples),
+        })
+    }
+
+    /// The paper's evaluation parameters: `M = 5000`, `N = 1000`,
+    /// Monte-Carlo scoring.
+    pub fn paper(seed: u64) -> Self {
+        Self::new(5000, 1000, EvalMethod::MonteCarlo, seed).expect("paper parameters are valid")
+    }
+
+    /// Grid size `M`.
+    pub fn grid_size(&self) -> usize {
+        self.m
+    }
+
+    /// The `t₁` candidate grid over `[a, b̄]` (§4.1: `t₁ = a + m·(b̄-a)/M`).
+    pub fn grid(&self, dist: &dyn ContinuousDistribution, cost: &CostModel) -> Vec<f64> {
+        let a = dist.support().lower();
+        let b = upper_bound_t1(dist, cost);
+        (1..=self.m)
+            .map(|k| a + k as f64 * (b - a) / self.m as f64)
+            .collect()
+    }
+
+    fn samples(&self, dist: &dyn ContinuousDistribution) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        crate::eval::draw_samples(dist, self.n_samples, &mut rng)
+    }
+
+    /// Scores every grid candidate; invalid candidates map to `None`
+    /// (Figure 3's gaps). Parallelized over the grid with rayon.
+    pub fn sweep(&self, dist: &dyn ContinuousDistribution, cost: &CostModel) -> Vec<SweepPoint> {
+        let samples = match self.eval {
+            EvalMethod::MonteCarlo => self.samples(dist),
+            EvalMethod::Analytic => Vec::new(),
+        };
+        let omniscient = cost.omniscient(dist);
+        self.grid(dist, cost)
+            .into_par_iter()
+            .map(|t1| {
+                let normalized_cost = sequence_from_t1(dist, cost, t1, &self.config)
+                    .ok()
+                    .map(|seq| {
+                        let e = match self.eval {
+                            EvalMethod::MonteCarlo => {
+                                expected_cost_monte_carlo(&seq, cost, &samples)
+                            }
+                            EvalMethod::Analytic => expected_cost_analytic(&seq, dist, cost),
+                        };
+                        e / omniscient
+                    });
+                SweepPoint {
+                    t1,
+                    normalized_cost,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the full search and returns the best candidate found.
+    pub fn best(
+        &self,
+        dist: &dyn ContinuousDistribution,
+        cost: &CostModel,
+    ) -> Result<BruteForceResult> {
+        let sweep = self.sweep(dist, cost);
+        let valid_candidates = sweep
+            .iter()
+            .filter(|p| p.normalized_cost.is_some())
+            .count();
+        let best = sweep
+            .iter()
+            .filter_map(|p| p.normalized_cost.map(|c| (p.t1, c)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+            .ok_or(CoreError::NoValidCandidate)?;
+        let sequence = sequence_from_t1(dist, cost, best.0, &self.config)?;
+        let omniscient = cost.omniscient(dist);
+        Ok(BruteForceResult {
+            t1: best.0,
+            sequence,
+            expected_cost: best.1 * omniscient,
+            normalized_cost: best.1,
+            valid_candidates,
+        })
+    }
+
+    /// Scores a *single* candidate `t₁` (the Table 3 quantile probes);
+    /// `None` when the candidate is invalid.
+    pub fn score_t1(
+        &self,
+        dist: &dyn ContinuousDistribution,
+        cost: &CostModel,
+        t1: f64,
+    ) -> Option<f64> {
+        let seq = sequence_from_t1(dist, cost, t1, &self.config).ok()?;
+        let e = match self.eval {
+            EvalMethod::MonteCarlo => {
+                expected_cost_monte_carlo(&seq, cost, &self.samples(dist))
+            }
+            EvalMethod::Analytic => expected_cost_analytic(&seq, dist, cost),
+        };
+        Some(e / cost.omniscient(dist))
+    }
+}
+
+impl Strategy for BruteForce {
+    fn name(&self) -> &str {
+        "Brute-Force"
+    }
+
+    fn sequence(
+        &self,
+        dist: &dyn ContinuousDistribution,
+        cost: &CostModel,
+    ) -> Result<ReservationSequence> {
+        Ok(self.best(dist, cost)?.sequence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_dist::{Exponential, LogNormal, Uniform};
+
+    #[test]
+    fn uniform_finds_theorem4_optimum() {
+        let d = Uniform::new(10.0, 20.0).unwrap();
+        let c = CostModel::reservation_only();
+        let bf = BruteForce::new(1000, 1000, EvalMethod::Analytic, 3).unwrap();
+        let r = bf.best(&d, &c).unwrap();
+        // Only t₁ = b (the last grid point) is valid (Theorem 4).
+        assert!((r.t1 - 20.0).abs() < 1e-9, "t1 {}", r.t1);
+        assert_eq!(r.sequence.times(), &[20.0]);
+        assert!((r.normalized_cost - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.valid_candidates, 1);
+    }
+
+    #[test]
+    fn exponential_finds_near_published_t1() {
+        // §3.5: s₁ ≈ 0.74219 with E₁ ≈ analytic optimum.
+        let d = Exponential::new(1.0).unwrap();
+        let c = CostModel::reservation_only();
+        let bf = BruteForce::new(2000, 1000, EvalMethod::Analytic, 3).unwrap();
+        let r = bf.best(&d, &c).unwrap();
+        assert!(
+            (r.t1 - 0.742).abs() < 0.06,
+            "t1 {} should be near 0.742",
+            r.t1
+        );
+    }
+
+    #[test]
+    fn sweep_has_gaps_and_valid_regions() {
+        let d = Exponential::new(1.0).unwrap();
+        let c = CostModel::reservation_only();
+        let bf = BruteForce::new(400, 1000, EvalMethod::Analytic, 3).unwrap();
+        let sweep = bf.sweep(&d, &c);
+        assert_eq!(sweep.len(), 400);
+        let invalid = sweep.iter().filter(|p| p.normalized_cost.is_none()).count();
+        let valid = sweep.len() - invalid;
+        assert!(valid > 0, "some candidates must be valid");
+        assert!(invalid > 0, "Fig. 3 shows gaps: some must be invalid");
+        // Candidates in the known gap (0.4, 0.6) are invalid.
+        for p in &sweep {
+            if p.t1 > 0.4 && p.t1 < 0.6 {
+                assert!(p.normalized_cost.is_none(), "t1 {} should be a gap", p.t1);
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_close_to_analytic_at_optimum() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        let c = CostModel::reservation_only();
+        let analytic = BruteForce::new(300, 1000, EvalMethod::Analytic, 3)
+            .unwrap()
+            .best(&d, &c)
+            .unwrap();
+        let mc = BruteForce::new(300, 4000, EvalMethod::MonteCarlo, 3)
+            .unwrap()
+            .best(&d, &c)
+            .unwrap();
+        assert!(
+            (analytic.normalized_cost - mc.normalized_cost).abs() < 0.1,
+            "analytic {} vs mc {}",
+            analytic.normalized_cost,
+            mc.normalized_cost
+        );
+    }
+
+    #[test]
+    fn score_t1_invalid_gives_none() {
+        let d = Uniform::new(10.0, 20.0).unwrap();
+        let c = CostModel::reservation_only();
+        let bf = BruteForce::new(100, 1000, EvalMethod::Analytic, 3).unwrap();
+        assert!(bf.score_t1(&d, &c, 15.0).is_none()); // Table 3: '-'
+        assert!(bf.score_t1(&d, &c, 20.0).is_some());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(BruteForce::new(0, 100, EvalMethod::Analytic, 0).is_err());
+        assert!(BruteForce::new(10, 1, EvalMethod::Analytic, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        let c = CostModel::reservation_only();
+        let bf = BruteForce::new(200, 500, EvalMethod::MonteCarlo, 42).unwrap();
+        let a = bf.best(&d, &c).unwrap();
+        let b = bf.best(&d, &c).unwrap();
+        assert_eq!(a.t1, b.t1);
+        assert_eq!(a.expected_cost, b.expected_cost);
+    }
+}

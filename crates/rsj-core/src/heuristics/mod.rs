@@ -1,0 +1,127 @@
+//! The reservation heuristics of §4 (system S7 of DESIGN.md).
+//!
+//! * [`BruteForce`] — §4.1: grid search over `t₁`, sequences completed via
+//!   the optimal recurrence (Eq. 11);
+//! * [`DiscretizedDp`] — §4.2: truncate + discretize the distribution, then
+//!   solve the discrete problem exactly by dynamic programming (Theorem 5);
+//! * [`MeanByMean`], [`MeanStdev`], [`MeanDoubling`], [`MedianByMedian`] —
+//!   §4.3: measure-based incremental rules.
+//!
+//! All heuristics implement the common [`Strategy`] trait and produce a
+//! [`ReservationSequence`] for a distribution/cost-model pair.
+
+mod brute_force;
+mod dp;
+mod simple;
+
+pub use brute_force::{BruteForce, EvalMethod, SweepPoint};
+pub use dp::{discrete_sequence_cost, optimal_discrete, DiscretizedDp, DpSolution};
+pub use simple::{MeanByMean, MeanDoubling, MeanStdev, MedianByMedian};
+
+use crate::cost::CostModel;
+use crate::error::Result;
+use crate::sequence::ReservationSequence;
+use rsj_dist::ContinuousDistribution;
+
+/// A reservation strategy: computes an increasing sequence of reservation
+/// lengths for a given job-time distribution and cost model.
+pub trait Strategy: Send + Sync {
+    /// Display name, matching the paper's table headers where applicable.
+    fn name(&self) -> &str;
+
+    /// Computes the reservation sequence.
+    fn sequence(
+        &self,
+        dist: &dyn ContinuousDistribution,
+        cost: &CostModel,
+    ) -> Result<ReservationSequence>;
+}
+
+/// Parameters shared by the sequence generators of the simple heuristics:
+/// how deep into the tail a materialized prefix must reach.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailPolicy {
+    /// Stop extending once `P(X ≥ tᵢ)` falls below this.
+    pub tail_cutoff: f64,
+    /// Hard cap on the number of reservations.
+    pub max_len: usize,
+}
+
+impl Default for TailPolicy {
+    fn default() -> Self {
+        Self {
+            tail_cutoff: 1e-12,
+            max_len: 100_000,
+        }
+    }
+}
+
+/// The full §4 heuristic suite with the paper's evaluation parameters
+/// (`M = 5000`, `N = 1000`, `ε = 1e-7`, `n = 1000`), in Table 2 column
+/// order.
+pub fn paper_suite(seed: u64) -> Vec<Box<dyn Strategy>> {
+    vec![
+        Box::new(BruteForce::paper(seed)),
+        Box::new(MeanByMean::default()),
+        Box::new(MeanStdev::default()),
+        Box::new(MeanDoubling::default()),
+        Box::new(MedianByMedian::default()),
+        Box::new(DiscretizedDp::paper(
+            rsj_dist::DiscretizationScheme::EqualTime,
+        )),
+        Box::new(DiscretizedDp::paper(
+            rsj_dist::DiscretizationScheme::EqualProbability,
+        )),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_dist::DistSpec;
+
+    #[test]
+    fn suite_has_paper_names_in_order() {
+        let suite = paper_suite(1);
+        let names: Vec<&str> = suite.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Brute-Force",
+                "Mean-by-Mean",
+                "Mean-Stdev",
+                "Mean-Doubling",
+                "Median-by-Median",
+                "Equal-time",
+                "Equal-probability",
+            ]
+        );
+    }
+
+    #[test]
+    fn every_heuristic_handles_every_paper_distribution() {
+        let cost = CostModel::reservation_only();
+        // Brute force is exercised with a small grid to keep this test fast.
+        let mut suite: Vec<Box<dyn Strategy>> = vec![
+            Box::new(BruteForce::new(200, 200, EvalMethod::Analytic, 7).unwrap()),
+            Box::new(MeanByMean::default()),
+            Box::new(MeanStdev::default()),
+            Box::new(MeanDoubling::default()),
+            Box::new(MedianByMedian::default()),
+        ];
+        suite.push(Box::new(DiscretizedDp::new(
+            rsj_dist::DiscretizationScheme::EqualTime,
+            200,
+            1e-7,
+        ).unwrap()));
+        for (name, spec) in DistSpec::paper_table1() {
+            let dist = spec.build().unwrap();
+            for h in &suite {
+                let seq = h
+                    .sequence(dist.as_ref(), &cost)
+                    .unwrap_or_else(|e| panic!("{} on {name}: {e}", h.name()));
+                assert!(!seq.is_empty(), "{} on {name}", h.name());
+            }
+        }
+    }
+}

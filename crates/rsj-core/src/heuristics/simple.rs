@@ -1,0 +1,290 @@
+//! The measure-based incremental heuristics of §4.3: Mean-by-Mean,
+//! Mean-Stdev, Mean-Doubling and Median-by-Median.
+//!
+//! None of these explore the structure of the optimal solution; they apply
+//! simple rules to standard measures (mean, standard deviation, quantiles)
+//! of the distribution. Appendix B's closed-form conditional expectations
+//! (implemented by each distribution's `conditional_mean_above`) make
+//! Mean-by-Mean exact for all nine supported laws.
+
+use super::{Strategy, TailPolicy};
+use crate::cost::CostModel;
+use crate::error::Result;
+use crate::sequence::ReservationSequence;
+use rsj_dist::ContinuousDistribution;
+
+/// Relative slack for deciding a reservation has reached a bounded
+/// support's upper endpoint.
+const UPPER_EPS: f64 = 1e-12;
+
+/// Shared driver: starts at `t1` and repeatedly applies `rule(i, tᵢ) → tᵢ₊₁`
+/// (`i` is the 1-based index of the *current* last element), clamping into
+/// bounded supports and stopping at the tail policy's cutoff.
+fn build_sequence(
+    dist: &dyn ContinuousDistribution,
+    t1: f64,
+    mut rule: impl FnMut(usize, f64) -> f64,
+    policy: &TailPolicy,
+) -> Result<ReservationSequence> {
+    let upper = dist.support().upper();
+    if let Some(b) = upper {
+        if t1 >= b * (1.0 - UPPER_EPS) {
+            return ReservationSequence::single(b);
+        }
+    }
+    let mut times = vec![t1];
+    let mut t = t1;
+    let mut i = 1;
+    while times.len() < policy.max_len {
+        // Unbounded tail cutoff; bounded supports run until they hit b.
+        if upper.is_none() && dist.survival(t) < policy.tail_cutoff {
+            break;
+        }
+        let mut next = rule(i, t);
+        if !(next > t * (1.0 + 1e-12)) || !next.is_finite() {
+            // Stalled rule (numerically flat increments deep in a tail):
+            // force geometric progress — the sequence must tend to the
+            // support's end (§2.2, property 2).
+            next = t * 1.5;
+        }
+        if let Some(b) = upper {
+            if next >= b * (1.0 - UPPER_EPS) {
+                times.push(b);
+                return ReservationSequence::new(times, true);
+            }
+            if dist.survival(next) < policy.tail_cutoff {
+                // Essentially no mass left before b: close the sequence.
+                times.push(b);
+                return ReservationSequence::new(times, true);
+            }
+        }
+        times.push(next);
+        t = next;
+        i += 1;
+    }
+    ReservationSequence::new(times, false)
+}
+
+/// MEAN-BY-MEAN (§4.3): `t₁ = μ`, then `tᵢ₊₁ = E[X | X > tᵢ]` — the
+/// conditional expectation of the remaining interval (Appendix B).
+#[derive(Debug, Clone, Default)]
+pub struct MeanByMean {
+    /// Tail depth policy.
+    pub policy: TailPolicy,
+}
+
+impl Strategy for MeanByMean {
+    fn name(&self) -> &str {
+        "Mean-by-Mean"
+    }
+
+    fn sequence(
+        &self,
+        dist: &dyn ContinuousDistribution,
+        _cost: &CostModel,
+    ) -> Result<ReservationSequence> {
+        build_sequence(
+            dist,
+            dist.mean(),
+            |_, t| dist.conditional_mean_above(t),
+            &self.policy,
+        )
+    }
+}
+
+/// MEAN-STDEV (§4.3): `tᵢ = μ + (i-1)·σ`.
+#[derive(Debug, Clone, Default)]
+pub struct MeanStdev {
+    /// Tail depth policy.
+    pub policy: TailPolicy,
+}
+
+impl Strategy for MeanStdev {
+    fn name(&self) -> &str {
+        "Mean-Stdev"
+    }
+
+    fn sequence(
+        &self,
+        dist: &dyn ContinuousDistribution,
+        _cost: &CostModel,
+    ) -> Result<ReservationSequence> {
+        let mu = dist.mean();
+        let sigma = dist.std_dev();
+        build_sequence(dist, mu, |i, _| mu + i as f64 * sigma, &self.policy)
+    }
+}
+
+/// MEAN-DOUBLING (§4.3): `tᵢ = 2^{i-1}·μ`.
+#[derive(Debug, Clone, Default)]
+pub struct MeanDoubling {
+    /// Tail depth policy.
+    pub policy: TailPolicy,
+}
+
+impl Strategy for MeanDoubling {
+    fn name(&self) -> &str {
+        "Mean-Doubling"
+    }
+
+    fn sequence(
+        &self,
+        dist: &dyn ContinuousDistribution,
+        _cost: &CostModel,
+    ) -> Result<ReservationSequence> {
+        let mu = dist.mean();
+        build_sequence(dist, mu, |i, _| 2f64.powi(i as i32) * mu, &self.policy)
+    }
+}
+
+/// MEDIAN-BY-MEDIAN (§4.3): `tᵢ = Q(1 - 2⁻ⁱ)` — the median of the
+/// remaining interval at every step.
+#[derive(Debug, Clone, Default)]
+pub struct MedianByMedian {
+    /// Tail depth policy.
+    pub policy: TailPolicy,
+}
+
+impl Strategy for MedianByMedian {
+    fn name(&self) -> &str {
+        "Median-by-Median"
+    }
+
+    fn sequence(
+        &self,
+        dist: &dyn ContinuousDistribution,
+        _cost: &CostModel,
+    ) -> Result<ReservationSequence> {
+        build_sequence(
+            dist,
+            dist.median(),
+            |i, _| dist.quantile(1.0 - 2f64.powi(-(i as i32 + 1))),
+            &self.policy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_dist::{BetaDist, Exponential, LogNormal, Pareto, Uniform};
+
+    fn cost() -> CostModel {
+        CostModel::reservation_only()
+    }
+
+    #[test]
+    fn mean_by_mean_exponential_is_arithmetic() {
+        // Memorylessness: tᵢ = i/λ (Appendix B).
+        let d = Exponential::new(2.0).unwrap();
+        let s = MeanByMean::default().sequence(&d, &cost()).unwrap();
+        for (i, t) in s.times().iter().take(10).enumerate() {
+            assert!((t - (i + 1) as f64 * 0.5).abs() < 1e-10, "i={i}: {t}");
+        }
+    }
+
+    #[test]
+    fn mean_by_mean_uniform_halves_to_b() {
+        // Theorem 11: t₁ = 15, tᵢ₊₁ = (tᵢ + 20)/2, closing at b = 20.
+        let d = Uniform::new(10.0, 20.0).unwrap();
+        let s = MeanByMean::default().sequence(&d, &cost()).unwrap();
+        let t = s.times();
+        assert!((t[0] - 15.0).abs() < 1e-12);
+        assert!((t[1] - 17.5).abs() < 1e-12);
+        assert!((t[2] - 18.75).abs() < 1e-12);
+        assert!(s.is_complete());
+        assert_eq!(s.last(), 20.0);
+    }
+
+    #[test]
+    fn mean_by_mean_pareto_is_geometric() {
+        // Theorem 10: tᵢ₊₁ = α/(α-1)·tᵢ = 1.5·tᵢ.
+        let d = Pareto::new(1.5, 3.0).unwrap();
+        let s = MeanByMean::default().sequence(&d, &cost()).unwrap();
+        let t = s.times();
+        assert!((t[0] - 2.25).abs() < 1e-12);
+        for w in t.windows(2).take(8) {
+            assert!((w[1] / w[0] - 1.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mean_stdev_is_arithmetic() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        let s = MeanStdev::default().sequence(&d, &cost()).unwrap();
+        let (mu, sigma) = (d.mean(), d.std_dev());
+        for (i, t) in s.times().iter().take(10).enumerate() {
+            assert!((t - (mu + i as f64 * sigma)).abs() < 1e-9, "i={i}");
+        }
+    }
+
+    #[test]
+    fn mean_doubling_doubles() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        let s = MeanDoubling::default().sequence(&d, &cost()).unwrap();
+        let t = s.times();
+        for w in t.windows(2).take(5) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn median_by_median_quantile_ladder() {
+        let d = Exponential::new(1.0).unwrap();
+        let s = MedianByMedian::default().sequence(&d, &cost()).unwrap();
+        let t = s.times();
+        // tᵢ = Q(1 - 2⁻ⁱ) = i·ln 2 for Exp(1).
+        for (i, x) in t.iter().take(10).enumerate() {
+            let expected = (i + 1) as f64 * std::f64::consts::LN_2;
+            assert!((x - expected).abs() < 1e-9, "i={i}: {x} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn all_sequences_reach_tail_cutoff() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        let heuristics: Vec<Box<dyn Strategy>> = vec![
+            Box::new(MeanByMean::default()),
+            Box::new(MeanStdev::default()),
+            Box::new(MeanDoubling::default()),
+            Box::new(MedianByMedian::default()),
+        ];
+        for h in heuristics {
+            let s = h.sequence(&d, &cost()).unwrap();
+            assert!(
+                d.survival(s.last()) < 1e-11,
+                "{}: gap {}",
+                h.name(),
+                d.survival(s.last())
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_support_sequences_end_at_b() {
+        let d = BetaDist::new(2.0, 2.0).unwrap();
+        let heuristics: Vec<Box<dyn Strategy>> = vec![
+            Box::new(MeanByMean::default()),
+            Box::new(MeanStdev::default()),
+            Box::new(MeanDoubling::default()),
+            Box::new(MedianByMedian::default()),
+        ];
+        for h in heuristics {
+            let s = h.sequence(&d, &cost()).unwrap();
+            assert!(s.is_complete(), "{} must complete", h.name());
+            assert_eq!(s.last(), 1.0, "{} must end at b", h.name());
+        }
+    }
+
+    #[test]
+    fn mean_stdev_uniform_matches_paper_shape() {
+        // Uniform(10, 20): 15, 17.89, then clamp at 20.
+        let d = Uniform::new(10.0, 20.0).unwrap();
+        let s = MeanStdev::default().sequence(&d, &cost()).unwrap();
+        let t = s.times();
+        assert!((t[0] - 15.0).abs() < 1e-12);
+        assert!((t[1] - (15.0 + d.std_dev())).abs() < 1e-12);
+        assert_eq!(s.last(), 20.0);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,162 @@
+//! Model-misspecification analysis: the paper's NeuroHPC pipeline plans on
+//! a *fitted* LogNormal, not on the unknown true law (§5.3, Fig. 1). This
+//! module quantifies what that costs: plan a sequence on an `assumed`
+//! distribution, then evaluate it under the `truth`.
+
+use crate::cost::CostModel;
+use crate::error::Result;
+use crate::eval::expected_cost_analytic;
+use crate::heuristics::Strategy;
+use crate::sequence::ReservationSequence;
+use rsj_dist::ContinuousDistribution;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of planning under a (possibly wrong) assumed distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MisspecReport {
+    /// Expected cost, under the truth, of the sequence planned on the
+    /// assumed law.
+    pub planned_cost: f64,
+    /// Expected cost, under the truth, of the sequence the same strategy
+    /// produces when given the truth (the information-oracle baseline).
+    pub oracle_cost: f64,
+    /// `planned_cost / oracle_cost` — 1.0 means the misspecification was
+    /// free; large values mean the plan is fragile.
+    pub penalty_ratio: f64,
+    /// Cost the *planner believed* it would pay (expected cost of the plan
+    /// under the assumed law). Comparing with `planned_cost` reveals
+    /// optimism/pessimism of the model.
+    pub believed_cost: f64,
+}
+
+/// Plans with `strategy` on `assumed` and scores the result under `truth`.
+///
+/// The planned sequence may not cover the truth's tail as deeply as a
+/// correctly-specified plan would; the evaluators' geometric extension
+/// keeps the score well defined (and charges appropriately for the
+/// surprise).
+pub fn misspecification_report(
+    strategy: &dyn Strategy,
+    assumed: &dyn ContinuousDistribution,
+    truth: &dyn ContinuousDistribution,
+    cost: &CostModel,
+) -> Result<MisspecReport> {
+    let planned: ReservationSequence = strategy.sequence(assumed, cost)?;
+    let oracle_seq = strategy.sequence(truth, cost)?;
+    let planned_cost = expected_cost_with_extension(&planned, truth, cost);
+    let oracle_cost = expected_cost_with_extension(&oracle_seq, truth, cost);
+    Ok(MisspecReport {
+        planned_cost,
+        oracle_cost,
+        penalty_ratio: planned_cost / oracle_cost,
+        believed_cost: expected_cost_analytic(&planned, assumed, cost),
+    })
+}
+
+/// Eq. 4 series including the sequence's geometric extension until the
+/// evaluation distribution's tail is exhausted — needed because a plan
+/// made on a lighter-tailed assumed law may stop far short of the truth's
+/// tail.
+pub fn expected_cost_with_extension(
+    seq: &ReservationSequence,
+    dist: &dyn ContinuousDistribution,
+    cost: &CostModel,
+) -> f64 {
+    let mut total = cost.beta * dist.mean();
+    let mut t_prev = 0.0;
+    let mut k = 0usize;
+    loop {
+        let surv = if t_prev == 0.0 { 1.0 } else { dist.survival(t_prev) };
+        if surv < 1e-14 || k > 1_000_000 {
+            return total;
+        }
+        let t_next = seq.reservation(k);
+        total += (cost.alpha * t_next + cost.beta * t_prev + cost.gamma) * surv;
+        t_prev = t_next;
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::{DiscretizedDp, MeanByMean};
+    use rsj_dist::{DiscretizationScheme, LogNormal, Weibull};
+
+    #[test]
+    fn correctly_specified_has_unit_penalty() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        let c = CostModel::reservation_only();
+        let s = MeanByMean::default();
+        let r = misspecification_report(&s, &d, &d, &c).unwrap();
+        assert!((r.penalty_ratio - 1.0).abs() < 1e-12);
+        // believed uses the prefix series (tail cutoff 1e-12), planned the
+        // deeper extension evaluator: equal up to that tail sliver.
+        assert!((r.believed_cost - r.planned_cost).abs() / r.planned_cost < 1e-6);
+    }
+
+    #[test]
+    fn extension_evaluator_matches_plain_on_deep_sequences() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        let c = CostModel::new(1.0, 0.5, 0.1).unwrap();
+        let seq = crate::heuristics::Strategy::sequence(&MeanByMean::default(), &d, &c).unwrap();
+        let plain = expected_cost_analytic(&seq, &d, &c);
+        let extended = expected_cost_with_extension(&seq, &d, &c);
+        assert!(
+            (plain - extended).abs() / plain < 1e-6,
+            "plain {plain} vs extended {extended}"
+        );
+    }
+
+    #[test]
+    fn underestimating_scale_is_penalized() {
+        // Assume the job is half as long as it really is.
+        let truth = LogNormal::new(3.0, 0.5).unwrap();
+        let assumed = LogNormal::new(3.0 - std::f64::consts::LN_2, 0.5).unwrap();
+        let c = CostModel::reservation_only();
+        let dp = DiscretizedDp::new(DiscretizationScheme::EqualProbability, 400, 1e-7).unwrap();
+        let r = misspecification_report(&dp, &assumed, &truth, &c).unwrap();
+        assert!(
+            r.penalty_ratio > 1.005,
+            "halving the scale must cost something: {}",
+            r.penalty_ratio
+        );
+        // And the planner believed it would pay less than it does.
+        assert!(r.believed_cost < r.planned_cost);
+    }
+
+    #[test]
+    fn wrong_family_with_matched_moments_is_mild() {
+        // Plan on a LogNormal moment-matched to a Weibull truth: the §5.3
+        // fitting approach. The penalty exists but stays moderate.
+        let truth = Weibull::new(1.0, 1.5).unwrap();
+        let assumed =
+            LogNormal::from_moments(truth.mean(), truth.variance().sqrt()).unwrap();
+        let c = CostModel::reservation_only();
+        let dp = DiscretizedDp::new(DiscretizationScheme::EqualProbability, 400, 1e-7).unwrap();
+        let r = misspecification_report(&dp, &assumed, &truth, &c).unwrap();
+        assert!(r.penalty_ratio >= 1.0 - 1e-9);
+        assert!(
+            r.penalty_ratio < 1.25,
+            "moment-matched family swap should be mild: {}",
+            r.penalty_ratio
+        );
+    }
+
+    #[test]
+    fn more_variance_misjudgment_costs_more() {
+        let truth = LogNormal::new(3.0, 0.8).unwrap();
+        let c = CostModel::reservation_only();
+        let dp = DiscretizedDp::new(DiscretizationScheme::EqualProbability, 300, 1e-7).unwrap();
+        let mild = LogNormal::new(3.0, 0.7).unwrap();
+        let severe = LogNormal::new(3.0, 0.3).unwrap();
+        let r_mild = misspecification_report(&dp, &mild, &truth, &c).unwrap();
+        let r_severe = misspecification_report(&dp, &severe, &truth, &c).unwrap();
+        assert!(
+            r_severe.penalty_ratio > r_mild.penalty_ratio,
+            "severe {} vs mild {}",
+            r_severe.penalty_ratio,
+            r_mild.penalty_ratio
+        );
+    }
+}

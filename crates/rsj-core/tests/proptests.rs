@@ -1,0 +1,141 @@
+//! Property-based tests of rsj-core invariants beyond the unit suites:
+//! recurrence structure, risk-profile consistency, DP dominance relations
+//! and checkpoint accounting.
+
+use proptest::prelude::*;
+use rsj_core::extensions::{optimal_discrete_checkpointed, CheckpointConfig};
+use rsj_core::heuristics::Strategy as _;
+use rsj_core::{
+    expected_cost_analytic, optimal_discrete, risk_profile, sequence_from_t1, CostModel,
+    MeanByMean, RecurrenceConfig,
+};
+use rsj_dist::{ContinuousDistribution, DiscreteDistribution, Exponential, LogNormal};
+
+fn discrete(values: Vec<f64>, weights: Vec<f64>) -> Option<DiscreteDistribution> {
+    let mut v = values;
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    let n = v.len().min(weights.len());
+    if n < 2 {
+        return None;
+    }
+    DiscreteDistribution::new(v[..n].to_vec(), weights[..n].to_vec()).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Valid recurrence sequences are strictly increasing and cover the
+    /// configured horizon.
+    #[test]
+    fn recurrence_output_is_well_formed(
+        t1 in 0.05..4.0f64,
+        lambda in 0.3..3.0f64,
+        beta in 0.0..1.5f64,
+        gamma in 0.0..1.0f64,
+    ) {
+        let d = Exponential::new(lambda).unwrap();
+        let c = CostModel::new(1.0, beta, gamma).unwrap();
+        let cfg = RecurrenceConfig::default();
+        if let Ok(seq) = sequence_from_t1(&d, &c, t1, &cfg) {
+            for w in seq.times().windows(2) {
+                prop_assert!(w[1] > w[0]);
+            }
+            prop_assert!(seq.last() >= d.quantile(cfg.coverage_quantile) * (1.0 - 1e-9));
+            // Tail covered to the cutoff for unbounded supports.
+            prop_assert!(d.survival(seq.last()) < cfg.tail_cutoff * 10.0);
+        }
+    }
+
+    /// Risk-profile bracket probabilities sum to ~1 and the profile's
+    /// expected cost matches the Eq. 4 series.
+    #[test]
+    fn risk_profile_is_a_distribution(
+        (mu, sigma) in (-0.5..3.0f64, 0.2..0.9f64),
+        beta in 0.0..1.5f64,
+    ) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let c = CostModel::new(1.0, beta, 0.1).unwrap();
+        let seq = MeanByMean::default().sequence(&d, &c).unwrap();
+        let p = risk_profile(&seq, &d, &c);
+        let mass: f64 = p.brackets().iter().map(|b| b.probability).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+        let e_profile = p.expected_cost(&d);
+        let e_series = expected_cost_analytic(&seq, &d, &c);
+        prop_assert!((e_profile - e_series).abs() / e_series < 1e-6);
+        // Quantiles are nondecreasing in q.
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let v = p.cost_quantile(&d, q);
+            prop_assert!(v >= prev - 1e-9);
+            prev = v;
+        }
+    }
+
+    /// Free checkpoints never lose to the plain optimum; expensive
+    /// checkpoints never beat free ones.
+    #[test]
+    fn checkpoint_dp_dominance(
+        values in proptest::collection::vec(0.1..80.0f64, 3..8),
+        weights in proptest::collection::vec(0.05..1.0f64, 3..8),
+        alpha in 0.3..2.0f64,
+        beta in 0.0..1.5f64,
+        overhead in 0.01..5.0f64,
+    ) {
+        let Some(d) = discrete(values, weights) else { return Ok(()) };
+        let c = CostModel::new(alpha, beta, 0.2).unwrap();
+        let plain = optimal_discrete(&d, &c).unwrap().expected_cost;
+        let free = optimal_discrete_checkpointed(
+            &d, &c, &CheckpointConfig::new(0.0, 0.0).unwrap()).unwrap().expected_cost;
+        let priced = optimal_discrete_checkpointed(
+            &d, &c, &CheckpointConfig::new(overhead, overhead).unwrap()).unwrap().expected_cost;
+        prop_assert!(free <= plain + 1e-9, "free checkpoints {free} vs plain {plain}");
+        prop_assert!(free <= priced + 1e-9, "free {free} vs priced {priced}");
+    }
+
+    /// The checkpoint plan's executable accounting is internally
+    /// consistent: running the exact support values reproduces the DP
+    /// value when weighted by the probabilities.
+    #[test]
+    fn checkpoint_plan_accounting_consistent(
+        values in proptest::collection::vec(0.5..40.0f64, 2..6),
+        weights in proptest::collection::vec(0.1..1.0f64, 2..6),
+        overhead in 0.0..2.0f64,
+    ) {
+        let Some(d) = discrete(values, weights) else { return Ok(()) };
+        let c = CostModel::new(1.0, 0.5, 0.1).unwrap();
+        let ck = CheckpointConfig::new(overhead, overhead).unwrap();
+        let sol = optimal_discrete_checkpointed(&d, &c, &ck).unwrap();
+        let weighted: f64 = d
+            .values()
+            .iter()
+            .zip(d.probs())
+            .map(|(&x, &p)| p * sol.run_job(&c, &ck, x).cost)
+            .sum();
+        prop_assert!(
+            (weighted - sol.expected_cost).abs() / sol.expected_cost < 1e-9,
+            "weighted {weighted} vs dp {}",
+            sol.expected_cost
+        );
+    }
+
+    /// Adding a superfluous early reservation never helps (the Theorem 4
+    /// proof's suppression argument, generalized numerically).
+    #[test]
+    fn suppressing_a_prefix_element_helps_or_ties(
+        (mu, sigma) in (0.0..3.0f64, 0.2..0.8f64),
+        cut in 0.05..0.5f64,
+    ) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let c = CostModel::reservation_only();
+        let seq = MeanByMean::default().sequence(&d, &c).unwrap();
+        // Insert an extra reservation below t₁.
+        let mut with_extra = vec![seq.times()[0] * cut];
+        with_extra.extend_from_slice(seq.times());
+        let extended =
+            rsj_core::ReservationSequence::new(with_extra, seq.is_complete()).unwrap();
+        let base = expected_cost_analytic(&seq, &d, &c);
+        let padded = expected_cost_analytic(&extended, &d, &c);
+        prop_assert!(padded >= base - 1e-9, "padding helped: {padded} < {base}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Exponential distribution `Exp(λ)` (Table 1 / Table 5).
+
+use crate::error::{check_param, Result};
+use crate::traits::{ContinuousDistribution, Support};
+
+/// Exponential distribution with rate `λ > 0`, support `[0, ∞)`.
+///
+/// Paper instantiation: `λ = 1.0`. The memoryless property makes its
+/// Mean-by-Mean recurrence trivial: `t_i = t_{i-1} + 1/λ` (Appendix B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an `Exp(λ)` distribution.
+    pub fn new(lambda: f64) -> Result<Self> {
+        check_param("lambda", lambda, "must be > 0", lambda > 0.0)?;
+        Ok(Self { lambda })
+    }
+
+    /// The rate parameter `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    fn name(&self) -> String {
+        format!("Exponential(λ={})", self.lambda)
+    }
+
+    fn support(&self) -> Support {
+        Support::Unbounded { lower: 0.0 }
+    }
+
+    fn pdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            0.0
+        } else {
+            self.lambda * (-self.lambda * t).exp()
+        }
+    }
+
+    fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            -(-self.lambda * t).exp_m1()
+        }
+    }
+
+    fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else {
+            (-self.lambda * t).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile: p out of [0,1]: {p}");
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        -(-p).ln_1p() / self.lambda // -ln(1-p)/λ without cancellation
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.lambda * self.lambda)
+    }
+
+    fn conditional_mean_above(&self, tau: f64) -> f64 {
+        // Memorylessness: E[X | X > τ] = τ + 1/λ.
+        if tau <= 0.0 {
+            self.mean()
+        } else {
+            tau + 1.0 / self.lambda
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let d = Exponential::new(2.0).unwrap();
+        assert!((d.mean() - 0.5).abs() < 1e-15);
+        assert!((d.variance() - 0.25).abs() < 1e-15);
+        assert!((d.second_moment() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_quantile_inverse() {
+        let d = Exponential::new(1.3).unwrap();
+        for &p in &[0.0, 0.1, 0.5, 0.9, 0.999, 1.0 - 1e-12] {
+            let t = d.quantile(p);
+            assert!((d.cdf(t) - p).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn survival_tail_precision() {
+        let d = Exponential::new(1.0).unwrap();
+        // At t = 50, 1 - cdf underflows to 0 in naive arithmetic but the
+        // direct survival stays exact.
+        assert!((d.survival(50.0) - (-50.0f64).exp()).abs() < 1e-30);
+    }
+
+    #[test]
+    fn conditional_mean_is_memoryless() {
+        let d = Exponential::new(0.5).unwrap();
+        assert!((d.conditional_mean_above(3.0) - 5.0).abs() < 1e-12);
+        // Default-quadrature cross-check.
+        let numeric = {
+            let s = d.survival(3.0);
+            3.0 + crate::quadrature::integrate_to_inf(|t| d.survival(t), 3.0, 1e-12).value / s
+        };
+        assert!((d.conditional_mean_above(3.0) - numeric).abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_is_ln2_over_lambda() {
+        let d = Exponential::new(1.0).unwrap();
+        assert!((d.median() - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_mean() {
+        use rand::SeedableRng;
+        let d = Exponential::new(1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let emp_mean = sum / n as f64;
+        assert!((emp_mean - 1.0).abs() < 0.01, "empirical mean {emp_mean}");
+    }
+}

@@ -1,0 +1,225 @@
+//! LogNormal distribution `LogNormal(μ, σ²)` (Table 1 / Table 5 / Theorem 8).
+//!
+//! This is the law the paper fits to the neuroscience traces of Figure 1 and
+//! uses throughout the NeuroHPC scenario (§5.3).
+
+use crate::error::{check_param, Result};
+use crate::special::erf::erfc;
+use crate::special::normal::{norm_cdf, norm_quantile, norm_sf};
+use crate::traits::{ContinuousDistribution, Support};
+
+/// LogNormal distribution: `ln X ~ Normal(μ, σ²)`, support `(0, ∞)`.
+///
+/// Paper instantiations: `(μ=3, σ=0.5)` for Table 1 and `(μ=7.1128,
+/// σ=0.2039)` (seconds) for the VBMQA trace fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a `LogNormal(μ, σ²)` distribution from the log-space location
+    /// `μ` and log-space standard deviation `σ > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        check_param("mu", mu, "must be finite", mu.is_finite())?;
+        check_param("sigma", sigma, "must be > 0", sigma > 0.0)?;
+        Ok(Self { mu, sigma })
+    }
+
+    /// Builds the LogNormal with a *desired* mean `μ_d` and standard
+    /// deviation `σ_d` in natural units (footnote 4 of the paper, §5.3).
+    ///
+    /// Uses the standard method of moments
+    /// `σ² = ln(1 + (σ_d/μ_d)²)`, `μ = ln μ_d − σ²/2`
+    /// (the footnote's `μ = ln(μ_d − σ_d²/2)` is inconsistent with the
+    /// paper's own Figure 1 fit — see DESIGN.md §4.5).
+    pub fn from_moments(desired_mean: f64, desired_std: f64) -> Result<Self> {
+        check_param("desired_mean", desired_mean, "must be > 0", desired_mean > 0.0)?;
+        check_param("desired_std", desired_std, "must be > 0", desired_std > 0.0)?;
+        let ratio = desired_std / desired_mean;
+        let sigma2 = (1.0 + ratio * ratio).ln();
+        let mu = desired_mean.ln() - sigma2 / 2.0;
+        Self::new(mu, sigma2.sqrt())
+    }
+
+    /// Log-space location `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-space standard deviation `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn z(&self, t: f64) -> f64 {
+        (t.ln() - self.mu) / self.sigma
+    }
+}
+
+impl ContinuousDistribution for LogNormal {
+    fn name(&self) -> String {
+        format!("LogNormal(μ={}, σ={})", self.mu, self.sigma)
+    }
+
+    fn support(&self) -> Support {
+        Support::Unbounded { lower: 0.0 }
+    }
+
+    fn pdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let z = self.z(t);
+        (-0.5 * z * z).exp() / (t * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            norm_cdf(self.z(t))
+        }
+    }
+
+    fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else {
+            norm_sf(self.z(t))
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile: p out of [0,1]: {p}");
+        if p == 0.0 {
+            return 0.0;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        (self.mu + self.sigma * norm_quantile(p)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    fn conditional_mean_above(&self, tau: f64) -> f64 {
+        // Theorem 8 / Eq. 27, rewritten with erfc to stay accurate deep in
+        // the tail:
+        // E[X | X > τ] = e^{μ+σ²/2} · erfc((ln τ − μ − σ²)/(√2 σ))
+        //                            / erfc((ln τ − μ)/(√2 σ)).
+        if tau <= 0.0 {
+            return self.mean();
+        }
+        let sqrt2 = std::f64::consts::SQRT_2;
+        let ln_tau = tau.ln();
+        let num = erfc((ln_tau - self.mu - self.sigma * self.sigma) / (sqrt2 * self.sigma));
+        let den = erfc((ln_tau - self.mu) / (sqrt2 * self.sigma));
+        if den <= 0.0 {
+            // Conditioning mass underflowed (τ astronomically deep in the
+            // tail); the conditional mean is ~τ there.
+            return tau;
+        }
+        self.mean() * num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn paper_table1_moments() {
+        // LogNormal(3, 0.5): mean = e^{3.125} ≈ 22.76.
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        assert!((d.mean() - (3.125f64).exp()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn vbmqa_fit_mean_matches_paper() {
+        // Fig. 1(b)/§5.3: LogNormal(7.1128, 0.2039) has mean ≈ 1253.37 s.
+        let d = LogNormal::new(7.1128, 0.2039).unwrap();
+        assert!(
+            (d.mean() - 1253.37).abs() < 0.5,
+            "mean {} should be ≈ 1253.37 s",
+            d.mean()
+        );
+        // and std ≈ 258.261 s.
+        assert!(
+            (d.std_dev() - 258.261).abs() < 0.5,
+            "std {} should be ≈ 258.261 s",
+            d.std_dev()
+        );
+    }
+
+    #[test]
+    fn from_moments_round_trip() {
+        let d = LogNormal::from_moments(0.348, 0.072).unwrap();
+        assert!((d.mean() - 0.348).abs() < 1e-12);
+        assert!((d.std_dev() - 0.072).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_quantile_inverse() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        for &p in &[0.001, 0.1, 0.5, 0.9, 0.999] {
+            let t = d.quantile(p);
+            assert!((d.cdf(t) - p).abs() < 1e-11, "p={p}");
+        }
+    }
+
+    #[test]
+    fn median_is_exp_mu() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        assert!((d.median() - (3.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditional_mean_matches_quadrature() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        for &tau in &[10.0, 22.0, 60.0] {
+            let closed = d.conditional_mean_above(tau);
+            let s = d.survival(tau);
+            let numeric = tau
+                + crate::quadrature::integrate_to_inf(|t| d.survival(t), tau, 1e-13).value / s;
+            assert!(
+                (closed - numeric).abs() / numeric < 1e-7,
+                "tau={tau}: closed {closed}, numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn conditional_mean_deep_tail_stays_finite() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        let tau = d.quantile(1.0 - 1e-12);
+        let cm = d.conditional_mean_above(tau);
+        assert!(cm.is_finite() && cm > tau);
+    }
+
+    #[test]
+    fn cross_validate_against_statrs() {
+        use statrs::distribution::{Continuous, ContinuousCDF};
+        let ours = LogNormal::new(3.0, 0.5).unwrap();
+        let theirs = statrs::distribution::LogNormal::new(3.0, 0.5).unwrap();
+        // statrs' normal CDF is ~1e-10 accurate, hence the loose tolerance.
+        for &t in &[1.0, 10.0, 20.0, 50.0] {
+            assert!((ours.pdf(t) - theirs.pdf(t)).abs() < 1e-9, "pdf t={t}");
+            assert!((ours.cdf(t) - theirs.cdf(t)).abs() < 1e-9, "cdf t={t}");
+        }
+    }
+}

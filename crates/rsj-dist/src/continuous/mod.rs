@@ -1,0 +1,24 @@
+//! The nine continuous job-runtime distributions of the paper's Table 1
+//! (system S2 of DESIGN.md), each with the closed-form CDF / quantile /
+//! moments of Table 5 and the conditional-expectation recurrences of
+//! Appendix B.
+
+mod beta_dist;
+mod bounded_pareto;
+mod exponential;
+mod gamma_dist;
+mod lognormal;
+mod pareto;
+mod truncated_normal;
+mod uniform;
+mod weibull;
+
+pub use beta_dist::BetaDist;
+pub use bounded_pareto::BoundedPareto;
+pub use exponential::Exponential;
+pub use gamma_dist::GammaDist;
+pub use lognormal::LogNormal;
+pub use pareto::Pareto;
+pub use truncated_normal::TruncatedNormal;
+pub use uniform::Uniform;
+pub use weibull::Weibull;

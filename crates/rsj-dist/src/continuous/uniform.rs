@@ -1,0 +1,147 @@
+//! Uniform distribution `Uniform(a, b)` (Table 1 / Table 5 / Theorem 11).
+//!
+//! The one distribution for which the paper proves a closed-form optimal
+//! strategy: the single reservation `S° = (b)` (Theorem 4).
+
+use crate::error::{check_param, Result};
+use crate::traits::{ContinuousDistribution, Support};
+
+/// Uniform distribution on `[a, b]` with `0 ≤ a < b`.
+///
+/// Paper instantiation: `a = 10`, `b = 20`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    a: f64,
+    b: f64,
+}
+
+impl Uniform {
+    /// Creates a `Uniform(a, b)` distribution.
+    pub fn new(a: f64, b: f64) -> Result<Self> {
+        check_param("a", a, "must be >= 0 and finite", a >= 0.0)?;
+        check_param("b", b, "must be finite and > a", b > a)?;
+        Ok(Self { a, b })
+    }
+
+    /// Left endpoint `a`.
+    pub fn lower(&self) -> f64 {
+        self.a
+    }
+
+    /// Right endpoint `b`.
+    pub fn upper(&self) -> f64 {
+        self.b
+    }
+}
+
+impl ContinuousDistribution for Uniform {
+    fn name(&self) -> String {
+        format!("Uniform(a={}, b={})", self.a, self.b)
+    }
+
+    fn support(&self) -> Support {
+        Support::Bounded {
+            lower: self.a,
+            upper: self.b,
+        }
+    }
+
+    fn pdf(&self, t: f64) -> f64 {
+        if (self.a..=self.b).contains(&t) {
+            1.0 / (self.b - self.a)
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, t: f64) -> f64 {
+        if t <= self.a {
+            0.0
+        } else if t >= self.b {
+            1.0
+        } else {
+            (t - self.a) / (self.b - self.a)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile: p out of [0,1]: {p}");
+        (1.0 - p) * self.a + p * self.b
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.a + self.b)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.b - self.a;
+        w * w / 12.0
+    }
+
+    fn conditional_mean_above(&self, tau: f64) -> f64 {
+        // Theorem 11: E[X | X > τ] = (b + τ)/2 for τ ∈ [a, b].
+        let tau = tau.clamp(self.a, self.b);
+        0.5 * (self.b + tau)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_instance() -> Uniform {
+        Uniform::new(10.0, 20.0).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Uniform::new(-1.0, 2.0).is_err());
+        assert!(Uniform::new(3.0, 3.0).is_err());
+        assert!(Uniform::new(5.0, 4.0).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let d = paper_instance();
+        assert_eq!(d.mean(), 15.0);
+        assert!((d.variance() - 100.0 / 12.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn cdf_quantile_inverse() {
+        let d = paper_instance();
+        for &p in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let t = d.quantile(p);
+            assert!((d.cdf(t) - p).abs() < 1e-14, "p={p}");
+        }
+        assert_eq!(d.quantile(0.0), 10.0);
+        assert_eq!(d.quantile(1.0), 20.0);
+    }
+
+    #[test]
+    fn conditional_mean() {
+        let d = paper_instance();
+        assert_eq!(d.conditional_mean_above(0.0), 15.0); // below support: mean
+        assert_eq!(d.conditional_mean_above(15.0), 17.5);
+        assert_eq!(d.conditional_mean_above(20.0), 20.0);
+    }
+
+    #[test]
+    fn conditional_mean_matches_quadrature() {
+        let d = paper_instance();
+        let tau = 13.0;
+        let closed = d.conditional_mean_above(tau);
+        let s = d.survival(tau);
+        let numeric =
+            tau + crate::quadrature::integrate(|t| d.survival(t), tau, 20.0, 1e-13).value / s;
+        assert!((closed - numeric).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdf_outside_support() {
+        let d = paper_instance();
+        assert_eq!(d.pdf(9.99), 0.0);
+        assert_eq!(d.pdf(20.01), 0.0);
+        assert_eq!(d.pdf(15.0), 0.1);
+    }
+}

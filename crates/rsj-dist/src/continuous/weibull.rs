@@ -1,0 +1,182 @@
+//! Weibull distribution `Weibull(λ, κ)` (Table 1 / Table 5 / Theorem 6).
+
+use crate::error::{check_param, Result};
+use crate::special::gamma::{gamma, upper_incomplete_gamma};
+use crate::traits::{ContinuousDistribution, Support};
+
+/// Weibull distribution with scale `λ > 0` and shape `κ > 0`, support `[0, ∞)`.
+///
+/// Paper instantiation: `λ = 1.0`, `κ = 0.5` (a heavy-tailed shape).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    lambda: f64,
+    kappa: f64,
+}
+
+impl Weibull {
+    /// Creates a `Weibull(λ, κ)` distribution.
+    pub fn new(lambda: f64, kappa: f64) -> Result<Self> {
+        check_param("lambda", lambda, "must be > 0", lambda > 0.0)?;
+        check_param("kappa", kappa, "must be > 0", kappa > 0.0)?;
+        Ok(Self { lambda, kappa })
+    }
+
+    /// Scale parameter `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Shape parameter `κ`.
+    pub fn kappa(&self) -> f64 {
+        self.kappa
+    }
+}
+
+impl ContinuousDistribution for Weibull {
+    fn name(&self) -> String {
+        format!("Weibull(λ={}, κ={})", self.lambda, self.kappa)
+    }
+
+    fn support(&self) -> Support {
+        Support::Unbounded { lower: 0.0 }
+    }
+
+    fn pdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        if t == 0.0 {
+            // κ < 1 has an integrable singularity at 0; κ = 1 gives λ⁻¹; κ > 1 gives 0.
+            return match self.kappa.partial_cmp(&1.0).unwrap() {
+                std::cmp::Ordering::Less => f64::INFINITY,
+                std::cmp::Ordering::Equal => 1.0 / self.lambda,
+                std::cmp::Ordering::Greater => 0.0,
+            };
+        }
+        let z = t / self.lambda;
+        (self.kappa / self.lambda) * z.powf(self.kappa - 1.0) * (-z.powf(self.kappa)).exp()
+    }
+
+    fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            -(-(t / self.lambda).powf(self.kappa)).exp_m1()
+        }
+    }
+
+    fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else {
+            (-(t / self.lambda).powf(self.kappa)).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile: p out of [0,1]: {p}");
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        self.lambda * (-(-p).ln_1p()).powf(1.0 / self.kappa)
+    }
+
+    fn mean(&self) -> f64 {
+        self.lambda * gamma(1.0 + 1.0 / self.kappa)
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = gamma(1.0 + 1.0 / self.kappa);
+        let g2 = gamma(1.0 + 2.0 / self.kappa);
+        self.lambda * self.lambda * (g2 - g1 * g1)
+    }
+
+    fn conditional_mean_above(&self, tau: f64) -> f64 {
+        // Theorem 6 / Eq. 17: E[X | X > τ] = λ e^{(τ/λ)^κ} Γ(1 + 1/κ, (τ/λ)^κ).
+        if tau <= 0.0 {
+            return self.mean();
+        }
+        let z = (tau / self.lambda).powf(self.kappa);
+        self.lambda * z.exp() * upper_incomplete_gamma(1.0 + 1.0 / self.kappa, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, -0.5).is_err());
+    }
+
+    #[test]
+    fn kappa_one_is_exponential() {
+        let w = Weibull::new(2.0, 1.0).unwrap();
+        let e = crate::continuous::Exponential::new(0.5).unwrap();
+        for &t in &[0.1, 1.0, 3.0, 10.0] {
+            assert!((w.cdf(t) - e.cdf(t)).abs() < 1e-13, "t={t}");
+            assert!((w.pdf(t) - e.pdf(t)).abs() < 1e-13, "t={t}");
+        }
+        assert!((w.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_instantiation_moments() {
+        // Weibull(1, 0.5): mean = Γ(3) = 2, E[X²] = Γ(5) = 24, var = 20.
+        let w = Weibull::new(1.0, 0.5).unwrap();
+        assert!((w.mean() - 2.0).abs() < 1e-12, "mean {}", w.mean());
+        assert!((w.variance() - 20.0).abs() < 1e-10, "var {}", w.variance());
+    }
+
+    #[test]
+    fn cdf_quantile_inverse() {
+        let w = Weibull::new(1.0, 0.5).unwrap();
+        for &p in &[0.0, 0.01, 0.3, 0.7, 0.99, 1.0 - 1e-10] {
+            let t = w.quantile(p);
+            assert!((w.cdf(t) - p).abs() < 1e-11, "p={p}");
+        }
+    }
+
+    #[test]
+    fn conditional_mean_matches_quadrature() {
+        let w = Weibull::new(1.0, 0.5).unwrap();
+        for &tau in &[0.5, 2.0, 5.0] {
+            let closed = w.conditional_mean_above(tau);
+            let s = w.survival(tau);
+            let numeric = tau
+                + crate::quadrature::integrate_to_inf(|t| w.survival(t), tau, 1e-13).value / s;
+            assert!(
+                (closed - numeric).abs() / numeric < 1e-7,
+                "tau={tau}: closed {closed}, numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn conditional_mean_exceeds_threshold() {
+        let w = Weibull::new(1.0, 0.5).unwrap();
+        for &tau in &[0.1, 1.0, 4.0, 20.0] {
+            assert!(w.conditional_mean_above(tau) > tau);
+        }
+    }
+
+    #[test]
+    fn pdf_at_zero_edge_cases() {
+        assert!(Weibull::new(1.0, 0.5).unwrap().pdf(0.0).is_infinite());
+        assert_eq!(Weibull::new(2.0, 1.0).unwrap().pdf(0.0), 0.5);
+        assert_eq!(Weibull::new(1.0, 2.0).unwrap().pdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn cross_validate_against_statrs() {
+        use statrs::distribution::{Continuous, ContinuousCDF};
+        let ours = Weibull::new(1.0, 0.5).unwrap();
+        let theirs = statrs::distribution::Weibull::new(0.5, 1.0).unwrap(); // (shape, scale)
+        for &t in &[0.1, 0.5, 1.5, 4.0] {
+            assert!((ours.pdf(t) - theirs.pdf(t)).abs() < 1e-12, "pdf t={t}");
+            assert!((ours.cdf(t) - theirs.cdf(t)).abs() < 1e-12, "cdf t={t}");
+        }
+    }
+}

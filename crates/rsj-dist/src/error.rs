@@ -1,0 +1,62 @@
+//! Error type for distribution construction and numeric routines.
+
+use std::fmt;
+
+/// Error returned when a distribution is constructed with invalid parameters
+/// or a numeric routine is given an out-of-domain argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A constructor parameter violated its requirement.
+    InvalidParameter {
+        /// Parameter name as it appears in the paper (e.g. `lambda`).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable requirement (e.g. `must be > 0`).
+        requirement: &'static str,
+    },
+    /// A fitting routine was given an empty or degenerate sample.
+    DegenerateSample {
+        /// What went wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            } => write!(f, "invalid parameter {name} = {value}: {requirement}"),
+            DistError::DegenerateSample { reason } => {
+                write!(f, "degenerate sample: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DistError>;
+
+/// Validates that `value` satisfies `pred`, returning an
+/// [`DistError::InvalidParameter`] otherwise.
+pub(crate) fn check_param(
+    name: &'static str,
+    value: f64,
+    requirement: &'static str,
+    pred: bool,
+) -> Result<()> {
+    if pred && value.is_finite() {
+        Ok(())
+    } else {
+        Err(DistError::InvalidParameter {
+            name,
+            value,
+            requirement,
+        })
+    }
+}

@@ -1,0 +1,184 @@
+//! Distribution fitting (system S4): the LogNormal fits behind Figure 1 and
+//! the NeuroHPC scenario, plus simple least-squares helpers.
+
+use crate::continuous::LogNormal;
+use crate::error::{DistError, Result};
+
+/// Result of a LogNormal fit: the fitted law plus descriptive statistics in
+/// natural units, mirroring what Figure 1 of the paper displays on top of
+/// each histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogNormalFit {
+    /// The fitted distribution.
+    pub dist: LogNormal,
+    /// Log-space location estimate `μ̂`.
+    pub mu: f64,
+    /// Log-space scale estimate `σ̂`.
+    pub sigma: f64,
+    /// Implied mean in natural units `e^{μ̂ + σ̂²/2}`.
+    pub natural_mean: f64,
+    /// Implied standard deviation in natural units.
+    pub natural_std: f64,
+    /// Number of observations used.
+    pub n: usize,
+}
+
+/// Maximum-likelihood fit of a LogNormal: `μ̂, σ̂` are the sample mean and
+/// (population) standard deviation of `ln xᵢ`.
+///
+/// Non-positive observations are rejected — they have zero likelihood under
+/// any LogNormal.
+pub fn fit_lognormal(samples: &[f64]) -> Result<LogNormalFit> {
+    if samples.len() < 2 {
+        return Err(DistError::DegenerateSample {
+            reason: "need at least two observations to fit a LogNormal",
+        });
+    }
+    if samples.iter().any(|&x| !(x > 0.0) || !x.is_finite()) {
+        return Err(DistError::DegenerateSample {
+            reason: "LogNormal fit requires strictly positive finite observations",
+        });
+    }
+    let n = samples.len() as f64;
+    let logs: Vec<f64> = samples.iter().map(|x| x.ln()).collect();
+    let mu = logs.iter().sum::<f64>() / n;
+    let var = logs.iter().map(|l| (l - mu) * (l - mu)).sum::<f64>() / n;
+    if var <= 0.0 {
+        return Err(DistError::DegenerateSample {
+            reason: "all observations identical; log-variance is zero",
+        });
+    }
+    let sigma = var.sqrt();
+    let dist = LogNormal::new(mu, sigma)?;
+    let natural_mean = (mu + var / 2.0).exp();
+    let natural_std = ((var.exp() - 1.0) * (2.0 * mu + var).exp()).sqrt();
+    Ok(LogNormalFit {
+        dist,
+        mu,
+        sigma,
+        natural_mean,
+        natural_std,
+        n: samples.len(),
+    })
+}
+
+/// Affine least-squares fit `y ≈ slope · x + intercept`.
+///
+/// This is the procedure behind Figure 2: the average wait times of 20
+/// request-size groups are fitted with an affine function whose coefficients
+/// become the `(α, γ)` of the NeuroHPC cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 for a perfect fit).
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares on paired observations.
+pub fn fit_affine(xs: &[f64], ys: &[f64]) -> Result<AffineFit> {
+    if xs.len() != ys.len() {
+        return Err(DistError::DegenerateSample {
+            reason: "x and y have different lengths",
+        });
+    }
+    if xs.len() < 2 {
+        return Err(DistError::DegenerateSample {
+            reason: "need at least two points for an affine fit",
+        });
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    if sxx <= 0.0 {
+        return Err(DistError::DegenerateSample {
+            reason: "x values are all identical",
+        });
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let r_squared = if syy <= 0.0 {
+        1.0
+    } else {
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| {
+                let e = y - (slope * x + intercept);
+                e * e
+            })
+            .sum();
+        1.0 - ss_res / syy
+    };
+    Ok(AffineFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::ContinuousDistribution;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_fit_recovers_parameters() {
+        let truth = LogNormal::new(7.1128, 0.2039).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        let samples: Vec<f64> = (0..5000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = fit_lognormal(&samples).unwrap();
+        assert!((fit.mu - 7.1128).abs() < 0.02, "mu {}", fit.mu);
+        assert!((fit.sigma - 0.2039).abs() < 0.01, "sigma {}", fit.sigma);
+        // Natural-unit mean should be near the paper's 1253.37 s.
+        assert!(
+            (fit.natural_mean - 1253.37).abs() < 30.0,
+            "natural mean {}",
+            fit.natural_mean
+        );
+    }
+
+    #[test]
+    fn lognormal_fit_rejects_bad_samples() {
+        assert!(fit_lognormal(&[1.0]).is_err());
+        assert!(fit_lognormal(&[1.0, 0.0]).is_err());
+        assert!(fit_lognormal(&[2.0, 2.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn affine_fit_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.5, 4.5, 6.5, 8.5]; // y = 2x + 0.5
+        let fit = fit_affine(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 0.5).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_fit_noisy_line() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 0.95 * x + 1.05 + (rand::Rng::gen::<f64>(&mut rng) - 0.5) * 0.2)
+            .collect();
+        let fit = fit_affine(&xs, &ys).unwrap();
+        assert!((fit.slope - 0.95).abs() < 0.02, "slope {}", fit.slope);
+        assert!((fit.intercept - 1.05).abs() < 0.1, "intercept {}", fit.intercept);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn affine_fit_rejects_degenerate() {
+        assert!(fit_affine(&[1.0], &[2.0]).is_err());
+        assert!(fit_affine(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(fit_affine(&[1.0, 2.0], &[1.0]).is_err());
+    }
+}

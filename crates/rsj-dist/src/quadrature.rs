@@ -1,0 +1,150 @@
+//! Adaptive Simpson quadrature (system S5 of DESIGN.md).
+//!
+//! Used as the default implementation of conditional expectations and as a
+//! cross-validation tool for the closed forms of Appendix B. Not on the hot
+//! path of any heuristic — every distribution overrides the defaults with
+//! closed forms.
+
+/// Result of the adaptive integration, carrying an error estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct Quadrature {
+    /// Approximate integral value.
+    pub value: f64,
+    /// Crude estimate of the absolute error.
+    pub error_estimate: f64,
+}
+
+const MAX_DEPTH: u32 = 50;
+
+fn simpson(fa: f64, fm: f64, fb: f64, h: f64) -> f64 {
+    h / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> (f64, f64) {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(fa, flm, fm, m - a);
+    let right = simpson(fm, frm, fb, b - m);
+    let delta = left + right - whole;
+    if depth >= MAX_DEPTH || delta.abs() <= 15.0 * tol {
+        (left + right + delta / 15.0, delta.abs() / 15.0)
+    } else {
+        let (lv, le) = adaptive(f, a, m, fa, flm, fm, left, tol / 2.0, depth + 1);
+        let (rv, re) = adaptive(f, m, b, fm, frm, fb, right, tol / 2.0, depth + 1);
+        (lv + rv, le + re)
+    }
+}
+
+/// Integrates `f` over the finite interval `[a, b]` with adaptive Simpson.
+///
+/// `tol` is an absolute tolerance; the achieved error is usually far below.
+pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Quadrature {
+    assert!(a.is_finite() && b.is_finite(), "integrate: bounds must be finite");
+    if a == b {
+        return Quadrature {
+            value: 0.0,
+            error_estimate: 0.0,
+        };
+    }
+    let (a, b, sign) = if a < b { (a, b, 1.0) } else { (b, a, -1.0) };
+    let m = 0.5 * (a + b);
+    let fa = f(a);
+    let fm = f(m);
+    let fb = f(b);
+    let whole = simpson(fa, fm, fb, b - a);
+    let (value, err) = adaptive(&f, a, b, fa, fm, fb, whole, tol, 0);
+    Quadrature {
+        value: sign * value,
+        error_estimate: err,
+    }
+}
+
+/// Integrates `f` over `[a, ∞)` via the substitution `t = a + u/(1-u)`,
+/// mapping the half-line onto `[0, 1)`.
+///
+/// Requires `f` to decay fast enough for the transformed integrand to remain
+/// bounded (true of all survival functions with finite second moment, the
+/// standing assumption of Theorem 2).
+pub fn integrate_to_inf<F: Fn(f64) -> f64>(f: F, a: f64, tol: f64) -> Quadrature {
+    let g = |u: f64| {
+        if u >= 1.0 {
+            return 0.0;
+        }
+        let one_minus = 1.0 - u;
+        let t = a + u / one_minus;
+        let v = f(t) / (one_minus * one_minus);
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    };
+    integrate(g, 0.0, 1.0 - 1e-12, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_exact() {
+        // Simpson is exact for cubics.
+        let q = integrate(|x| x * x * x - 2.0 * x + 1.0, 0.0, 2.0, 1e-12);
+        // ∫₀² (x³ - 2x + 1) dx = 4 - 4 + 2 = 2
+        assert!((q.value - 2.0).abs() < 1e-12, "got {}", q.value);
+    }
+
+    #[test]
+    fn transcendental() {
+        let q = integrate(f64::sin, 0.0, std::f64::consts::PI, 1e-12);
+        assert!((q.value - 2.0).abs() < 1e-10, "got {}", q.value);
+    }
+
+    #[test]
+    fn reversed_bounds_negate() {
+        let fwd = integrate(|x| x, 0.0, 1.0, 1e-12).value;
+        let bwd = integrate(|x| x, 1.0, 0.0, 1e-12).value;
+        assert!((fwd + bwd).abs() < 1e-14);
+    }
+
+    #[test]
+    fn half_line_exponential() {
+        // ∫₀^∞ e^{-t} dt = 1
+        let q = integrate_to_inf(|t| (-t).exp(), 0.0, 1e-12);
+        assert!((q.value - 1.0).abs() < 1e-8, "got {}", q.value);
+    }
+
+    #[test]
+    fn half_line_shifted() {
+        // ∫_2^∞ e^{-t} dt = e^{-2}
+        let q = integrate_to_inf(|t| (-t).exp(), 2.0, 1e-12);
+        assert!((q.value - (-2.0f64).exp()).abs() < 1e-9, "got {}", q.value);
+    }
+
+    #[test]
+    fn half_line_heavy_tail() {
+        // ∫_1^∞ 3 t^{-4} dt = 1 (Pareto(1,3) survival mass of pdf)
+        let q = integrate_to_inf(|t| 3.0 * t.powi(-4), 1.0, 1e-12);
+        assert!((q.value - 1.0).abs() < 1e-7, "got {}", q.value);
+    }
+
+    #[test]
+    fn zero_length_interval() {
+        let q = integrate(|x| x, 3.0, 3.0, 1e-12);
+        assert_eq!(q.value, 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Serializable distribution specifications.
+//!
+//! Experiment configurations (`rsj-bench`) and user-facing tools describe
+//! job-runtime laws declaratively; [`DistSpec::build`] turns a spec into a
+//! boxed [`ContinuousDistribution`].
+
+use crate::continuous::{
+    BetaDist, BoundedPareto, Exponential, GammaDist, LogNormal, Pareto, TruncatedNormal, Uniform,
+    Weibull,
+};
+use crate::error::Result;
+use crate::traits::ContinuousDistribution;
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of one of the nine supported distributions, with
+/// the same parameter names as the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "family", rename_all = "snake_case")]
+pub enum DistSpec {
+    /// `Exponential(λ)`.
+    Exponential {
+        /// Rate `λ > 0`.
+        lambda: f64,
+    },
+    /// `Weibull(λ, κ)`.
+    Weibull {
+        /// Scale `λ > 0`.
+        lambda: f64,
+        /// Shape `κ > 0`.
+        kappa: f64,
+    },
+    /// `Gamma(α, β)` (shape, rate).
+    Gamma {
+        /// Shape `α > 0`.
+        alpha: f64,
+        /// Rate `β > 0`.
+        beta: f64,
+    },
+    /// `LogNormal(μ, σ)` in log-space parameters.
+    LogNormal {
+        /// Log-space location.
+        mu: f64,
+        /// Log-space standard deviation `σ > 0`.
+        sigma: f64,
+    },
+    /// `TruncatedNormal(μ, σ², a)`; `sigma` is the standard deviation.
+    TruncatedNormal {
+        /// Parent location `μ`.
+        mu: f64,
+        /// Parent standard deviation `σ > 0`.
+        sigma: f64,
+        /// Lower truncation point `a ≥ 0`.
+        a: f64,
+    },
+    /// `Pareto(ν, α)`.
+    Pareto {
+        /// Scale `ν > 0`.
+        nu: f64,
+        /// Tail index `α > 2`.
+        alpha: f64,
+    },
+    /// `Uniform(a, b)`.
+    Uniform {
+        /// Left endpoint `a ≥ 0`.
+        a: f64,
+        /// Right endpoint `b > a`.
+        b: f64,
+    },
+    /// `Beta(α, β)` on `[0, 1]`.
+    Beta {
+        /// First shape `α > 0`.
+        alpha: f64,
+        /// Second shape `β > 0`.
+        beta: f64,
+    },
+    /// `BoundedPareto(L, H, α)`.
+    BoundedPareto {
+        /// Left endpoint `L > 0`.
+        l: f64,
+        /// Right endpoint `H > L`.
+        h: f64,
+        /// Tail index `α ∉ {1, 2}`.
+        alpha: f64,
+    },
+}
+
+impl DistSpec {
+    /// Instantiates the described distribution, validating parameters.
+    pub fn build(&self) -> Result<Box<dyn ContinuousDistribution>> {
+        Ok(match *self {
+            DistSpec::Exponential { lambda } => Box::new(Exponential::new(lambda)?),
+            DistSpec::Weibull { lambda, kappa } => Box::new(Weibull::new(lambda, kappa)?),
+            DistSpec::Gamma { alpha, beta } => Box::new(GammaDist::new(alpha, beta)?),
+            DistSpec::LogNormal { mu, sigma } => Box::new(LogNormal::new(mu, sigma)?),
+            DistSpec::TruncatedNormal { mu, sigma, a } => {
+                Box::new(TruncatedNormal::new(mu, sigma, a)?)
+            }
+            DistSpec::Pareto { nu, alpha } => Box::new(Pareto::new(nu, alpha)?),
+            DistSpec::Uniform { a, b } => Box::new(Uniform::new(a, b)?),
+            DistSpec::Beta { alpha, beta } => Box::new(BetaDist::new(alpha, beta)?),
+            DistSpec::BoundedPareto { l, h, alpha } => Box::new(BoundedPareto::new(l, h, alpha)?),
+        })
+    }
+
+    /// The nine paper instantiations of Table 1, in table order.
+    pub fn paper_table1() -> Vec<(&'static str, DistSpec)> {
+        vec![
+            ("Exponential", DistSpec::Exponential { lambda: 1.0 }),
+            (
+                "Weibull",
+                DistSpec::Weibull {
+                    lambda: 1.0,
+                    kappa: 0.5,
+                },
+            ),
+            (
+                "Gamma",
+                DistSpec::Gamma {
+                    alpha: 2.0,
+                    beta: 2.0,
+                },
+            ),
+            (
+                "Lognormal",
+                DistSpec::LogNormal {
+                    mu: 3.0,
+                    sigma: 0.5,
+                },
+            ),
+            (
+                "TruncatedNormal",
+                DistSpec::TruncatedNormal {
+                    mu: 8.0,
+                    sigma: std::f64::consts::SQRT_2, // σ² = 2
+                    a: 0.0,
+                },
+            ),
+            (
+                "Pareto",
+                DistSpec::Pareto {
+                    nu: 1.5,
+                    alpha: 3.0,
+                },
+            ),
+            ("Uniform", DistSpec::Uniform { a: 10.0, b: 20.0 }),
+            (
+                "Beta",
+                DistSpec::Beta {
+                    alpha: 2.0,
+                    beta: 2.0,
+                },
+            ),
+            (
+                "BoundedPareto",
+                DistSpec::BoundedPareto {
+                    l: 1.0,
+                    h: 20.0,
+                    alpha: 2.1,
+                },
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_all_paper_instantiations() {
+        for (name, spec) in DistSpec::paper_table1() {
+            let dist = spec.build().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(dist.mean().is_finite(), "{name} mean");
+            assert!(dist.variance().is_finite(), "{name} variance");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for (_, spec) in DistSpec::paper_table1() {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: DistSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn invalid_spec_fails_to_build() {
+        let bad = DistSpec::Exponential { lambda: -1.0 };
+        assert!(bad.build().is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end reservation execution (system S11): replay a strategy
+//! against batches of sampled jobs and aggregate the Eq. 2 accounting, plus
+//! the bridge that turns a simulated queue into a NeuroHPC-style cost
+//! model.
+
+use crate::wait_time::WaitTimeAnalysis;
+use rand::RngCore;
+use rsj_core::{run_job, CostModel, ReservationSequence, RunOutcome};
+use rsj_dist::ContinuousDistribution;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of running many jobs through one sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Number of jobs executed.
+    pub jobs: usize,
+    /// Mean total cost per job (the Eq. 13 estimator).
+    pub mean_cost: f64,
+    /// 95th percentile of per-job cost.
+    pub p95_cost: f64,
+    /// Maximum per-job cost.
+    pub max_cost: f64,
+    /// Mean number of reservations needed per job.
+    pub mean_reservations: f64,
+    /// Largest number of reservations any job needed.
+    pub max_reservations: usize,
+    /// Mean reserved-but-unused time per job.
+    pub mean_waste: f64,
+    /// Fraction of reserved time that was wasted, aggregated.
+    pub waste_fraction: f64,
+}
+
+/// Runs `n` jobs sampled from `dist` through `seq` and aggregates the
+/// outcomes.
+pub fn run_batch(
+    seq: &ReservationSequence,
+    dist: &dyn ContinuousDistribution,
+    cost: &CostModel,
+    n: usize,
+    rng: &mut dyn RngCore,
+) -> BatchStats {
+    assert!(n > 0, "need at least one job");
+    let outcomes: Vec<RunOutcome> = (0..n)
+        .map(|_| run_job(seq, cost, dist.sample(rng)))
+        .collect();
+    aggregate(&outcomes)
+}
+
+/// Aggregates precomputed run outcomes.
+pub fn aggregate(outcomes: &[RunOutcome]) -> BatchStats {
+    assert!(!outcomes.is_empty());
+    let n = outcomes.len();
+    let mut costs: Vec<f64> = outcomes.iter().map(|o| o.cost).collect();
+    costs.sort_by(|a, b| a.partial_cmp(b).expect("finite costs"));
+    let mean_cost = costs.iter().sum::<f64>() / n as f64;
+    let p95_cost = costs[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1];
+    let max_cost = *costs.last().expect("non-empty");
+    let mean_reservations =
+        outcomes.iter().map(|o| o.reservations as f64).sum::<f64>() / n as f64;
+    let max_reservations = outcomes.iter().map(|o| o.reservations).max().expect("non-empty");
+    let total_waste: f64 = outcomes.iter().map(|o| o.wasted_time).sum();
+    let total_reserved: f64 = outcomes.iter().map(|o| o.reserved_time).sum();
+    BatchStats {
+        jobs: n,
+        mean_cost,
+        p95_cost,
+        max_cost,
+        mean_reservations,
+        max_reservations,
+        mean_waste: total_waste / n as f64,
+        waste_fraction: if total_reserved > 0.0 {
+            total_waste / total_reserved
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Builds the NeuroHPC cost model from a queue analysis: the total
+/// turnaround of a reservation of length `R` is `wait(R) + min(R, t)` with
+/// `wait(R) ≈ α·R + γ` from the Figure 2 fit, giving `CostModel(α, 1, γ)`
+/// (§5.3).
+///
+/// Negative fitted coefficients are clamped to the model's validity domain
+/// (`α > 0`, `γ ≥ 0`), which can occur on lightly-loaded simulated queues.
+pub fn cost_model_from_queue(analysis: &WaitTimeAnalysis) -> CostModel {
+    let alpha = analysis.fit.slope.max(1e-6);
+    let gamma = analysis.fit.intercept.max(0.0);
+    CostModel::new(alpha, 1.0, gamma).expect("clamped coefficients are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rsj_core::expected_cost_analytic;
+    use rsj_dist::{fit_affine, LogNormal, Uniform};
+
+    #[test]
+    fn batch_mean_converges_to_analytic() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        let c = CostModel::reservation_only();
+        let seq = rsj_core::MeanByMean::default()
+            .sequence(&d, &c)
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let stats = run_batch(&seq, &d, &c, 100_000, &mut rng);
+        let analytic = expected_cost_analytic(&seq, &d, &c);
+        assert!(
+            (stats.mean_cost - analytic).abs() / analytic < 0.02,
+            "batch {} vs analytic {analytic}",
+            stats.mean_cost
+        );
+        use rsj_core::Strategy as _;
+    }
+
+    #[test]
+    fn single_reservation_has_one_attempt() {
+        let d = Uniform::new(10.0, 20.0).unwrap();
+        let c = CostModel::reservation_only();
+        let seq = ReservationSequence::single(20.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let stats = run_batch(&seq, &d, &c, 5000, &mut rng);
+        assert_eq!(stats.max_reservations, 1);
+        assert!((stats.mean_cost - 20.0).abs() < 1e-9);
+        // Waste = 20 - E[X] = 5 on average.
+        assert!((stats.mean_waste - 5.0).abs() < 0.2, "waste {}", stats.mean_waste);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        let c = CostModel::new(0.95, 1.0, 1.05).unwrap();
+        let seq = rsj_core::Strategy::sequence(&rsj_core::MeanDoubling::default(), &d, &c).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let stats = run_batch(&seq, &d, &c, 10_000, &mut rng);
+        assert!(stats.mean_cost <= stats.p95_cost);
+        assert!(stats.p95_cost <= stats.max_cost);
+        assert!(stats.waste_fraction >= 0.0 && stats.waste_fraction <= 1.0);
+    }
+
+    #[test]
+    fn cost_model_from_queue_clamps() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 4.0, 3.0]; // negative slope
+        let fit = fit_affine(&xs, &ys).unwrap();
+        let analysis = WaitTimeAnalysis {
+            processors: 204,
+            groups: vec![],
+            fit,
+        };
+        let cm = cost_model_from_queue(&analysis);
+        assert!(cm.alpha > 0.0);
+        assert!(cm.gamma >= 0.0);
+        assert_eq!(cm.beta, 1.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! The Figure 2 analysis: average queue wait as a function of requested
+//! runtime, per processor count, with an affine least-squares fit whose
+//! coefficients become the `(α, γ)` of the NeuroHPC cost model (§5.3).
+
+use crate::job::JobRecord;
+use rsj_dist::{fit_affine, AffineFit};
+use serde::{Deserialize, Serialize};
+
+/// One of the 20 request-size groups of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaitGroup {
+    /// Mean requested runtime of the group's jobs (hours).
+    pub mean_requested: f64,
+    /// Mean queue wait of the group's jobs (hours).
+    pub mean_wait: f64,
+    /// Number of jobs in the group.
+    pub count: usize,
+}
+
+/// The full Figure 2 data for one processor count: grouped points plus the
+/// affine fit `wait ≈ α·requested + γ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaitTimeAnalysis {
+    /// Processor count the jobs were filtered on.
+    pub processors: usize,
+    /// The grouped averages (the blue points of Figure 2).
+    pub groups: Vec<WaitGroup>,
+    /// The affine fit (the green line of Figure 2).
+    pub fit: AffineFit,
+}
+
+/// Groups records of jobs that ran on exactly `processors` into `n_groups`
+/// clusters of similar requested runtime (equal-count quantile groups, as
+/// in \[20\]) and fits the affine wait model.
+///
+/// Returns `None` when fewer than `2·n_groups` matching jobs exist.
+pub fn analyze_wait_times(
+    records: &[JobRecord],
+    processors: usize,
+    n_groups: usize,
+) -> Option<WaitTimeAnalysis> {
+    assert!(n_groups >= 2, "need at least two groups for a fit");
+    let mut matching: Vec<&JobRecord> = records
+        .iter()
+        .filter(|r| r.job.processors == processors)
+        .collect();
+    if matching.len() < 2 * n_groups {
+        return None;
+    }
+    matching.sort_by(|a, b| {
+        a.job
+            .requested
+            .partial_cmp(&b.job.requested)
+            .expect("finite requests")
+    });
+
+    let per_group = matching.len() / n_groups;
+    let mut groups = Vec::with_capacity(n_groups);
+    for g in 0..n_groups {
+        let lo = g * per_group;
+        let hi = if g == n_groups - 1 {
+            matching.len()
+        } else {
+            lo + per_group
+        };
+        let slice = &matching[lo..hi];
+        let n = slice.len() as f64;
+        groups.push(WaitGroup {
+            mean_requested: slice.iter().map(|r| r.job.requested).sum::<f64>() / n,
+            mean_wait: slice.iter().map(|r| r.wait).sum::<f64>() / n,
+            count: slice.len(),
+        });
+    }
+
+    let xs: Vec<f64> = groups.iter().map(|g| g.mean_requested).collect();
+    let ys: Vec<f64> = groups.iter().map(|g| g.mean_wait).collect();
+    let fit = fit_affine(&xs, &ys).ok()?;
+    Some(WaitTimeAnalysis {
+        processors,
+        groups,
+        fit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Job, JobId};
+
+    fn record(id: u64, procs: usize, requested: f64, wait: f64) -> JobRecord {
+        let job = Job {
+            id: JobId(id),
+            arrival: 0.0,
+            processors: procs,
+            requested,
+            actual: requested,
+        };
+        JobRecord {
+            job,
+            start: wait,
+            end: wait + requested,
+            wait,
+            killed: false,
+        }
+    }
+
+    #[test]
+    fn recovers_planted_affine_relation() {
+        // wait = 0.95·requested + 1.05 exactly.
+        let records: Vec<JobRecord> = (0..400)
+            .map(|i| {
+                let req = 0.5 + i as f64 * 0.01;
+                record(i, 204, req, 0.95 * req + 1.05)
+            })
+            .collect();
+        let a = analyze_wait_times(&records, 204, 20).unwrap();
+        assert_eq!(a.groups.len(), 20);
+        assert!((a.fit.slope - 0.95).abs() < 1e-9, "slope {}", a.fit.slope);
+        assert!(
+            (a.fit.intercept - 1.05).abs() < 1e-9,
+            "intercept {}",
+            a.fit.intercept
+        );
+        assert!(a.fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn filters_by_processor_count() {
+        let mut records: Vec<JobRecord> = (0..200)
+            .map(|i| record(i, 204, 1.0 + i as f64 * 0.01, 2.0))
+            .collect();
+        records.extend((200..400).map(|i| record(i, 409, 1.0 + i as f64 * 0.01, 50.0)));
+        let a204 = analyze_wait_times(&records, 204, 10).unwrap();
+        let a409 = analyze_wait_times(&records, 409, 10).unwrap();
+        assert!(a204.groups.iter().all(|g| (g.mean_wait - 2.0).abs() < 1e-9));
+        assert!(a409.groups.iter().all(|g| (g.mean_wait - 50.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn none_when_insufficient_data() {
+        let records: Vec<JobRecord> = (0..10).map(|i| record(i, 204, 1.0, 1.0)).collect();
+        assert!(analyze_wait_times(&records, 204, 20).is_none());
+        assert!(analyze_wait_times(&records, 999, 2).is_none());
+    }
+
+    #[test]
+    fn group_counts_cover_all_jobs() {
+        let records: Vec<JobRecord> = (0..103)
+            .map(|i| record(i, 204, 1.0 + i as f64, 1.0))
+            .collect();
+        let a = analyze_wait_times(&records, 204, 5).unwrap();
+        let total: usize = a.groups.iter().map(|g| g.count).sum();
+        assert_eq!(total, 103);
+    }
+}

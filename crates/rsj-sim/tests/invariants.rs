@@ -1,0 +1,158 @@
+//! Queue-simulator invariants, checked by reconstructing the machine
+//! timeline from the produced records — independently of the scheduler's
+//! own bookkeeping.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rsj_dist::LogNormal;
+use rsj_sim::{
+    generate_workload, simulate, summarize, ClusterConfig, JobRecord, SchedulerPolicy,
+    WorkloadConfig,
+};
+
+fn run(policy: SchedulerPolicy, count: usize, seed: u64, processors: usize) -> Vec<JobRecord> {
+    let runtime = LogNormal::from_moments(2.0, 2.0).unwrap();
+    let workload = WorkloadConfig {
+        arrival_rate: 6.0,
+        processor_choices: vec![(8, 0.3), (32, 0.3), (64, 0.2), (128, 0.2)],
+        overestimate: (1.1, 2.5),
+        count,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let jobs = generate_workload(&workload, &runtime, &mut rng);
+    simulate(
+        &ClusterConfig { processors, policy },
+        &jobs,
+    )
+}
+
+/// Sweep the records' start/end events and assert the machine is never
+/// oversubscribed.
+fn assert_never_oversubscribed(records: &[JobRecord], processors: usize) {
+    let mut events: Vec<(f64, i64)> = Vec::with_capacity(records.len() * 2);
+    for r in records {
+        events.push((r.start, r.job.processors as i64));
+        events.push((r.end, -(r.job.processors as i64)));
+    }
+    // Ends before starts at equal times (a freed slot is reusable).
+    events.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap()
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    let mut used: i64 = 0;
+    for (t, delta) in events {
+        used += delta;
+        assert!(
+            used <= processors as i64,
+            "machine oversubscribed at t={t}: {used} > {processors}"
+        );
+        assert!(used >= 0, "negative allocation at t={t}");
+    }
+}
+
+#[test]
+fn fcfs_never_oversubscribes() {
+    let records = run(SchedulerPolicy::Fcfs, 2000, 1, 256);
+    assert_eq!(records.len(), 2000);
+    assert_never_oversubscribed(&records, 256);
+}
+
+#[test]
+fn easy_never_oversubscribes() {
+    let records = run(SchedulerPolicy::EasyBackfill, 2000, 1, 256);
+    assert_eq!(records.len(), 2000);
+    assert_never_oversubscribed(&records, 256);
+}
+
+#[test]
+fn busy_hours_conserved_across_policies() {
+    // Every job occupies min(actual, requested) regardless of policy:
+    // total busy processor-hours must be identical.
+    let busy = |records: &[JobRecord]| -> f64 {
+        records
+            .iter()
+            .map(|r| (r.end - r.start) * r.job.processors as f64)
+            .sum()
+    };
+    let fcfs = run(SchedulerPolicy::Fcfs, 1500, 2, 256);
+    let easy = run(SchedulerPolicy::EasyBackfill, 1500, 2, 256);
+    assert!((busy(&fcfs) - busy(&easy)).abs() < 1e-6);
+}
+
+#[test]
+fn fcfs_starts_in_arrival_order() {
+    // Strict FCFS: start times follow arrival order (jobs are ids in
+    // arrival order by construction).
+    let records = run(SchedulerPolicy::Fcfs, 1000, 3, 256);
+    for w in records.windows(2) {
+        assert!(
+            w[1].start >= w[0].start - 1e-12,
+            "FCFS must start jobs in order: job {:?} at {} before job {:?} at {}",
+            w[1].job.id,
+            w[1].start,
+            w[0].job.id,
+            w[0].start
+        );
+    }
+}
+
+#[test]
+fn easy_improves_or_matches_mean_wait() {
+    for seed in [5u64, 6, 7] {
+        let fcfs = summarize(&run(SchedulerPolicy::Fcfs, 2000, seed, 256), 256);
+        let easy = summarize(&run(SchedulerPolicy::EasyBackfill, 2000, seed, 256), 256);
+        assert!(
+            easy.mean_wait <= fcfs.mean_wait * 1.02,
+            "seed {seed}: EASY mean wait {} should not exceed FCFS {}",
+            easy.mean_wait,
+            fcfs.mean_wait
+        );
+    }
+}
+
+#[test]
+fn kill_fraction_matches_overestimation_model() {
+    // requested = actual × U[1.1, 2.5] ≥ actual, so nothing is killed.
+    let records = run(SchedulerPolicy::EasyBackfill, 1000, 8, 256);
+    assert!(records.iter().all(|r| !r.killed));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random workloads and machine sizes: completion, causality and
+    /// capacity all hold under both policies.
+    #[test]
+    fn simulation_invariants_hold(
+        seed in 0u64..1000,
+        // At least as wide as the widest workload job (128): narrower
+        // machines reject the job at submission (see `simulate`).
+        processors in 128usize..512,
+        count in 100usize..600,
+    ) {
+        use rsj_sim::PriorityConfig;
+        for policy in [
+            SchedulerPolicy::Fcfs,
+            SchedulerPolicy::EasyBackfill,
+            SchedulerPolicy::Conservative,
+            SchedulerPolicy::SlurmLike(PriorityConfig {
+                high_priority_proc_hours: 100.0,
+                upgrade_after: 12.0,
+            }),
+        ] {
+            let records = run(policy, count, seed, processors);
+            prop_assert_eq!(records.len(), count, "every job completes");
+            for r in &records {
+                prop_assert!(r.start >= r.job.arrival, "no time travel");
+                prop_assert!(r.end > r.start, "positive occupancy");
+                prop_assert!((r.wait - (r.start - r.job.arrival)).abs() < 1e-9);
+                prop_assert!(
+                    (r.end - r.start) - r.job.occupancy() < 1e-9,
+                    "occupancy accounting"
+                );
+            }
+            assert_never_oversubscribed(&records, processors);
+        }
+    }
+}

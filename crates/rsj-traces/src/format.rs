@@ -1,0 +1,157 @@
+//! Runtime-trace records and a small CSV codec.
+//!
+//! Mirrors what the paper extracted from Vanderbilt's XNAT archive \[14\]:
+//! one row per application run with its wall-clock runtime in seconds.
+
+use serde::{Deserialize, Serialize};
+
+/// One archived application run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Application name (`fMRIQA`, `VBMQA`, …).
+    pub app: String,
+    /// Days since the archive epoch (the paper's traces span July 2013 –
+    /// October 2016, ~1200 days).
+    pub day: f64,
+    /// Measured runtime in seconds.
+    pub runtime_secs: f64,
+}
+
+/// A named collection of runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceArchive {
+    /// Records in archive order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl TraceArchive {
+    /// Runtimes (seconds) of every record of `app`.
+    pub fn runtimes_of(&self, app: &str) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.app == app)
+            .map(|r| r.runtime_secs)
+            .collect()
+    }
+
+    /// Distinct application names, in first-appearance order.
+    pub fn apps(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for r in &self.records {
+            if !seen.contains(&r.app) {
+                seen.push(r.app.clone());
+            }
+        }
+        seen
+    }
+
+    /// Serializes to the three-column CSV `app,day,runtime_secs` with a
+    /// header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("app,day,runtime_secs\n");
+        for r in &self.records {
+            out.push_str(&format!("{},{},{}\n", r.app, r.day, r.runtime_secs));
+        }
+        out
+    }
+
+    /// Parses the CSV produced by [`TraceArchive::to_csv`].
+    pub fn from_csv(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty CSV")?;
+        if header.trim() != "app,day,runtime_secs" {
+            return Err(format!("unexpected header: {header}"));
+        }
+        let mut records = Vec::new();
+        for (lineno, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, ',');
+            let app = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing app", lineno + 2))?
+                .to_string();
+            let day: f64 = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing day", lineno + 2))?
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad day: {e}", lineno + 2))?;
+            let runtime_secs: f64 = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing runtime", lineno + 2))?
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad runtime: {e}", lineno + 2))?;
+            if !(runtime_secs > 0.0) || !runtime_secs.is_finite() {
+                return Err(format!("line {}: runtime must be positive", lineno + 2));
+            }
+            records.push(TraceRecord {
+                app,
+                day,
+                runtime_secs,
+            });
+        }
+        Ok(Self { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn archive() -> TraceArchive {
+        TraceArchive {
+            records: vec![
+                TraceRecord {
+                    app: "VBMQA".into(),
+                    day: 0.5,
+                    runtime_secs: 1200.0,
+                },
+                TraceRecord {
+                    app: "fMRIQA".into(),
+                    day: 1.25,
+                    runtime_secs: 2000.0,
+                },
+                TraceRecord {
+                    app: "VBMQA".into(),
+                    day: 2.0,
+                    runtime_secs: 1300.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let a = archive();
+        let csv = a.to_csv();
+        let back = TraceArchive::from_csv(&csv).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn filters_by_app() {
+        let a = archive();
+        assert_eq!(a.runtimes_of("VBMQA"), vec![1200.0, 1300.0]);
+        assert_eq!(a.runtimes_of("fMRIQA"), vec![2000.0]);
+        assert!(a.runtimes_of("nope").is_empty());
+        assert_eq!(a.apps(), vec!["VBMQA".to_string(), "fMRIQA".to_string()]);
+    }
+
+    #[test]
+    fn rejects_malformed_csv() {
+        assert!(TraceArchive::from_csv("").is_err());
+        assert!(TraceArchive::from_csv("wrong,header,here\n").is_err());
+        assert!(TraceArchive::from_csv("app,day,runtime_secs\nVBMQA,abc,1\n").is_err());
+        assert!(TraceArchive::from_csv("app,day,runtime_secs\nVBMQA,1.0,-5\n").is_err());
+        assert!(TraceArchive::from_csv("app,day,runtime_secs\nVBMQA,1.0\n").is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let a = TraceArchive::from_csv("app,day,runtime_secs\n\nVBMQA,1,100\n\n").unwrap();
+        assert_eq!(a.records.len(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! File persistence for trace archives: CSV (the interchange format the
+//! CLI consumes) and JSON (lossless, via serde).
+
+use crate::format::TraceArchive;
+use std::path::Path;
+
+/// Writes the archive as CSV.
+pub fn save_csv(archive: &TraceArchive, path: &Path) -> Result<(), String> {
+    std::fs::write(path, archive.to_csv()).map_err(|e| format!("cannot write {path:?}: {e}"))
+}
+
+/// Reads an archive from CSV.
+pub fn load_csv(path: &Path) -> Result<TraceArchive, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    TraceArchive::from_csv(&text)
+}
+
+/// Writes the archive as pretty JSON.
+pub fn save_json(archive: &TraceArchive, path: &Path) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(archive).map_err(|e| e.to_string())?;
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path:?}: {e}"))
+}
+
+/// Reads an archive from JSON.
+pub fn load_json(path: &Path) -> Result<TraceArchive, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("invalid archive JSON: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, SynthConfig};
+    use rand::SeedableRng;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rsj_traces_io_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn csv_file_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        let archive = synthesize(&SynthConfig::vbmqa(200), &mut rng);
+        let path = temp("a.csv");
+        save_csv(&archive, &path).unwrap();
+        let back = load_csv(&path).unwrap();
+        assert_eq!(archive, back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn json_file_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(62);
+        let archive = synthesize(&SynthConfig::fmriqa(150), &mut rng);
+        let path = temp("a.json");
+        save_json(&archive, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(archive, back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_errors_are_reported() {
+        assert!(load_csv(Path::new("/nonexistent/file.csv")).is_err());
+        assert!(load_json(Path::new("/nonexistent/file.json")).is_err());
+        let path = temp("bad.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(load_json(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,116 @@
+//! The Figure 1 fitting pipeline: archive → LogNormal fit → goodness
+//! report.
+
+use crate::format::TraceArchive;
+use rsj_dist::{fit_lognormal, Empirical, LogNormalFit};
+use serde::{Deserialize, Serialize};
+
+/// The per-application result of the fitting pipeline, i.e. what Figure 1
+/// prints on top of each histogram (fitted law, natural-unit moments) plus
+/// a Kolmogorov–Smirnov goodness measure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FitReport {
+    /// Application name.
+    pub app: String,
+    /// Number of runs used.
+    pub runs: usize,
+    /// Fitted log-space location `μ̂`.
+    pub mu: f64,
+    /// Fitted log-space scale `σ̂`.
+    pub sigma: f64,
+    /// Implied mean runtime (seconds).
+    pub natural_mean: f64,
+    /// Implied runtime standard deviation (seconds).
+    pub natural_std: f64,
+    /// KS distance between the empirical runtimes and the fitted law.
+    pub ks_statistic: f64,
+    /// The `≈1.63/√n` KS acceptance threshold at the 1% level.
+    pub ks_threshold_1pct: f64,
+}
+
+impl FitReport {
+    /// Whether the fit passes the 1%-level KS test.
+    pub fn acceptable(&self) -> bool {
+        self.ks_statistic <= self.ks_threshold_1pct
+    }
+}
+
+/// Fits a LogNormal to every application in the archive (Figure 1's
+/// procedure) and reports goodness of fit.
+pub fn fit_archive(archive: &TraceArchive) -> Result<Vec<FitReport>, String> {
+    let mut reports = Vec::new();
+    for app in archive.apps() {
+        let runtimes = archive.runtimes_of(&app);
+        let fit: LogNormalFit =
+            fit_lognormal(&runtimes).map_err(|e| format!("{app}: {e}"))?;
+        let empirical = Empirical::from_samples(&runtimes).map_err(|e| format!("{app}: {e}"))?;
+        let ks = empirical.ks_statistic(&fit.dist);
+        reports.push(FitReport {
+            app,
+            runs: runtimes.len(),
+            mu: fit.mu,
+            sigma: fit.sigma,
+            natural_mean: fit.natural_mean,
+            natural_std: fit.natural_std,
+            ks_statistic: ks,
+            ks_threshold_1pct: 1.63 / (runtimes.len() as f64).sqrt(),
+        });
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{figure1_archive, SynthConfig, VBMQA_MU, VBMQA_SIGMA};
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_published_vbmqa_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let archive = crate::synth::synthesize(&SynthConfig::vbmqa(5000), &mut rng);
+        let reports = fit_archive(&archive).unwrap();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.app, "VBMQA");
+        assert!((r.mu - VBMQA_MU).abs() < 0.02, "mu {}", r.mu);
+        assert!((r.sigma - VBMQA_SIGMA).abs() < 0.01, "sigma {}", r.sigma);
+        assert!(
+            (r.natural_mean - 1253.37).abs() < 25.0,
+            "mean {}",
+            r.natural_mean
+        );
+        assert!(r.acceptable(), "KS {} vs {}", r.ks_statistic, r.ks_threshold_1pct);
+    }
+
+    #[test]
+    fn fits_both_figure1_apps() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let archive = figure1_archive(3000, &mut rng);
+        let reports = fit_archive(&archive).unwrap();
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(r.acceptable(), "{}: KS {}", r.app, r.ks_statistic);
+        }
+    }
+
+    #[test]
+    fn contaminated_archive_degrades_ks() {
+        let mut cfg = SynthConfig::vbmqa(5000);
+        cfg.contamination = 0.4;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let archive = crate::synth::synthesize(&cfg, &mut rng);
+        let reports = fit_archive(&archive).unwrap();
+        assert!(
+            reports[0].ks_statistic > reports[0].ks_threshold_1pct,
+            "heavy contamination should fail the KS test (got {})",
+            reports[0].ks_statistic
+        );
+    }
+
+    #[test]
+    fn empty_archive_errors() {
+        let archive = TraceArchive { records: vec![] };
+        assert!(fit_archive(&archive).unwrap().is_empty());
+    }
+}

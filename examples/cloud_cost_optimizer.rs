@@ -1,0 +1,52 @@
+//! Cloud cost optimizer: should a workload with stochastic runtimes run on
+//! Reserved Instances (with a reservation strategy) or On-Demand?
+//!
+//! Reproduces the §5.2 break-even analysis: Reserved Instances pay
+//! `c_RI · requested`, On-Demand pays `c_OD · actual`; a strategy `S`
+//! makes RI worthwhile iff `Ẽ(S)/E° ≤ c_OD/c_RI` (AWS: up to 4).
+//!
+//! Run with: `cargo run --release --example cloud_cost_optimizer`
+
+use reservation_strategies::prelude::*;
+use rsj_dist::DistSpec;
+
+fn main() {
+    let pricing = CloudPricing::aws_like();
+    let tight = CloudPricing::new(1.0, 1.5).unwrap(); // a narrow price gap
+    let cost = CostModel::reservation_only();
+
+    println!(
+        "{:<16} {:>8} {:>12} {:>14} {:>14}",
+        "workload", "E(S)/E°", "RI@ratio 4?", "RI@ratio 1.5?", "monthly saving"
+    );
+
+    for (name, spec) in DistSpec::paper_table1() {
+        let dist = spec.build().unwrap();
+        // Use the discretization+DP heuristic: near-optimal, fast and
+        // robust for every distribution family.
+        let strategy = DiscretizedDp::paper(DiscretizationScheme::EqualProbability);
+        let seq = strategy.sequence(dist.as_ref(), &cost).unwrap();
+
+        let (ratio, _, ok4) = pricing.decision(&seq, dist.as_ref());
+        let (_, _, ok15) = tight.decision(&seq, dist.as_ref());
+
+        // Monthly saving for 1000 jobs/month at $1/h RI rate.
+        let ri_cost = pricing.reserved_expected_cost(&seq, dist.as_ref());
+        let od_cost = pricing.on_demand_expected_cost(dist.as_ref());
+        let saving = (od_cost - ri_cost) * 1000.0;
+
+        println!(
+            "{:<16} {:>8.2} {:>12} {:>14} {:>13.0}$",
+            name,
+            ratio,
+            if ok4 { "yes" } else { "no" },
+            if ok15 { "yes" } else { "no" },
+            saving
+        );
+    }
+
+    println!(
+        "\nRule: Reserved Instances win whenever the strategy's normalized cost \
+         stays below the On-Demand/Reserved price ratio (the paper cites up to 4x on AWS)."
+    );
+}

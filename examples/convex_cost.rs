@@ -1,0 +1,89 @@
+//! Appendix C: reservation strategies under *convex* (non-affine)
+//! reservation costs — e.g. a platform that charges quadratically to
+//! discourage very long requests.
+//!
+//! The generalized recurrence (Eq. 37) characterizes the optimal sequence
+//! via `G`, `G'`, `G⁻¹`; the affine case must reduce to Eq. 11.
+//!
+//! Run with: `cargo run --release --example convex_cost`
+
+use reservation_strategies::prelude::*;
+use rsj_core::{
+    expected_cost_analytic_convex, sequence_from_t1_convex, AffineConvexCost, RecurrenceConfig,
+};
+use rsj_dist::LogNormal;
+
+fn main() {
+    let dist = LogNormal::new(3.0, 0.5).unwrap();
+    let config = RecurrenceConfig::default();
+
+    // Sanity: the affine cost seen through the convex interface reproduces
+    // the plain Eq. 11 sequence.
+    let affine = CostModel::reservation_only();
+    let via_affine = sequence_from_t1(&dist, &affine, 30.0, &config).unwrap();
+    let via_convex =
+        sequence_from_t1_convex(&dist, &AffineConvexCost(affine), 30.0, &config).unwrap();
+    println!(
+        "affine vs convex-affine first steps: {:?} vs {:?}",
+        &via_affine.times()[..3],
+        &via_convex.times()[..3]
+    );
+
+    // A quadratic platform: G(R) = 0.02·R² + R + 0.5.
+    let quad = QuadraticCost::new(0.02, 1.0, 0.5, 0.0).unwrap();
+    println!("\nquadratic platform: G(R) = 0.02·R² + R + 0.5");
+
+    // Sweep t1 to find the best quadratic-cost sequence (the Appendix C
+    // analogue of the Brute-Force procedure).
+    let mut best: Option<(f64, f64)> = None;
+    let m = 2000;
+    let hi = dist.quantile(0.999);
+    for k in 1..=m {
+        let t1 = k as f64 * hi / m as f64;
+        if let Ok(seq) = sequence_from_t1_convex(&dist, &quad, t1, &config) {
+            let e = expected_cost_analytic_convex(&seq, &dist, &quad);
+            if best.is_none_or(|(_, b)| e < b) {
+                best = Some((t1, e));
+            }
+        }
+    }
+    let (t1, e) = best.expect("some candidate is valid");
+    let seq = sequence_from_t1_convex(&dist, &quad, t1, &config).unwrap();
+    println!(
+        "best t1 = {t1:.2}, expected cost {e:.2}, sequence starts ({:.2}, {:.2}, {:.2}, …)",
+        seq.times()[0],
+        seq.times()[1],
+        seq.times()[2]
+    );
+
+    // The convexity penalty shifts the optimum: compare the same job under
+    // the affine cost G(R) = R (same marginal price at R = 0).
+    let affine_seq = sequence_from_t1(&dist, &affine, t1, &config);
+    match affine_seq {
+        Ok(s) => {
+            println!(
+                "under the affine platform the same t1 yields E(S) = {:.2}",
+                expected_cost_analytic(&s, &dist, &affine)
+            );
+        }
+        Err(e) => println!("(same t1 invalid under the affine platform: {e})"),
+    }
+
+    // Quadratic platforms favour *more, shorter* reservations: show the
+    // request ladders side by side.
+    let affine_best = BruteForce::new(2000, 1000, EvalMethod::Analytic, 5)
+        .unwrap()
+        .sequence(&dist, &affine)
+        .unwrap();
+    println!(
+        "\nrequest ladders (first 5):\n  affine:    {:?}\n  quadratic: {:?}",
+        &affine_best.times()[..5.min(affine_best.len())]
+            .iter()
+            .map(|t| (t * 100.0).round() / 100.0)
+            .collect::<Vec<_>>(),
+        &seq.times()[..5.min(seq.len())]
+            .iter()
+            .map(|t| (t * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+}

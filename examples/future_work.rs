@@ -1,0 +1,83 @@
+//! The paper's §7 future-work directions, implemented: checkpointed
+//! reservations and variable-resource (processors × time) requests.
+//!
+//! Run with: `cargo run --release --example future_work`
+
+use reservation_strategies::prelude::*;
+use rsj_core::extensions::{
+    expected_cost_checkpointed, optimal_discrete_checkpointed, run_job_checkpointed,
+    CheckpointConfig, MultiResourcePlanner, SpeedupModel, WidthPolicy,
+};
+use rsj_core::optimal_discrete;
+use rsj_dist::{discretize, LogNormal};
+
+fn main() {
+    // ---------------------------------------------------------------
+    // Part 1 — checkpointing: "avoid restarting the job whenever its
+    // execution time exceeds the length of the current reservation".
+    // ---------------------------------------------------------------
+    let dist = LogNormal::new(3.0, 0.8).unwrap(); // high variance: re-execution hurts
+    let cost = CostModel::reservation_only();
+    let discrete = discretize(&dist, DiscretizationScheme::EqualProbability, 400, 1e-7).unwrap();
+
+    let plain = optimal_discrete(&discrete, &cost).unwrap();
+    println!("no checkpoints: optimal expected cost {:.2}", plain.expected_cost);
+
+    println!("\n{:>12} {:>12} {:>18}", "C = R", "ckpt cost", "vs no-checkpoint");
+    for overhead in [0.1, 1.0, 5.0, 20.0, 80.0] {
+        let ck = CheckpointConfig::new(overhead, overhead).unwrap();
+        let sol = optimal_discrete_checkpointed(&discrete, &cost, &ck).unwrap();
+        println!(
+            "{overhead:>12} {:>12.2} {:>17.1}%",
+            sol.expected_cost,
+            (sol.expected_cost / plain.expected_cost - 1.0) * 100.0
+        );
+    }
+    println!("→ cheap checkpoints turn wasted re-execution into saved progress;\n  expensive ones are pure overhead (the §7 trade-off).");
+
+    // Execute one concrete job both ways.
+    let ck = CheckpointConfig::new(0.5, 0.5).unwrap();
+    let ladder = ReservationSequence::new(vec![20.0, 35.0, 60.0, 100.0, 170.0], false).unwrap();
+    let job = 90.0;
+    let base = run_job(&ladder, &cost, job);
+    let ckpt = run_job_checkpointed(&ladder, &cost, &ck, job);
+    println!(
+        "\na {job}-unit job on ladder {ladder}:\n  restart-from-scratch: cost {:.1} over {} attempts\n  checkpointed:         cost {:.1} over {} attempts",
+        base.cost, base.reservations, ckpt.cost, ckpt.reservations
+    );
+    let analytic = expected_cost_checkpointed(&ladder, &dist, &cost, &ck);
+    println!("  expected checkpointed cost of this ladder: {analytic:.2}");
+
+    // ---------------------------------------------------------------
+    // Part 2 — variable resources: reservations become (p, t) pairs.
+    // ---------------------------------------------------------------
+    println!("\n--- multi-resource planning ---");
+    let work = LogNormal::new(1.5, 0.4).unwrap(); // sequential work, hours
+    let turnaround = CostModel::new(0.95, 1.0, 1.05).unwrap();
+    let strategy = MeanByMean::default();
+    let planner = MultiResourcePlanner {
+        candidates: &[1, 2, 4, 8, 16, 32, 64, 128],
+        speedup: SpeedupModel::Amdahl {
+            serial_fraction: 0.02,
+        },
+        width_policy: WidthPolicy::Turnaround {
+            wait_per_proc: 0.02,
+        },
+        strategy: &strategy,
+    };
+    println!("{:>6} {:>14} {:>12}", "procs", "E[turnaround]", "vs clairvoyant");
+    for &p in planner.candidates {
+        let plan = planner.plan_at(&work, &turnaround, p).unwrap();
+        println!(
+            "{p:>6} {:>13.2}h {:>12.2}",
+            plan.expected_cost,
+            plan.expected_cost / plan.omniscient_cost
+        );
+    }
+    let best = planner.best(&work, &turnaround).unwrap();
+    println!(
+        "→ best width: {} processors; first request {:.2} h",
+        best.processors,
+        best.sequence.first()
+    );
+}

@@ -1,0 +1,69 @@
+//! End-to-end HPC scenario on the simulated batch queue: measure the
+//! wait-vs-request relation of an EASY-backfilling cluster (Figure 2),
+//! turn its affine fit into a cost model, and schedule a stochastic job
+//! with it.
+//!
+//! Run with: `cargo run --release --example hpc_queue`
+
+use rand::SeedableRng;
+use reservation_strategies::prelude::*;
+use rsj_dist::LogNormal;
+
+fn main() {
+    // 1. Simulate an Intrepid-like machine under heavy load.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let runtime = LogNormal::from_moments(3.0, 3.0).unwrap();
+    let workload = WorkloadConfig {
+        arrival_rate: 1.85,
+        processor_choices: vec![(64, 0.25), (128, 0.2), (204, 0.2), (409, 0.15), (1024, 0.2)],
+        overestimate: (1.1, 3.0),
+        count: 8000,
+    };
+    let cluster = ClusterConfig::intrepid_like();
+    let jobs = generate_workload(&workload, &runtime, &mut rng);
+    let records = simulate(&cluster, &jobs);
+    let summary = summarize(&records, cluster.processors);
+    println!(
+        "simulated {} jobs on {} processors (EASY backfilling): utilization {:.0}%, mean wait {:.1} h",
+        summary.completed,
+        cluster.processors,
+        summary.utilization * 100.0,
+        summary.mean_wait
+    );
+
+    // 2. The Figure 2 analysis for 409-processor jobs.
+    let analysis = analyze_wait_times(&records, 409, 20).expect("enough 409-wide jobs");
+    println!(
+        "409-proc wait model: wait ≈ {:.3}·requested + {:.3} h (R² {:.2})",
+        analysis.fit.slope, analysis.fit.intercept, analysis.fit.r_squared
+    );
+
+    // 3. That fit *is* the reservation cost model: each attempt costs its
+    //    queue wait plus the time actually used.
+    let cost = cost_model_from_queue(&analysis);
+    println!(
+        "cost model: C(R, t) = {:.3}·R + min(R, t) + {:.3}\n",
+        cost.alpha, cost.gamma
+    );
+
+    // 4. Schedule a stochastic 409-wide application on this queue: runtimes
+    //    follow the VBMQA law scaled to this machine (mean 2 h, std 1 h).
+    let app = LogNormal::from_moments(2.0, 1.0).unwrap();
+    let omniscient = cost.omniscient(&app);
+    for strategy in [
+        Box::new(BruteForce::new(2000, 1000, EvalMethod::Analytic, 11).unwrap()) as Box<dyn Strategy>,
+        Box::new(DiscretizedDp::paper(DiscretizationScheme::EqualTime)),
+        Box::new(MeanDoubling::default()),
+    ] {
+        let seq = strategy.sequence(&app, &cost).unwrap();
+        let e = expected_cost_analytic(&seq, &app, &cost);
+        println!(
+            "{:<16} expected turnaround {:.2} h ({:.2}× clairvoyant {:.2} h); first request {:.2} h",
+            strategy.name(),
+            e,
+            e / omniscient,
+            omniscient,
+            seq.first()
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! The full NeuroHPC pipeline (§5.3): archived neuroscience runtimes →
+//! LogNormal fit (Figure 1) → reservation strategy under the HPC
+//! waiting-time cost model → expected turnaround.
+//!
+//! The Vanderbilt archive is private, so the archive is synthesized from
+//! the published VBMQA fit (see rsj-traces docs) — the pipeline downstream
+//! of the archive is exactly the paper's.
+//!
+//! Run with: `cargo run --release --example neuroscience_pipeline`
+
+use rand::SeedableRng;
+use reservation_strategies::prelude::*;
+
+fn main() {
+    // 1. Load (here: synthesize) the runtime archive — 5000 VBMQA runs.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2019);
+    let archive = synthesize(&SynthConfig::vbmqa(5000), &mut rng);
+    println!("archive: {} runs of {:?}", archive.records.len(), archive.apps());
+
+    // 2. Fit a LogNormal per application (Figure 1's procedure).
+    let reports = fit_archive(&archive).expect("clean archive");
+    for r in &reports {
+        println!(
+            "{}: LogNormal(μ={:.4}, σ={:.4}), mean {:.1}s, std {:.1}s, KS {:.4} ({})",
+            r.app,
+            r.mu,
+            r.sigma,
+            r.natural_mean,
+            r.natural_std,
+            r.ks_statistic,
+            if r.acceptable() { "fit OK" } else { "fit rejected" }
+        );
+    }
+
+    // 3. Build the NeuroHPC scenario: runtimes in hours, cost = queue wait
+    //    (α·R + γ from the Intrepid fit of Figure 2) + execution time.
+    let cost = CostModel::neuro_hpc(0.95, 1.05).unwrap();
+    let scenario = NeuroHpcScenario::from_archive(&archive, "VBMQA", cost)
+        .expect("VBMQA present");
+    println!(
+        "\nNeuroHPC scenario: {} (hours), cost = {:.2}·R + min(R,t) + {:.2}",
+        scenario.dist.name(),
+        scenario.cost.alpha,
+        scenario.cost.gamma
+    );
+
+    // 4. Compute reservation strategies and compare.
+    let omniscient = scenario.cost.omniscient(&scenario.dist);
+    println!("omniscient turnaround: {:.3} h\n", omniscient);
+    let heuristics: Vec<Box<dyn Strategy>> = vec![
+        Box::new(BruteForce::new(2000, 1000, EvalMethod::Analytic, 9).unwrap()),
+        Box::new(DiscretizedDp::paper(DiscretizationScheme::EqualProbability)),
+        Box::new(MeanByMean::default()),
+        Box::new(MeanDoubling::default()),
+    ];
+    for h in &heuristics {
+        let seq = h.sequence(&scenario.dist, &scenario.cost).unwrap();
+        let expected = expected_cost_analytic(&seq, &scenario.dist, &scenario.cost);
+        println!(
+            "{:<20} expected turnaround {:.3} h ({:.2}× omniscient), first request {:.3} h",
+            h.name(),
+            expected,
+            expected / omniscient,
+            seq.first()
+        );
+    }
+
+    // 5. Sanity: walltime advice for the sysadmin.
+    let dp = DiscretizedDp::paper(DiscretizationScheme::EqualProbability);
+    let seq = dp.sequence(&scenario.dist, &scenario.cost).unwrap();
+    println!(
+        "\nrecommended request ladder (hours): {:?}",
+        seq.times()
+            .iter()
+            .take(4)
+            .map(|t| (t * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+}

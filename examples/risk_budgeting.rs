@@ -1,0 +1,58 @@
+//! Risk-aware budgeting: beyond the expected cost (Eq. 4), the *exact
+//! distribution* of a strategy's cost — what budget covers 95% / 99% of
+//! jobs, how many reservation attempts to expect, and how two strategies
+//! with similar means differ in the tail.
+//!
+//! Run with: `cargo run --release --example risk_budgeting`
+
+use reservation_strategies::prelude::*;
+use rsj_core::risk::risk_profile;
+use rsj_core::robustness::misspecification_report;
+use rsj_dist::LogNormal;
+
+fn main() {
+    let dist = LogNormal::new(3.0, 0.5).unwrap();
+    let cost = CostModel::new(1.0, 0.0, 0.0).unwrap(); // RESERVATIONONLY
+
+    let strategies: Vec<Box<dyn Strategy>> = vec![
+        Box::new(BruteForce::new(2000, 1000, EvalMethod::Analytic, 1).unwrap()),
+        Box::new(MeanByMean::default()),
+        Box::new(MeanDoubling::default()),
+    ];
+
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>10} {:>12}",
+        "strategy", "E[cost]", "p50", "p95", "p99", "E[tries]", "P(>2 tries)"
+    );
+    for s in &strategies {
+        let seq = s.sequence(&dist, &cost).unwrap();
+        let profile = risk_profile(&seq, &dist, &cost);
+        println!(
+            "{:<16} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>10.2} {:>11.1}%",
+            s.name(),
+            profile.expected_cost(&dist),
+            profile.cost_quantile(&dist, 0.5),
+            profile.cost_quantile(&dist, 0.95),
+            profile.cost_quantile(&dist, 0.99),
+            profile.expected_reservations(),
+            profile.prob_more_than(2) * 100.0,
+        );
+    }
+    println!(
+        "\n→ strategies with similar *means* can differ sharply at p99: the\n  \
+         doubling rule overshoots rarely but enormously, while the optimal\n  \
+         ladder trades a slightly higher median for a controlled tail."
+    );
+
+    // Robustness of the budget to a misfitted model.
+    let assumed = LogNormal::new(2.9, 0.45).unwrap(); // slightly wrong fit
+    let dp = DiscretizedDp::paper(DiscretizationScheme::EqualProbability);
+    let report = misspecification_report(&dp, &assumed, &dist, &cost).unwrap();
+    println!(
+        "\nplanning on a slightly wrong fit: believed {:.1}, actually pays {:.1} \
+         ({:.1}% over a truth-informed plan)",
+        report.believed_cost,
+        report.planned_cost,
+        (report.penalty_ratio - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,51 @@
+//! # reservation-strategies
+//!
+//! A production-quality Rust implementation of *Reservation Strategies for
+//! Stochastic Jobs* (Aupy, Gainaru, Honoré, Raghavan, Robert, Sun — IPDPS
+//! 2019): scheduling jobs with stochastic execution times on
+//! reservation-based platforms (clouds with Reserved Instances, HPC batch
+//! queues) by computing cost-minimizing sequences of increasing
+//! reservations.
+//!
+//! This facade crate re-exports the four library crates of the workspace:
+//!
+//! * [`dist`] (`rsj-dist`) — probability distributions, special functions,
+//!   discretization and fitting;
+//! * [`core`] (`rsj-core`) — cost models, the optimal-sequence theory and
+//!   the heuristic suite;
+//! * [`sim`] (`rsj-sim`) — the discrete-event batch-queue simulator and
+//!   cloud pricing models;
+//! * [`traces`] (`rsj-traces`) — neuroscience runtime archives and the
+//!   NeuroHPC scenario.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use reservation_strategies::prelude::*;
+//!
+//! // Job runtimes follow LogNormal(3, 0.5); the platform bills exactly
+//! // what is requested (RESERVATIONONLY, e.g. AWS Reserved Instances).
+//! let dist = LogNormal::new(3.0, 0.5).unwrap();
+//! let cost = CostModel::reservation_only();
+//!
+//! // Compute a near-optimal reservation sequence.
+//! let strategy = BruteForce::new(500, 1000, EvalMethod::Analytic, 42).unwrap();
+//! let sequence = strategy.sequence(&dist, &cost).unwrap();
+//!
+//! // How much worse than clairvoyance? (Table 2 reports ≈1.85.)
+//! let ratio = normalized_cost_analytic(&sequence, &dist, &cost);
+//! assert!(ratio < 2.0);
+//! ```
+
+pub use rsj_core as core;
+pub use rsj_dist as dist;
+pub use rsj_sim as sim;
+pub use rsj_traces as traces;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use rsj_core::prelude::*;
+    pub use rsj_dist::prelude::*;
+    pub use rsj_sim::prelude::*;
+    pub use rsj_traces::prelude::*;
+}

@@ -1,0 +1,128 @@
+//! Cross-crate integration tests: full pipelines from substrate to
+//! strategy, exercising the public facade API.
+
+use rand::SeedableRng;
+use reservation_strategies::prelude::*;
+use rsj_dist::LogNormal;
+
+/// Archive → fit → NeuroHPC scenario → heuristics → sane normalized costs.
+#[test]
+fn trace_to_strategy_pipeline() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+    let archive = synthesize(&SynthConfig::vbmqa(4000), &mut rng);
+    let cost = CostModel::neuro_hpc(0.95, 1.05).unwrap();
+    let scenario = NeuroHpcScenario::from_archive(&archive, "VBMQA", cost).unwrap();
+
+    let omniscient = scenario.cost.omniscient(&scenario.dist);
+    assert!(omniscient > 0.0);
+
+    let heuristics: Vec<Box<dyn Strategy>> = vec![
+        Box::new(BruteForce::new(400, 500, EvalMethod::Analytic, 3).unwrap()),
+        Box::new(DiscretizedDp::new(DiscretizationScheme::EqualProbability, 300, 1e-7).unwrap()),
+        Box::new(MeanByMean::default()),
+        Box::new(MeanDoubling::default()),
+    ];
+    let mut ratios = Vec::new();
+    for h in &heuristics {
+        let seq = h.sequence(&scenario.dist, &scenario.cost).unwrap();
+        let ratio = normalized_cost_analytic(&seq, &scenario.dist, &scenario.cost);
+        assert!(
+            (1.0 - 1e-9..4.0).contains(&ratio),
+            "{}: ratio {ratio}",
+            h.name()
+        );
+        ratios.push(ratio);
+    }
+    // The structured heuristics (first two) beat the simple rules here.
+    assert!(ratios[0] <= ratios[2] + 1e-6);
+    assert!(ratios[1] <= ratios[2] + 1e-6);
+}
+
+/// Queue simulation → affine fit → cost model → strategy execution.
+#[test]
+fn queue_to_strategy_pipeline() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(102);
+    let runtime = LogNormal::from_moments(3.0, 3.0).unwrap();
+    let workload = WorkloadConfig {
+        arrival_rate: 1.85,
+        processor_choices: vec![(64, 0.25), (128, 0.2), (204, 0.2), (409, 0.15), (1024, 0.2)],
+        overestimate: (1.1, 3.0),
+        count: 4000,
+    };
+    let cluster = ClusterConfig::intrepid_like();
+    let jobs = generate_workload(&workload, &runtime, &mut rng);
+    let records = simulate(&cluster, &jobs);
+    assert_eq!(records.len(), jobs.len(), "every job completes");
+
+    let analysis = analyze_wait_times(&records, 204, 10).expect("enough 204-wide jobs");
+    let cost = cost_model_from_queue(&analysis);
+    assert!(cost.alpha > 0.0 && cost.beta == 1.0 && cost.gamma >= 0.0);
+
+    // Schedule a stochastic job against the derived cost model.
+    let app = LogNormal::from_moments(2.0, 1.0).unwrap();
+    let seq = DiscretizedDp::new(DiscretizationScheme::EqualTime, 300, 1e-7)
+        .unwrap()
+        .sequence(&app, &cost)
+        .unwrap();
+    let ratio = normalized_cost_analytic(&seq, &app, &cost);
+    assert!((1.0 - 1e-9..3.0).contains(&ratio), "ratio {ratio}");
+
+    // Batch execution agrees with the analytic series.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(103);
+    let stats = run_batch(&seq, &app, &cost, 50_000, &mut rng);
+    let analytic = expected_cost_analytic(&seq, &app, &cost);
+    assert!(
+        (stats.mean_cost - analytic).abs() / analytic < 0.05,
+        "batch {} vs analytic {analytic}",
+        stats.mean_cost
+    );
+}
+
+/// Cloud decision pipeline over every Table 1 distribution.
+#[test]
+fn cloud_decision_pipeline() {
+    let cost = CostModel::reservation_only();
+    let pricing = CloudPricing::aws_like();
+    for (name, spec) in rsj_dist::DistSpec::paper_table1() {
+        let dist = spec.build().unwrap();
+        let seq = DiscretizedDp::new(DiscretizationScheme::EqualProbability, 400, 1e-7)
+            .unwrap()
+            .sequence(dist.as_ref(), &cost)
+            .unwrap();
+        let (ratio, break_even, beneficial) = pricing.decision(&seq, dist.as_ref());
+        assert_eq!(break_even, 4.0);
+        assert!(
+            beneficial,
+            "{name}: ratio {ratio} should be below the AWS break-even"
+        );
+    }
+}
+
+/// The facade's module re-exports expose a coherent API surface.
+#[test]
+fn facade_reexports() {
+    let d = reservation_strategies::dist::Exponential::new(1.0).unwrap();
+    let c = reservation_strategies::core::CostModel::reservation_only();
+    use reservation_strategies::core::Strategy as _;
+    let seq = reservation_strategies::core::MeanByMean::default()
+        .sequence(&d, &c)
+        .unwrap();
+    assert!(seq.len() > 5);
+    let pricing = reservation_strategies::sim::CloudPricing::aws_like();
+    assert_eq!(pricing.break_even_ratio(), 4.0);
+    let s = reservation_strategies::traces::NeuroHpcScenario::paper();
+    assert!(s.cost.alpha > 0.0);
+}
+
+/// CSV round-trip through the archive format, then a fit on the re-read
+/// archive.
+#[test]
+fn archive_csv_round_trip_then_fit() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(104);
+    let archive = synthesize(&SynthConfig::vbmqa(2000), &mut rng);
+    let csv = archive.to_csv();
+    let back = TraceArchive::from_csv(&csv).unwrap();
+    assert_eq!(archive, back);
+    let reports = fit_archive(&back).unwrap();
+    assert!((reports[0].mu - 7.1128).abs() < 0.05);
+}

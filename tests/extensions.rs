@@ -1,0 +1,123 @@
+//! Integration tests for the §7 future-work extensions, exercised through
+//! the facade crate across crate boundaries.
+
+use reservation_strategies::prelude::*;
+use rsj_core::extensions::{
+    expected_cost_checkpointed, optimal_discrete_checkpointed, run_job_checkpointed,
+    CheckpointConfig, MultiResourcePlanner, SpeedupModel, WidthPolicy,
+};
+use rsj_core::{expected_cost_analytic, optimal_discrete};
+use rsj_dist::{discretize, InterpolatedEmpirical, LogNormal};
+
+/// Checkpointing on a *fitted trace* distribution: archive → interpolated
+/// law → checkpointed vs plain cost.
+#[test]
+fn checkpointing_on_trace_interpolated_distribution() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+    let archive = synthesize(&SynthConfig::vbmqa(3000), &mut rng);
+    let runtimes = archive.runtimes_of("VBMQA");
+    let dist = InterpolatedEmpirical::from_samples(&runtimes).unwrap();
+
+    let cost = CostModel::reservation_only();
+    let discrete = discretize(&dist, DiscretizationScheme::EqualTime, 300, 1e-7).unwrap();
+    let plain = optimal_discrete(&discrete, &cost).unwrap();
+    let ck = CheckpointConfig::new(5.0, 5.0).unwrap(); // 5s overheads on ~1250s jobs
+    let ckpt = optimal_discrete_checkpointed(&discrete, &cost, &ck).unwrap();
+    assert!(
+        ckpt.expected_cost <= plain.expected_cost,
+        "cheap checkpoints on trace data: {} vs {}",
+        ckpt.expected_cost,
+        plain.expected_cost
+    );
+}
+
+/// The checkpointed analytic evaluator agrees with direct execution on a
+/// continuous law, end to end through the facade.
+#[test]
+fn checkpointed_execution_consistency() {
+    use rand::SeedableRng;
+    let dist = LogNormal::new(2.0, 0.7).unwrap();
+    let cost = CostModel::new(1.0, 1.0, 0.5).unwrap();
+    let ck = CheckpointConfig::new(0.3, 0.4).unwrap();
+    let ladder =
+        ReservationSequence::new(vec![4.0, 7.0, 12.0, 20.0, 34.0, 58.0, 100.0], false).unwrap();
+    let analytic = expected_cost_checkpointed(&ladder, &dist, &cost, &ck);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+    let n = 150_000;
+    let mc: f64 = (0..n)
+        .map(|_| run_job_checkpointed(&ladder, &cost, &ck, dist.sample(&mut rng)).cost)
+        .sum::<f64>()
+        / n as f64;
+    assert!(
+        (analytic - mc).abs() / mc < 0.01,
+        "analytic {analytic} vs MC {mc}"
+    );
+    // And checkpointing this ladder beats restart-from-scratch on it.
+    let plain = expected_cost_analytic(&ladder, &dist, &cost);
+    assert!(analytic < plain, "checkpointed {analytic} vs plain {plain}");
+}
+
+/// Multi-resource planning end to end: a trace-fitted law, a turnaround
+/// objective derived from the queue simulator's wait model.
+#[test]
+fn multiresource_planning_with_simulated_queue_penalty() {
+    let work = LogNormal::new(1.0, 0.5).unwrap(); // sequential work, hours
+    let base = CostModel::new(0.95, 1.0, 1.05).unwrap();
+    let strategy = MeanByMean::default();
+    let planner = MultiResourcePlanner {
+        candidates: &[1, 2, 4, 8, 16, 32, 64],
+        speedup: SpeedupModel::Amdahl {
+            serial_fraction: 0.03,
+        },
+        width_policy: WidthPolicy::Turnaround {
+            wait_per_proc: 0.03,
+        },
+        strategy: &strategy,
+    };
+    let best = planner.best(&work, &base).unwrap();
+    // Interior optimum, sane plan.
+    assert!(best.processors >= 2 && best.processors <= 32, "{}", best.processors);
+    assert!(best.expected_cost > 0.0);
+    assert!(!best.sequence.is_empty());
+    // The best beats both extremes.
+    let narrow = planner.plan_at(&work, &base, 1).unwrap();
+    let wide = planner.plan_at(&work, &base, 64).unwrap();
+    assert!(best.expected_cost <= narrow.expected_cost);
+    assert!(best.expected_cost <= wide.expected_cost);
+}
+
+/// Heuristics run directly on an interpolated trace law and produce
+/// bounded-support-complete sequences.
+#[test]
+fn heuristics_on_interpolated_traces() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+    let truth = LogNormal::new(0.0, 0.5).unwrap();
+    let samples: Vec<f64> = (0..4000).map(|_| truth.sample(&mut rng)).collect();
+    let dist = InterpolatedEmpirical::from_samples(&samples).unwrap();
+    let cost = CostModel::reservation_only();
+
+    for h in [
+        Box::new(MeanByMean::default()) as Box<dyn Strategy>,
+        Box::new(MedianByMedian::default()),
+        Box::new(DiscretizedDp::new(DiscretizationScheme::EqualProbability, 200, 1e-7).unwrap()),
+    ] {
+        let seq = h.sequence(&dist, &cost).unwrap();
+        assert!(seq.is_complete(), "{} must close the bounded support", h.name());
+        let ratio = normalized_cost_analytic(&seq, &dist, &cost);
+        assert!(
+            (1.0 - 1e-9..3.0).contains(&ratio),
+            "{}: ratio {ratio}",
+            h.name()
+        );
+        // The interpolated optimum should be close to the true law's.
+        let true_seq = h.sequence(&truth, &cost).unwrap();
+        let true_ratio = normalized_cost_analytic(&true_seq, &truth, &cost);
+        assert!(
+            (ratio - true_ratio).abs() < 0.3,
+            "{}: trace {ratio} vs parametric {true_ratio}",
+            h.name()
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests (proptest) on the core invariants of the system:
+//! distribution identities, sequence monotonicity, cost-accounting
+//! consistency and DP optimality.
+
+use proptest::prelude::*;
+use reservation_strategies::prelude::*;
+// `Strategy` collides between proptest's prelude and the reservation
+// trait; refer to the latter by an explicit alias.
+use rsj_core::Strategy as ReservationStrategy;
+use rsj_core::{expected_cost_analytic, run_job};
+use rsj_dist::{DiscreteDistribution, Exponential, GammaDist, LogNormal, Pareto, Weibull};
+
+/// Strategy for valid LogNormal parameters.
+fn lognormal_params() -> impl proptest::strategy::Strategy<Value = (f64, f64)> {
+    (-1.0..4.0f64, 0.1..1.2f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CDF/quantile round-trip for LogNormal across the parameter space.
+    #[test]
+    fn lognormal_quantile_inverts_cdf((mu, sigma) in lognormal_params(), p in 0.001..0.999f64) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let t = d.quantile(p);
+        prop_assert!((d.cdf(t) - p).abs() < 1e-8);
+    }
+
+    /// Survival + CDF = 1 for several families and arbitrary points.
+    #[test]
+    fn survival_complements_cdf(lambda in 0.2..5.0f64, t in 0.0..50.0f64) {
+        let d = Exponential::new(lambda).unwrap();
+        prop_assert!((d.cdf(t) + d.survival(t) - 1.0).abs() < 1e-12);
+        let w = Weibull::new(1.0 / lambda, 0.8).unwrap();
+        prop_assert!((w.cdf(t) + w.survival(t) - 1.0).abs() < 1e-9);
+    }
+
+    /// Conditional mean always exceeds the conditioning point and the
+    /// unconditional mean never decreases under conditioning.
+    #[test]
+    fn conditional_mean_dominates(
+        (mu, sigma) in lognormal_params(),
+        q in 0.05..0.99f64,
+    ) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let tau = d.quantile(q);
+        let cm = d.conditional_mean_above(tau);
+        prop_assert!(cm > tau, "cm {cm} vs tau {tau}");
+        prop_assert!(cm >= d.mean() - 1e-9);
+    }
+
+    /// Every simple heuristic yields a strictly increasing sequence whose
+    /// normalized analytic cost is at least 1.
+    #[test]
+    fn heuristic_sequences_increase_and_cost_at_least_omniscient(
+        (mu, sigma) in lognormal_params(),
+        alpha in 0.2..2.0f64,
+        beta in 0.0..2.0f64,
+        gamma in 0.0..2.0f64,
+    ) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let c = CostModel::new(alpha, beta, gamma).unwrap();
+        for h in [
+            Box::new(MeanByMean::default()) as Box<dyn ReservationStrategy>,
+            Box::new(MeanStdev::default()),
+            Box::new(MeanDoubling::default()),
+            Box::new(MedianByMedian::default()),
+        ] {
+            let seq = h.sequence(&d, &c).unwrap();
+            for w in seq.times().windows(2) {
+                prop_assert!(w[1] > w[0], "{} not increasing", h.name());
+            }
+            let ratio = expected_cost_analytic(&seq, &d, &c) / c.omniscient(&d);
+            prop_assert!(ratio >= 1.0 - 1e-6, "{}: ratio {ratio}", h.name());
+        }
+    }
+
+    /// Per-job accounting: the paid cost is at least the omniscient cost of
+    /// that job, and is nondecreasing in the job's duration.
+    #[test]
+    fn run_job_cost_bounds(
+        t in 0.01..60.0f64,
+        dt in 0.0..10.0f64,
+        alpha in 0.2..2.0f64,
+        gamma in 0.0..2.0f64,
+    ) {
+        let d = LogNormal::new(2.0, 0.6).unwrap();
+        let c = CostModel::new(alpha, 1.0, gamma).unwrap();
+        let seq = ReservationStrategy::sequence(&MeanDoubling::default(), &d, &c).unwrap();
+        let out = run_job(&seq, &c, t);
+        prop_assert!(out.cost >= c.single(t, t) - 1e-9, "cheaper than clairvoyant");
+        prop_assert!(out.wasted_time >= 0.0);
+        let out2 = run_job(&seq, &c, t + dt);
+        prop_assert!(out2.cost >= out.cost - 1e-9, "cost must grow with t");
+    }
+
+    /// `first_fitting` is consistent with `reservation`.
+    #[test]
+    fn first_fitting_consistency(t in 0.01..500.0f64) {
+        let seq = ReservationSequence::new(vec![1.0, 3.0, 9.0, 27.0], false).unwrap();
+        let k = seq.first_fitting(t);
+        prop_assert!(seq.reservation(k) >= t);
+        if k > 0 {
+            prop_assert!(seq.reservation(k - 1) < t);
+        }
+    }
+
+    /// DP optimality on random discrete distributions: the DP value never
+    /// exceeds the cost of random increasing ladders.
+    #[test]
+    fn dp_beats_random_ladders(
+        values in proptest::collection::vec(0.01..100.0f64, 2..10),
+        weights in proptest::collection::vec(0.01..1.0f64, 2..10),
+        mask in 0u32..256,
+        alpha in 0.2..2.0f64,
+        beta in 0.0..2.0f64,
+        gamma in 0.0..2.0f64,
+    ) {
+        let mut v: Vec<f64> = values;
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let n = v.len().min(weights.len());
+        if n < 2 { return Ok(()); }
+        let d = DiscreteDistribution::new(v[..n].to_vec(), weights[..n].to_vec()).unwrap();
+        let c = CostModel::new(alpha, beta, gamma).unwrap();
+        let sol = rsj_core::optimal_discrete(&d, &c).unwrap();
+        // A random ladder from the mask bits, forced to end at n-1.
+        let mut ladder: Vec<usize> = (0..n - 1).filter(|i| mask & (1 << i) != 0).collect();
+        ladder.push(n - 1);
+        let cost_val = rsj_core::heuristics::discrete_sequence_cost(&d, &c, &ladder);
+        prop_assert!(
+            sol.expected_cost <= cost_val + 1e-9,
+            "dp {} vs ladder {cost_val}",
+            sol.expected_cost
+        );
+    }
+
+    /// The A₁ bound dominates the brute-force optimum's first reservation.
+    #[test]
+    fn optimal_t1_below_theorem2_bound(rate in 0.3..3.0f64) {
+        let d = GammaDist::new(2.0, rate).unwrap();
+        let c = CostModel::reservation_only();
+        let bf = BruteForce::new(150, 400, EvalMethod::Analytic, 1).unwrap();
+        let r = bf.best(&d, &c).unwrap();
+        prop_assert!(r.t1 <= rsj_core::upper_bound_t1(&d, &c) + 1e-9);
+    }
+
+    /// Pareto conditional-mean closed form satisfies the defining integral
+    /// equation E[X | X > τ]·S(τ) = ∫_τ^∞ t f(t) dt.
+    #[test]
+    fn pareto_conditional_mean_identity(tau in 2.0..50.0f64) {
+        let d = Pareto::new(1.5, 3.0).unwrap();
+        let lhs = d.conditional_mean_above(tau) * d.survival(tau);
+        let rhs = rsj_dist::quadrature::integrate_to_inf(|t| t * d.pdf(t), tau, 1e-12).value;
+        prop_assert!((lhs - rhs).abs() / rhs.max(1e-12) < 1e-6, "lhs {lhs} rhs {rhs}");
+    }
+}
+
+/// Non-proptest sanity: the discrete distribution normalizes.
+#[test]
+fn discrete_normalization() {
+    let d = DiscreteDistribution::new(vec![1.0, 2.0, 5.0], vec![3.0, 3.0, 6.0]).unwrap();
+    assert!((d.probs().iter().sum::<f64>() - 1.0).abs() < 1e-15);
+    assert_eq!(d.suffix_masses()[0], 1.0);
+}
