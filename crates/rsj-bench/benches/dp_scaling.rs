@@ -27,9 +27,7 @@ fn bench_dp_scaling(c: &mut Criterion) {
         let discrete = discretize(&dist, DiscretizationScheme::EqualProbability, n, 1e-7).unwrap();
         group.throughput(Throughput::Elements((n * n) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &discrete, |b, d| {
-            b.iter(|| {
-                rsj_core::extensions::optimal_discrete_checkpointed(d, &cost, &ck).unwrap()
-            });
+            b.iter(|| rsj_core::extensions::optimal_discrete_checkpointed(d, &cost, &ck).unwrap());
         });
     }
     group.finish();

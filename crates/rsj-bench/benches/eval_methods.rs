@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rsj_core::{
-    draw_samples, expected_cost_analytic, expected_cost_monte_carlo, sequence_from_t1,
-    BruteForce, CostModel, EvalMethod, RecurrenceConfig, Strategy,
+    draw_samples, expected_cost_analytic, expected_cost_monte_carlo, sequence_from_t1, BruteForce,
+    CostModel, EvalMethod, RecurrenceConfig, Strategy,
 };
 use rsj_dist::LogNormal;
 

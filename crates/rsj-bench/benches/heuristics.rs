@@ -35,14 +35,10 @@ fn bench_heuristics(c: &mut Criterion) {
     });
     group.sample_size(10);
     for m in [500usize, 5000] {
-        group.bench_with_input(
-            BenchmarkId::new("brute_force_analytic", m),
-            &m,
-            |b, &m| {
-                let h = BruteForce::new(m, 1000, EvalMethod::Analytic, 1).unwrap();
-                b.iter(|| h.sequence(&dist, &cost).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("brute_force_analytic", m), &m, |b, &m| {
+            let h = BruteForce::new(m, 1000, EvalMethod::Analytic, 1).unwrap();
+            b.iter(|| h.sequence(&dist, &cost).unwrap());
+        });
         group.bench_with_input(
             BenchmarkId::new("brute_force_monte_carlo", m),
             &m,

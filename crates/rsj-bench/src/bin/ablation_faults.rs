@@ -1,0 +1,13 @@
+//! Runs the fault-injection ablation (beyond the paper's own evaluation).
+
+use rsj_bench::scenarios::Fidelity;
+use rsj_bench::DEFAULT_SEED;
+
+fn main() -> std::io::Result<()> {
+    let fidelity = Fidelity::from_env();
+    eprintln!(
+        "running ablation_faults at {fidelity:?} fidelity (RSJ_FIDELITY=quick for a fast pass)"
+    );
+    rsj_bench::experiments::ablation_faults::emit(fidelity, DEFAULT_SEED)?;
+    Ok(())
+}

@@ -36,7 +36,11 @@ fn main() -> std::process::ExitCode {
         format!("s1 = {s1:.5}"),
     );
     let e1 = exp_optimal_cost(1.0);
-    c.check("exp E1 ≈ 2.36", (e1 - 2.3645).abs() < 0.01, format!("E1 = {e1:.4}"));
+    c.check(
+        "exp E1 ≈ 2.36",
+        (e1 - 2.3645).abs() < 0.01,
+        format!("E1 = {e1:.4}"),
+    );
 
     // Theorem 4: uniform optimum is the single reservation (b), ratio 4/3.
     let uni = Uniform::new(10.0, 20.0).unwrap();
@@ -81,7 +85,9 @@ fn main() -> std::process::ExitCode {
         normalized_cost_analytic(&dp.sequence(&logn, &cost).unwrap(), &logn, &cost)
     };
     let mbm_ratio = {
-        let seq = rsj_core::MeanByMean::default().sequence(&logn, &cost).unwrap();
+        let seq = rsj_core::MeanByMean::default()
+            .sequence(&logn, &cost)
+            .unwrap();
         normalized_cost_analytic(&seq, &logn, &cost)
     };
     c.check(

@@ -36,6 +36,8 @@ fn main() -> std::io::Result<()> {
     experiments::ablation_checkpoint::emit(fidelity)?;
     step("Ablation: fit-then-plan fragility");
     experiments::ablation_misfit::emit(fidelity, DEFAULT_SEED)?;
+    step("Ablation: fault injection");
+    experiments::ablation_faults::emit(fidelity, DEFAULT_SEED)?;
 
     eprintln!(
         "\nall experiments done in {:.1?}; outputs in {}",

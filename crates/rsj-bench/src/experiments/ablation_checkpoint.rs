@@ -68,11 +68,7 @@ pub fn compute(fidelity: Fidelity) -> Vec<Row> {
 pub fn emit(fidelity: Fidelity) -> std::io::Result<Vec<Row>> {
     let rows = compute(fidelity);
     let mut header = vec!["Distribution".to_string(), "no ckpt".to_string()];
-    header.extend(
-        OVERHEAD_FRACTIONS
-            .iter()
-            .map(|f| format!("C=R={}·mean", f)),
-    );
+    header.extend(OVERHEAD_FRACTIONS.iter().map(|f| format!("C=R={}·mean", f)));
     let mut table = Table::new(header);
     for r in &rows {
         let mut cells = vec![r.distribution.clone(), format!("{:.2}", r.plain)];

@@ -118,10 +118,7 @@ mod tests {
     fn small_traces_are_riskier_on_average() {
         let rows = compute(Fidelity::Quick, 41);
         let avg = |idx: usize| -> f64 {
-            let vals: Vec<f64> = rows
-                .iter()
-                .filter_map(|r| r.penalties[idx].1)
-                .collect();
+            let vals: Vec<f64> = rows.iter().filter_map(|r| r.penalties[idx].1).collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
         assert!(

@@ -51,10 +51,17 @@ pub fn emit() -> std::io::Result<S1Report> {
         table.push_row(vec![
             format!("s{}", i + 1),
             format!("{s:.5}"),
-            if i == 0 { "0.74219".to_string() } else { "-".to_string() },
+            if i == 0 {
+                "0.74219".to_string()
+            } else {
+                "-".to_string()
+            },
         ]);
     }
-    table.emit("exp_s1", "§3.5 — optimal exponential sequence under RESERVATIONONLY")?;
+    table.emit(
+        "exp_s1",
+        "§3.5 — optimal exponential sequence under RESERVATIONONLY",
+    )?;
 
     // Also show the cost landscape around the optimum.
     let mut landscape = String::from("s1,E1\n");

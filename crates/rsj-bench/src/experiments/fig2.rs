@@ -113,7 +113,10 @@ mod tests {
     #[test]
     fn wait_grows_affinely_with_request() {
         let result = compute(Fidelity::Quick, 29);
-        assert!(!result.analyses.is_empty(), "need at least one width analyzed");
+        assert!(
+            !result.analyses.is_empty(),
+            "need at least one width analyzed"
+        );
         for a in &result.analyses {
             // The Figure 2 shape: positive slope, meaningful R².
             assert!(

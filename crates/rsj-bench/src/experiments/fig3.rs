@@ -57,12 +57,12 @@ pub fn emit(fidelity: Fidelity, seed: u64) -> std::io::Result<Vec<Panel>> {
                 None => csv.push_str(&format!("{},\n", pt.t1)),
             }
         }
-        write_result_file(
-            &format!("fig3_{}.csv", p.distribution.to_lowercase()),
-            &csv,
-        )?;
-        let valid: Vec<&SweepPoint> =
-            p.points.iter().filter(|x| x.normalized_cost.is_some()).collect();
+        write_result_file(&format!("fig3_{}.csv", p.distribution.to_lowercase()), &csv)?;
+        let valid: Vec<&SweepPoint> = p
+            .points
+            .iter()
+            .filter(|x| x.normalized_cost.is_some())
+            .collect();
         let best = valid
             .iter()
             .min_by(|a, b| {

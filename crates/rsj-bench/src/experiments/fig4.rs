@@ -43,22 +43,21 @@ pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Row> {
         .par_iter()
         .enumerate()
         .map(|(i, &(mf, sf))| {
-            let scenario = NeuroHpcScenario::with_scaled_moments(mf, sf)
-                .expect("positive factors");
+            let scenario = NeuroHpcScenario::with_scaled_moments(mf, sf).expect("positive factors");
             let dist: &dyn ContinuousDistribution = &scenario.dist;
             let cost = scenario.cost;
             let suite = heuristic_suite(fidelity, seed.wrapping_add(i as u64));
-            let mut rng = rand::rngs::StdRng::seed_from_u64(
-                seed.wrapping_mul(131).wrapping_add(i as u64),
-            );
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(131).wrapping_add(i as u64));
             let samples = draw_samples(dist, fidelity.samples(), &mut rng);
             let omniscient = cost.omniscient(dist);
             let costs = suite
                 .iter()
                 .map(|h| {
-                    let ratio = h.sequence(dist, &cost).ok().map(|seq| {
-                        expected_cost_monte_carlo(&seq, &cost, &samples) / omniscient
-                    });
+                    let ratio = h
+                        .sequence(dist, &cost)
+                        .ok()
+                        .map(|seq| expected_cost_monte_carlo(&seq, &cost, &samples) / omniscient);
                     (h.name().to_string(), ratio)
                 })
                 .collect();

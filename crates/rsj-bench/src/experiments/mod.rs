@@ -4,6 +4,7 @@
 //! Markdown).
 
 pub mod ablation_checkpoint;
+pub mod ablation_faults;
 pub mod ablation_misfit;
 pub mod exp_s1;
 pub mod fig1;

@@ -34,9 +34,10 @@ pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Row> {
             let costs = suite
                 .iter()
                 .map(|h| {
-                    let ratio = h.sequence(nd.dist.as_ref(), &cost).ok().map(|seq| {
-                        expected_cost_monte_carlo(&seq, &cost, &samples) / omniscient
-                    });
+                    let ratio = h
+                        .sequence(nd.dist.as_ref(), &cost)
+                        .ok()
+                        .map(|seq| expected_cost_monte_carlo(&seq, &cost, &samples) / omniscient);
                     (h.name().to_string(), ratio)
                 })
                 .collect();
@@ -64,9 +65,7 @@ pub fn render(rows: &[Row]) -> Table {
                 cells.push(fmt_ratio(*ratio));
             } else {
                 match (*ratio, brute) {
-                    (Some(r), Some(b)) if b > 0.0 => {
-                        cells.push(format!("{r:.2} ({:.2})", r / b))
-                    }
+                    (Some(r), Some(b)) if b > 0.0 => cells.push(format!("{r:.2} ({:.2})", r / b)),
                     _ => cells.push(fmt_ratio(*ratio)),
                 }
             }
@@ -101,12 +100,7 @@ mod tests {
                 // All ratios are ≥ ~1 and below the AWS break-even 4
                 // (Table 2's headline observation), with slack for the
                 // reduced quick fidelity.
-                assert!(
-                    r > 0.95 && r < 5.0,
-                    "{}/{}: ratio {r}",
-                    row.distribution,
-                    h
-                );
+                assert!(r > 0.95 && r < 5.0, "{}/{}: ratio {r}", row.distribution, h);
             }
         }
     }
@@ -137,8 +131,7 @@ mod tests {
         for (i, nd) in paper_distributions().iter().enumerate() {
             let mut suite = crate::scenarios::heuristic_suite(Fidelity::Quick, 7 + i as u64);
             suite[0] = Box::new(
-                rsj_core::BruteForce::new(400, 1000, rsj_core::EvalMethod::Analytic, 7)
-                    .unwrap(),
+                rsj_core::BruteForce::new(400, 1000, rsj_core::EvalMethod::Analytic, 7).unwrap(),
             );
             let ratios: Vec<f64> = suite
                 .iter()

@@ -139,10 +139,17 @@ mod tests {
     fn exponential_q99_is_expensive() {
         // Table 3: Exponential at Q(0.99) = 4.61 costs 4.83 ≫ optimum 2.13.
         let rows = compute(Fidelity::Quick, 11);
-        let exp = rows.iter().find(|r| r.distribution == "Exponential").unwrap();
+        let exp = rows
+            .iter()
+            .find(|r| r.distribution == "Exponential")
+            .unwrap();
         let (t1, c) = exp.probes[3];
         assert!((t1 - 4.605).abs() < 0.01);
         let v = c.expect("Q(0.99) is a valid candidate");
-        assert!(v > exp.cost_bf * 1.5, "Q(0.99) cost {v} vs bf {}", exp.cost_bf);
+        assert!(
+            v > exp.cost_bf * 1.5,
+            "Q(0.99) cost {v} vs bf {}",
+            exp.cost_bf
+        );
     }
 }

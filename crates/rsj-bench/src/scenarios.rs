@@ -1,8 +1,10 @@
 //! Shared experiment scenarios: the Table 1 distribution instantiations and
 //! the heuristic suites with the paper's parameters.
 
-use rsj_core::{BruteForce, DiscretizedDp, EvalMethod, MeanByMean, MeanDoubling, MeanStdev,
-    MedianByMedian, Strategy};
+use rsj_core::{
+    BruteForce, DiscretizedDp, EvalMethod, MeanByMean, MeanDoubling, MeanStdev, MedianByMedian,
+    Strategy,
+};
 use rsj_dist::{ContinuousDistribution, DiscretizationScheme, DistSpec};
 
 /// A named Table 1 distribution.

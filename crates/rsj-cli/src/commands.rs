@@ -7,8 +7,8 @@ use rsj_core::{
     coverage_gap, expected_cost_analytic, expected_cost_monte_carlo, ReservationSequence,
 };
 use rsj_sim::{
-    analyze_wait_times, cost_model_from_queue, generate_workload, simulate, summarize,
-    ClusterConfig, SchedulerPolicy, WorkloadConfig,
+    analyze_wait_times, cost_model_from_queue, generate_workload, simulate_with_faults, summarize,
+    ClusterConfig, FaultConfig, SchedulerPolicy, WorkloadConfig,
 };
 use rsj_traces::fit_archive;
 use rsj_traces::TraceArchive;
@@ -111,7 +111,10 @@ pub fn run_risk(cfg: &PlanConfig, json: bool) -> Result<String, String> {
         profile.expected_cost(dist.as_ref())
     ));
     for (q, v) in quantiles {
-        out.push_str(&format!("budget at p{:<3}       {v:.4}\n", (q * 100.0) as u32));
+        out.push_str(&format!(
+            "budget at p{:<3}       {v:.4}\n",
+            (q * 100.0) as u32
+        ));
     }
     out.push_str(&format!(
         "expected attempts:    {:.3}\n",
@@ -128,8 +131,8 @@ pub fn run_risk(cfg: &PlanConfig, json: bool) -> Result<String, String> {
 pub fn run_evaluate(cfg: &EvaluateConfig, json: bool) -> Result<String, String> {
     let dist = cfg.distribution.build().map_err(|e| e.to_string())?;
     let cost = cfg.cost.build()?;
-    let seq = ReservationSequence::new(cfg.sequence.clone(), cfg.complete)
-        .map_err(|e| e.to_string())?;
+    let seq =
+        ReservationSequence::new(cfg.sequence.clone(), cfg.complete).map_err(|e| e.to_string())?;
     let analytic = expected_cost_analytic(&seq, dist.as_ref(), &cost);
     let omniscient = cost.omniscient(dist.as_ref());
     let mc = if cfg.monte_carlo_samples > 0 {
@@ -186,7 +189,11 @@ pub fn run_fit(csv_text: &str, json: bool) -> Result<String, String> {
             r.natural_mean,
             r.natural_std,
             r.ks_statistic,
-            if r.acceptable() { "fit OK" } else { "REJECTED at 1%" },
+            if r.acceptable() {
+                "fit OK"
+            } else {
+                "REJECTED at 1%"
+            },
         ));
     }
     Ok(out)
@@ -222,7 +229,8 @@ pub fn run_simulate(cfg: &SimulateConfig, json: bool) -> Result<String, String> 
         processors: cfg.processors,
         policy,
     };
-    let records = simulate(&cluster, &jobs);
+    let faults = cfg.faults.unwrap_or_else(FaultConfig::none);
+    let records = simulate_with_faults(&cluster, &jobs, &faults).map_err(|e| e.to_string())?;
     let summary = summarize(&records, cfg.processors);
 
     let mut analyses = Vec::new();
@@ -254,6 +262,12 @@ pub fn run_simulate(cfg: &SimulateConfig, json: bool) -> Result<String, String> 
         summary.mean_wait,
         summary.max_wait
     ));
+    if !faults.is_fault_free() {
+        out.push_str(&format!(
+            "faults: {:.1}% of jobs hit by a crash/preemption/walltime kill\n",
+            summary.faulted_fraction * 100.0
+        ));
+    }
     for a in &analyses {
         let cm = cost_model_from_queue(a);
         out.push_str(&format!(
@@ -358,17 +372,15 @@ mod tests {
     fn fit_command_round_trip() {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let archive =
-            rsj_traces::synthesize(&rsj_traces::SynthConfig::vbmqa(2000), &mut rng);
+        let archive = rsj_traces::synthesize(&rsj_traces::SynthConfig::vbmqa(2000), &mut rng);
         let out = run_fit(&archive.to_csv(), false).unwrap();
         assert!(out.contains("VBMQA"), "{out}");
         assert!(out.contains("fit OK"), "{out}");
         assert!(run_fit("garbage", false).is_err());
     }
 
-    #[test]
-    fn simulate_command_smoke() {
-        let cfg = SimulateConfig {
+    fn simulate_config() -> SimulateConfig {
+        SimulateConfig {
             processors: 256,
             policy: "easy".into(),
             arrival_rate: 4.0,
@@ -382,9 +394,19 @@ mod tests {
             analyze_widths: vec![64],
             groups: 8,
             seed: 5,
-        };
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn simulate_command_smoke() {
+        let cfg = simulate_config();
         let out = run_simulate(&cfg, false).unwrap();
         assert!(out.contains("utilization"), "{out}");
+        assert!(
+            !out.contains("faults:"),
+            "fault-free runs stay quiet: {out}"
+        );
         let json_out = run_simulate(&cfg, true).unwrap();
         let v: serde_json::Value = serde_json::from_str(&json_out).unwrap();
         assert!(v["summary"]["completed"].as_u64().unwrap() == 1500);
@@ -392,5 +414,24 @@ mod tests {
         let mut bad = cfg;
         bad.policy = "priority".into();
         assert!(run_simulate(&bad, false).is_err());
+    }
+
+    #[test]
+    fn simulate_command_reports_faults() {
+        let mut cfg = simulate_config();
+        cfg.faults = Some(rsj_sim::FaultConfig::crashes(2.0, 11));
+        let out = run_simulate(&cfg, false).unwrap();
+        assert!(out.contains("faults:"), "{out}");
+        let json_out = run_simulate(&cfg, true).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json_out).unwrap();
+        assert!(v["summary"]["faulted_fraction"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn simulate_command_rejects_bad_fault_config() {
+        let mut cfg = simulate_config();
+        cfg.faults = Some(rsj_sim::FaultConfig::crashes(-3.0, 0));
+        let err = run_simulate(&cfg, false).unwrap_err();
+        assert!(err.contains("mtbf"), "error names the field: {err}");
     }
 }

@@ -5,6 +5,7 @@ use rsj_core::{
     MedianByMedian, Strategy,
 };
 use rsj_dist::{DiscretizationScheme, DistSpec};
+use rsj_sim::FaultConfig;
 use serde::{Deserialize, Serialize};
 
 /// Cost-model section (`alpha`, `beta`, `gamma` of Eq. 1).
@@ -175,6 +176,10 @@ pub struct SimulateConfig {
     /// RNG seed.
     #[serde(default)]
     pub seed: u64,
+    /// Optional fault-injection processes (crashes, preemptions,
+    /// walltime jitter); omit for a fault-free run.
+    #[serde(default)]
+    pub faults: Option<FaultConfig>,
 }
 
 fn default_groups() -> usize {
@@ -238,6 +243,44 @@ mod tests {
         }
         .build()
         .is_ok());
+    }
+
+    #[test]
+    fn simulate_config_parses_fault_section() {
+        let json = r#"{
+            "processors": 64,
+            "policy": "fcfs",
+            "arrival_rate": 2.0,
+            "widths": [[16, 1.0]],
+            "runtime": { "family": "log_normal", "mu": 0.5, "sigma": 0.6 },
+            "overestimate": [1.1, 2.0],
+            "jobs": 100,
+            "analyze_widths": [],
+            "faults": { "seed": 9, "mtbf": 12.0, "preemption_rate": 0.1 }
+        }"#;
+        let cfg: SimulateConfig = serde_json::from_str(json).unwrap();
+        let faults = cfg.faults.unwrap();
+        assert_eq!(faults.mtbf, Some(12.0));
+        assert_eq!(faults.preemption_rate, Some(0.1));
+        assert_eq!(faults.walltime_jitter, None);
+        assert_eq!(faults.seed, 9);
+    }
+
+    #[test]
+    fn malformed_fault_section_names_the_path() {
+        let json = r#"{
+            "processors": 64,
+            "policy": "fcfs",
+            "arrival_rate": 2.0,
+            "widths": [[16, 1.0]],
+            "runtime": { "family": "log_normal", "mu": 0.5, "sigma": 0.6 },
+            "overestimate": [1.1, 2.0],
+            "jobs": 100,
+            "analyze_widths": [],
+            "faults": { "mtbf": "often" }
+        }"#;
+        let err = serde_json::from_str::<SimulateConfig>(json).unwrap_err();
+        assert!(err.to_string().contains("faults"), "{err}");
     }
 
     #[test]

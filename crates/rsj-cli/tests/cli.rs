@@ -40,7 +40,11 @@ fn plan_text_and_json() {
         }"#,
     );
     let out = rsj().args(["plan", "--config"]).arg(&cfg).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     // Theorem 4: the ladder is the single reservation (b) at ratio 4/3.
     assert!(text.contains("20.0000"), "{text}");
@@ -80,7 +84,11 @@ fn fit_round_trip() {
     let archive = rsj_traces::synthesize(&rsj_traces::SynthConfig::vbmqa(1500), &mut rng);
     let csv = write_temp("traces.csv", &archive.to_csv());
     let out = rsj().args(["fit", "--csv"]).arg(&csv).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("VBMQA"), "{text}");
     assert!(text.contains("LogNormal"), "{text}");
@@ -103,7 +111,11 @@ fn evaluate_from_file() {
         .arg(&cfg)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
     let analytic = v["analytic_expected_cost"].as_f64().unwrap();
     let mc = v["monte_carlo_expected_cost"].as_f64().unwrap();

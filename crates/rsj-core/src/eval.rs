@@ -28,7 +28,10 @@ pub struct RunOutcome {
 /// Jobs larger than the materialized prefix use the sequence's geometric
 /// extension, so the walk always terminates.
 pub fn run_job(seq: &ReservationSequence, cost: &CostModel, t: f64) -> RunOutcome {
-    assert!(t >= 0.0 && t.is_finite(), "job duration must be finite, got {t}");
+    assert!(
+        t >= 0.0 && t.is_finite(),
+        "job duration must be finite, got {t}"
+    );
     let k = seq.first_fitting(t);
     let mut total = 0.0;
     let mut reserved = 0.0;
@@ -62,7 +65,11 @@ pub fn expected_cost_analytic(
     let mut total = cost.beta * dist.mean();
     let mut t_prev = 0.0; // t₀ = 0, P(X ≥ 0) = 1
     for t_next in seq.iter() {
-        let surv = if t_prev == 0.0 { 1.0 } else { dist.survival(t_prev) };
+        let surv = if t_prev == 0.0 {
+            1.0
+        } else {
+            dist.survival(t_prev)
+        };
         if surv <= 0.0 {
             break;
         }
@@ -135,7 +142,11 @@ pub fn expected_cost_analytic_convex(
     let mut total = beta * dist.mean();
     let mut t_prev = 0.0;
     for t_next in seq.iter() {
-        let surv = if t_prev == 0.0 { 1.0 } else { dist.survival(t_prev) };
+        let surv = if t_prev == 0.0 {
+            1.0
+        } else {
+            dist.survival(t_prev)
+        };
         if surv <= 0.0 {
             break;
         }
@@ -147,7 +158,10 @@ pub fn expected_cost_analytic_convex(
 
 /// Single-job accounting under a convex reservation cost.
 pub fn run_job_convex(seq: &ReservationSequence, cost: &dyn ConvexCost, t: f64) -> RunOutcome {
-    assert!(t >= 0.0 && t.is_finite(), "job duration must be finite, got {t}");
+    assert!(
+        t >= 0.0 && t.is_finite(),
+        "job duration must be finite, got {t}"
+    );
     let k = seq.first_fitting(t);
     let mut total = 0.0;
     let mut reserved = 0.0;

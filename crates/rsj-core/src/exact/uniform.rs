@@ -52,8 +52,7 @@ mod tests {
             CostModel::new(0.5, 2.0, 1.0).unwrap(),
         ] {
             let optimal = uniform_optimal_cost(&d, &cost);
-            let two_step =
-                ReservationSequence::new(vec![15.0, 20.0], true).unwrap();
+            let two_step = ReservationSequence::new(vec![15.0, 20.0], true).unwrap();
             let alt = expected_cost_analytic(&two_step, &d, &cost);
             assert!(
                 optimal < alt,
@@ -71,10 +70,8 @@ mod tests {
         // multi-step sequence strictly lowers the cost.
         let d = Uniform::new(10.0, 20.0).unwrap();
         let cost = CostModel::new(1.0, 1.0, 1.0).unwrap();
-        let with_t1 =
-            ReservationSequence::new(vec![12.0, 16.0, 20.0], true).unwrap();
-        let without =
-            ReservationSequence::new(vec![16.0, 20.0], true).unwrap();
+        let with_t1 = ReservationSequence::new(vec![12.0, 16.0, 20.0], true).unwrap();
+        let without = ReservationSequence::new(vec![16.0, 20.0], true).unwrap();
         assert!(
             expected_cost_analytic(&without, &d, &cost)
                 < expected_cost_analytic(&with_t1, &d, &cost)

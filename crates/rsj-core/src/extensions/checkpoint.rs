@@ -84,7 +84,10 @@ pub fn run_job_checkpointed(
     ckpt: &CheckpointConfig,
     x: f64,
 ) -> RunOutcome {
-    assert!(x >= 0.0 && x.is_finite(), "job work must be finite, got {x}");
+    assert!(
+        x >= 0.0 && x.is_finite(),
+        "job work must be finite, got {x}"
+    );
     let mut progress = 0.0;
     let mut total = 0.0;
     let mut reserved = 0.0;
@@ -188,7 +191,10 @@ impl CheckpointDpSolution {
     /// geometrically (doubling the last threshold gap), mirroring
     /// [`ReservationSequence::reservation`]'s safety valve.
     pub fn run_job(&self, cost: &CostModel, ckpt: &CheckpointConfig, x: f64) -> RunOutcome {
-        assert!(x >= 0.0 && x.is_finite(), "job work must be finite, got {x}");
+        assert!(
+            x >= 0.0 && x.is_finite(),
+            "job work must be finite, got {x}"
+        );
         let mut total = 0.0;
         let mut reserved = 0.0;
         let mut prev = 0.0;
@@ -372,11 +378,8 @@ mod tests {
     fn checkpoint_dp_beats_plain_dp_when_overheads_are_small() {
         // High-variance discrete law: re-execution is expensive, so cheap
         // checkpoints must win.
-        let d = DiscreteDistribution::new(
-            vec![1.0, 5.0, 25.0, 125.0],
-            vec![0.4, 0.3, 0.2, 0.1],
-        )
-        .unwrap();
+        let d = DiscreteDistribution::new(vec![1.0, 5.0, 25.0, 125.0], vec![0.4, 0.3, 0.2, 0.1])
+            .unwrap();
         let c = CostModel::reservation_only();
         let ck = CheckpointConfig::new(0.01, 0.01).unwrap();
         let plain = optimal_discrete(&d, &c).unwrap();
@@ -406,11 +409,8 @@ mod tests {
     fn checkpoint_dp_value_matches_simulation() {
         use rand::Rng;
         use rand::SeedableRng;
-        let d = DiscreteDistribution::new(
-            vec![1.0, 3.0, 9.0, 27.0],
-            vec![0.4, 0.3, 0.2, 0.1],
-        )
-        .unwrap();
+        let d =
+            DiscreteDistribution::new(vec![1.0, 3.0, 9.0, 27.0], vec![0.4, 0.3, 0.2, 0.1]).unwrap();
         let c = CostModel::new(1.0, 0.7, 0.3).unwrap();
         let ck = CheckpointConfig::new(0.2, 0.4).unwrap();
         let sol = optimal_discrete_checkpointed(&d, &c, &ck).unwrap();
@@ -460,11 +460,8 @@ mod tests {
     fn plan_run_job_matches_dp_value() {
         use rand::Rng;
         use rand::SeedableRng;
-        let d = DiscreteDistribution::new(
-            vec![1.0, 3.0, 9.0, 27.0],
-            vec![0.4, 0.3, 0.2, 0.1],
-        )
-        .unwrap();
+        let d =
+            DiscreteDistribution::new(vec![1.0, 3.0, 9.0, 27.0], vec![0.4, 0.3, 0.2, 0.1]).unwrap();
         let c = CostModel::new(1.0, 0.7, 0.3).unwrap();
         let ck = CheckpointConfig::new(0.2, 0.4).unwrap();
         let sol = optimal_discrete_checkpointed(&d, &c, &ck).unwrap();
@@ -515,22 +512,22 @@ mod tests {
         .unwrap();
         let c = CostModel::reservation_only();
         let plain = optimal_discrete(&d, &c).unwrap().expected_cost;
-        let cheap = optimal_discrete_checkpointed(
-            &d,
-            &c,
-            &CheckpointConfig::new(0.01, 0.01).unwrap(),
-        )
-        .unwrap()
-        .expected_cost;
-        let pricey = optimal_discrete_checkpointed(
-            &d,
-            &c,
-            &CheckpointConfig::new(20.0, 20.0).unwrap(),
-        )
-        .unwrap()
-        .expected_cost;
-        assert!(cheap < plain, "cheap checkpoints must win: {cheap} vs {plain}");
-        assert!(pricey > plain, "expensive checkpoints must lose: {pricey} vs {plain}");
+        let cheap =
+            optimal_discrete_checkpointed(&d, &c, &CheckpointConfig::new(0.01, 0.01).unwrap())
+                .unwrap()
+                .expected_cost;
+        let pricey =
+            optimal_discrete_checkpointed(&d, &c, &CheckpointConfig::new(20.0, 20.0).unwrap())
+                .unwrap()
+                .expected_cost;
+        assert!(
+            cheap < plain,
+            "cheap checkpoints must win: {cheap} vs {plain}"
+        );
+        assert!(
+            pricey > plain,
+            "expensive checkpoints must lose: {pricey} vs {plain}"
+        );
         assert!(cheap < pricey);
     }
 }

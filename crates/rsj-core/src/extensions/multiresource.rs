@@ -257,7 +257,9 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(SpeedupModel::LogOverhead { overhead: -0.1 }.validate().is_err());
+        assert!(SpeedupModel::LogOverhead { overhead: -0.1 }
+            .validate()
+            .is_err());
         assert!(SpeedupModel::Linear.validate().is_ok());
     }
 
@@ -353,7 +355,10 @@ mod tests {
             widths[0] >= widths[1] && widths[1] >= widths[2],
             "widths must shrink with the penalty: {widths:?}"
         );
-        assert!(widths[0] > widths[2], "the effect must be visible: {widths:?}");
+        assert!(
+            widths[0] > widths[2],
+            "the effect must be visible: {widths:?}"
+        );
     }
 
     #[test]

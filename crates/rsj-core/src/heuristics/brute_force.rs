@@ -128,17 +128,18 @@ impl BruteForce {
         self.grid(dist, cost)
             .into_par_iter()
             .map(|t1| {
-                let normalized_cost = sequence_from_t1(dist, cost, t1, &self.config)
-                    .ok()
-                    .map(|seq| {
-                        let e = match self.eval {
-                            EvalMethod::MonteCarlo => {
-                                expected_cost_monte_carlo(&seq, cost, &samples)
-                            }
-                            EvalMethod::Analytic => expected_cost_analytic(&seq, dist, cost),
-                        };
-                        e / omniscient
-                    });
+                let normalized_cost =
+                    sequence_from_t1(dist, cost, t1, &self.config)
+                        .ok()
+                        .map(|seq| {
+                            let e = match self.eval {
+                                EvalMethod::MonteCarlo => {
+                                    expected_cost_monte_carlo(&seq, cost, &samples)
+                                }
+                                EvalMethod::Analytic => expected_cost_analytic(&seq, dist, cost),
+                            };
+                            e / omniscient
+                        });
                 SweepPoint {
                     t1,
                     normalized_cost,
@@ -154,10 +155,7 @@ impl BruteForce {
         cost: &CostModel,
     ) -> Result<BruteForceResult> {
         let sweep = self.sweep(dist, cost);
-        let valid_candidates = sweep
-            .iter()
-            .filter(|p| p.normalized_cost.is_some())
-            .count();
+        let valid_candidates = sweep.iter().filter(|p| p.normalized_cost.is_some()).count();
         let best = sweep
             .iter()
             .filter_map(|p| p.normalized_cost.map(|c| (p.t1, c)))
@@ -184,9 +182,7 @@ impl BruteForce {
     ) -> Option<f64> {
         let seq = sequence_from_t1(dist, cost, t1, &self.config).ok()?;
         let e = match self.eval {
-            EvalMethod::MonteCarlo => {
-                expected_cost_monte_carlo(&seq, cost, &self.samples(dist))
-            }
+            EvalMethod::MonteCarlo => expected_cost_monte_carlo(&seq, cost, &self.samples(dist)),
             EvalMethod::Analytic => expected_cost_analytic(&seq, dist, cost),
         };
         Some(e / cost.omniscient(dist))

@@ -230,8 +230,7 @@ mod tests {
         let n = d.len();
         let mut best = f64::INFINITY;
         for mask in 0..(1u32 << (n - 1)) {
-            let mut indices: Vec<usize> =
-                (0..n - 1).filter(|&i| mask & (1 << i) != 0).collect();
+            let mut indices: Vec<usize> = (0..n - 1).filter(|&i| mask & (1 << i) != 0).collect();
             indices.push(n - 1);
             let cost_val = discrete_sequence_cost(&d, &c, &indices);
             best = best.min(cost_val);

@@ -109,11 +109,9 @@ mod tests {
             Box::new(MeanDoubling::default()),
             Box::new(MedianByMedian::default()),
         ];
-        suite.push(Box::new(DiscretizedDp::new(
-            rsj_dist::DiscretizationScheme::EqualTime,
-            200,
-            1e-7,
-        ).unwrap()));
+        suite.push(Box::new(
+            DiscretizedDp::new(rsj_dist::DiscretizationScheme::EqualTime, 200, 1e-7).unwrap(),
+        ));
         for (name, spec) in DistSpec::paper_table1() {
             let dist = spec.build().unwrap();
             for h in &suite {

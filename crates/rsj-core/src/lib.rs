@@ -67,9 +67,7 @@ pub use heuristics::{
 };
 pub use recurrence::{sequence_from_t1, sequence_from_t1_convex, RecurrenceConfig};
 pub use risk::{budget_at_quantile, risk_profile, CostBracket, RiskProfile};
-pub use robustness::{
-    expected_cost_with_extension, misspecification_report, MisspecReport,
-};
+pub use robustness::{expected_cost_with_extension, misspecification_report, MisspecReport};
 pub use sequence::ReservationSequence;
 
 /// Convenience re-exports for downstream crates and examples.
@@ -81,8 +79,8 @@ pub mod prelude {
         normalized_cost_monte_carlo, run_job, RunOutcome,
     };
     pub use crate::heuristics::{
-        BruteForce, DiscretizedDp, EvalMethod, MeanByMean, MeanDoubling, MeanStdev,
-        MedianByMedian, Strategy,
+        BruteForce, DiscretizedDp, EvalMethod, MeanByMean, MeanDoubling, MeanStdev, MedianByMedian,
+        Strategy,
     };
     pub use crate::recurrence::{sequence_from_t1, RecurrenceConfig};
     pub use crate::sequence::ReservationSequence;

@@ -85,7 +85,11 @@ fn next_affine(
     if !(pdf > 0.0) || !pdf.is_finite() {
         return None;
     }
-    let s_prev2 = if t_prev2 <= 0.0 { 1.0 } else { dist.survival(t_prev2) };
+    let s_prev2 = if t_prev2 <= 0.0 {
+        1.0
+    } else {
+        dist.survival(t_prev2)
+    };
     let s_prev1 = dist.survival(t_prev1);
     let t = s_prev2 / pdf + (cost.beta / cost.alpha) * (s_prev1 / pdf - t_prev1)
         - cost.gamma / cost.alpha;
@@ -103,10 +107,13 @@ fn next_convex(
     if !(pdf > 0.0) || !pdf.is_finite() {
         return None;
     }
-    let s_prev2 = if t_prev2 <= 0.0 { 1.0 } else { dist.survival(t_prev2) };
+    let s_prev2 = if t_prev2 <= 0.0 {
+        1.0
+    } else {
+        dist.survival(t_prev2)
+    };
     let s_prev1 = dist.survival(t_prev1);
-    let arg = cost.g_prime(t_prev1) * s_prev2 / pdf
-        + cost.beta() * (s_prev1 / pdf - t_prev1);
+    let arg = cost.g_prime(t_prev1) * s_prev2 / pdf + cost.beta() * (s_prev1 / pdf - t_prev1);
     if !arg.is_finite() {
         return None;
     }
@@ -125,12 +132,7 @@ pub fn sequence_from_t1(
     t1: f64,
     config: &RecurrenceConfig,
 ) -> Result<ReservationSequence> {
-    generate(
-        dist,
-        t1,
-        config,
-        |d, p2, p1| next_affine(d, cost, p2, p1),
-    )
+    generate(dist, t1, config, |d, p2, p1| next_affine(d, cost, p2, p1))
 }
 
 /// Generates the sequence characterized by `t1` under a convex reservation
@@ -141,12 +143,7 @@ pub fn sequence_from_t1_convex(
     t1: f64,
     config: &RecurrenceConfig,
 ) -> Result<ReservationSequence> {
-    generate(
-        dist,
-        t1,
-        config,
-        |d, p2, p1| next_convex(d, cost, p2, p1),
-    )
+    generate(dist, t1, config, |d, p2, p1| next_convex(d, cost, p2, p1))
 }
 
 fn generate(

@@ -66,7 +66,11 @@ pub fn expected_cost_with_extension(
     let mut t_prev = 0.0;
     let mut k = 0usize;
     loop {
-        let surv = if t_prev == 0.0 { 1.0 } else { dist.survival(t_prev) };
+        let surv = if t_prev == 0.0 {
+            1.0
+        } else {
+            dist.survival(t_prev)
+        };
         if surv < 1e-14 || k > 1_000_000 {
             return total;
         }
@@ -130,8 +134,7 @@ mod tests {
         // Plan on a LogNormal moment-matched to a Weibull truth: the §5.3
         // fitting approach. The penalty exists but stays moderate.
         let truth = Weibull::new(1.0, 1.5).unwrap();
-        let assumed =
-            LogNormal::from_moments(truth.mean(), truth.variance().sqrt()).unwrap();
+        let assumed = LogNormal::from_moments(truth.mean(), truth.variance().sqrt()).unwrap();
         let c = CostModel::reservation_only();
         let dp = DiscretizedDp::new(DiscretizationScheme::EqualProbability, 400, 1e-7).unwrap();
         let r = misspecification_report(&dp, &assumed, &truth, &c).unwrap();

@@ -194,8 +194,7 @@ mod tests {
 
     #[test]
     fn display_truncates() {
-        let s =
-            ReservationSequence::new((1..=10).map(|i| i as f64).collect(), false).unwrap();
+        let s = ReservationSequence::new((1..=10).map(|i| i as f64).collect(), false).unwrap();
         let text = format!("{s}");
         assert!(text.contains("[10 terms]"), "{text}");
     }

@@ -3,10 +3,10 @@
 //! recursive formulas of Table 6, re-implemented here independently.
 
 use rsj_core::{CostModel, MeanByMean, Strategy};
-use rsj_dist::special::beta::{beta_inc_unreg, beta};
+use rsj_dist::prelude::*;
+use rsj_dist::special::beta::{beta, beta_inc_unreg};
 use rsj_dist::special::erf::erf;
 use rsj_dist::special::gamma::{gamma, upper_incomplete_gamma};
-use rsj_dist::prelude::*;
 
 fn mean_by_mean(dist: &dyn ContinuousDistribution, k: usize) -> Vec<f64> {
     let seq = MeanByMean::default()
@@ -139,7 +139,12 @@ fn uniform_table6() {
     // The final materialized element may be the clamped b itself; compare
     // the strictly interior prefix.
     let interior = ours.len().min(reference.len());
-    assert_seq_close(&ours[..interior - 1], &reference[..interior - 1], 1e-12, "Uniform");
+    assert_seq_close(
+        &ours[..interior - 1],
+        &reference[..interior - 1],
+        1e-12,
+        "Uniform",
+    );
 }
 
 #[test]
@@ -176,7 +181,12 @@ fn bounded_pareto_table6() {
         reference.push(step(reference[i - 1]));
     }
     let interior = ours.len().min(reference.len()) - 1;
-    assert_seq_close(&ours[..interior], &reference[..interior], 1e-9, "BoundedPareto");
+    assert_seq_close(
+        &ours[..interior],
+        &reference[..interior],
+        1e-9,
+        "BoundedPareto",
+    );
 }
 
 /// Theorem 3's first-order optimality condition (Eq. 9) holds along the
@@ -193,8 +203,8 @@ fn eq9_optimality_condition_along_brute_force_optimum() {
     assert!(t.len() >= 4);
     for i in 1..3 {
         let lhs = c.alpha * t[i + 1] + c.beta * t[i] + c.gamma;
-        let rhs = c.alpha * d.survival(t[i - 1]) / d.pdf(t[i])
-            + c.beta * d.survival(t[i]) / d.pdf(t[i]);
+        let rhs =
+            c.alpha * d.survival(t[i - 1]) / d.pdf(t[i]) + c.beta * d.survival(t[i]) / d.pdf(t[i]);
         assert!(
             (lhs - rhs).abs() / rhs < 1e-6,
             "Eq. 9 violated at i={i}: lhs {lhs} vs rhs {rhs}"

@@ -55,7 +55,10 @@ impl BoundedPareto {
 
 impl ContinuousDistribution for BoundedPareto {
     fn name(&self) -> String {
-        format!("BoundedPareto(L={}, H={}, α={})", self.l, self.h, self.alpha)
+        format!(
+            "BoundedPareto(L={}, H={}, α={})",
+            self.l, self.h, self.alpha
+        )
     }
 
     fn support(&self) -> Support {

@@ -157,8 +157,8 @@ mod tests {
         for &tau in &[0.3, 1.0, 2.5] {
             let closed = g.conditional_mean_above(tau);
             let s = g.survival(tau);
-            let numeric = tau
-                + crate::quadrature::integrate_to_inf(|t| g.survival(t), tau, 1e-13).value / s;
+            let numeric =
+                tau + crate::quadrature::integrate_to_inf(|t| g.survival(t), tau, 1e-13).value / s;
             assert!(
                 (closed - numeric).abs() / numeric < 1e-8,
                 "tau={tau}: closed {closed}, numeric {numeric}"

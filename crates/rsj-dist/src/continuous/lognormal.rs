@@ -35,7 +35,12 @@ impl LogNormal {
     /// (the footnote's `μ = ln(μ_d − σ_d²/2)` is inconsistent with the
     /// paper's own Figure 1 fit — see DESIGN.md §4.5).
     pub fn from_moments(desired_mean: f64, desired_std: f64) -> Result<Self> {
-        check_param("desired_mean", desired_mean, "must be > 0", desired_mean > 0.0)?;
+        check_param(
+            "desired_mean",
+            desired_mean,
+            "must be > 0",
+            desired_mean > 0.0,
+        )?;
         check_param("desired_std", desired_std, "must be > 0", desired_std > 0.0)?;
         let ratio = desired_std / desired_mean;
         let sigma2 = (1.0 + ratio * ratio).ln();
@@ -194,8 +199,8 @@ mod tests {
         for &tau in &[10.0, 22.0, 60.0] {
             let closed = d.conditional_mean_above(tau);
             let s = d.survival(tau);
-            let numeric = tau
-                + crate::quadrature::integrate_to_inf(|t| d.survival(t), tau, 1e-13).value / s;
+            let numeric =
+                tau + crate::quadrature::integrate_to_inf(|t| d.survival(t), tau, 1e-13).value / s;
             assert!(
                 (closed - numeric).abs() / numeric < 1e-7,
                 "tau={tau}: closed {closed}, numeric {numeric}"

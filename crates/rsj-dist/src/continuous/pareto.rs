@@ -19,7 +19,12 @@ impl Pareto {
     /// second moment is finite, as assumed throughout the paper.
     pub fn new(nu: f64, alpha: f64) -> Result<Self> {
         check_param("nu", nu, "must be > 0", nu > 0.0)?;
-        check_param("alpha", alpha, "must be > 2 for finite variance", alpha > 2.0)?;
+        check_param(
+            "alpha",
+            alpha,
+            "must be > 2 for finite variance",
+            alpha > 2.0,
+        )?;
         Ok(Self { nu, alpha })
     }
 
@@ -138,8 +143,8 @@ mod tests {
         for &tau in &[2.0, 5.0, 20.0] {
             let closed = d.conditional_mean_above(tau);
             let s = d.survival(tau);
-            let numeric = tau
-                + crate::quadrature::integrate_to_inf(|t| d.survival(t), tau, 1e-13).value / s;
+            let numeric =
+                tau + crate::quadrature::integrate_to_inf(|t| d.survival(t), tau, 1e-13).value / s;
             assert!(
                 (closed - numeric).abs() / numeric < 1e-6,
                 "tau={tau}: closed {closed}, numeric {numeric}"

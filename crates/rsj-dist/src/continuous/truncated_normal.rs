@@ -207,8 +207,8 @@ mod tests {
         for &tau in &[5.0, 8.0, 10.0, 12.0] {
             let closed = d.conditional_mean_above(tau);
             let s = d.survival(tau);
-            let numeric = tau
-                + crate::quadrature::integrate_to_inf(|t| d.survival(t), tau, 1e-13).value / s;
+            let numeric =
+                tau + crate::quadrature::integrate_to_inf(|t| d.survival(t), tau, 1e-13).value / s;
             assert!(
                 (closed - numeric).abs() / numeric < 1e-7,
                 "tau={tau}: closed {closed}, numeric {numeric}"

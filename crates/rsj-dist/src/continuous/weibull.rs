@@ -145,8 +145,8 @@ mod tests {
         for &tau in &[0.5, 2.0, 5.0] {
             let closed = w.conditional_mean_above(tau);
             let s = w.survival(tau);
-            let numeric = tau
-                + crate::quadrature::integrate_to_inf(|t| w.survival(t), tau, 1e-13).value / s;
+            let numeric =
+                tau + crate::quadrature::integrate_to_inf(|t| w.survival(t), tau, 1e-13).value / s;
             assert!(
                 (closed - numeric).abs() / numeric < 1e-7,
                 "tau={tau}: closed {closed}, numeric {numeric}"

@@ -171,7 +171,11 @@ mod tests {
             .collect();
         let fit = fit_affine(&xs, &ys).unwrap();
         assert!((fit.slope - 0.95).abs() < 0.02, "slope {}", fit.slope);
-        assert!((fit.intercept - 1.05).abs() < 0.1, "intercept {}", fit.intercept);
+        assert!(
+            (fit.intercept - 1.05).abs() < 0.1,
+            "intercept {}",
+            fit.intercept
+        );
         assert!(fit.r_squared > 0.99);
     }
 

@@ -213,7 +213,11 @@ mod tests {
         for k in 0..=100 {
             let p = k as f64 / 100.0;
             let t = d.quantile(p);
-            assert!((d.cdf(t) - p).abs() < 1e-10, "p={p}: Q={t}, F(Q)={}", d.cdf(t));
+            assert!(
+                (d.cdf(t) - p).abs() < 1e-10,
+                "p={p}: Q={t}, F(Q)={}",
+                d.cdf(t)
+            );
         }
     }
 

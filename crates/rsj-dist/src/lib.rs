@@ -44,8 +44,8 @@ pub mod error;
 pub mod fit;
 pub mod interpolated;
 pub mod quadrature;
-pub mod special;
 pub mod spec;
+pub mod special;
 pub mod traits;
 pub mod transform;
 

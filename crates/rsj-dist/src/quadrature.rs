@@ -53,7 +53,10 @@ fn adaptive<F: Fn(f64) -> f64>(
 ///
 /// `tol` is an absolute tolerance; the achieved error is usually far below.
 pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Quadrature {
-    assert!(a.is_finite() && b.is_finite(), "integrate: bounds must be finite");
+    assert!(
+        a.is_finite() && b.is_finite(),
+        "integrate: bounds must be finite"
+    );
     if a == b {
         return Quadrature {
             value: 0.0,

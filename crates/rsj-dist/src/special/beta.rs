@@ -83,8 +83,7 @@ pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let bt =
-        (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
+    let bt = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         bt * betacf(a, b, x) / a
     } else {
@@ -101,7 +100,10 @@ pub fn beta_inc_unreg(a: f64, b: f64, x: f64) -> f64 {
 /// Inverse of the regularized incomplete beta: returns `x` with
 /// `I_x(a, b) = p`.
 pub fn inverse_beta_inc(a: f64, b: f64, p: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "inverse_beta_inc: parameters must be positive");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "inverse_beta_inc: parameters must be positive"
+    );
     assert!(
         (0.0..=1.0).contains(&p),
         "inverse_beta_inc: p must be in [0, 1], got {p}"

@@ -304,7 +304,12 @@ mod tests {
             assert_close(gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-13, "P(1,x)");
         }
         // P(0.5, x) = erf(sqrt(x)); spot value: erf(1) = 0.8427007929497149
-        assert_close(gamma_p(0.5, 1.0), 0.842_700_792_949_714_9, 1e-12, "P(0.5,1)");
+        assert_close(
+            gamma_p(0.5, 1.0),
+            0.842_700_792_949_714_9,
+            1e-12,
+            "P(0.5,1)",
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@ fn all() -> Vec<(&'static str, Box<dyn ContinuousDistribution>)> {
 
 /// Upper integration limit: the support's end or a deep quantile.
 fn hi(d: &dyn ContinuousDistribution) -> f64 {
-    d.support().upper().unwrap_or_else(|| d.quantile(1.0 - 1e-13))
+    d.support()
+        .upper()
+        .unwrap_or_else(|| d.quantile(1.0 - 1e-13))
 }
 
 #[test]
@@ -41,10 +43,7 @@ fn pdf_integrates_to_one() {
             Some(b) => integrate(|t| d.pdf(t), lo, b, 1e-11).value,
             None => integrate_to_inf(|t| d.pdf(t), lo.max(1e-12), 1e-11).value,
         };
-        assert!(
-            (mass - 1.0).abs() < 1e-5,
-            "{name}: total mass {mass}"
-        );
+        assert!((mass - 1.0).abs() < 1e-5, "{name}: total mass {mass}");
     }
 }
 

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use rsj_dist::special::{
-    beta_inc, erf, erfc, gamma_p, gamma_q, inverse_beta_inc, inverse_gamma_p, ln_gamma,
-    norm_cdf, norm_quantile,
+    beta_inc, erf, erfc, gamma_p, gamma_q, inverse_beta_inc, inverse_gamma_p, ln_gamma, norm_cdf,
+    norm_quantile,
 };
 use rsj_dist::{discretize, ContinuousDistribution, DiscretizationScheme, GammaDist, Weibull};
 

@@ -1,0 +1,188 @@
+//! Property tests of constructor validation across the nine Table 1
+//! families: NaN and out-of-range parameters are rejected with a typed
+//! error, while valid parameters build distributions whose quantiles land
+//! inside the declared support.
+
+use proptest::prelude::*;
+use rsj_dist::DistSpec;
+
+/// The nine families instantiated from randomized valid parameters.
+fn valid_specs(s1: f64, s2: f64, loc: f64) -> Vec<DistSpec> {
+    vec![
+        DistSpec::Exponential { lambda: s1 },
+        DistSpec::Weibull {
+            lambda: s1,
+            kappa: s2,
+        },
+        DistSpec::Gamma {
+            alpha: s1,
+            beta: s2,
+        },
+        DistSpec::LogNormal { mu: loc, sigma: s1 },
+        DistSpec::TruncatedNormal {
+            mu: loc,
+            sigma: s1,
+            a: 0.0,
+        },
+        DistSpec::Pareto {
+            nu: s1,
+            alpha: 2.0 + s2,
+        },
+        DistSpec::Uniform {
+            a: loc.abs(),
+            b: loc.abs() + s1,
+        },
+        DistSpec::Beta {
+            alpha: s1,
+            beta: s2,
+        },
+        DistSpec::BoundedPareto {
+            l: s1,
+            h: s1 * 100.0,
+            alpha: 2.5 + s2,
+        },
+    ]
+}
+
+/// Every family with a NaN planted in each parameter slot in turn.
+fn nan_specs() -> Vec<DistSpec> {
+    let nan = f64::NAN;
+    vec![
+        DistSpec::Exponential { lambda: nan },
+        DistSpec::Weibull {
+            lambda: nan,
+            kappa: 1.0,
+        },
+        DistSpec::Weibull {
+            lambda: 1.0,
+            kappa: nan,
+        },
+        DistSpec::Gamma {
+            alpha: nan,
+            beta: 1.0,
+        },
+        DistSpec::Gamma {
+            alpha: 1.0,
+            beta: nan,
+        },
+        DistSpec::LogNormal {
+            mu: nan,
+            sigma: 1.0,
+        },
+        DistSpec::LogNormal {
+            mu: 0.0,
+            sigma: nan,
+        },
+        DistSpec::TruncatedNormal {
+            mu: 0.0,
+            sigma: nan,
+            a: 0.0,
+        },
+        DistSpec::TruncatedNormal {
+            mu: 0.0,
+            sigma: 1.0,
+            a: nan,
+        },
+        DistSpec::Pareto {
+            nu: nan,
+            alpha: 3.0,
+        },
+        DistSpec::Pareto {
+            nu: 1.0,
+            alpha: nan,
+        },
+        DistSpec::Uniform { a: nan, b: 1.0 },
+        DistSpec::Uniform { a: 0.0, b: nan },
+        DistSpec::Beta {
+            alpha: nan,
+            beta: 1.0,
+        },
+        DistSpec::Beta {
+            alpha: 1.0,
+            beta: nan,
+        },
+        DistSpec::BoundedPareto {
+            l: nan,
+            h: 10.0,
+            alpha: 2.5,
+        },
+        DistSpec::BoundedPareto {
+            l: 1.0,
+            h: nan,
+            alpha: 2.5,
+        },
+        DistSpec::BoundedPareto {
+            l: 1.0,
+            h: 10.0,
+            alpha: nan,
+        },
+    ]
+}
+
+#[test]
+fn nan_parameters_are_rejected_everywhere() {
+    for spec in nan_specs() {
+        let built = spec.build();
+        assert!(built.is_err(), "{spec:?} must reject NaN");
+        let msg = built.err().unwrap().to_string();
+        assert!(msg.contains("invalid parameter"), "{spec:?}: {msg}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Valid randomized parameters always build, and the quantile
+    /// function maps central probabilities into the declared support.
+    #[test]
+    fn valid_parameters_build_with_quantiles_in_support(
+        s1 in 0.1..5.0f64,
+        s2 in 0.1..3.0f64,
+        loc in -2.0..4.0f64,
+        p in 0.01..0.99f64,
+    ) {
+        for spec in valid_specs(s1, s2, loc) {
+            let d = spec.build();
+            prop_assert!(d.is_ok(), "{spec:?} should build");
+            let d = d.unwrap();
+            let q = d.quantile(p);
+            prop_assert!(q.is_finite(), "{spec:?}: quantile({p}) = {q}");
+            prop_assert!(
+                d.support().contains(q),
+                "{spec:?}: quantile({p}) = {q} outside support"
+            );
+            prop_assert!(d.mean().is_finite() && d.mean() > 0.0, "{spec:?}");
+        }
+    }
+
+    /// Non-positive scale/shape parameters are rejected across families.
+    #[test]
+    fn non_positive_scales_are_rejected(bad in -3.0..0.0f64) {
+        let specs = vec![
+            DistSpec::Exponential { lambda: bad },
+            DistSpec::Weibull { lambda: bad, kappa: 1.0 },
+            DistSpec::Weibull { lambda: 1.0, kappa: bad },
+            DistSpec::Gamma { alpha: bad, beta: 1.0 },
+            DistSpec::Gamma { alpha: 1.0, beta: bad },
+            DistSpec::LogNormal { mu: 0.0, sigma: bad },
+            DistSpec::TruncatedNormal { mu: 0.0, sigma: bad, a: 0.0 },
+            DistSpec::Pareto { nu: bad, alpha: 3.0 },
+            DistSpec::Beta { alpha: bad, beta: 1.0 },
+            DistSpec::Beta { alpha: 1.0, beta: bad },
+            DistSpec::BoundedPareto { l: bad, h: 10.0, alpha: 2.5 },
+        ];
+        for spec in specs {
+            prop_assert!(spec.build().is_err(), "{spec:?} must reject {bad}");
+        }
+    }
+
+    /// Inverted or empty intervals are rejected for the bounded families.
+    #[test]
+    fn inverted_intervals_are_rejected(a in 0.5..5.0f64, shrink in 0.0..1.0f64) {
+        let b = a * shrink; // b <= a
+        prop_assert!(DistSpec::Uniform { a, b }.build().is_err());
+        prop_assert!(
+            DistSpec::BoundedPareto { l: a, h: b, alpha: 2.5 }.build().is_err()
+        );
+    }
+}

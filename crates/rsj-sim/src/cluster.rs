@@ -1,6 +1,8 @@
 //! The event-driven cluster simulation: jobs in, [`JobRecord`]s out.
 
+use crate::error::SimError;
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultConfig, FaultInjector, FaultKind};
 use crate::job::{Job, JobRecord};
 use crate::scheduler::{SchedulerPolicy, SchedulerState};
 use serde::{Deserialize, Serialize};
@@ -32,6 +34,25 @@ impl ClusterConfig {
 /// processed by arrival time) and returns one record per started job,
 /// sorted by job id.
 pub fn simulate(config: &ClusterConfig, jobs: &[Job]) -> Vec<JobRecord> {
+    simulate_with_faults(config, jobs, &FaultConfig::none())
+        .expect("the fault-free configuration is always valid")
+}
+
+/// [`simulate`] with fault injection: running jobs can be interrupted by
+/// node crashes, spot preemptions, or jittered walltime kills, which fire
+/// as [`EventKind::NodeFailure`]/[`EventKind::Preemption`] events and mark
+/// their record's [`JobRecord::fault`].
+///
+/// Interrupted jobs are *not* resubmitted — every submitted job yields
+/// exactly one record, and retries belong to the reservation executor
+/// ([`crate::resilient`]). With a fault-free configuration the injector
+/// never draws, so this reproduces [`simulate`] bit-for-bit.
+pub fn simulate_with_faults(
+    config: &ClusterConfig,
+    jobs: &[Job],
+    faults: &FaultConfig,
+) -> Result<Vec<JobRecord>, SimError> {
+    let mut injector = FaultInjector::new(faults)?;
     let mut state = SchedulerState::new(config.processors);
     let mut events = EventQueue::new();
     let mut catalogue: HashMap<_, Job> = HashMap::with_capacity(jobs.len());
@@ -55,11 +76,14 @@ pub fn simulate(config: &ClusterConfig, jobs: &[Job]) -> Vec<JobRecord> {
     }
 
     let mut records = Vec::with_capacity(jobs.len());
+    // Fault kind of each scheduled interruption, keyed by job.
+    let mut pending: HashMap<crate::job::JobId, FaultKind> = HashMap::new();
 
     let apply = |state: &mut SchedulerState,
-                     records: &mut Vec<JobRecord>,
-                     now: f64,
-                     kind: EventKind| match kind {
+                 records: &mut Vec<JobRecord>,
+                 pending: &mut HashMap<crate::job::JobId, FaultKind>,
+                 now: f64,
+                 kind: EventKind| match kind {
         EventKind::Arrival(id) => state.waiting.push_back(catalogue[&id]),
         EventKind::Departure(id) => {
             if let Some(running) = state.remove_running(id) {
@@ -69,27 +93,67 @@ pub fn simulate(config: &ClusterConfig, jobs: &[Job]) -> Vec<JobRecord> {
                     end: now,
                     wait: running.start - running.job.arrival,
                     killed: running.job.will_be_killed(),
+                    fault: None,
+                });
+            }
+        }
+        EventKind::NodeFailure(id) | EventKind::Preemption(id) => {
+            if let Some(running) = state.remove_running(id) {
+                let fault = pending.remove(&id);
+                records.push(JobRecord {
+                    job: running.job,
+                    start: running.start,
+                    end: now,
+                    wait: running.start - running.job.arrival,
+                    // A jittered walltime kill is still a walltime kill;
+                    // crashes and preemptions interrupt the job earlier.
+                    killed: fault == Some(FaultKind::WalltimeKill),
+                    fault,
                 });
             }
         }
     };
 
     while let Some((now, kind)) = events.pop() {
-        apply(&mut state, &mut records, now, kind);
+        apply(&mut state, &mut records, &mut pending, now, kind);
         // Drain every simultaneous event before scheduling, so a batch of
         // same-time departures/arrivals sees one consistent machine state.
         while events.peek_time() == Some(now) {
             let (_, kind) = events.pop().expect("peeked");
-            apply(&mut state, &mut records, now, kind);
+            apply(&mut state, &mut records, &mut pending, now, kind);
         }
 
         for started in state.schedule(config.policy, now) {
-            events.push(started.actual_end, EventKind::Departure(started.job.id));
+            // Fixed per-job draw order (jitter, then crash/preemption)
+            // keeps the fault trace deterministic.
+            let kill = injector.effective_walltime(started.job.requested);
+            let occupancy = started.job.actual.min(kill);
+            let fault = if occupancy < started.job.occupancy() {
+                Some(FaultKind::WalltimeKill)
+            } else {
+                None
+            };
+            let (end, fault) = match injector.interruption(occupancy) {
+                Some((offset, kind)) => (started.start + offset, Some(kind)),
+                None if fault.is_some() => (started.start + occupancy, fault),
+                None => (started.actual_end, None),
+            };
+            match fault {
+                None => events.push(end, EventKind::Departure(started.job.id)),
+                Some(FaultKind::Preemption) => {
+                    pending.insert(started.job.id, FaultKind::Preemption);
+                    events.push(end, EventKind::Preemption(started.job.id));
+                }
+                Some(kind) => {
+                    pending.insert(started.job.id, kind);
+                    events.push(end, EventKind::NodeFailure(started.job.id));
+                }
+            }
         }
     }
 
     records.sort_by_key(|r| r.job.id);
-    records
+    Ok(records)
 }
 
 /// Aggregate utilization and wait statistics of a simulation.
@@ -103,6 +167,10 @@ pub struct SimSummary {
     pub max_wait: f64,
     /// Fraction of jobs killed by their walltime limit.
     pub killed_fraction: f64,
+    /// Fraction of jobs interrupted by an injected fault (0 without fault
+    /// injection; defaults when deserializing pre-fault-layer summaries).
+    #[serde(default)]
+    pub faulted_fraction: f64,
     /// Machine utilization over the makespan: busy processor-hours divided
     /// by `processors × makespan`.
     pub utilization: f64,
@@ -115,8 +183,12 @@ pub fn summarize(records: &[JobRecord], processors: usize) -> SimSummary {
     let mean_wait = records.iter().map(|r| r.wait).sum::<f64>() / completed as f64;
     let max_wait = records.iter().map(|r| r.wait).fold(0.0, f64::max);
     let killed = records.iter().filter(|r| r.killed).count();
+    let faulted = records.iter().filter(|r| r.fault.is_some()).count();
     let makespan = records.iter().map(|r| r.end).fold(0.0, f64::max)
-        - records.iter().map(|r| r.job.arrival).fold(f64::INFINITY, f64::min);
+        - records
+            .iter()
+            .map(|r| r.job.arrival)
+            .fold(f64::INFINITY, f64::min);
     let busy: f64 = records
         .iter()
         .map(|r| (r.end - r.start) * r.job.processors as f64)
@@ -126,6 +198,7 @@ pub fn summarize(records: &[JobRecord], processors: usize) -> SimSummary {
         mean_wait,
         max_wait,
         killed_fraction: killed as f64 / completed as f64,
+        faulted_fraction: faulted as f64 / completed as f64,
         utilization: if makespan > 0.0 {
             busy / (processors as f64 * makespan)
         } else {
@@ -182,10 +255,7 @@ mod tests {
             policy: SchedulerPolicy::Fcfs,
         };
         // Both jobs need the whole machine; second waits for the first.
-        let records = simulate(
-            &cfg,
-            &[job(1, 0.0, 4, 2.0, 2.0), job(2, 0.1, 4, 2.0, 2.0)],
-        );
+        let records = simulate(&cfg, &[job(1, 0.0, 4, 2.0, 2.0), job(2, 0.1, 4, 2.0, 2.0)]);
         assert_eq!(records[1].start, 2.0);
         assert!((records[1].wait - 1.9).abs() < 1e-12);
     }
@@ -197,10 +267,7 @@ mod tests {
             policy: SchedulerPolicy::Fcfs,
         };
         // First job requests 10h but finishes in 1h.
-        let records = simulate(
-            &cfg,
-            &[job(1, 0.0, 4, 10.0, 1.0), job(2, 0.0, 4, 1.0, 1.0)],
-        );
+        let records = simulate(&cfg, &[job(1, 0.0, 4, 10.0, 1.0), job(2, 0.0, 4, 1.0, 1.0)]);
         assert_eq!(records[1].start, 1.0, "starts when the machine frees");
     }
 
@@ -258,6 +325,101 @@ mod tests {
             assert!(r.start >= r.job.arrival);
             assert!(r.end > r.start);
         }
+    }
+
+    #[test]
+    fn fault_free_config_reproduces_simulate_bitwise() {
+        let cfg = ClusterConfig {
+            processors: 16,
+            policy: SchedulerPolicy::EasyBackfill,
+        };
+        let jobs: Vec<Job> = (0..100)
+            .map(|i| {
+                job(
+                    i,
+                    i as f64 * 0.03,
+                    1 + (i as usize * 5) % 8,
+                    0.5 + (i % 4) as f64,
+                    0.4 + (i % 3) as f64,
+                )
+            })
+            .collect();
+        let plain = simulate(&cfg, &jobs);
+        let faultless = simulate_with_faults(&cfg, &jobs, &FaultConfig::none()).unwrap();
+        assert_eq!(plain, faultless);
+    }
+
+    #[test]
+    fn crashes_interrupt_jobs_and_are_recorded() {
+        let cfg = ClusterConfig {
+            processors: 8,
+            policy: SchedulerPolicy::Fcfs,
+        };
+        let jobs: Vec<Job> = (0..50)
+            .map(|i| job(i, i as f64 * 0.1, 2, 5.0, 4.0))
+            .collect();
+        let faults = FaultConfig::crashes(1.0, 13);
+        let records = simulate_with_faults(&cfg, &jobs, &faults).unwrap();
+        assert_eq!(
+            records.len(),
+            jobs.len(),
+            "one record per job, no resubmission"
+        );
+        let crashed: Vec<_> = records
+            .iter()
+            .filter(|r| r.fault == Some(FaultKind::Crash))
+            .collect();
+        assert!(!crashed.is_empty(), "mtbf 1h must crash some 4h jobs");
+        for r in &crashed {
+            assert!(
+                r.end - r.start < r.job.occupancy(),
+                "crash cuts the run short"
+            );
+            assert!(!r.killed);
+        }
+        // Determinism: an identical config+seed replays the same records.
+        let replay = simulate_with_faults(&cfg, &jobs, &faults).unwrap();
+        assert_eq!(records, replay);
+    }
+
+    #[test]
+    fn jittered_walltime_kills_come_early_and_are_flagged() {
+        let cfg = ClusterConfig {
+            processors: 4,
+            policy: SchedulerPolicy::Fcfs,
+        };
+        // Every job overruns its walltime, so every kill is jitter-eligible.
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| job(i, i as f64 * 0.01, 2, 2.0, 3.0))
+            .collect();
+        let records =
+            simulate_with_faults(&cfg, &jobs, &FaultConfig::walltime_jitter(0.3, 21)).unwrap();
+        let early: Vec<_> = records
+            .iter()
+            .filter(|r| r.fault == Some(FaultKind::WalltimeKill))
+            .collect();
+        assert!(!early.is_empty(), "jitter 0.3 must shave some kills");
+        for r in &early {
+            let ran = r.end - r.start;
+            assert!(
+                (2.0 * 0.7..2.0).contains(&ran),
+                "jittered kill after {ran}h"
+            );
+            assert!(r.killed, "a jittered walltime kill is still a kill");
+        }
+        let s = summarize(&records, cfg.processors);
+        assert!(s.faulted_fraction > 0.0);
+    }
+
+    #[test]
+    fn invalid_fault_config_is_rejected() {
+        let cfg = ClusterConfig {
+            processors: 4,
+            policy: SchedulerPolicy::Fcfs,
+        };
+        let jobs = [job(1, 0.0, 2, 1.0, 1.0)];
+        let err = simulate_with_faults(&cfg, &jobs, &FaultConfig::crashes(0.0, 0)).unwrap_err();
+        assert!(err.to_string().contains("mtbf"), "{err}");
     }
 
     #[test]

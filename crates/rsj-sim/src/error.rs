@@ -1,0 +1,89 @@
+//! Typed errors for the simulation crate, replacing panic-prone paths
+//! reachable from user input (CLI configs, batch parameters).
+
+use std::fmt;
+
+/// Error returned by batch runners and fault-injection configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A batch runner was asked to run zero jobs.
+    EmptyBatch,
+    /// A per-job cost came out non-finite (NaN or infinite), so order
+    /// statistics are undefined.
+    NonFiniteCost {
+        /// Index of the offending outcome within the batch.
+        index: usize,
+        /// The offending cost value.
+        value: f64,
+    },
+    /// A fault-injection or resilience parameter violated its requirement.
+    InvalidParameter {
+        /// Parameter name as it appears in the configuration.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable requirement (e.g. `must be > 0`).
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyBatch => write!(f, "batch must contain at least one job"),
+            SimError::NonFiniteCost { index, value } => {
+                write!(f, "job {index} produced a non-finite cost ({value})")
+            }
+            SimError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            } => write!(f, "invalid parameter {name} = {value}: {requirement}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Validates a fault/resilience parameter, mirroring `rsj-dist`'s
+/// `check_param`: the predicate must hold *and* the value must be finite
+/// (so NaN is always rejected).
+pub(crate) fn check_param(
+    name: &'static str,
+    value: f64,
+    requirement: &'static str,
+    pred: bool,
+) -> Result<(), SimError> {
+    if pred && value.is_finite() {
+        Ok(())
+    } else {
+        Err(SimError::InvalidParameter {
+            name,
+            value,
+            requirement,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = SimError::InvalidParameter {
+            name: "mtbf",
+            value: -1.0,
+            requirement: "must be > 0",
+        };
+        assert!(e.to_string().contains("mtbf"));
+        assert!(e.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn check_param_rejects_nan() {
+        // Even when the predicate is satisfied, NaN values are rejected.
+        assert!(check_param("x", f64::NAN, "must be > 0", true).is_err());
+        assert!(check_param("x", 1.0, "must be > 0", true).is_ok());
+    }
+}

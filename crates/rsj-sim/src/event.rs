@@ -12,6 +12,10 @@ pub enum EventKind {
     Arrival(JobId),
     /// A running job leaves the machine (completion or walltime kill).
     Departure(JobId),
+    /// A node crash (or early walltime kill) terminates a running job.
+    NodeFailure(JobId),
+    /// A spot-style preemption reclaims a running job's processors.
+    Preemption(JobId),
 }
 
 #[derive(Debug, Clone, Copy)]

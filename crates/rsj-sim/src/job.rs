@@ -1,5 +1,6 @@
 //! Batch jobs and their execution records.
 
+use crate::fault::FaultKind;
 use serde::{Deserialize, Serialize};
 
 /// Simulation clock time (hours).
@@ -54,6 +55,10 @@ pub struct JobRecord {
     pub wait: Time,
     /// Whether the walltime limit killed it before completion.
     pub killed: bool,
+    /// The fault that interrupted it, if any (defaults to `None` when
+    /// deserializing pre-fault-layer records).
+    #[serde(default)]
+    pub fault: Option<FaultKind>,
 }
 
 #[cfg(test)]

@@ -13,7 +13,11 @@
 //! * [`cloud`] — Reserved-Instance vs On-Demand pricing and the §5.2
 //!   break-even analysis;
 //! * [`runner`] — batch execution of reservation strategies with Eq. 2
-//!   accounting, and the queue-fit → NeuroHPC cost-model bridge.
+//!   accounting, and the queue-fit → NeuroHPC cost-model bridge;
+//! * [`fault`] / [`resilient`] — seed-reproducible failure processes
+//!   (exponential-MTBF crashes, spot preemptions, walltime jitter) and the
+//!   resilient reservation executor with checkpoint-restart and retry
+//!   policies (system S18).
 //!
 //! ## Example: derive a NeuroHPC cost model from a simulated queue
 //!
@@ -45,26 +49,40 @@
 
 pub mod cloud;
 pub mod cluster;
+pub mod error;
 pub mod event;
+pub mod fault;
 pub mod job;
+pub mod resilient;
 pub mod runner;
 pub mod scheduler;
 pub mod wait_time;
 pub mod workload;
 
 pub use cloud::CloudPricing;
-pub use cluster::{simulate, summarize, ClusterConfig, SimSummary};
+pub use cluster::{simulate, simulate_with_faults, summarize, ClusterConfig, SimSummary};
+pub use error::SimError;
+pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind};
 pub use job::{Job, JobId, JobRecord, Time};
+pub use resilient::{
+    run_batch_resilient, run_job_resilient, ResilienceConfig, ResilientOutcome, RetryPolicy,
+};
 pub use runner::{aggregate, cost_model_from_queue, run_batch, BatchStats};
 pub use scheduler::{PriorityConfig, SchedulerPolicy, SchedulerState};
 pub use wait_time::{analyze_wait_times, WaitGroup, WaitTimeAnalysis};
-pub use workload::{generate_workload, generate_workload_with_pattern, ArrivalPattern, WorkloadConfig};
+pub use workload::{
+    generate_workload, generate_workload_with_pattern, ArrivalPattern, WorkloadConfig,
+};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::cloud::CloudPricing;
-    pub use crate::cluster::{simulate, summarize, ClusterConfig, SimSummary};
+    pub use crate::cluster::{
+        simulate, simulate_with_faults, summarize, ClusterConfig, SimSummary,
+    };
+    pub use crate::fault::{FaultConfig, FaultKind};
     pub use crate::job::{Job, JobId, JobRecord};
+    pub use crate::resilient::{run_batch_resilient, ResilienceConfig, RetryPolicy};
     pub use crate::runner::{cost_model_from_queue, run_batch, BatchStats};
     pub use crate::scheduler::SchedulerPolicy;
     pub use crate::wait_time::{analyze_wait_times, WaitTimeAnalysis};

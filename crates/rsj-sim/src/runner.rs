@@ -3,6 +3,7 @@
 //! the bridge that turns a simulated queue into a NeuroHPC-style cost
 //! model.
 
+use crate::error::SimError;
 use crate::wait_time::WaitTimeAnalysis;
 use rand::RngCore;
 use rsj_core::{run_job, CostModel, ReservationSequence, RunOutcome};
@@ -10,6 +11,11 @@ use rsj_dist::ContinuousDistribution;
 use serde::{Deserialize, Serialize};
 
 /// Aggregate statistics of running many jobs through one sequence.
+///
+/// The robustness fields (`failures`, `restarts`, `mean_rework`,
+/// `gave_up`) are zero for fault-free execution and are filled by
+/// [`crate::resilient::run_batch_resilient`]; they default to zero when
+/// deserializing pre-fault-layer JSON.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BatchStats {
     /// Number of jobs executed.
@@ -28,39 +34,71 @@ pub struct BatchStats {
     pub mean_waste: f64,
     /// Fraction of reserved time that was wasted, aggregated.
     pub waste_fraction: f64,
+    /// Faults endured across the batch.
+    #[serde(default)]
+    pub failures: usize,
+    /// Post-fault restarts (a job that gives up does not restart after
+    /// its final fault).
+    #[serde(default)]
+    pub restarts: usize,
+    /// Mean computation time lost to faults per job.
+    #[serde(default)]
+    pub mean_rework: f64,
+    /// Jobs that exhausted the retry budget without completing.
+    #[serde(default)]
+    pub gave_up: usize,
 }
 
 /// Runs `n` jobs sampled from `dist` through `seq` and aggregates the
-/// outcomes.
+/// outcomes. Errors on an empty batch instead of panicking.
 pub fn run_batch(
     seq: &ReservationSequence,
     dist: &dyn ContinuousDistribution,
     cost: &CostModel,
     n: usize,
     rng: &mut dyn RngCore,
-) -> BatchStats {
-    assert!(n > 0, "need at least one job");
+) -> Result<BatchStats, SimError> {
+    if n == 0 {
+        return Err(SimError::EmptyBatch);
+    }
     let outcomes: Vec<RunOutcome> = (0..n)
         .map(|_| run_job(seq, cost, dist.sample(rng)))
         .collect();
     aggregate(&outcomes)
 }
 
-/// Aggregates precomputed run outcomes.
-pub fn aggregate(outcomes: &[RunOutcome]) -> BatchStats {
-    assert!(!outcomes.is_empty());
+/// Aggregates precomputed run outcomes. Errors on an empty slice or a
+/// non-finite cost (order statistics would be undefined) instead of
+/// panicking.
+pub fn aggregate(outcomes: &[RunOutcome]) -> Result<BatchStats, SimError> {
+    if outcomes.is_empty() {
+        return Err(SimError::EmptyBatch);
+    }
+    if let Some((index, o)) = outcomes
+        .iter()
+        .enumerate()
+        .find(|(_, o)| !o.cost.is_finite())
+    {
+        return Err(SimError::NonFiniteCost {
+            index,
+            value: o.cost,
+        });
+    }
     let n = outcomes.len();
     let mut costs: Vec<f64> = outcomes.iter().map(|o| o.cost).collect();
-    costs.sort_by(|a, b| a.partial_cmp(b).expect("finite costs"));
+    costs.sort_by(f64::total_cmp);
     let mean_cost = costs.iter().sum::<f64>() / n as f64;
     let p95_cost = costs[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1];
-    let max_cost = *costs.last().expect("non-empty");
-    let mean_reservations =
-        outcomes.iter().map(|o| o.reservations as f64).sum::<f64>() / n as f64;
-    let max_reservations = outcomes.iter().map(|o| o.reservations).max().expect("non-empty");
+    let max_cost = *costs.last().expect("checked non-empty");
+    let mean_reservations = outcomes.iter().map(|o| o.reservations as f64).sum::<f64>() / n as f64;
+    let max_reservations = outcomes
+        .iter()
+        .map(|o| o.reservations)
+        .max()
+        .expect("checked non-empty");
     let total_waste: f64 = outcomes.iter().map(|o| o.wasted_time).sum();
     let total_reserved: f64 = outcomes.iter().map(|o| o.reserved_time).sum();
-    BatchStats {
+    Ok(BatchStats {
         jobs: n,
         mean_cost,
         p95_cost,
@@ -73,7 +111,11 @@ pub fn aggregate(outcomes: &[RunOutcome]) -> BatchStats {
         } else {
             0.0
         },
-    }
+        failures: 0,
+        restarts: 0,
+        mean_rework: 0.0,
+        gave_up: 0,
+    })
 }
 
 /// Builds the NeuroHPC cost model from a queue analysis: the total
@@ -100,11 +142,9 @@ mod tests {
     fn batch_mean_converges_to_analytic() {
         let d = LogNormal::new(3.0, 0.5).unwrap();
         let c = CostModel::reservation_only();
-        let seq = rsj_core::MeanByMean::default()
-            .sequence(&d, &c)
-            .unwrap();
+        let seq = rsj_core::MeanByMean::default().sequence(&d, &c).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let stats = run_batch(&seq, &d, &c, 100_000, &mut rng);
+        let stats = run_batch(&seq, &d, &c, 100_000, &mut rng).unwrap();
         let analytic = expected_cost_analytic(&seq, &d, &c);
         assert!(
             (stats.mean_cost - analytic).abs() / analytic < 0.02,
@@ -120,11 +160,15 @@ mod tests {
         let c = CostModel::reservation_only();
         let seq = ReservationSequence::single(20.0).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-        let stats = run_batch(&seq, &d, &c, 5000, &mut rng);
+        let stats = run_batch(&seq, &d, &c, 5000, &mut rng).unwrap();
         assert_eq!(stats.max_reservations, 1);
         assert!((stats.mean_cost - 20.0).abs() < 1e-9);
         // Waste = 20 - E[X] = 5 on average.
-        assert!((stats.mean_waste - 5.0).abs() < 0.2, "waste {}", stats.mean_waste);
+        assert!(
+            (stats.mean_waste - 5.0).abs() < 0.2,
+            "waste {}",
+            stats.mean_waste
+        );
     }
 
     #[test]
@@ -133,10 +177,48 @@ mod tests {
         let c = CostModel::new(0.95, 1.0, 1.05).unwrap();
         let seq = rsj_core::Strategy::sequence(&rsj_core::MeanDoubling::default(), &d, &c).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let stats = run_batch(&seq, &d, &c, 10_000, &mut rng);
+        let stats = run_batch(&seq, &d, &c, 10_000, &mut rng).unwrap();
         assert!(stats.mean_cost <= stats.p95_cost);
         assert!(stats.p95_cost <= stats.max_cost);
         assert!(stats.waste_fraction >= 0.0 && stats.waste_fraction <= 1.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_batches_are_typed_errors() {
+        let d = Uniform::new(10.0, 20.0).unwrap();
+        let c = CostModel::reservation_only();
+        let seq = ReservationSequence::single(20.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(
+            run_batch(&seq, &d, &c, 0, &mut rng),
+            Err(SimError::EmptyBatch)
+        );
+        assert_eq!(aggregate(&[]), Err(SimError::EmptyBatch));
+        let bad = RunOutcome {
+            cost: f64::NAN,
+            reservations: 1,
+            reserved_time: 1.0,
+            wasted_time: 0.0,
+        };
+        assert!(matches!(
+            aggregate(&[bad]),
+            Err(SimError::NonFiniteCost { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn stats_deserialize_without_robustness_fields() {
+        // Pre-fault-layer JSON lacks the robustness fields; they default.
+        let json = r#"{
+            "jobs": 2, "mean_cost": 1.0, "p95_cost": 1.5, "max_cost": 2.0,
+            "mean_reservations": 1.0, "max_reservations": 1,
+            "mean_waste": 0.1, "waste_fraction": 0.05
+        }"#;
+        let stats: BatchStats = serde_json::from_str(json).unwrap();
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.restarts, 0);
+        assert_eq!(stats.mean_rework, 0.0);
+        assert_eq!(stats.gave_up, 0);
     }
 
     #[test]

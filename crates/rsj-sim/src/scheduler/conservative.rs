@@ -66,9 +66,7 @@ impl Profile {
         let end = start + duration;
         // Ensure boundary points exist.
         for boundary in [start, end] {
-            let pos = self
-                .points
-                .partition_point(|&(t, _)| t < boundary - 1e-12);
+            let pos = self.points.partition_point(|&(t, _)| t < boundary - 1e-12);
             let exists = self
                 .points
                 .get(pos)
@@ -84,10 +82,9 @@ impl Profile {
         }
         for p in &mut self.points {
             if p.0 >= start - 1e-12 && p.0 < end - 1e-12 {
-                p.1 = p
-                    .1
-                    .checked_sub(procs)
-                    .expect("reservation fits the profile");
+                p.1 =
+                    p.1.checked_sub(procs)
+                        .expect("reservation fits the profile");
             }
         }
     }

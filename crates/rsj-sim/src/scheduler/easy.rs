@@ -72,8 +72,7 @@ pub fn schedule_easy(state: &mut SchedulerState, now: Time) -> Vec<Running> {
             .iter()
             .skip(1)
             .position(|j| {
-                j.processors <= free
-                    && (now + j.requested <= shadow_time || j.processors <= extra)
+                j.processors <= free && (now + j.requested <= shadow_time || j.processors <= extra)
             })
             .map(|pos| pos + 1); // skip(1) offset
         match candidate {

@@ -107,7 +107,7 @@ mod tests {
         st.waiting.push_back(job(1, 0.0, 1, 1.0)); // low, old
         st.waiting.push_back(job(2, 1.0, 1, 1.0)); // low, newer
         st.waiting.push_back(job(3, 26.0, 8, 20.0)); // high by size
-        // At t = 30: job1 (waited 30 h) and job2 (29 h) both upgraded.
+                                                     // At t = 30: job1 (waited 30 h) and job2 (29 h) both upgraded.
         schedule_priority(&mut st, &config(), 30.0);
         let ids: Vec<JobId> = st.waiting.iter().map(|j| j.id).collect();
         assert_eq!(ids, vec![JobId(1), JobId(2), JobId(3)]);

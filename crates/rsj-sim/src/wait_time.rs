@@ -101,6 +101,7 @@ mod tests {
             end: wait + requested,
             wait,
             killed: false,
+            fault: None,
         }
     }
 
@@ -133,7 +134,10 @@ mod tests {
         let a204 = analyze_wait_times(&records, 204, 10).unwrap();
         let a409 = analyze_wait_times(&records, 409, 10).unwrap();
         assert!(a204.groups.iter().all(|g| (g.mean_wait - 2.0).abs() < 1e-9));
-        assert!(a409.groups.iter().all(|g| (g.mean_wait - 50.0).abs() < 1e-9));
+        assert!(a409
+            .groups
+            .iter()
+            .all(|g| (g.mean_wait - 50.0).abs() < 1e-9));
     }
 
     #[test]

@@ -102,17 +102,25 @@ impl WorkloadConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.arrival_rate > 0.0) {
-            return Err(format!("arrival_rate must be > 0, got {}", self.arrival_rate));
+            return Err(format!(
+                "arrival_rate must be > 0, got {}",
+                self.arrival_rate
+            ));
         }
         if self.processor_choices.is_empty()
-            || self.processor_choices.iter().any(|&(p, w)| p == 0 || w < 0.0)
+            || self
+                .processor_choices
+                .iter()
+                .any(|&(p, w)| p == 0 || w < 0.0)
             || self.processor_choices.iter().map(|&(_, w)| w).sum::<f64>() <= 0.0
         {
             return Err("processor_choices must be non-empty with positive total weight".into());
         }
         let (lo, hi) = self.overestimate;
         if !(lo >= 1.0 && hi >= lo) {
-            return Err(format!("overestimate range must satisfy 1 ≤ lo ≤ hi, got ({lo}, {hi})"));
+            return Err(format!(
+                "overestimate range must satisfy 1 ≤ lo ≤ hi, got ({lo}, {hi})"
+            ));
         }
         if self.count == 0 {
             return Err("count must be positive".into());

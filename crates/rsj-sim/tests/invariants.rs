@@ -20,10 +20,7 @@ fn run(policy: SchedulerPolicy, count: usize, seed: u64, processors: usize) -> V
     };
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let jobs = generate_workload(&workload, &runtime, &mut rng);
-    simulate(
-        &ClusterConfig { processors, policy },
-        &jobs,
-    )
+    simulate(&ClusterConfig { processors, policy }, &jobs)
 }
 
 /// Sweep the records' start/end events and assert the machine is never
@@ -35,11 +32,7 @@ fn assert_never_oversubscribed(records: &[JobRecord], processors: usize) {
         events.push((r.end, -(r.job.processors as i64)));
     }
     // Ends before starts at equal times (a freed slot is reusable).
-    events.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .unwrap()
-            .then_with(|| a.1.cmp(&b.1))
-    });
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then_with(|| a.1.cmp(&b.1)));
     let mut used: i64 = 0;
     for (t, delta) in events {
         used += delta;

@@ -1,0 +1,167 @@
+//! Cross-layer guarantees of the resilient executor: fault-free runs are
+//! bit-for-bit identical to the plain batch runner, fixed seeds replay
+//! identical fault traces, and injected crashes/preemptions never make a
+//! completed job cheaper than its fault-free execution.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rsj_core::{run_job, CostModel, MeanDoubling, ReservationSequence, Strategy};
+use rsj_dist::{ContinuousDistribution, LogNormal};
+use rsj_sim::{
+    run_batch, run_batch_resilient, run_job_resilient, FaultConfig, FaultInjector,
+    ResilienceConfig, RetryPolicy,
+};
+
+fn setup() -> (ReservationSequence, LogNormal, CostModel) {
+    let dist = LogNormal::new(1.0, 0.8).unwrap();
+    let cost = CostModel::new(1.0, 0.5, 0.2).unwrap();
+    let seq = MeanDoubling::default().sequence(&dist, &cost).unwrap();
+    (seq, dist, cost)
+}
+
+/// With faults disabled, the resilient batch runner reproduces the plain
+/// `run_batch` statistics exactly — same seed, identical `BatchStats`.
+#[test]
+fn fault_free_batch_is_bit_for_bit_identical() {
+    let (seq, dist, cost) = setup();
+    let plain = run_batch(
+        &seq,
+        &dist,
+        &cost,
+        2000,
+        &mut rand::rngs::StdRng::seed_from_u64(42),
+    )
+    .unwrap();
+    let resilient = run_batch_resilient(
+        &seq,
+        &dist,
+        &cost,
+        2000,
+        &mut rand::rngs::StdRng::seed_from_u64(42),
+        &ResilienceConfig::fault_free(),
+    )
+    .unwrap();
+    assert_eq!(plain, resilient);
+}
+
+/// Identical fault configuration and seeds replay identical statistics
+/// and fault counts — the injection layer is fully deterministic.
+#[test]
+fn identical_seeds_replay_identical_batches() {
+    let (seq, dist, cost) = setup();
+    let config = ResilienceConfig {
+        faults: FaultConfig {
+            seed: 7,
+            mtbf: Some(5.0),
+            preemption_rate: Some(0.05),
+            walltime_jitter: Some(0.1),
+        },
+        retry: RetryPolicy::ExponentialBackoff { factor: 1.5 },
+        max_failures: 20,
+        ..ResilienceConfig::fault_free()
+    };
+    let run = || {
+        run_batch_resilient(
+            &seq,
+            &dist,
+            &cost,
+            500,
+            &mut rand::rngs::StdRng::seed_from_u64(13),
+            &config,
+        )
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    assert!(a.failures > 0, "mtbf 5h must fault some jobs");
+}
+
+/// Different fault seeds diverge (the processes are actually random).
+#[test]
+fn different_fault_seeds_diverge() {
+    let (seq, dist, cost) = setup();
+    let run = |fault_seed| {
+        let config = ResilienceConfig {
+            faults: FaultConfig::crashes(5.0, fault_seed),
+            max_failures: 20,
+            ..ResilienceConfig::fault_free()
+        };
+        run_batch_resilient(
+            &seq,
+            &dist,
+            &cost,
+            500,
+            &mut rand::rngs::StdRng::seed_from_u64(13),
+            &config,
+        )
+        .unwrap()
+    };
+    assert_ne!(run(1).mean_cost, run(2).mean_cost);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Crashes and preemptions only ever add rework: a job that completes
+    /// under fault injection costs at least its fault-free execution.
+    /// (Walltime jitter is excluded — shortened windows can legitimately
+    /// reduce the `β·min(R,t)` usage term of failed reservations.)
+    #[test]
+    fn faults_never_decrease_a_completed_jobs_cost(
+        t in 0.2..30.0f64,
+        mtbf in 0.5..20.0f64,
+        rate in 0.0..0.5f64,
+        fault_seed in 0u64..1000,
+    ) {
+        let (seq, _, cost) = setup();
+        let baseline = run_job(&seq, &cost, t);
+        let config = ResilienceConfig {
+            faults: FaultConfig {
+                seed: fault_seed,
+                mtbf: Some(mtbf),
+                preemption_rate: Some(rate),
+                walltime_jitter: None,
+            },
+            max_failures: 500,
+            ..ResilienceConfig::fault_free()
+        };
+        let mut injector = FaultInjector::new(&config.faults).unwrap();
+        let faulted = run_job_resilient(&seq, &cost, &config, t, &mut injector);
+        prop_assume!(faulted.completed);
+        prop_assert!(
+            faulted.outcome.cost >= baseline.cost - 1e-9,
+            "faulted {} < fault-free {} (failures {})",
+            faulted.outcome.cost,
+            baseline.cost,
+            faulted.failures
+        );
+        if faulted.failures > 0 {
+            prop_assert!(
+                faulted.outcome.cost > baseline.cost,
+                "a fault must strictly add cost under alpha > 0"
+            );
+        }
+    }
+
+    /// Fault-free equivalence holds pointwise for arbitrary durations.
+    #[test]
+    fn fault_free_job_equivalence_pointwise(t in 0.0..50.0f64) {
+        let (seq, _, cost) = setup();
+        let config = ResilienceConfig::fault_free();
+        let mut injector = FaultInjector::new(&config.faults).unwrap();
+        let resilient = run_job_resilient(&seq, &cost, &config, t, &mut injector);
+        let plain = run_job(&seq, &cost, t);
+        prop_assert_eq!(resilient.outcome, plain);
+        prop_assert!(resilient.completed);
+        prop_assert_eq!(resilient.failures, 0);
+    }
+}
+
+// `LogNormal` must stay a `ContinuousDistribution` for the batch calls
+// above to compile; silence the unused-trait-import lint meaningfully.
+#[test]
+fn lognormal_mean_is_positive() {
+    let (_, dist, _) = setup();
+    assert!(dist.mean() > 0.0);
+}

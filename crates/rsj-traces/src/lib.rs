@@ -34,14 +34,14 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod format;
+pub mod io;
 pub mod neurohpc;
 pub mod pipeline;
-pub mod io;
 pub mod synth;
 
 pub use format::{TraceArchive, TraceRecord};
-pub use neurohpc::NeuroHpcScenario;
 pub use io::{load_csv, load_json, save_csv, save_json};
+pub use neurohpc::NeuroHpcScenario;
 pub use pipeline::{fit_archive, FitReport};
 pub use synth::{figure1_archive, synthesize, SynthConfig};
 

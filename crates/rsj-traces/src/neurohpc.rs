@@ -48,11 +48,9 @@ impl NeuroHpcScenario {
         if !(mean_factor > 0.0 && std_factor > 0.0) {
             return Err("scale factors must be positive".into());
         }
-        let dist = LogNormal::from_moments(
-            BASE_MEAN_HOURS * mean_factor,
-            BASE_STD_HOURS * std_factor,
-        )
-        .map_err(|e| e.to_string())?;
+        let dist =
+            LogNormal::from_moments(BASE_MEAN_HOURS * mean_factor, BASE_STD_HOURS * std_factor)
+                .map_err(|e| e.to_string())?;
         Ok(Self {
             dist,
             cost: CostModel::new(0.95, 1.0, 1.05).expect("published cost model is valid"),
@@ -118,8 +116,7 @@ mod tests {
     #[test]
     fn from_archive_round_trips_the_paper_scenario() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(41);
-        let archive =
-            crate::synth::synthesize(&crate::synth::SynthConfig::vbmqa(5000), &mut rng);
+        let archive = crate::synth::synthesize(&crate::synth::SynthConfig::vbmqa(5000), &mut rng);
         let cost = CostModel::new(0.95, 1.0, 1.05).unwrap();
         let s = NeuroHpcScenario::from_archive(&archive, "VBMQA", cost).unwrap();
         let reference = NeuroHpcScenario::paper();

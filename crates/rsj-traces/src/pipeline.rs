@@ -41,8 +41,7 @@ pub fn fit_archive(archive: &TraceArchive) -> Result<Vec<FitReport>, String> {
     let mut reports = Vec::new();
     for app in archive.apps() {
         let runtimes = archive.runtimes_of(&app);
-        let fit: LogNormalFit =
-            fit_lognormal(&runtimes).map_err(|e| format!("{app}: {e}"))?;
+        let fit: LogNormalFit = fit_lognormal(&runtimes).map_err(|e| format!("{app}: {e}"))?;
         let empirical = Empirical::from_samples(&runtimes).map_err(|e| format!("{app}: {e}"))?;
         let ks = empirical.ks_statistic(&fit.dist);
         reports.push(FitReport {
@@ -80,7 +79,12 @@ mod tests {
             "mean {}",
             r.natural_mean
         );
-        assert!(r.acceptable(), "KS {} vs {}", r.ks_statistic, r.ks_threshold_1pct);
+        assert!(
+            r.acceptable(),
+            "KS {} vs {}",
+            r.ks_statistic,
+            r.ks_threshold_1pct
+        );
     }
 
     #[test]

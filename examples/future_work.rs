@@ -21,9 +21,15 @@ fn main() {
     let discrete = discretize(&dist, DiscretizationScheme::EqualProbability, 400, 1e-7).unwrap();
 
     let plain = optimal_discrete(&discrete, &cost).unwrap();
-    println!("no checkpoints: optimal expected cost {:.2}", plain.expected_cost);
+    println!(
+        "no checkpoints: optimal expected cost {:.2}",
+        plain.expected_cost
+    );
 
-    println!("\n{:>12} {:>12} {:>18}", "C = R", "ckpt cost", "vs no-checkpoint");
+    println!(
+        "\n{:>12} {:>12} {:>18}",
+        "C = R", "ckpt cost", "vs no-checkpoint"
+    );
     for overhead in [0.1, 1.0, 5.0, 20.0, 80.0] {
         let ck = CheckpointConfig::new(overhead, overhead).unwrap();
         let sol = optimal_discrete_checkpointed(&discrete, &cost, &ck).unwrap();
@@ -65,7 +71,10 @@ fn main() {
         },
         strategy: &strategy,
     };
-    println!("{:>6} {:>14} {:>12}", "procs", "E[turnaround]", "vs clairvoyant");
+    println!(
+        "{:>6} {:>14} {:>12}",
+        "procs", "E[turnaround]", "vs clairvoyant"
+    );
     for &p in planner.candidates {
         let plan = planner.plan_at(&work, &turnaround, p).unwrap();
         println!(

@@ -51,7 +51,8 @@ fn main() {
     let app = LogNormal::from_moments(2.0, 1.0).unwrap();
     let omniscient = cost.omniscient(&app);
     for strategy in [
-        Box::new(BruteForce::new(2000, 1000, EvalMethod::Analytic, 11).unwrap()) as Box<dyn Strategy>,
+        Box::new(BruteForce::new(2000, 1000, EvalMethod::Analytic, 11).unwrap())
+            as Box<dyn Strategy>,
         Box::new(DiscretizedDp::paper(DiscretizationScheme::EqualTime)),
         Box::new(MeanDoubling::default()),
     ] {

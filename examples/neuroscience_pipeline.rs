@@ -15,7 +15,11 @@ fn main() {
     // 1. Load (here: synthesize) the runtime archive — 5000 VBMQA runs.
     let mut rng = rand::rngs::StdRng::seed_from_u64(2019);
     let archive = synthesize(&SynthConfig::vbmqa(5000), &mut rng);
-    println!("archive: {} runs of {:?}", archive.records.len(), archive.apps());
+    println!(
+        "archive: {} runs of {:?}",
+        archive.records.len(),
+        archive.apps()
+    );
 
     // 2. Fit a LogNormal per application (Figure 1's procedure).
     let reports = fit_archive(&archive).expect("clean archive");
@@ -28,15 +32,18 @@ fn main() {
             r.natural_mean,
             r.natural_std,
             r.ks_statistic,
-            if r.acceptable() { "fit OK" } else { "fit rejected" }
+            if r.acceptable() {
+                "fit OK"
+            } else {
+                "fit rejected"
+            }
         );
     }
 
     // 3. Build the NeuroHPC scenario: runtimes in hours, cost = queue wait
     //    (α·R + γ from the Intrepid fit of Figure 2) + execution time.
     let cost = CostModel::neuro_hpc(0.95, 1.05).unwrap();
-    let scenario = NeuroHpcScenario::from_archive(&archive, "VBMQA", cost)
-        .expect("VBMQA present");
+    let scenario = NeuroHpcScenario::from_archive(&archive, "VBMQA", cost).expect("VBMQA present");
     println!(
         "\nNeuroHPC scenario: {} (hours), cost = {:.2}·R + min(R,t) + {:.2}",
         scenario.dist.name(),

@@ -15,7 +15,12 @@ fn main() {
     let cost = CostModel::reservation_only();
 
     println!("job law:             {}", dist.name());
-    println!("mean / median / std: {:.2} / {:.2} / {:.2}", dist.mean(), dist.median(), dist.std_dev());
+    println!(
+        "mean / median / std: {:.2} / {:.2} / {:.2}",
+        dist.mean(),
+        dist.median(),
+        dist.std_dev()
+    );
     println!("omniscient cost E°:  {:.2}\n", cost.omniscient(&dist));
 
     let heuristics: Vec<Box<dyn Strategy>> = vec![
@@ -28,11 +33,19 @@ fn main() {
         Box::new(DiscretizedDp::paper(DiscretizationScheme::EqualProbability)),
     ];
 
-    println!("{:<20} {:>10} {:>8}  first reservations", "heuristic", "E(S)/E°", "length");
+    println!(
+        "{:<20} {:>10} {:>8}  first reservations",
+        "heuristic", "E(S)/E°", "length"
+    );
     for h in &heuristics {
         let seq = h.sequence(&dist, &cost).expect("heuristic must succeed");
         let ratio = normalized_cost_analytic(&seq, &dist, &cost);
-        let prefix: Vec<String> = seq.times().iter().take(4).map(|t| format!("{t:.2}")).collect();
+        let prefix: Vec<String> = seq
+            .times()
+            .iter()
+            .take(4)
+            .map(|t| format!("{t:.2}"))
+            .collect();
         println!(
             "{:<20} {:>10.3} {:>8}  ({}, …)",
             h.name(),

@@ -69,7 +69,7 @@ fn queue_to_strategy_pipeline() {
 
     // Batch execution agrees with the analytic series.
     let mut rng = rand::rngs::StdRng::seed_from_u64(103);
-    let stats = run_batch(&seq, &app, &cost, 50_000, &mut rng);
+    let stats = run_batch(&seq, &app, &cost, 50_000, &mut rng).unwrap();
     let analytic = expected_cost_analytic(&seq, &app, &cost);
     assert!(
         (stats.mean_cost - analytic).abs() / analytic < 0.05,

@@ -77,7 +77,11 @@ fn multiresource_planning_with_simulated_queue_penalty() {
     };
     let best = planner.best(&work, &base).unwrap();
     // Interior optimum, sane plan.
-    assert!(best.processors >= 2 && best.processors <= 32, "{}", best.processors);
+    assert!(
+        best.processors >= 2 && best.processors <= 32,
+        "{}",
+        best.processors
+    );
     assert!(best.expected_cost > 0.0);
     assert!(!best.sequence.is_empty());
     // The best beats both extremes.
@@ -104,7 +108,11 @@ fn heuristics_on_interpolated_traces() {
         Box::new(DiscretizedDp::new(DiscretizationScheme::EqualProbability, 200, 1e-7).unwrap()),
     ] {
         let seq = h.sequence(&dist, &cost).unwrap();
-        assert!(seq.is_complete(), "{} must close the bounded support", h.name());
+        assert!(
+            seq.is_complete(),
+            "{} must close the bounded support",
+            h.name()
+        );
         let ratio = normalized_cost_analytic(&seq, &dist, &cost);
         assert!(
             (1.0 - 1e-9..3.0).contains(&ratio),

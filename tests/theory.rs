@@ -77,13 +77,9 @@ fn exponential_normalized_cost_is_scale_free() {
     let mut ratios = Vec::new();
     for lambda in [0.25, 1.0, 4.0] {
         let d = Exponential::new(lambda).unwrap();
-        let seq = rsj_core::sequence_from_t1(
-            &d,
-            &c,
-            s1 / lambda,
-            &rsj_core::RecurrenceConfig::default(),
-        )
-        .unwrap();
+        let seq =
+            rsj_core::sequence_from_t1(&d, &c, s1 / lambda, &rsj_core::RecurrenceConfig::default())
+                .unwrap();
         ratios.push(normalized_cost_analytic(&seq, &d, &c));
     }
     for w in ratios.windows(2) {
@@ -120,14 +116,15 @@ fn dp_optimality_against_heuristic_projections() {
     use rsj_core::heuristics::{discrete_sequence_cost, optimal_discrete};
     let d = rsj_dist::Exponential::new(1.0).unwrap();
     let c = CostModel::new(1.0, 1.0, 0.5).unwrap();
-    let discrete = rsj_dist::discretize(&d, DiscretizationScheme::EqualProbability, 60, 1e-6).unwrap();
+    let discrete =
+        rsj_dist::discretize(&d, DiscretizationScheme::EqualProbability, 60, 1e-6).unwrap();
     let sol = optimal_discrete(&discrete, &c).unwrap();
     let n = discrete.len();
 
     // Project a few hand-built ladders onto the support and compare.
     let ladders: Vec<Vec<usize>> = vec![
-        (0..n).collect(),                         // reserve every value
-        vec![n - 1],                              // single max reservation
+        (0..n).collect(),                           // reserve every value
+        vec![n - 1],                                // single max reservation
         (0..n).step_by(7).chain([n - 1]).collect(), // coarse ladder
     ];
     for mut ladder in ladders {

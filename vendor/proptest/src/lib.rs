@@ -1,0 +1,328 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Differences from upstream: cases are drawn from a deterministic
+//! per-test RNG (seeded by hashing the test's module path and name), and
+//! failing inputs are reported but **not shrunk**. `.proptest-regressions`
+//! files are ignored. The macro surface (`proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `#![proptest_config(...)]`) and the strategy
+//! surface (ranges, tuples, `collection::vec`) match upstream usage in
+//! this workspace.
+
+// Vendored stand-in for the crates.io crate; keep clippy out of it, as
+// it would be for a registry dependency.
+#![allow(clippy::all)]
+
+use rand::SeedableRng;
+
+/// Strategy abstraction: types that can draw values from an RNG.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+
+    /// A source of generated values for property tests.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.gen::<f64>() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (a, b) = (*self.start(), *self.end());
+            assert!(a <= b, "empty range strategy");
+            a + rng.gen::<f64>() * (b - a)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.gen::<f32>() * (self.end - self.start)
+        }
+    }
+
+    /// Draws uniformly from `[0, span)` without modulo bias worth caring
+    /// about (multiply-shift).
+    fn bounded(rng: &mut TestRng, span: u64) -> u64 {
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + bounded(rng, span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (a, b) = (*self.start(), *self.end());
+                    assert!(a <= b, "empty range strategy");
+                    let span = (b as i128 - a as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (a as i128 + bounded(rng, span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s of values with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner types: configuration and the deterministic RNG.
+pub mod test_runner {
+    /// The RNG handed to strategies (the vendored `StdRng`).
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Builds the deterministic RNG for one named test (support for the
+/// [`proptest!`] macro).
+#[doc(hidden)]
+pub fn __new_rng(test_path: &str) -> test_runner::TestRng {
+    // FNV-1a over the fully qualified test name: stable across runs,
+    // compilers, and platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_path.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SeedableRng::seed_from_u64(hash)
+}
+
+/// Declares property tests: `proptest! { fn name(x in strategy) { … } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::__new_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let __vals = ( $($crate::strategy::Strategy::generate(&($strat), &mut __rng),)* );
+                let __trace = format!("{:?}", __vals);
+                let __result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    #[allow(unused_variables, unused_mut)]
+                    let ( $($pat,)* ) = __vals;
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__msg) = __result {
+                    panic!(
+                        "proptest case {}/{} failed with input {}: {}",
+                        __case + 1,
+                        __config.cases,
+                        __trace,
+                        __msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l != __r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?} == {:?}`", __l, __r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l != __r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?} == {:?}`: {}", __l, __r, format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds (counts as a pass: the
+/// stub does not re-draw).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// The usual proptest prelude.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::__new_rng("tests::bounds");
+        for _ in 0..1000 {
+            let x = (1.5..2.5f64).generate(&mut rng);
+            assert!((1.5..2.5).contains(&x));
+            let n = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&n));
+            let i = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::__new_rng("x::y");
+        let mut b = crate::__new_rng("x::y");
+        let va: Vec<f64> = (0..10).map(|_| (0.0..1.0f64).generate(&mut a)).collect();
+        let vb: Vec<f64> = (0..10).map(|_| (0.0..1.0f64).generate(&mut b)).collect();
+        assert_eq!(va, vb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        fn macro_smoke(x in 0.0..1.0f64, (a, b) in (0u32..10, 0u32..10),
+            v in crate::collection::vec(0.0..1.0f64, 2..5)) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(v.len(), v.len(), "lengths agree");
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assume!(x > 0.0);
+            if x > 2.0 {
+                return Ok(());
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline, API-compatible subset of the `rayon` crate.
+//!
+//! `par_iter`/`into_par_iter` return **sequential** standard iterators, so
+//! every adaptor (`map`, `enumerate`, `filter`, `collect`, …) comes from
+//! [`std::iter::Iterator`]. Results are identical to rayon's (the
+//! workspace only uses order-preserving adaptors); wall-clock parallelism
+//! is sacrificed, which is acceptable in the offline build environment.
+
+#![warn(missing_docs)]
+// Vendored stand-in for the crates.io crate; keep clippy out of it, as
+// it would be for a registry dependency.
+#![allow(clippy::all)]
+
+/// Conversion into a (sequentially emulated) parallel iterator.
+pub trait IntoParallelIterator {
+    /// The iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+    /// Consumes `self` into an iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+impl<T: Copy> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Iter = std::ops::Range<T>;
+    type Item = T;
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+/// Borrowing conversion: `par_iter` over slices and anything derefing to
+/// them (notably `Vec`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type (a shared reference).
+    type Item: 'a;
+    /// Iterates over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.as_slice().iter()
+    }
+}
+
+/// Mutable borrowing conversion.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type (an exclusive reference).
+    type Item: 'a;
+    /// Iterates over `&mut self`.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = std::slice::IterMut<'a, T>;
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = std::slice::IterMut<'a, T>;
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; never produced by this stub.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a (no-op) thread pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    _threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the requested thread count (ignored: execution is
+    /// sequential).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._threads = n;
+        self
+    }
+
+    /// Builds the pool; always succeeds.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+}
+
+/// A scope that runs closures on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool;
+
+impl ThreadPool {
+    /// Runs `op` (on the current thread) and returns its result.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+}
+
+/// The usual rayon prelude.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = v
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, x)| i as i32 + x)
+            .sum();
+        assert_eq!(sum, 1 + 3 + 5 + 7);
+    }
+
+    #[test]
+    fn pool_install_runs_closure() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}

@@ -1,0 +1,489 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! Instead of serde's visitor architecture, serialization goes through a
+//! self-describing JSON-shaped tree, [`Content`]: [`Serialize`] renders a
+//! value into a `Content`, [`Deserialize`] rebuilds a value from one. The
+//! `serde_json` stub turns `Content` into text and back. The derive
+//! macros (re-exported from `serde_derive`) generate impls of these
+//! traits for named structs and unit/newtype/struct-variant enums,
+//! honoring `#[serde(default)]`, `#[serde(default = "path")]`,
+//! `#[serde(tag = "…")]` and `#[serde(rename_all = "snake_case")]`.
+
+#![warn(missing_docs)]
+// Vendored stand-in for the crates.io crate; keep clippy out of it, as
+// it would be for a registry dependency.
+#![allow(clippy::all)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (exposed as `serde_json::Value`).
+///
+/// Maps preserve insertion order so serialized output is stable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Content {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Nonnegative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object (ordered key → value pairs).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(u) => Some(u as f64),
+            Content::I64(i) => Some(i as f64),
+            Content::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if a nonnegative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(u) => Some(u),
+            Content::I64(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::U64(u) => i64::try_from(u).ok(),
+            Content::I64(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// The object's entries, if this is an object.
+    pub fn as_map_entries(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` if this is an object (also used via `Index`).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map_entries()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A short human-readable description of the value's type, for errors.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "a boolean",
+            Content::U64(_) | Content::I64(_) => "an integer",
+            Content::F64(_) => "a number",
+            Content::Str(_) => "a string",
+            Content::Seq(_) => "an array",
+            Content::Map(_) => "an object",
+        }
+    }
+}
+
+static NULL: Content = Content::Null;
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, idx: usize) -> &Content {
+        match self {
+            Content::Seq(v) => v.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Finds `key` among object entries (helper used by derive-generated
+/// code).
+pub fn content_find<'a>(entries: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error: a message plus the reverse path of fields it
+/// occurred under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+    path: Vec<String>,
+}
+
+impl DeError {
+    /// A free-form error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self {
+            msg: msg.into(),
+            path: Vec::new(),
+        }
+    }
+
+    /// "expected X, found Y" while deserializing `target`.
+    pub fn type_error(target: &str, expected: &str, found: &Content) -> Self {
+        Self::custom(format!(
+            "invalid type for {target}: expected {expected}, found {}",
+            found.type_name()
+        ))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(target: &str, field: &str) -> Self {
+        Self::custom(format!("missing field `{field}` for {target}"))
+    }
+
+    /// An enum tag didn't match any variant.
+    pub fn unknown_variant(target: &str, got: &str, expected: &[&str]) -> Self {
+        Self::custom(format!(
+            "unknown variant `{got}` for {target}, expected one of: {}",
+            expected.join(", ")
+        ))
+    }
+
+    /// Wraps the error with the field it occurred in (innermost first).
+    pub fn at_field(mut self, field: &str) -> Self {
+        self.path.insert(0, field.to_string());
+        self
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "at `{}`: {}", self.path.join("."), self.msg)
+        }
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into a [`Content`] tree.
+pub trait Serialize {
+    /// Renders `self` as a content tree.
+    fn serialize(&self) -> Content;
+}
+
+/// Reconstruction from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, reporting the offending field on failure.
+    fn deserialize(v: &Content) -> Result<Self, DeError>;
+}
+
+impl Serialize for Content {
+    fn serialize(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::type_error("bool", "a boolean", v))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::type_error("String", "a string", v))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::type_error("f64", "a number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::type_error("f32", "a number", v))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Content) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| {
+                    DeError::type_error(stringify!($t), "a nonnegative integer", v)
+                })?;
+                <$t>::try_from(u).map_err(|_| {
+                    DeError::custom(format!(
+                        "integer {u} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                let i = *self as i64;
+                if i >= 0 { Content::U64(i as u64) } else { Content::I64(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Content) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| {
+                    DeError::type_error(stringify!($t), "an integer", v)
+                })?;
+                <$t>::try_from(i).map_err(|_| {
+                    DeError::custom(format!(
+                        "integer {i} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(x) => x.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError::type_error("Vec", "an array", v))?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, x)| T::deserialize(x).map_err(|e| e.at_field(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Content) -> Result<Self, DeError> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| DeError::type_error("tuple", "an array", v))?;
+                let expected = [$($idx),+].len();
+                if arr.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected an array of length {expected}, found {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&arr[$idx])
+                    .map_err(|e| e.at_field(&format!("[{}]", $idx)))?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(f64::deserialize(&3.5f64.serialize()).unwrap(), 3.5);
+        assert_eq!(u64::deserialize(&7u64.serialize()).unwrap(), 7);
+        assert_eq!(usize::deserialize(&Content::U64(3)).unwrap(), 3);
+        assert_eq!(bool::deserialize(&true.serialize()).unwrap(), true);
+        assert_eq!(
+            String::deserialize(&"hi".serialize()).unwrap(),
+            "hi".to_string()
+        );
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        // JSON configs write `1` where an f64 field is declared.
+        assert_eq!(f64::deserialize(&Content::U64(2)).unwrap(), 2.0);
+        assert_eq!(f64::deserialize(&Content::I64(-2)).unwrap(), -2.0);
+        assert!(u64::deserialize(&Content::F64(1.5)).is_err());
+        assert!(u64::deserialize(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn vec_and_tuple_round_trips() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        let back: Vec<(usize, f64)> = Deserialize::deserialize(&v.serialize()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn option_null_handling() {
+        let none: Option<f64> = None;
+        assert!(none.serialize().is_null());
+        let got: Option<f64> = Deserialize::deserialize(&Content::Null).unwrap();
+        assert_eq!(got, None);
+        let got: Option<f64> = Deserialize::deserialize(&Content::F64(1.0)).unwrap();
+        assert_eq!(got, Some(1.0));
+    }
+
+    #[test]
+    fn errors_name_the_field_path() {
+        let v = Content::Map(vec![(
+            "outer".to_string(),
+            Content::Str("not a number".to_string()),
+        )]);
+        let err = f64::deserialize(&v["outer"]).unwrap_err().at_field("outer");
+        let msg = err.to_string();
+        assert!(msg.contains("outer"), "{msg}");
+        assert!(msg.contains("expected a number"), "{msg}");
+    }
+
+    #[test]
+    fn index_on_missing_key_gives_null() {
+        let v = Content::Map(vec![]);
+        assert!(v["nope"].is_null());
+        assert!(v[0].is_null());
+    }
+}

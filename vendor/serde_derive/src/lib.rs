@@ -1,0 +1,700 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde subset.
+//!
+//! Parses the item with plain `proc_macro` tokens (no syn/quote in the
+//! offline environment) and emits impl source as a string. Supported
+//! shapes: structs with named fields; enums with unit, newtype, and
+//! struct variants. Supported attributes: container `#[serde(tag =
+//! "…")]` and `#[serde(rename_all = "snake_case")]`; field
+//! `#[serde(default)]` and `#[serde(default = "path")]`. Field types are
+//! never parsed — generated code relies on type inference — except for a
+//! leading `Option`, which (as in serde) makes a missing field
+//! deserialize to `None`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let src = match parse_item(input) {
+        Ok(item) => generate(&item, mode),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    src.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid code: {e}\n{src}"))
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+    attrs: ContainerAttrs,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: Option<DefaultKind>,
+    is_option: bool,
+}
+
+enum DefaultKind {
+    Std,
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Named(Vec<Field>),
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    snake_case: bool,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(tokens: &[TokenTree], i: usize, ch: char) -> bool {
+    matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+/// Skips `pub` / `pub(crate)` / `pub(in …)`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if ident_at(tokens, *i).as_deref() == Some("pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Extracts `key` / `key = "value"` pairs from one attribute body if it
+/// is a `serde(...)` attribute; other attributes yield no pairs.
+fn serde_pairs(attr_body: TokenStream) -> Result<Vec<(String, Option<String>)>, String> {
+    let tokens: Vec<TokenTree> = attr_body.into_iter().collect();
+    if ident_at(&tokens, 0).as_deref() != Some("serde") {
+        return Ok(Vec::new());
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Err("malformed #[serde(...)] attribute".to_string()),
+    };
+    let tokens: Vec<TokenTree> = inner.into_iter().collect();
+    let mut pairs = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = ident_at(&tokens, i).ok_or("expected ident inside #[serde(...)]")?;
+        i += 1;
+        let mut value = None;
+        if is_punct(&tokens, i, '=') {
+            i += 1;
+            match tokens.get(i) {
+                Some(TokenTree::Literal(lit)) => {
+                    let raw = lit.to_string();
+                    let stripped = raw
+                        .strip_prefix('"')
+                        .and_then(|s| s.strip_suffix('"'))
+                        .ok_or_else(|| format!("#[serde({key} = …)] expects a string literal"))?;
+                    value = Some(stripped.to_string());
+                    i += 1;
+                }
+                _ => return Err(format!("#[serde({key} = …)] expects a literal value")),
+            }
+        }
+        pairs.push((key, value));
+        if is_punct(&tokens, i, ',') {
+            i += 1;
+        }
+    }
+    Ok(pairs)
+}
+
+/// Consumes leading `#[...]` attributes, feeding each body to `sink`.
+fn take_attrs(
+    tokens: &[TokenTree],
+    i: &mut usize,
+    sink: &mut dyn FnMut(TokenStream) -> Result<(), String>,
+) -> Result<(), String> {
+    while is_punct(tokens, *i, '#') {
+        match tokens.get(*i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                sink(g.stream())?;
+                *i += 2;
+            }
+            _ => return Err("malformed attribute".to_string()),
+        }
+    }
+    Ok(())
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = ContainerAttrs::default();
+    take_attrs(&tokens, &mut i, &mut |body| {
+        for (key, value) in serde_pairs(body)? {
+            match (key.as_str(), value) {
+                ("tag", Some(v)) => attrs.tag = Some(v),
+                ("rename_all", Some(v)) if v == "snake_case" => attrs.snake_case = true,
+                ("rename_all", Some(v)) => {
+                    return Err(format!("rename_all = {v:?} unsupported (only snake_case)"))
+                }
+                _ => {} // deny_unknown_fields etc.: tolerated, not enforced
+            }
+        }
+        Ok(())
+    })?;
+    skip_vis(&tokens, &mut i);
+    let kind_kw = ident_at(&tokens, i).ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_at(&tokens, i).ok_or("expected a type name")?;
+    i += 1;
+    if is_punct(&tokens, i, '<') {
+        return Err(format!(
+            "serde derive stub: generics unsupported on `{name}`"
+        ));
+    }
+    let kind = match (kind_kw.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Struct(parse_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            ItemKind::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Enum(parse_variants(g.stream())?)
+        }
+        ("struct", _) => {
+            return Err(format!(
+                "serde derive stub: unit struct `{name}` unsupported"
+            ))
+        }
+        ("enum", _) => return Err(format!("expected braced body for enum `{name}`")),
+        (other, _) => return Err(format!("cannot derive serde traits for `{other}` item")),
+    };
+    Ok(Item { name, kind, attrs })
+}
+
+/// Counts top-level fields of a tuple struct body (commas inside
+/// groups are invisible; only `<`/`>` nesting needs tracking).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let mut default = None;
+        take_attrs(&tokens, &mut i, &mut |body| {
+            for (key, value) in serde_pairs(body)? {
+                if key == "default" {
+                    default = Some(match value {
+                        None => DefaultKind::Std,
+                        Some(path) => DefaultKind::Path(path),
+                    });
+                }
+            }
+            Ok(())
+        })?;
+        skip_vis(&tokens, &mut i);
+        let name = ident_at(&tokens, i).ok_or("expected a field name")?;
+        i += 1;
+        if !is_punct(&tokens, i, ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        // Skip the type. Parenthesized/bracketed parts arrive as single
+        // groups, so only `<`/`>` nesting needs tracking to find the
+        // field-separating comma.
+        let is_option = ident_at(&tokens, i).as_deref() == Some("Option");
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // separating comma
+        }
+        fields.push(Field {
+            name,
+            default,
+            is_option,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i, &mut |body| {
+            serde_pairs(body).map(|_| ()) // variant-level serde attrs unused here
+        })?;
+        let name = ident_at(&tokens, i).ok_or("expected a variant name")?;
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream())?;
+                i += 1;
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        if is_punct(&tokens, i, ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// serde's `rename_all = "snake_case"` conversion.
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn variant_key(v: &Variant, attrs: &ContainerAttrs) -> String {
+    if attrs.snake_case {
+        snake_case(&v.name)
+    } else {
+        v.name.clone()
+    }
+}
+
+fn impl_header(trait_name: &str, type_name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::{trait_name} for {type_name} {{\n{body}\n}}"
+    )
+}
+
+/// The expression rebuilding one field from `__entries`, honoring
+/// defaults and Option-typed fields, and naming the field on error.
+fn field_expr(target: &str, f: &Field) -> String {
+    let key = &f.name;
+    let none_arm = match (&f.default, f.is_option) {
+        (Some(DefaultKind::Std), _) => "::std::default::Default::default()".to_string(),
+        (Some(DefaultKind::Path(path)), _) => format!("{path}()"),
+        (None, true) => "::std::option::Option::None".to_string(),
+        (None, false) => format!(
+            "return ::std::result::Result::Err(::serde::DeError::missing_field({target:?}, {key:?}))"
+        ),
+    };
+    format!(
+        "match ::serde::content_find(__entries, {key:?}) {{\n\
+         ::std::option::Option::Some(__f) => ::serde::Deserialize::deserialize(__f)\
+         .map_err(|__e| __e.at_field({key:?}))?,\n\
+         ::std::option::Option::None => {none_arm},\n}}"
+    )
+}
+
+fn ser_named_pairs(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let key = &f.name;
+            let value = access(&f.name);
+            format!("({key:?}.to_string(), ::serde::Serialize::serialize(&{value}))")
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn de_named_inits(target: &str, fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{}: {},", f.name, field_expr(target, f)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn generate(item: &Item, mode: Mode) -> String {
+    match (&item.kind, mode) {
+        (ItemKind::Struct(fields), Mode::Ser) => gen_struct_ser(item, fields),
+        (ItemKind::Struct(fields), Mode::De) => gen_struct_de(item, fields),
+        (ItemKind::Tuple(arity), Mode::Ser) => gen_tuple_ser(item, *arity),
+        (ItemKind::Tuple(arity), Mode::De) => gen_tuple_de(item, *arity),
+        (ItemKind::Enum(variants), Mode::Ser) => gen_enum_ser(item, variants),
+        (ItemKind::Enum(variants), Mode::De) => gen_enum_de(item, variants),
+    }
+}
+
+fn gen_struct_ser(item: &Item, fields: &[Field]) -> String {
+    let name = &item.name;
+    let pairs = ser_named_pairs(fields, |f| format!("self.{f}"));
+    impl_header(
+        "Serialize",
+        name,
+        &format!(
+            "fn serialize(&self) -> ::serde::Content {{\n\
+             ::serde::Content::Map(::std::vec![{pairs}])\n}}"
+        ),
+    )
+}
+
+fn gen_struct_de(item: &Item, fields: &[Field]) -> String {
+    let name = &item.name;
+    let inits = de_named_inits(name, fields);
+    impl_header(
+        "Deserialize",
+        name,
+        &format!(
+            "fn deserialize(__v: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             let __entries = __v.as_map_entries().ok_or_else(|| \
+             ::serde::DeError::type_error({name:?}, \"an object\", __v))?;\n\
+             ::std::result::Result::Ok({name} {{\n{inits}\n}})\n}}"
+        ),
+    )
+}
+
+/// Newtype structs serialize transparently as their inner value (serde
+/// convention); wider tuple structs serialize as arrays.
+fn gen_tuple_ser(item: &Item, arity: usize) -> String {
+    let name = &item.name;
+    let body = if arity == 1 {
+        "fn serialize(&self) -> ::serde::Content {\n\
+         ::serde::Serialize::serialize(&self.0)\n}"
+            .to_string()
+    } else {
+        let items = (0..arity)
+            .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "fn serialize(&self) -> ::serde::Content {{\n\
+             ::serde::Content::Seq(::std::vec![{items}])\n}}"
+        )
+    };
+    impl_header("Serialize", name, &body)
+}
+
+fn gen_tuple_de(item: &Item, arity: usize) -> String {
+    let name = &item.name;
+    let body = if arity == 1 {
+        format!(
+            "fn deserialize(__v: &::serde::Content) -> \
+             ::std::result::Result<Self, ::serde::DeError> {{\n\
+             ::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))\n}}"
+        )
+    } else {
+        let inits = (0..arity)
+            .map(|i| {
+                format!(
+                    "::serde::Deserialize::deserialize(&__items[{i}])\
+                     .map_err(|__e| __e.at_field(\"[{i}]\"))?"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "fn deserialize(__v: &::serde::Content) -> \
+             ::std::result::Result<Self, ::serde::DeError> {{\n\
+             let __items = __v.as_array().ok_or_else(|| \
+             ::serde::DeError::type_error({name:?}, \"an array\", __v))?;\n\
+             if __items.len() != {arity} {{\n\
+             return ::std::result::Result::Err(::serde::DeError::custom(format!(\
+             \"expected an array of length {arity} for {name}, found length {{}}\", \
+             __items.len())));\n}}\n\
+             ::std::result::Result::Ok({name}({inits}))\n}}"
+        )
+    };
+    impl_header("Deserialize", name, &body)
+}
+
+fn gen_enum_ser(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let key = variant_key(v, &item.attrs);
+        let arm = match (&v.shape, &item.attrs.tag) {
+            (VariantShape::Unit, None) => {
+                format!("{name}::{vname} => ::serde::Content::Str({key:?}.to_string()),")
+            }
+            (VariantShape::Unit, Some(tag)) => format!(
+                "{name}::{vname} => ::serde::Content::Map(::std::vec![\
+                 ({tag:?}.to_string(), ::serde::Content::Str({key:?}.to_string()))]),"
+            ),
+            (VariantShape::Newtype, None) => format!(
+                "{name}::{vname}(__f0) => ::serde::Content::Map(::std::vec![\
+                 ({key:?}.to_string(), ::serde::Serialize::serialize(__f0))]),"
+            ),
+            (VariantShape::Newtype, Some(_)) => {
+                return format!(
+                    "compile_error!(\"serde derive stub: newtype variant `{vname}` \
+                     not supported with internal tagging\");"
+                )
+            }
+            (VariantShape::Named(fields), None) => {
+                let bindings = field_names(fields);
+                let pairs = ser_named_pairs(fields, |f| f.to_string());
+                format!(
+                    "{name}::{vname} {{ {bindings} }} => ::serde::Content::Map(::std::vec![\
+                     ({key:?}.to_string(), ::serde::Content::Map(::std::vec![{pairs}]))]),"
+                )
+            }
+            (VariantShape::Named(fields), Some(tag)) => {
+                let bindings = field_names(fields);
+                let pairs = ser_named_pairs(fields, |f| f.to_string());
+                format!(
+                    "{name}::{vname} {{ {bindings} }} => ::serde::Content::Map(::std::vec![\
+                     ({tag:?}.to_string(), ::serde::Content::Str({key:?}.to_string())), {pairs}]),"
+                )
+            }
+        };
+        arms.push_str(&arm);
+        arms.push('\n');
+    }
+    impl_header(
+        "Serialize",
+        name,
+        &format!("fn serialize(&self) -> ::serde::Content {{\nmatch self {{\n{arms}}}\n}}"),
+    )
+}
+
+fn field_names(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| f.name.clone())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_enum_de(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let expected: Vec<String> = variants
+        .iter()
+        .map(|v| format!("{:?}", variant_key(v, &item.attrs)))
+        .collect();
+    let expected = expected.join(", ");
+    let body = match &item.attrs.tag {
+        Some(tag) => gen_enum_de_tagged(item, variants, tag, &expected),
+        None => gen_enum_de_external(item, variants, &expected),
+    };
+    impl_header(
+        "Deserialize",
+        name,
+        &format!(
+            "fn deserialize(__v: &::serde::Content) -> \
+             ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}"
+        ),
+    )
+}
+
+fn gen_enum_de_tagged(item: &Item, variants: &[Variant], tag: &str, expected: &str) -> String {
+    let name = &item.name;
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let key = variant_key(v, &item.attrs);
+        let arm = match &v.shape {
+            VariantShape::Unit => {
+                format!("{key:?} => ::std::result::Result::Ok({name}::{vname}),")
+            }
+            VariantShape::Newtype => format!(
+                "compile_error!(\"serde derive stub: newtype variant `{vname}` \
+                 not supported with internal tagging\");"
+            ),
+            VariantShape::Named(fields) => {
+                let inits = de_named_inits(name, fields);
+                format!("{key:?} => ::std::result::Result::Ok({name}::{vname} {{\n{inits}\n}}),")
+            }
+        };
+        arms.push_str(&arm);
+        arms.push('\n');
+    }
+    format!(
+        "let __entries = __v.as_map_entries().ok_or_else(|| \
+         ::serde::DeError::type_error({name:?}, \"an object\", __v))?;\n\
+         let __tag = ::serde::content_find(__entries, {tag:?})\
+         .ok_or_else(|| ::serde::DeError::missing_field({name:?}, {tag:?}))?;\n\
+         let __tag = __tag.as_str().ok_or_else(|| \
+         ::serde::DeError::type_error({name:?}, \"a string tag\", __tag))?;\n\
+         match __tag {{\n{arms}\
+         __other => ::std::result::Result::Err(\
+         ::serde::DeError::unknown_variant({name:?}, __other, &[{expected}])),\n}}"
+    )
+}
+
+fn gen_enum_de_external(item: &Item, variants: &[Variant], expected: &str) -> String {
+    let name = &item.name;
+    let units: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .collect();
+    let payloads: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, VariantShape::Unit))
+        .collect();
+
+    // Unit variants arrive as bare strings.
+    let str_arm = if units.is_empty() {
+        format!(
+            "::serde::Content::Str(__s) => ::std::result::Result::Err(\
+             ::serde::DeError::unknown_variant({name:?}, __s, &[{expected}])),"
+        )
+    } else {
+        let arms: String = units
+            .iter()
+            .map(|v| {
+                let key = variant_key(v, &item.attrs);
+                format!(
+                    "{key:?} => ::std::result::Result::Ok({name}::{}),\n",
+                    v.name
+                )
+            })
+            .collect();
+        format!(
+            "::serde::Content::Str(__s) => match __s.as_str() {{\n{arms}\
+             __other => ::std::result::Result::Err(\
+             ::serde::DeError::unknown_variant({name:?}, __other, &[{expected}])),\n}},"
+        )
+    };
+
+    // Newtype and struct variants arrive as single-key objects; unit
+    // variants are also accepted in that form (`{\"Fcfs\": null}`).
+    let mut map_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let key = variant_key(v, &item.attrs);
+        let arm = match &v.shape {
+            VariantShape::Unit => {
+                format!("{key:?} => ::std::result::Result::Ok({name}::{vname}),")
+            }
+            VariantShape::Newtype => format!(
+                "{key:?} => ::std::result::Result::Ok({name}::{vname}(\
+                 ::serde::Deserialize::deserialize(__inner)\
+                 .map_err(|__e| __e.at_field({key:?}))?)),"
+            ),
+            VariantShape::Named(fields) => {
+                let inits = de_named_inits(name, fields);
+                format!(
+                    "{key:?} => {{\n\
+                     let __entries = __inner.as_map_entries().ok_or_else(|| \
+                     ::serde::DeError::type_error({name:?}, \"an object\", __inner)\
+                     .at_field({key:?}))?;\n\
+                     ::std::result::Result::Ok({name}::{vname} {{\n{inits}\n}})\n}}"
+                )
+            }
+        };
+        map_arms.push_str(&arm);
+        map_arms.push('\n');
+    }
+    let map_arm = if payloads.is_empty() && units.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+             let (__k, __inner) = &__m[0];\n\
+             let _ = __inner;\n\
+             match __k.as_str() {{\n{map_arms}\
+             __other => ::std::result::Result::Err(\
+             ::serde::DeError::unknown_variant({name:?}, __other, &[{expected}])),\n}}\n}},"
+        )
+    };
+
+    format!(
+        "match __v {{\n{str_arm}\n{map_arm}\n\
+         __other => ::std::result::Result::Err(::serde::DeError::type_error(\
+         {name:?}, \"a variant string or single-key object\", __other)),\n}}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn snake_case_matches_serde_convention() {
+        assert_eq!(super::snake_case("BruteForce"), "brute_force");
+        assert_eq!(super::snake_case("Dp"), "dp");
+        assert_eq!(super::snake_case("LogNormal"), "log_normal");
+        assert_eq!(super::snake_case("Uniform"), "uniform");
+    }
+}

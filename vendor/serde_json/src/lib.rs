@@ -1,0 +1,542 @@
+//! Offline, API-compatible subset of `serde_json`.
+//!
+//! [`Value`] is an alias for the vendored [`serde::Content`] tree, so
+//! serialization is a pure text layer: [`to_string`] /
+//! [`to_string_pretty`] render a tree, [`from_str`] / [`from_slice`]
+//! parse one and hand it to [`serde::Deserialize`]. Floats print via
+//! Rust's shortest-round-trip `Display` (the behavior serde_json's
+//! `float_roundtrip` feature selects); non-finite floats serialize as
+//! `null`, as in serde_json.
+
+#![warn(missing_docs)]
+// Vendored stand-in for the crates.io crate; keep clippy out of it, as
+// it would be for a registry dependency.
+#![allow(clippy::all)]
+
+use serde::{Content, Deserialize, Serialize};
+
+/// A parsed JSON value (the vendored serde's content tree).
+pub type Value = Content;
+
+/// Error from parsing or deserializing JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+    line: usize,
+    column: usize,
+}
+
+impl Error {
+    fn syntax(msg: impl Into<String>, line: usize, column: usize) -> Self {
+        Self {
+            msg: msg.into(),
+            line,
+            column,
+        }
+    }
+
+    fn data(err: serde::DeError) -> Self {
+        Self {
+            msg: err.to_string(),
+            line: 0,
+            column: 0,
+        }
+    }
+
+    /// The 1-based line of a syntax error (0 for data errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The 1-based column of a syntax error (0 for data errors).
+    pub fn column(&self) -> usize {
+        self.column
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(
+                f,
+                "{} at line {} column {}",
+                self.msg, self.line, self.column
+            )
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A `Result` specialized to this crate's [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Content, indent: Option<usize>, level: usize) {
+    match v {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(u) => out.push_str(&u.to_string()),
+        Content::I64(i) => out.push_str(&i.to_string()),
+        Content::F64(f) => write_f64(out, *f),
+        Content::Str(s) => write_string(out, s),
+        Content::Seq(items) => {
+            write_compound(out, indent, level, '[', ']', items.len(), |out, i| {
+                write_value(out, &items[i], indent, level + 1)
+            })
+        }
+        Content::Map(entries) => {
+            write_compound(out, indent, level, '{', '}', entries.len(), |out, i| {
+                let (k, val) = &entries[i];
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1)
+            })
+        }
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (level + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e16 {
+        // Match serde_json: integral floats keep a ".0" marker.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        // Rust's Display is the shortest decimal that round-trips.
+        out.push_str(&f.to_string());
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Deserialization
+// ---------------------------------------------------------------------
+
+/// Parses JSON text and deserializes it into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value_complete(s)?;
+    T::deserialize(&value).map_err(Error::data)
+}
+
+/// Parses JSON bytes (must be UTF-8) and deserializes them into `T`.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|e| Error::syntax(format!("invalid UTF-8: {e}"), 1, 1))?;
+    from_str(s)
+}
+
+fn parse_value_complete(s: &str) -> Result<Content> {
+    let mut p = Parser::new(s);
+    let value = p.value()?;
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::syntax(msg, self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            Some(got) => {
+                Err(self.err(format!("expected `{}`, found `{}`", b as char, got as char)))
+            }
+            None => Err(self.err(format!("expected `{}`, found end of input", b as char))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        for &b in kw.as_bytes() {
+            self.expect(b)?;
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Content> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(Content::Null)
+            }
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(Content::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(Content::Bool(false))
+            }
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected character `{}`", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Content> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Content::Seq(items)),
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Content> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Content::Map(entries)),
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair.
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("control character in string"));
+                }
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: input came from &str, so re-decode.
+                    let start = self.pos - 1;
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    for _ in 1..width {
+                        self.bump();
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + width])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            v = v * 16 + digit;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        let mut integral = true;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Content::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Content::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+}
+
+/// Serializes any value into a [`Value`] tree (support for the [`json!`]
+/// macro; not part of serde_json's public API).
+#[doc(hidden)]
+pub fn __serialize<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Builds a [`Value`] from JSON-like syntax with embedded Rust
+/// expressions, e.g. `json!({"jobs": n, "stats": stats})`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Map(::std::vec![
+            $(($key.to_string(), $crate::__serialize(&$value))),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Seq(::std::vec![ $($crate::__serialize(&$value)),* ])
+    };
+    ($other:expr) => { $crate::__serialize(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str::<Value>("null").unwrap(), Content::Null);
+        assert_eq!(from_str::<Value>("true").unwrap(), Content::Bool(true));
+        assert_eq!(from_str::<Value>("42").unwrap(), Content::U64(42));
+        assert_eq!(from_str::<Value>("-7").unwrap(), Content::I64(-7));
+        assert_eq!(from_str::<Value>("2.5e-1").unwrap(), Content::F64(0.25));
+        assert_eq!(
+            from_str::<Value>("\"a\\nb\\u00e9\"").unwrap(),
+            Content::Str("a\nbé".to_string())
+        );
+    }
+
+    #[test]
+    fn parse_nested_and_index() {
+        let v: Value = from_str(r#"{"a": [1, {"b": 2.5}], "c": "x"}"#).unwrap();
+        assert_eq!(v["a"][1]["b"].as_f64(), Some(2.5));
+        assert_eq!(v["c"].as_str(), Some("x"));
+        assert_eq!(v["a"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn round_trip_text() {
+        let text = r#"{"name":"run","values":[1,2.5,-3],"flag":true,"none":null}"#;
+        let v: Value = from_str(text).unwrap();
+        let back = to_string(&v).unwrap();
+        let v2: Value = from_str(&back).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn integral_floats_keep_marker() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_printer_indents() {
+        let v: Value = from_str(r#"{"a": [1], "b": {}}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": [\n    1\n  ],\n  \"b\": {}\n}");
+    }
+
+    #[test]
+    fn syntax_errors_carry_location() {
+        let err = from_str::<Value>("{\n  \"a\": ?\n}").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let n = 3usize;
+        let v = json!({"count": n, "ratio": 0.5, "name": "x", "inner": json!({"k": 1})});
+        assert_eq!(v["count"].as_u64(), Some(3));
+        assert_eq!(v["ratio"].as_f64(), Some(0.5));
+        assert_eq!(v["inner"]["k"].as_u64(), Some(1));
+        let list = json!([1, 2, 3]);
+        assert_eq!(list.as_array().unwrap().len(), 3);
+    }
+}
