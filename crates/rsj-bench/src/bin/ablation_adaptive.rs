@@ -1,0 +1,13 @@
+//! Runs the online-adaptive-replanning ablation (beyond the paper's own
+//! evaluation): cold-start regret vs the known-distribution oracle.
+
+use rsj_bench::scenarios::Fidelity;
+
+fn main() -> std::io::Result<()> {
+    let fidelity = Fidelity::from_env();
+    eprintln!(
+        "running ablation_adaptive at {fidelity:?} fidelity (RSJ_FIDELITY=quick for a fast pass)"
+    );
+    rsj_bench::experiments::ablation_adaptive::emit(fidelity, rsj_bench::DEFAULT_SEED)?;
+    Ok(())
+}

@@ -38,6 +38,8 @@ fn main() -> std::io::Result<()> {
     experiments::ablation_misfit::emit(fidelity, DEFAULT_SEED)?;
     step("Ablation: fault injection");
     experiments::ablation_faults::emit(fidelity, DEFAULT_SEED)?;
+    step("Ablation: online adaptive replanning");
+    experiments::ablation_adaptive::emit(fidelity, DEFAULT_SEED)?;
 
     eprintln!(
         "\nall experiments done in {:.1?}; outputs in {}",

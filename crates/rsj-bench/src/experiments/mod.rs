@@ -3,6 +3,7 @@
 //! fidelity) and `emit` (writes `results/<name>.{md,csv}` and prints the
 //! Markdown).
 
+pub mod ablation_adaptive;
 pub mod ablation_checkpoint;
 pub mod ablation_faults;
 pub mod ablation_misfit;

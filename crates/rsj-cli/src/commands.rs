@@ -1,14 +1,16 @@
 //! Command implementations, pure enough to unit-test: each takes a parsed
 //! configuration and returns its textual (or JSON) report.
 
-use crate::config::{EvaluateConfig, PlanConfig, SimulateConfig};
+use crate::config::{AdaptiveSpec, EvaluateConfig, PlanConfig, SimulateConfig};
 use rand::SeedableRng;
 use rsj_core::{
-    coverage_gap, expected_cost_analytic, expected_cost_monte_carlo, ReservationSequence,
+    coverage_gap, expected_cost_analytic, expected_cost_monte_carlo, CostModel, ReservationSequence,
 };
+use rsj_dist::ContinuousDistribution;
 use rsj_sim::{
-    analyze_wait_times, cost_model_from_queue, generate_workload, simulate_with_faults, summarize,
-    ClusterConfig, FaultConfig, SchedulerPolicy, WorkloadConfig,
+    analyze_wait_times, cost_model_from_queue, generate_workload, run_adaptive,
+    simulate_with_faults, summarize, AdaptiveReport, ClusterConfig, FaultConfig, SchedulerPolicy,
+    WaitTimeAnalysis, WorkloadConfig,
 };
 use rsj_traces::fit_archive;
 use rsj_traces::TraceArchive;
@@ -240,6 +242,11 @@ pub fn run_simulate(cfg: &SimulateConfig, json: bool) -> Result<String, String> 
         }
     }
 
+    let adaptive = match &cfg.adaptive {
+        Some(spec) => Some(run_adaptive_section(spec, runtime.as_ref(), &analyses)?),
+        None => None,
+    };
+
     if json {
         return Ok(to_json(&json!({
             "summary": summary,
@@ -249,6 +256,18 @@ pub fn run_simulate(cfg: &SimulateConfig, json: bool) -> Result<String, String> 
                 "gamma": a.fit.intercept,
                 "r_squared": a.fit.r_squared,
             })).collect::<Vec<_>>(),
+            "adaptive": adaptive.as_ref().map(|r| json!({
+                "jobs": r.jobs.len(),
+                "mean_cost_ratio": r.mean_cost_ratio,
+                "tail_cost_ratio": r.tail_cost_ratio(r.jobs.len() / 4),
+                "cumulative_regret": r.cumulative_regret,
+                "replans": r.replans,
+                "rejected_refits": r.rejected_refits,
+                "fallbacks": r.fallbacks,
+                "censored_observations": r.censored_observations,
+                "gave_up": r.gave_up,
+                "final_model": r.final_model,
+            })),
         })));
     }
 
@@ -283,7 +302,51 @@ pub fn run_simulate(cfg: &SimulateConfig, json: bool) -> Result<String, String> 
             ));
         }
     }
+    if let Some(r) = &adaptive {
+        out.push_str(&format!(
+            "adaptive: {} jobs, cost ratio vs oracle {:.3} (last quarter {:.3}); \
+             {} replans, {} rejected, {} fallbacks, {} censored; final model {}\n",
+            r.jobs.len(),
+            r.mean_cost_ratio,
+            r.tail_cost_ratio(r.jobs.len() / 4),
+            r.replans,
+            r.rejected_refits,
+            r.fallbacks,
+            r.censored_observations,
+            r.final_model
+        ));
+    }
     Ok(out)
+}
+
+/// Runs the `adaptive` section of `rsj simulate`: the S19 replanning loop
+/// against the simulation's runtime law, costed either explicitly or by the
+/// queue-derived NeuroHPC-style model.
+fn run_adaptive_section(
+    spec: &AdaptiveSpec,
+    truth: &dyn ContinuousDistribution,
+    analyses: &[WaitTimeAnalysis],
+) -> Result<AdaptiveReport, String> {
+    let prior = spec.prior.build().map_err(|e| e.to_string())?;
+    let strategy = spec.heuristic.build()?;
+    let cost = match &spec.cost {
+        Some(c) => c.build()?,
+        None => analyses
+            .first()
+            .map(cost_model_from_queue)
+            .unwrap_or_else(CostModel::reservation_only),
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+    run_adaptive(
+        truth,
+        prior.as_ref(),
+        strategy.as_ref(),
+        &cost,
+        spec.jobs,
+        &spec.config,
+        &mut rng,
+    )
+    .map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -395,6 +458,7 @@ mod tests {
             groups: 8,
             seed: 5,
             faults: None,
+            adaptive: None,
         }
     }
 
@@ -425,6 +489,53 @@ mod tests {
         let json_out = run_simulate(&cfg, true).unwrap();
         let v: serde_json::Value = serde_json::from_str(&json_out).unwrap();
         assert!(v["summary"]["faulted_fraction"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn simulate_command_runs_adaptive_section() {
+        let mut cfg = simulate_config();
+        cfg.adaptive = Some(AdaptiveSpec {
+            prior: DistSpec::LogNormal {
+                mu: -0.2,
+                sigma: 0.6,
+            },
+            jobs: 60,
+            heuristic: HeuristicSpec::MeanByMean,
+            cost: None,
+            seed: 3,
+            config: rsj_sim::AdaptiveConfig {
+                censor_after: Some(8),
+                ..rsj_sim::AdaptiveConfig::default()
+            },
+        });
+        let out = run_simulate(&cfg, false).unwrap();
+        assert!(out.contains("adaptive:"), "{out}");
+        let json_out = run_simulate(&cfg, true).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json_out).unwrap();
+        assert_eq!(v["adaptive"]["jobs"].as_u64().unwrap(), 60);
+        let ratio = v["adaptive"]["mean_cost_ratio"].as_f64().unwrap();
+        assert!(ratio > 0.5 && ratio < 3.0, "{ratio}");
+    }
+
+    #[test]
+    fn simulate_command_rejects_bad_adaptive_config() {
+        let mut cfg = simulate_config();
+        cfg.adaptive = Some(AdaptiveSpec {
+            prior: DistSpec::LogNormal {
+                mu: -0.2,
+                sigma: 0.6,
+            },
+            jobs: 10,
+            heuristic: HeuristicSpec::MeanByMean,
+            cost: None,
+            seed: 0,
+            config: rsj_sim::AdaptiveConfig {
+                max_drift: 0.5,
+                ..rsj_sim::AdaptiveConfig::default()
+            },
+        });
+        let err = run_simulate(&cfg, false).unwrap_err();
+        assert!(err.contains("max_drift"), "error names the field: {err}");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use rsj_core::{
     MedianByMedian, Strategy,
 };
 use rsj_dist::{DiscretizationScheme, DistSpec};
-use rsj_sim::FaultConfig;
+use rsj_sim::{AdaptiveConfig, FaultConfig};
 use serde::{Deserialize, Serialize};
 
 /// Cost-model section (`alpha`, `beta`, `gamma` of Eq. 1).
@@ -180,10 +180,44 @@ pub struct SimulateConfig {
     /// walltime jitter); omit for a fault-free run.
     #[serde(default)]
     pub faults: Option<FaultConfig>,
+    /// Optional online adaptive replanning stream (system S19) driven by
+    /// the same runtime law; omit to skip.
+    #[serde(default)]
+    pub adaptive: Option<AdaptiveSpec>,
 }
 
 fn default_groups() -> usize {
     20
+}
+
+/// The `adaptive` section of `rsj simulate`: plan on a prior, observe
+/// (possibly censored) durations drawn from the config's `runtime` law,
+/// refit and replan under guardrails.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveSpec {
+    /// Planning prior; the truth is the simulation's `runtime` law.
+    pub prior: DistSpec,
+    /// Number of jobs in the adaptive stream.
+    pub jobs: usize,
+    /// Planning heuristic (default `mean_by_mean`).
+    #[serde(default = "default_adaptive_heuristic")]
+    pub heuristic: HeuristicSpec,
+    /// Explicit Eq. 1 cost model. Omitted → derived from the first queue
+    /// fit (`analyze_widths`), or RESERVATIONONLY when no fit exists.
+    #[serde(default)]
+    pub cost: Option<CostSpec>,
+    /// RNG seed for the duration stream (default 0).
+    #[serde(default)]
+    pub seed: u64,
+    /// Refit family and guardrail knobs (`family`, `refit_interval`,
+    /// `hysteresis`, `max_drift`, `censor_after`, …); every knob has a
+    /// default, so the whole object may be omitted.
+    #[serde(default)]
+    pub config: AdaptiveConfig,
+}
+
+fn default_adaptive_heuristic() -> HeuristicSpec {
+    HeuristicSpec::MeanByMean
 }
 
 #[cfg(test)]
@@ -281,6 +315,39 @@ mod tests {
         }"#;
         let err = serde_json::from_str::<SimulateConfig>(json).unwrap_err();
         assert!(err.to_string().contains("faults"), "{err}");
+    }
+
+    #[test]
+    fn simulate_config_parses_adaptive_section() {
+        let json = r#"{
+            "processors": 64,
+            "policy": "fcfs",
+            "arrival_rate": 2.0,
+            "widths": [[16, 1.0]],
+            "runtime": { "family": "log_normal", "mu": 0.5, "sigma": 0.6 },
+            "overestimate": [1.1, 2.0],
+            "jobs": 100,
+            "analyze_widths": [],
+            "adaptive": {
+                "prior": { "family": "log_normal", "mu": 0.1, "sigma": 0.6 },
+                "jobs": 50,
+                "config": {
+                    "family": "weibull",
+                    "refit_interval": 5,
+                    "censor_after": 6
+                }
+            }
+        }"#;
+        let cfg: SimulateConfig = serde_json::from_str(json).unwrap();
+        let ad = cfg.adaptive.unwrap();
+        assert_eq!(ad.jobs, 50);
+        assert_eq!(ad.heuristic, HeuristicSpec::MeanByMean);
+        assert_eq!(ad.cost, None);
+        assert_eq!(ad.config.family, rsj_sim::ModelFamily::Weibull);
+        assert_eq!(ad.config.refit_interval, 5);
+        assert_eq!(ad.config.censor_after, Some(6));
+        // Defaults of the flattened guardrail knobs survive.
+        assert_eq!(ad.config.hysteresis, AdaptiveConfig::default().hysteresis);
     }
 
     #[test]

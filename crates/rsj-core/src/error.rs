@@ -43,6 +43,15 @@ pub enum CoreError {
     },
     /// The brute-force sweep found no valid candidate sequence.
     NoValidCandidate,
+    /// An evaluator produced a non-finite or non-positive quantity where a
+    /// meaningful baseline was required (e.g. an oracle cost of zero would
+    /// turn a penalty ratio into `inf`/`NaN`).
+    DegenerateEvaluation {
+        /// Which quantity degenerated.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
     /// Propagated distribution-layer error.
     Dist(rsj_dist::DistError),
 }
@@ -73,6 +82,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::NoValidCandidate => {
                 write!(f, "brute-force sweep found no valid candidate sequence")
+            }
+            CoreError::DegenerateEvaluation { what, value } => {
+                write!(f, "degenerate evaluation: {what} = {value}")
             }
             CoreError::Dist(e) => write!(f, "distribution error: {e}"),
         }

@@ -125,21 +125,37 @@ impl BruteForce {
             EvalMethod::Analytic => Vec::new(),
         };
         let omniscient = cost.omniscient(dist);
+        // A malformed distribution (e.g. a degenerate online refit) can
+        // yield non-finite samples or a useless omniscient baseline; every
+        // candidate is then invalid — the caller sees `NoValidCandidate`
+        // instead of a panic deep inside an evaluator.
+        let degenerate =
+            !(omniscient.is_finite() && omniscient > 0.0) || samples.iter().any(|s| !s.is_finite());
+        if degenerate {
+            return self
+                .grid(dist, cost)
+                .into_iter()
+                .map(|t1| SweepPoint {
+                    t1,
+                    normalized_cost: None,
+                })
+                .collect();
+        }
         self.grid(dist, cost)
             .into_par_iter()
             .map(|t1| {
-                let normalized_cost =
-                    sequence_from_t1(dist, cost, t1, &self.config)
-                        .ok()
-                        .map(|seq| {
-                            let e = match self.eval {
-                                EvalMethod::MonteCarlo => {
-                                    expected_cost_monte_carlo(&seq, cost, &samples)
-                                }
-                                EvalMethod::Analytic => expected_cost_analytic(&seq, dist, cost),
-                            };
-                            e / omniscient
-                        });
+                let normalized_cost = sequence_from_t1(dist, cost, t1, &self.config)
+                    .ok()
+                    .map(|seq| {
+                        let e = match self.eval {
+                            EvalMethod::MonteCarlo => {
+                                expected_cost_monte_carlo(&seq, cost, &samples)
+                            }
+                            EvalMethod::Analytic => expected_cost_analytic(&seq, dist, cost),
+                        };
+                        e / omniscient
+                    })
+                    .filter(|c| c.is_finite());
                 SweepPoint {
                     t1,
                     normalized_cost,
@@ -159,7 +175,7 @@ impl BruteForce {
         let best = sweep
             .iter()
             .filter_map(|p| p.normalized_cost.map(|c| (p.t1, c)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .ok_or(CoreError::NoValidCandidate)?;
         let sequence = sequence_from_t1(dist, cost, best.0, &self.config)?;
         let omniscient = cost.omniscient(dist);
@@ -181,11 +197,16 @@ impl BruteForce {
         t1: f64,
     ) -> Option<f64> {
         let seq = sequence_from_t1(dist, cost, t1, &self.config).ok()?;
-        let e = match self.eval {
-            EvalMethod::MonteCarlo => expected_cost_monte_carlo(&seq, cost, &self.samples(dist)),
-            EvalMethod::Analytic => expected_cost_analytic(&seq, dist, cost),
-        };
-        Some(e / cost.omniscient(dist))
+        if let EvalMethod::MonteCarlo = self.eval {
+            let samples = self.samples(dist);
+            if samples.iter().any(|s| !s.is_finite()) {
+                return None;
+            }
+            let norm = expected_cost_monte_carlo(&seq, cost, &samples) / cost.omniscient(dist);
+            return norm.is_finite().then_some(norm);
+        }
+        let norm = expected_cost_analytic(&seq, dist, cost) / cost.omniscient(dist);
+        norm.is_finite().then_some(norm)
     }
 }
 
@@ -287,6 +308,46 @@ mod tests {
     fn rejects_bad_parameters() {
         assert!(BruteForce::new(0, 100, EvalMethod::Analytic, 0).is_err());
         assert!(BruteForce::new(10, 1, EvalMethod::Analytic, 0).is_err());
+    }
+
+    #[test]
+    fn malformed_distribution_is_no_valid_candidate_not_a_panic() {
+        use rsj_dist::Support;
+        // Stands in for a degenerate online refit: every moment is NaN.
+        #[derive(Debug)]
+        struct NanDist;
+        impl rsj_dist::ContinuousDistribution for NanDist {
+            fn name(&self) -> String {
+                "NaN".into()
+            }
+            fn support(&self) -> Support {
+                Support::Unbounded { lower: 0.0 }
+            }
+            fn pdf(&self, _t: f64) -> f64 {
+                f64::NAN
+            }
+            fn cdf(&self, _t: f64) -> f64 {
+                f64::NAN
+            }
+            fn quantile(&self, _p: f64) -> f64 {
+                f64::NAN
+            }
+            fn mean(&self) -> f64 {
+                f64::NAN
+            }
+            fn variance(&self) -> f64 {
+                f64::NAN
+            }
+        }
+        let c = CostModel::reservation_only();
+        for eval in [EvalMethod::Analytic, EvalMethod::MonteCarlo] {
+            let bf = BruteForce::new(50, 100, eval, 3).unwrap();
+            assert_eq!(
+                bf.best(&NanDist, &c).unwrap_err(),
+                CoreError::NoValidCandidate
+            );
+            assert!(bf.score_t1(&NanDist, &c, 1.0).is_none());
+        }
     }
 
     #[test]

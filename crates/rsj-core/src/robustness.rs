@@ -4,7 +4,7 @@
 //! distribution, then evaluate it under the `truth`.
 
 use crate::cost::CostModel;
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::eval::expected_cost_analytic;
 use crate::heuristics::Strategy;
 use crate::sequence::ReservationSequence;
@@ -35,6 +35,12 @@ pub struct MisspecReport {
 /// correctly-specified plan would; the evaluators' geometric extension
 /// keeps the score well defined (and charges appropriately for the
 /// surprise).
+///
+/// A zero or non-finite oracle cost — possible only when one of the
+/// distributions is malformed (NaN moments, empty support) — would turn
+/// `penalty_ratio` into `inf`/`NaN`; it is reported as
+/// [`CoreError::DegenerateEvaluation`] instead of poisoning downstream
+/// reports. The same guard covers a non-finite planned cost.
 pub fn misspecification_report(
     strategy: &dyn Strategy,
     assumed: &dyn ContinuousDistribution,
@@ -45,6 +51,18 @@ pub fn misspecification_report(
     let oracle_seq = strategy.sequence(truth, cost)?;
     let planned_cost = expected_cost_with_extension(&planned, truth, cost);
     let oracle_cost = expected_cost_with_extension(&oracle_seq, truth, cost);
+    if !(oracle_cost.is_finite() && oracle_cost > 0.0) {
+        return Err(CoreError::DegenerateEvaluation {
+            what: "oracle expected cost",
+            value: oracle_cost,
+        });
+    }
+    if !planned_cost.is_finite() {
+        return Err(CoreError::DegenerateEvaluation {
+            what: "planned expected cost",
+            value: planned_cost,
+        });
+    }
     Ok(MisspecReport {
         planned_cost,
         oracle_cost,
@@ -143,6 +161,58 @@ mod tests {
             r.penalty_ratio < 1.25,
             "moment-matched family swap should be mild: {}",
             r.penalty_ratio
+        );
+    }
+
+    #[test]
+    fn degenerate_oracle_cost_is_a_typed_error_not_nan() {
+        use rsj_dist::Support;
+        // Plans fine (finite mean / conditional means) but evaluates to
+        // NaN: the survival function is broken, as a corrupted refit model
+        // could be.
+        #[derive(Debug)]
+        struct BrokenSurvival;
+        impl ContinuousDistribution for BrokenSurvival {
+            fn name(&self) -> String {
+                "BrokenSurvival".into()
+            }
+            fn support(&self) -> Support {
+                Support::Unbounded { lower: 0.0 }
+            }
+            fn pdf(&self, _t: f64) -> f64 {
+                0.1
+            }
+            fn cdf(&self, _t: f64) -> f64 {
+                0.5
+            }
+            fn quantile(&self, _p: f64) -> f64 {
+                1.0
+            }
+            fn survival(&self, _t: f64) -> f64 {
+                f64::NAN
+            }
+            fn conditional_mean_above(&self, t: f64) -> f64 {
+                t + 1.0
+            }
+            fn mean(&self) -> f64 {
+                1.0
+            }
+            fn variance(&self) -> f64 {
+                1.0
+            }
+        }
+        let c = CostModel::reservation_only();
+        let s = MeanByMean::default();
+        let err = misspecification_report(&s, &BrokenSurvival, &BrokenSurvival, &c).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::error::CoreError::DegenerateEvaluation {
+                    what: "oracle expected cost",
+                    ..
+                }
+            ),
+            "got {err:?}"
         );
     }
 

@@ -20,6 +20,14 @@ pub enum DistError {
         /// What went wrong.
         reason: &'static str,
     },
+    /// An iterative solver (censored MLE, EM, root finding) failed to
+    /// converge within its iteration budget.
+    NonConvergence {
+        /// Which solver failed (e.g. `weibull censored MLE`).
+        what: &'static str,
+        /// Iterations spent before giving up.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -32,6 +40,9 @@ impl fmt::Display for DistError {
             } => write!(f, "invalid parameter {name} = {value}: {requirement}"),
             DistError::DegenerateSample { reason } => {
                 write!(f, "degenerate sample: {reason}")
+            }
+            DistError::NonConvergence { what, iterations } => {
+                write!(f, "{what} did not converge after {iterations} iterations")
             }
         }
     }

@@ -79,9 +79,52 @@ impl InterpolatedEmpirical {
         for p in &mut cdf_at {
             *p = (*p - first) / (last - first);
         }
+        Ok(Self::from_knots(knots, cdf_at))
+    }
 
-        // Moments of the piecewise-uniform law: on cell [a, b] with mass w,
-        // E = w·(a + b)/2 and E[X²] = w·(a² + ab + b²)/3.
+    /// Builds the interpolated distribution directly from CDF knots
+    /// `(t, F(t))`: at least two points with strictly increasing,
+    /// nonnegative, finite positions and non-decreasing CDF values
+    /// starting at 0 and ending at 1 (cells of zero mass are allowed and
+    /// simply carry no probability).
+    ///
+    /// This is the bridge from a Kaplan–Meier survival curve (or any other
+    /// externally estimated CDF) to a plannable continuous law.
+    pub fn from_cdf_points(points: &[(f64, f64)]) -> Result<Self> {
+        if points.len() < 2 {
+            return Err(DistError::DegenerateSample {
+                reason: "need at least two CDF points to interpolate",
+            });
+        }
+        if points
+            .iter()
+            .any(|(t, p)| !t.is_finite() || *t < 0.0 || !p.is_finite() || !(0.0..=1.0).contains(p))
+        {
+            return Err(DistError::DegenerateSample {
+                reason: "CDF points must be finite, nonnegative, with F in [0, 1]",
+            });
+        }
+        if points
+            .windows(2)
+            .any(|w| w[1].0 <= w[0].0 || w[1].1 < w[0].1)
+        {
+            return Err(DistError::DegenerateSample {
+                reason: "CDF points must have strictly increasing t and non-decreasing F",
+            });
+        }
+        if points[0].1 != 0.0 || points.last().expect("non-empty").1 != 1.0 {
+            return Err(DistError::DegenerateSample {
+                reason: "CDF must start at 0 and end at 1",
+            });
+        }
+        let knots: Vec<f64> = points.iter().map(|(t, _)| *t).collect();
+        let cdf_at: Vec<f64> = points.iter().map(|(_, p)| *p).collect();
+        Ok(Self::from_knots(knots, cdf_at))
+    }
+
+    /// Moments of the piecewise-uniform law: on cell [a, b] with mass w,
+    /// E = w·(a + b)/2 and E[X²] = w·(a² + ab + b²)/3.
+    fn from_knots(knots: Vec<f64>, cdf_at: Vec<f64>) -> Self {
         let mut mean = 0.0;
         let mut m2 = 0.0;
         for i in 0..knots.len() - 1 {
@@ -90,12 +133,12 @@ impl InterpolatedEmpirical {
             mean += w * (a + b) / 2.0;
             m2 += w * (a * a + a * b + b * b) / 3.0;
         }
-        Ok(Self {
+        Self {
             variance: (m2 - mean * mean).max(0.0),
             knots,
             cdf_at,
             mean,
-        })
+        }
     }
 
     /// The interpolation knots (sorted distinct observations).

@@ -12,6 +12,8 @@
 //!   Equal-probability truncation-and-discretization schemes of §4.2.1;
 //! * [`empirical`] / [`fit`] — empirical distributions, LogNormal MLE and
 //!   affine least squares (the Figure 1 / Figure 2 fitting procedures);
+//! * [`censored`] — Kaplan–Meier survival estimation and censored MLE fits
+//!   for online learn-while-scheduling pipelines (system S19);
 //! * [`quadrature`] — adaptive Simpson integration backing default trait
 //!   implementations and cross-validation tests;
 //! * [`spec`] — serializable distribution specifications for experiment
@@ -37,6 +39,7 @@
 // out-of-range values; clippy's partial_cmp suggestion obscures that.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod censored;
 pub mod continuous;
 pub mod discrete;
 pub mod empirical;
@@ -49,6 +52,10 @@ pub mod special;
 pub mod traits;
 pub mod transform;
 
+pub use censored::{
+    fit_exponential, fit_exponential_censored, fit_lognormal_censored, fit_weibull,
+    fit_weibull_censored, CensorKind, CensoredFit, KaplanMeier, Observation,
+};
 pub use continuous::{
     BetaDist, BoundedPareto, Exponential, GammaDist, LogNormal, Pareto, TruncatedNormal, Uniform,
     Weibull,
@@ -64,6 +71,10 @@ pub use transform::Scaled;
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
+    pub use crate::censored::{
+        fit_exponential_censored, fit_lognormal_censored, fit_weibull_censored, CensorKind,
+        KaplanMeier, Observation,
+    };
     pub use crate::continuous::{
         BetaDist, BoundedPareto, Exponential, GammaDist, LogNormal, Pareto, TruncatedNormal,
         Uniform, Weibull,

@@ -1,0 +1,108 @@
+//! Property tests of the censored-observation machinery (system S19):
+//! with zero censoring every censored MLE reduces to the uncensored fit,
+//! and the Kaplan–Meier estimator stays a valid survival curve under
+//! arbitrary censoring patterns.
+
+use proptest::prelude::*;
+use rsj_dist::{
+    fit_exponential_censored, fit_lognormal, fit_lognormal_censored, fit_weibull_censored,
+    KaplanMeier, Observation,
+};
+
+fn exact_obs(values: &[f64]) -> Vec<Observation> {
+    values.iter().map(|&v| Observation::exact(v)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// With zero censored observations the censored LogNormal MLE is the
+    /// plain `fit_lognormal` answer to 1e-9.
+    #[test]
+    fn uncensored_lognormal_reduction(
+        values in proptest::collection::vec(0.05..50.0f64, 3..40)
+    ) {
+        let censored = fit_lognormal_censored(&exact_obs(&values)).unwrap();
+        let plain = fit_lognormal(&values).unwrap();
+        prop_assert!((censored.dist.mu() - plain.mu).abs() <= 1e-9,
+            "mu {} vs {}", censored.dist.mu(), plain.mu);
+        prop_assert!((censored.dist.sigma() - plain.sigma).abs() <= 1e-9,
+            "sigma {} vs {}", censored.dist.sigma(), plain.sigma);
+        prop_assert_eq!(censored.n_censored, 0);
+    }
+
+    /// With zero censoring the Exponential MLE is the closed form n/Σx.
+    #[test]
+    fn uncensored_exponential_reduction(
+        values in proptest::collection::vec(0.05..50.0f64, 2..40)
+    ) {
+        let fit = fit_exponential_censored(&exact_obs(&values)).unwrap();
+        let lambda = values.len() as f64 / values.iter().sum::<f64>();
+        prop_assert!((fit.dist.lambda() - lambda).abs() <= 1e-9 * lambda,
+            "{} vs {}", fit.dist.lambda(), lambda);
+    }
+
+    /// With zero censoring the Weibull estimate satisfies the uncensored
+    /// maximum-likelihood stationarity conditions: the profile equation
+    /// A(κ̂) − 1/κ̂ − mean(ln x) = 0 and λ̂^κ̂ = Σ x^κ̂ / n.
+    #[test]
+    fn uncensored_weibull_stationarity(
+        values in proptest::collection::vec(0.2..20.0f64, 5..40)
+    ) {
+        // Skip near-degenerate draws the solver rightfully refuses.
+        prop_assume!(values.iter().any(|&v| (v - values[0]).abs() > 1e-6));
+        let fit = fit_weibull_censored(&exact_obs(&values)).unwrap();
+        let (kappa, lambda) = (fit.dist.kappa(), fit.dist.lambda());
+        let n = values.len() as f64;
+        let sum_k: f64 = values.iter().map(|&x| x.powf(kappa)).sum();
+        let sum_k_ln: f64 = values.iter().map(|&x| x.powf(kappa) * x.ln()).sum();
+        let mean_ln: f64 = values.iter().map(|&x| x.ln()).sum::<f64>() / n;
+        let g = sum_k_ln / sum_k - 1.0 / kappa - mean_ln;
+        prop_assert!(g.abs() <= 1e-6, "profile equation residual {g}");
+        let rel = (lambda.powf(kappa) - sum_k / n).abs() / (sum_k / n);
+        prop_assert!(rel <= 1e-9, "scale equation residual {rel}");
+    }
+
+    /// Kaplan–Meier survival stays in [0,1] and is monotone non-increasing
+    /// under arbitrary censoring patterns, including at ties.
+    #[test]
+    fn km_survival_is_monotone_in_unit_interval(
+        data in proptest::collection::vec((0.01..100.0f64, 0u32..2), 1..60)
+    ) {
+        let obs: Vec<Observation> = data
+            .iter()
+            .map(|&(v, c)| if c == 1 { Observation::censored(v) } else { Observation::exact(v) })
+            .collect();
+        let km = KaplanMeier::fit(&obs).unwrap();
+        let max = data.iter().map(|&(v, _)| v).fold(0.0f64, f64::max);
+        prop_assert_eq!(km.survival(0.0), 1.0);
+        let mut prev = 1.0;
+        for k in 0..=200 {
+            let t = max * 1.2 * k as f64 / 200.0;
+            let s = km.survival(t);
+            prop_assert!((0.0..=1.0).contains(&s), "S({t}) = {s} out of range");
+            prop_assert!(s <= prev + 1e-12, "S({t}) = {s} rose above {prev}");
+            prev = s;
+        }
+    }
+
+    /// Duplicating every observation leaves the Kaplan–Meier curve
+    /// unchanged: the estimator depends on proportions at risk, not counts.
+    #[test]
+    fn km_is_invariant_under_sample_duplication(
+        data in proptest::collection::vec((0.01..100.0f64, 0u32..2), 1..30)
+    ) {
+        let obs: Vec<Observation> = data
+            .iter()
+            .map(|&(v, c)| if c == 1 { Observation::censored(v) } else { Observation::exact(v) })
+            .collect();
+        let doubled: Vec<Observation> = obs.iter().chain(obs.iter()).copied().collect();
+        let km1 = KaplanMeier::fit(&obs).unwrap();
+        let km2 = KaplanMeier::fit(&doubled).unwrap();
+        for &(v, _) in &data {
+            for t in [v * 0.5, v, v * 1.5] {
+                prop_assert!((km1.survival(t) - km2.survival(t)).abs() <= 1e-12);
+            }
+        }
+    }
+}

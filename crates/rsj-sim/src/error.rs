@@ -25,6 +25,22 @@ pub enum SimError {
         /// Human-readable requirement (e.g. `must be > 0`).
         requirement: &'static str,
     },
+    /// A sampled job duration was non-finite — the generating distribution
+    /// is malformed, so the run cannot continue meaningfully.
+    NonFiniteSample {
+        /// Index of the job whose duration was drawn.
+        index: usize,
+        /// The offending duration.
+        value: f64,
+    },
+    /// A planning step failed in the core layer (e.g. the prior produced
+    /// no valid sequence); the adaptive loop cannot even start.
+    Planning {
+        /// Which plan failed (`prior`, `oracle`).
+        context: &'static str,
+        /// The underlying core error.
+        source: rsj_core::CoreError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +55,12 @@ impl fmt::Display for SimError {
                 value,
                 requirement,
             } => write!(f, "invalid parameter {name} = {value}: {requirement}"),
+            SimError::NonFiniteSample { index, value } => {
+                write!(f, "job {index} drew a non-finite duration ({value})")
+            }
+            SimError::Planning { context, source } => {
+                write!(f, "planning on the {context} failed: {source}")
+            }
         }
     }
 }

@@ -17,7 +17,10 @@
 //! * [`fault`] / [`resilient`] — seed-reproducible failure processes
 //!   (exponential-MTBF crashes, spot preemptions, walltime jitter) and the
 //!   resilient reservation executor with checkpoint-restart and retry
-//!   policies (system S18).
+//!   policies (system S18);
+//! * [`adaptive`] — the online learn-while-scheduling loop: plan on a
+//!   prior, observe (possibly censored) durations, refit and replan under
+//!   guardrails (system S19).
 //!
 //! ## Example: derive a NeuroHPC cost model from a simulated queue
 //!
@@ -47,6 +50,7 @@
 // out-of-range values; clippy's partial_cmp suggestion obscures that.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod adaptive;
 pub mod cloud;
 pub mod cluster;
 pub mod error;
@@ -59,6 +63,9 @@ pub mod scheduler;
 pub mod wait_time;
 pub mod workload;
 
+pub use adaptive::{
+    run_adaptive, AdaptiveConfig, AdaptiveJob, AdaptiveReport, ModelFamily, RefitRecord,
+};
 pub use cloud::CloudPricing;
 pub use cluster::{simulate, simulate_with_faults, summarize, ClusterConfig, SimSummary};
 pub use error::SimError;
@@ -76,6 +83,7 @@ pub use workload::{
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
+    pub use crate::adaptive::{run_adaptive, AdaptiveConfig, AdaptiveReport, ModelFamily};
     pub use crate::cloud::CloudPricing;
     pub use crate::cluster::{
         simulate, simulate_with_faults, summarize, ClusterConfig, SimSummary,

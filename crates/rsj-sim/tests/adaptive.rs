@@ -1,0 +1,227 @@
+//! Cross-layer guarantees of the adaptive replanning loop (system S19):
+//! with the true distribution as prior and hysteresis on, the loop is the
+//! static planner bit-for-bit; degenerate observation streams (all
+//! censored, constant, two-point) travel the refit → replan path without a
+//! panic, exercising the guardrailed fallback.
+
+use rand::SeedableRng;
+use rsj_core::{run_job, CostModel, MeanByMean, Strategy};
+use rsj_dist::{ContinuousDistribution, LogNormal, Support, Uniform};
+use rsj_sim::{run_adaptive, AdaptiveConfig};
+
+/// A two-point law (mass `p_lo` at `lo`, rest at `hi`; `lo == hi` is a
+/// point mass): the minimal degenerate truth for fuzzing the refit path.
+#[derive(Debug)]
+struct TwoPoint {
+    lo: f64,
+    hi: f64,
+    p_lo: f64,
+}
+
+impl ContinuousDistribution for TwoPoint {
+    fn name(&self) -> String {
+        format!("TwoPoint({}, {})", self.lo, self.hi)
+    }
+    fn support(&self) -> Support {
+        Support::Bounded {
+            lower: 0.0,
+            upper: self.hi,
+        }
+    }
+    fn pdf(&self, _t: f64) -> f64 {
+        0.0
+    }
+    fn cdf(&self, t: f64) -> f64 {
+        if t < self.lo {
+            0.0
+        } else if t < self.hi {
+            self.p_lo
+        } else {
+            1.0
+        }
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        if p < self.p_lo {
+            self.lo
+        } else {
+            self.hi
+        }
+    }
+    fn mean(&self) -> f64 {
+        self.p_lo * self.lo + (1.0 - self.p_lo) * self.hi
+    }
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.p_lo * (self.lo - m).powi(2) + (1.0 - self.p_lo) * (self.hi - m).powi(2)
+    }
+}
+
+/// A correct prior plus hysteresis must reproduce the static planner's
+/// sequence and per-job costs bit-for-bit, with no spurious replans.
+#[test]
+fn true_prior_reproduces_the_static_planner_bit_for_bit() {
+    let truth = LogNormal::new(3.0, 0.5).unwrap();
+    let cost = CostModel::reservation_only();
+    let strategy = MeanByMean::default();
+    let config = AdaptiveConfig {
+        hysteresis: 0.10,
+        ..AdaptiveConfig::default()
+    };
+    let n = 150;
+    let seed = 11;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let report = run_adaptive(&truth, &truth, &strategy, &cost, n, &config, &mut rng).unwrap();
+
+    // Replay the identical duration stream through the static plan.
+    let plan = strategy.sequence(&truth, &cost).unwrap();
+    let mut replay = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut static_total = 0.0;
+    for (j, job) in report.jobs.iter().enumerate() {
+        let t = truth.sample(&mut replay);
+        assert_eq!(t.to_bits(), job.duration.to_bits(), "job {j} duration");
+        let static_cost = run_job(&plan, &cost, t).cost;
+        assert_eq!(
+            static_cost.to_bits(),
+            job.cost.to_bits(),
+            "job {j}: adaptive diverged from the static planner"
+        );
+        assert_eq!(job.cost.to_bits(), job.oracle_cost.to_bits(), "job {j}");
+        static_total += static_cost;
+    }
+    assert_eq!(report.replans, 0, "spurious replans: {:?}", report.refits);
+    assert_eq!(report.total_cost.to_bits(), static_total.to_bits());
+    assert_eq!(
+        report.total_cost.to_bits(),
+        report.oracle_total_cost.to_bits()
+    );
+    assert_eq!(report.mean_cost_ratio, 1.0);
+    assert_eq!(report.cumulative_regret, 0.0);
+}
+
+/// All-censored stream: a prior that believes jobs are tiny plus a
+/// one-reservation abandonment limit censors every observation. The refit
+/// machinery must keep rejecting (or harmlessly absorbing) the degenerate
+/// evidence without a panic.
+#[test]
+fn all_censored_stream_survives_refit_and_replan() {
+    let truth = Uniform::new(10.0, 20.0).unwrap();
+    let prior = LogNormal::new(-3.0, 0.3).unwrap();
+    let cost = CostModel::reservation_only();
+    let strategy = MeanByMean::default();
+    let config = AdaptiveConfig {
+        refit_interval: 1,
+        min_observations: 2,
+        hysteresis: 0.0,
+        censor_after: Some(1),
+        ..AdaptiveConfig::default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let report = run_adaptive(&truth, &prior, &strategy, &cost, 40, &config, &mut rng).unwrap();
+    assert_eq!(report.censored_observations, 40, "every job is censored");
+    assert!(
+        !report.refits.is_empty(),
+        "the refit path must actually run on the degenerate stream"
+    );
+    assert!(
+        report.rejected_refits > 0,
+        "all-censored evidence cannot produce an accepted model every round: {:?}",
+        report.refits
+    );
+    for j in &report.jobs {
+        assert!(j.cost.is_finite() && j.cost >= 0.0);
+    }
+}
+
+/// Constant stream: every duration identical, so the parametric fit is
+/// degenerate (zero log-variance) and the loop must degrade to the
+/// Kaplan–Meier interpolated fallback rather than panic.
+#[test]
+fn constant_stream_degrades_to_the_empirical_fallback() {
+    let truth = TwoPoint {
+        lo: 10.0,
+        hi: 10.0,
+        p_lo: 1.0,
+    };
+    let prior = LogNormal::new(10.0f64.ln(), 0.4).unwrap();
+    let cost = CostModel::reservation_only();
+    let strategy = MeanByMean::default();
+    let config = AdaptiveConfig {
+        refit_interval: 5,
+        min_observations: 5,
+        hysteresis: 0.0,
+        ..AdaptiveConfig::default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let report = run_adaptive(&truth, &prior, &strategy, &cost, 60, &config, &mut rng).unwrap();
+    assert!(
+        report.fallbacks >= 1,
+        "zero-variance observations must exercise the empirical fallback: {:?}",
+        report.refits
+    );
+    assert!(report.total_cost.is_finite());
+    assert!(report.mean_cost_ratio.is_finite() && report.mean_cost_ratio > 0.0);
+}
+
+/// Constant stream with the fallback disabled: the loop keeps the
+/// last-good model and every refit is rejected, still panic-free.
+#[test]
+fn constant_stream_without_fallback_keeps_the_last_good_model() {
+    let truth = TwoPoint {
+        lo: 10.0,
+        hi: 10.0,
+        p_lo: 1.0,
+    };
+    let prior = LogNormal::new(10.0f64.ln(), 0.4).unwrap();
+    let cost = CostModel::reservation_only();
+    let strategy = MeanByMean::default();
+    let config = AdaptiveConfig {
+        refit_interval: 5,
+        min_observations: 5,
+        hysteresis: 0.0,
+        empirical_fallback: false,
+        ..AdaptiveConfig::default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let report = run_adaptive(&truth, &prior, &strategy, &cost, 60, &config, &mut rng).unwrap();
+    assert_eq!(report.fallbacks, 0);
+    assert!(report.rejected_refits >= 1, "{:?}", report.refits);
+    // With the fallback disabled the working model can only ever be the
+    // prior or an accepted parametric refit — never the interpolated law.
+    assert!(
+        report.final_model.contains("prior") || report.final_model.contains("LogNormal"),
+        "{}",
+        report.final_model
+    );
+    assert!(report.total_cost.is_finite() && report.total_cost > 0.0);
+}
+
+/// Two-point stream (mixed with censoring): refits fit a genuine spread,
+/// replans may fire, and everything stays finite and panic-free.
+#[test]
+fn two_point_stream_with_censoring_completes() {
+    let truth = TwoPoint {
+        lo: 2.0,
+        hi: 12.0,
+        p_lo: 0.5,
+    };
+    let prior = LogNormal::new(1.2, 0.8).unwrap();
+    let cost = CostModel::new(1.0, 0.5, 0.1).unwrap();
+    let strategy = MeanByMean::default();
+    let config = AdaptiveConfig {
+        refit_interval: 5,
+        min_observations: 5,
+        hysteresis: 0.0,
+        censor_after: Some(2),
+        ..AdaptiveConfig::default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let report = run_adaptive(&truth, &prior, &strategy, &cost, 80, &config, &mut rng).unwrap();
+    assert_eq!(report.jobs.len(), 80);
+    assert!(!report.refits.is_empty());
+    assert!(report.total_cost.is_finite() && report.total_cost > 0.0);
+    assert!(report.oracle_total_cost.is_finite() && report.oracle_total_cost > 0.0);
+    for j in &report.jobs {
+        assert!(j.cost.is_finite() && j.cost >= 0.0, "{j:?}");
+    }
+}
