@@ -3,8 +3,9 @@
 use rsj_bench::scenarios::Fidelity;
 
 fn main() -> std::io::Result<()> {
+    rsj_obs::init_from_env();
     let fidelity = Fidelity::from_env();
-    eprintln!(
+    rsj_obs::info!(
         "running ablation_checkpoint at {fidelity:?} fidelity (RSJ_FIDELITY=quick for a fast pass)"
     );
     rsj_bench::experiments::ablation_checkpoint::emit(fidelity)?;

@@ -4,8 +4,9 @@ use rsj_bench::scenarios::Fidelity;
 use rsj_bench::DEFAULT_SEED;
 
 fn main() -> std::io::Result<()> {
+    rsj_obs::init_from_env();
     let fidelity = Fidelity::from_env();
-    eprintln!(
+    rsj_obs::info!(
         "running ablation_faults at {fidelity:?} fidelity (RSJ_FIDELITY=quick for a fast pass)"
     );
     rsj_bench::experiments::ablation_faults::emit(fidelity, DEFAULT_SEED)?;

@@ -4,8 +4,9 @@
 use rsj_bench::scenarios::Fidelity;
 
 fn main() -> std::io::Result<()> {
+    rsj_obs::init_from_env();
     let fidelity = Fidelity::from_env();
-    eprintln!("running fig4_simqueue at {fidelity:?} fidelity");
+    rsj_obs::info!("running fig4_simqueue at {fidelity:?} fidelity");
     rsj_bench::experiments::fig4_simqueue::emit(fidelity, rsj_bench::DEFAULT_SEED)?;
     Ok(())
 }

@@ -1,50 +1,111 @@
 //! Runs every experiment of the reproduction in sequence — the one-shot
 //! "regenerate the paper" entry point. Honours `RSJ_FIDELITY` and
-//! `RSJ_RESULTS_DIR` like the individual binaries.
+//! `RSJ_RESULTS_DIR` like the individual binaries, and `RSJ_LOG` for
+//! progress verbosity (`warn` silences the step markers, `debug` shows
+//! solver internals).
+//!
+//! Metrics are always collected: each run writes
+//! `results/perf_manifest.json` with per-step wall times and the full
+//! solver/simulator metrics snapshot. `--metrics-out <path>` additionally
+//! exports the raw registry (Prometheus text, or JSON when the path ends
+//! in `.json`).
 
+use rsj_bench::perf::PerfManifest;
 use rsj_bench::scenarios::Fidelity;
 use rsj_bench::{experiments, DEFAULT_SEED};
+use rsj_obs::Stopwatch;
+
+fn parse_metrics_out() -> Result<Option<String>, String> {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("--metrics-out") => match args.next() {
+            Some(path) => Ok(Some(path)),
+            None => Err("--metrics-out requires a path".into()),
+        },
+        Some(other) => Err(format!("unknown argument: {other}")),
+        None => Ok(None),
+    }
+}
 
 fn main() -> std::io::Result<()> {
-    let fidelity = Fidelity::from_env();
-    eprintln!("running the full experiment suite at {fidelity:?} fidelity\n");
-
-    let t0 = std::time::Instant::now();
-    let step = |name: &str| {
-        eprintln!("── {name} ({:.1?} elapsed) ──", t0.elapsed());
+    rsj_obs::init_from_env();
+    rsj_obs::set_metrics_enabled(true);
+    let metrics_out = match parse_metrics_out() {
+        Ok(v) => v,
+        Err(msg) => {
+            rsj_obs::error!("{msg}");
+            eprintln!("usage: run_all [--metrics-out <path>]");
+            std::process::exit(2);
+        }
     };
 
-    step("Table 2");
-    experiments::table2::emit(fidelity, DEFAULT_SEED)?;
-    step("Table 3");
-    experiments::table3::emit(fidelity, DEFAULT_SEED)?;
-    step("Table 4");
-    experiments::table4::emit(fidelity, DEFAULT_SEED)?;
-    step("Figure 1");
-    experiments::fig1::emit(fidelity, DEFAULT_SEED)?;
-    step("Figure 2");
-    experiments::fig2::emit(fidelity, DEFAULT_SEED)?;
-    step("Figure 3");
-    experiments::fig3::emit(fidelity, DEFAULT_SEED)?;
-    step("Figure 4");
-    experiments::fig4::emit(fidelity, DEFAULT_SEED)?;
-    step("§3.5 exponential optimum");
-    experiments::exp_s1::emit()?;
-    step("Figure 4 (simulated-queue cost model)");
-    experiments::fig4_simqueue::emit(fidelity, DEFAULT_SEED)?;
-    step("Ablation: checkpointing");
-    experiments::ablation_checkpoint::emit(fidelity)?;
-    step("Ablation: fit-then-plan fragility");
-    experiments::ablation_misfit::emit(fidelity, DEFAULT_SEED)?;
-    step("Ablation: fault injection");
-    experiments::ablation_faults::emit(fidelity, DEFAULT_SEED)?;
-    step("Ablation: online adaptive replanning");
-    experiments::ablation_adaptive::emit(fidelity, DEFAULT_SEED)?;
+    let fidelity = Fidelity::from_env();
+    rsj_obs::info!("running the full experiment suite at {fidelity:?} fidelity");
 
-    eprintln!(
-        "\nall experiments done in {:.1?}; outputs in {}",
-        t0.elapsed(),
-        rsj_bench::report::results_dir().display()
+    let total = Stopwatch::start();
+    let mut manifest = PerfManifest::new(format!("{fidelity:?}"), DEFAULT_SEED);
+    let mut run = |name: &str, step: &mut dyn FnMut() -> std::io::Result<()>| {
+        rsj_obs::info!("── {name} ({:.1}s elapsed) ──", total.elapsed_secs());
+        let sw = Stopwatch::start();
+        step()?;
+        manifest.push_step(name, sw.elapsed_secs());
+        Ok::<(), std::io::Error>(())
+    };
+
+    run("Table 2", &mut || {
+        experiments::table2::emit(fidelity, DEFAULT_SEED).map(drop)
+    })?;
+    run("Table 3", &mut || {
+        experiments::table3::emit(fidelity, DEFAULT_SEED).map(drop)
+    })?;
+    run("Table 4", &mut || {
+        experiments::table4::emit(fidelity, DEFAULT_SEED).map(drop)
+    })?;
+    run("Figure 1", &mut || {
+        experiments::fig1::emit(fidelity, DEFAULT_SEED).map(drop)
+    })?;
+    run("Figure 2", &mut || {
+        experiments::fig2::emit(fidelity, DEFAULT_SEED).map(drop)
+    })?;
+    run("Figure 3", &mut || {
+        experiments::fig3::emit(fidelity, DEFAULT_SEED).map(drop)
+    })?;
+    run("Figure 4", &mut || {
+        experiments::fig4::emit(fidelity, DEFAULT_SEED).map(drop)
+    })?;
+    run("§3.5 exponential optimum", &mut || {
+        experiments::exp_s1::emit().map(drop)
+    })?;
+    run("Figure 4 (simulated-queue cost model)", &mut || {
+        experiments::fig4_simqueue::emit(fidelity, DEFAULT_SEED).map(drop)
+    })?;
+    run("Ablation: checkpointing", &mut || {
+        experiments::ablation_checkpoint::emit(fidelity).map(drop)
+    })?;
+    run("Ablation: fit-then-plan fragility", &mut || {
+        experiments::ablation_misfit::emit(fidelity, DEFAULT_SEED).map(drop)
+    })?;
+    run("Ablation: fault injection", &mut || {
+        experiments::ablation_faults::emit(fidelity, DEFAULT_SEED).map(drop)
+    })?;
+    run("Ablation: online adaptive replanning", &mut || {
+        experiments::ablation_adaptive::emit(fidelity, DEFAULT_SEED).map(drop)
+    })?;
+
+    manifest.total_wall_seconds = total.elapsed_secs();
+    manifest.metrics = rsj_obs::global_registry().snapshot();
+    let manifest_path = manifest.write()?;
+
+    if let Some(path) = metrics_out {
+        rsj_obs::write_metrics_file(rsj_obs::global_registry(), &path)?;
+        rsj_obs::info!("metrics exported to {path}");
+    }
+
+    rsj_obs::info!(
+        "all experiments done in {:.1}s; outputs in {}, perf manifest at {}",
+        total.elapsed_secs(),
+        rsj_bench::report::results_dir().display(),
+        manifest_path.display()
     );
     Ok(())
 }

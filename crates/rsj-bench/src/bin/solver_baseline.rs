@@ -1,0 +1,121 @@
+//! Seeds `results/BENCH_solvers.json`: wall-clock baselines for the three
+//! solver families (Brute-Force, discretized DP, exact exponential) over
+//! the Table 1 distributions, plus the instrumented metrics snapshot.
+//!
+//! Future performance PRs diff against this file instead of folklore.
+//! Honours `RSJ_FIDELITY` (`quick` shrinks the grids) and `RSJ_LOG`.
+
+use rsj_bench::perf::PERF_SCHEMA_VERSION;
+use rsj_bench::scenarios::{paper_distributions, Fidelity, EPSILON};
+use rsj_bench::{report, DEFAULT_SEED};
+use rsj_core::heuristics::optimal_discrete;
+use rsj_core::{BruteForce, CostModel, DiscretizedDp, EvalMethod, Strategy};
+use rsj_dist::{discretize, DiscretizationScheme};
+use rsj_obs::{MetricsSnapshot, Stopwatch};
+use serde::{Deserialize, Serialize};
+
+/// One timed solve: which solver, on which distribution, how long.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SolverTiming {
+    solver: String,
+    distribution: String,
+    wall_seconds: f64,
+}
+
+/// The `results/BENCH_solvers.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SolverBaseline {
+    schema_version: u32,
+    fidelity: String,
+    seed: u64,
+    timings: Vec<SolverTiming>,
+    /// Global registry after the run: solver wall-time histograms with
+    /// p50/p95/p99 plus candidate/state counters.
+    metrics: MetricsSnapshot,
+}
+
+fn main() -> std::io::Result<()> {
+    rsj_obs::init_from_env();
+    rsj_obs::set_metrics_enabled(true);
+
+    let fidelity = Fidelity::from_env();
+    let cost = CostModel::reservation_only();
+    let mut timings = Vec::new();
+    let mut time = |solver: &str, distribution: &str, f: &mut dyn FnMut()| {
+        let sw = Stopwatch::start();
+        f();
+        let wall_seconds = sw.elapsed_secs();
+        rsj_obs::info!("{solver} on {distribution}: {wall_seconds:.4}s");
+        timings.push(SolverTiming {
+            solver: solver.into(),
+            distribution: distribution.into(),
+            wall_seconds,
+        });
+    };
+
+    rsj_obs::info!("timing solver baselines at {fidelity:?} fidelity");
+    let brute = BruteForce::new(
+        fidelity.grid(),
+        fidelity.samples(),
+        EvalMethod::Analytic,
+        DEFAULT_SEED,
+    )
+    .expect("valid brute-force parameters");
+    for nd in paper_distributions() {
+        time("brute_force_analytic", nd.name, &mut || {
+            brute
+                .sequence(nd.dist.as_ref(), &cost)
+                .expect("brute force solves the paper distributions");
+        });
+        for (tag, scheme) in [
+            ("dp_equal_time", DiscretizationScheme::EqualTime),
+            (
+                "dp_equal_probability",
+                DiscretizationScheme::EqualProbability,
+            ),
+        ] {
+            let dp = DiscretizedDp::new(scheme, fidelity.discretization(), EPSILON)
+                .expect("valid DP parameters");
+            time(tag, nd.name, &mut || {
+                dp.sequence(nd.dist.as_ref(), &cost)
+                    .expect("DP solves the paper distributions");
+            });
+        }
+    }
+
+    // The closed-form §3.5 optimum only exists for Exponential(1); its
+    // direct DP counterpart at the same discretization gives the
+    // exact-vs-discretized cost of that special case.
+    time("exact_exponential", "Exponential", &mut || {
+        let s1 = rsj_core::exact::exponential::exp_optimal_s1();
+        let c = rsj_core::exact::exponential::exp_optimal_cost(1.0);
+        assert!(s1.is_finite() && c.is_finite());
+    });
+    time("dp_discrete_direct", "Exponential", &mut || {
+        let dist = paper_distributions()
+            .into_iter()
+            .find(|nd| nd.name == "Exponential")
+            .expect("Table 1 has the exponential row");
+        let discrete = discretize(
+            dist.dist.as_ref(),
+            DiscretizationScheme::EqualProbability,
+            fidelity.discretization(),
+            EPSILON,
+        )
+        .expect("discretization succeeds");
+        optimal_discrete(&discrete, &cost).expect("DP solves the discretized exponential");
+    });
+
+    let baseline = SolverBaseline {
+        schema_version: PERF_SCHEMA_VERSION,
+        fidelity: format!("{fidelity:?}"),
+        seed: DEFAULT_SEED,
+        timings,
+        metrics: rsj_obs::global_registry().snapshot(),
+    };
+    let mut body = serde_json::to_string_pretty(&baseline).expect("baseline is serializable");
+    body.push('\n');
+    let path = report::write_result_file("BENCH_solvers.json", &body)?;
+    rsj_obs::info!("solver baseline written to {}", path.display());
+    Ok(())
+}

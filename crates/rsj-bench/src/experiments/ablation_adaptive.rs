@@ -176,7 +176,7 @@ pub fn emit(fidelity: Fidelity, seed: u64) -> std::io::Result<Vec<Row>> {
             r.fallbacks.to_string(),
             r.rejected.to_string(),
             r.censored.to_string(),
-        ]);
+        ])?;
     }
     table.emit(
         "ablation_adaptive",

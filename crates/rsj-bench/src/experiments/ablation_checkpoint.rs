@@ -73,7 +73,7 @@ pub fn emit(fidelity: Fidelity) -> std::io::Result<Vec<Row>> {
     for r in &rows {
         let mut cells = vec![r.distribution.clone(), format!("{:.2}", r.plain)];
         cells.extend(r.checkpointed.iter().map(|&(_, c)| format!("{c:.2}")));
-        table.push_row(cells);
+        table.push_row(cells)?;
     }
     table.emit(
         "ablation_checkpoint",

@@ -145,7 +145,7 @@ pub fn emit(fidelity: Fidelity, seed: u64) -> std::io::Result<Vec<Row>> {
             cells.push(format!("{:.2}", c.inflation_scratch));
             cells.push(format!("{:.2}", c.inflation_checkpointed));
         }
-        table.push_row(cells);
+        table.push_row(cells)?;
     }
     table.emit(
         "ablation_faults",

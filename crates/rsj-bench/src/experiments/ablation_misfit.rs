@@ -69,7 +69,7 @@ pub fn emit(fidelity: Fidelity, seed: u64) -> std::io::Result<Vec<Row>> {
             Some(v) => format!("{v:.3}"),
             None => "-".to_string(),
         }));
-        table.push_row(cells);
+        table.push_row(cells)?;
     }
     table.emit(
         "ablation_misfit",

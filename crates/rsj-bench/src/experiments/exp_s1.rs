@@ -36,17 +36,17 @@ pub fn emit() -> std::io::Result<S1Report> {
         "s1 (optimal first reservation, Exp(1))".to_string(),
         format!("{:.5}", r.s1),
         format!("{:.5}", r.published_s1),
-    ]);
+    ])?;
     table.push_row(vec![
         "E1 (optimal normalized cost)".to_string(),
         format!("{:.5}", r.e1),
         "≈2.36 analytic (2.13 via the paper's N=1000 MC)".to_string(),
-    ]);
+    ])?;
     table.push_row(vec![
         "s1 / mean (≈ three quarters)".to_string(),
         format!("{:.3}", r.s1),
         "0.742".to_string(),
-    ]);
+    ])?;
     for (i, s) in r.sequence.iter().enumerate() {
         table.push_row(vec![
             format!("s{}", i + 1),
@@ -56,7 +56,7 @@ pub fn emit() -> std::io::Result<S1Report> {
             } else {
                 "-".to_string()
             },
-        ]);
+        ])?;
     }
     table.emit(
         "exp_s1",

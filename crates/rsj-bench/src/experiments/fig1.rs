@@ -23,7 +23,7 @@ pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<FitReport> {
 }
 
 /// Renders the fit table.
-pub fn render(reports: &[FitReport]) -> Table {
+pub fn render(reports: &[FitReport]) -> Result<Table, crate::report::ReportError> {
     let mut table = Table::new(vec![
         "Application",
         "runs",
@@ -46,15 +46,15 @@ pub fn render(reports: &[FitReport]) -> Table {
             format!("{:.4}", r.ks_statistic),
             format!("{:.4}", r.ks_threshold_1pct),
             r.acceptable().to_string(),
-        ]);
+        ])?;
     }
-    table
+    Ok(table)
 }
 
 /// Runs the experiment and writes `results/fig1.{md,csv}`.
 pub fn emit(fidelity: Fidelity, seed: u64) -> std::io::Result<Vec<FitReport>> {
     let reports = compute(fidelity, seed);
-    render(&reports).emit(
+    render(&reports)?.emit(
         "fig1",
         "Figure 1 — LogNormal fits of the synthetic neuroscience archives (VBMQA target: mu=7.1128, sigma=0.2039, mean=1253.37s)",
     )?;

@@ -92,7 +92,7 @@ pub fn emit(fidelity: Fidelity, seed: u64) -> std::io::Result<Fig2Result> {
             format!("{:.3}", a.fit.r_squared),
             "0.95".to_string(),
             "1.05".to_string(),
-        ]);
+        ])?;
         let cm = cost_model_from_queue(a);
         println!(
             "{} procs → NeuroHPC cost model: alpha={:.3}, beta=1, gamma={:.3} (utilization {:.2})",

@@ -77,7 +77,7 @@ pub fn emit(fidelity: Fidelity, seed: u64) -> std::io::Result<Vec<Panel>> {
             valid.len().to_string(),
             format!("{:.3}", best.t1),
             format!("{:.3}", best.normalized_cost.expect("valid")),
-        ]);
+        ])?;
     }
     summary.emit(
         "fig3_summary",

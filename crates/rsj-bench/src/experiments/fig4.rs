@@ -71,7 +71,7 @@ pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Row> {
 }
 
 /// Renders the sweep as a long-format table.
-pub fn render(rows: &[Row]) -> Table {
+pub fn render(rows: &[Row]) -> Result<Table, crate::report::ReportError> {
     let mut header = vec!["mean x".to_string(), "std x".to_string()];
     if let Some(first) = rows.first() {
         header.extend(first.costs.iter().map(|(n, _)| n.clone()));
@@ -80,15 +80,15 @@ pub fn render(rows: &[Row]) -> Table {
     for r in rows {
         let mut cells = vec![format!("{}", r.mean_factor), format!("{}", r.std_factor)];
         cells.extend(r.costs.iter().map(|(_, c)| fmt_ratio(*c)));
-        table.push_row(cells);
+        table.push_row(cells)?;
     }
-    table
+    Ok(table)
 }
 
 /// Runs the experiment and writes `results/fig4.{md,csv}`.
 pub fn emit(fidelity: Fidelity, seed: u64) -> std::io::Result<Vec<Row>> {
     let rows = compute(fidelity, seed);
-    render(&rows).emit(
+    render(&rows)?.emit(
         "fig4",
         "Figure 4 — NeuroHPC normalized costs (LogNormal VBMQA, α=0.95, β=1, γ=1.05h), moments scaled",
     )?;

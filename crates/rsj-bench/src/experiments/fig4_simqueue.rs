@@ -69,7 +69,7 @@ pub fn emit(fidelity: Fidelity, seed: u64) -> std::io::Result<SimQueueFig4> {
         result.cost.alpha, result.cost.gamma
     )];
     cells.extend(result.costs.iter().map(|(_, c)| fmt_ratio(*c)));
-    table.push_row(cells);
+    table.push_row(cells)?;
     table.emit(
         "fig4_simqueue",
         "Figure 4 variant — NeuroHPC under the cost model fitted from OUR simulated queue (cross-substrate robustness)",

@@ -51,7 +51,7 @@ pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Row> {
 
 /// Renders the paper's layout: each non-brute-force column shows the
 /// normalized cost with its ratio to Brute-Force in brackets.
-pub fn render(rows: &[Row]) -> Table {
+pub fn render(rows: &[Row]) -> Result<Table, crate::report::ReportError> {
     let mut header = vec!["Distribution".to_string()];
     if let Some(first) = rows.first() {
         header.extend(first.costs.iter().map(|(n, _)| n.clone()));
@@ -70,15 +70,15 @@ pub fn render(rows: &[Row]) -> Table {
                 }
             }
         }
-        table.push_row(cells);
+        table.push_row(cells)?;
     }
-    table
+    Ok(table)
 }
 
 /// Runs the experiment and writes `results/table2.{md,csv}`.
 pub fn emit(fidelity: Fidelity, seed: u64) -> std::io::Result<Vec<Row>> {
     let rows = compute(fidelity, seed);
-    render(&rows).emit(
+    render(&rows)?.emit(
         "table2",
         "Table 2 — normalized expected costs, RESERVATIONONLY (values in brackets: vs Brute-Force)",
     )?;
@@ -155,7 +155,7 @@ mod tests {
     #[test]
     fn render_shape() {
         let rows = compute(Fidelity::Quick, 7);
-        let t = render(&rows);
+        let t = render(&rows).unwrap();
         assert_eq!(t.len(), 9);
         let md = t.to_markdown();
         assert!(md.contains("Brute-Force"));

@@ -58,7 +58,7 @@ pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Row> {
 }
 
 /// Renders the paper's layout.
-pub fn render(rows: &[Row]) -> Table {
+pub fn render(rows: &[Row]) -> Result<Table, crate::report::ReportError> {
     let mut header = vec!["Distribution".to_string(), "t1_bf (cost)".to_string()];
     header.extend(QUANTILES.iter().map(|q| format!("Q({q})")));
     let mut table = Table::new(header);
@@ -73,15 +73,15 @@ pub fn render(rows: &[Row]) -> Table {
                 None => cells.push(format!("{t1:.2} (-)")),
             }
         }
-        table.push_row(cells);
+        table.push_row(cells)?;
     }
-    table
+    Ok(table)
 }
 
 /// Runs the experiment and writes `results/table3.{md,csv}`.
 pub fn emit(fidelity: Fidelity, seed: u64) -> std::io::Result<Vec<Row>> {
     let rows = compute(fidelity, seed);
-    render(&rows).emit(
+    render(&rows)?.emit(
         "table3",
         "Table 3 — Brute-Force best t1 vs quantile probes, RESERVATIONONLY ('-' = invalid sequence)",
     )?;

@@ -65,7 +65,7 @@ pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Row> {
 }
 
 /// Renders the paper's (wide) layout.
-pub fn render(rows: &[Row]) -> Table {
+pub fn render(rows: &[Row]) -> Result<Table, crate::report::ReportError> {
     let sweep: Vec<usize> = rows
         .first()
         .map(|r| r.equal_time.iter().map(|&(n, _)| n).collect())
@@ -82,15 +82,15 @@ pub fn render(rows: &[Row]) -> Table {
         let mut cells = vec![row.distribution.clone()];
         cells.extend(row.equal_time.iter().map(|&(_, c)| fmt_ratio(c)));
         cells.extend(row.equal_probability.iter().map(|&(_, c)| fmt_ratio(c)));
-        table.push_row(cells);
+        table.push_row(cells)?;
     }
-    table
+    Ok(table)
 }
 
 /// Runs the experiment and writes `results/table4.{md,csv}`.
 pub fn emit(fidelity: Fidelity, seed: u64) -> std::io::Result<Vec<Row>> {
     let rows = compute(fidelity, seed);
-    render(&rows).emit(
+    render(&rows)?.emit(
         "table4",
         "Table 4 — discretization-based heuristics vs number of samples n (ET = Equal-time, EP = Equal-probability)",
     )?;

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod scenarios;
 

@@ -1,0 +1,117 @@
+//! The performance manifest: wall-time per experiment plus the full
+//! metrics snapshot (solver counters, per-batch histograms), written by
+//! `run_all` to `results/perf_manifest.json` so solver performance is a
+//! tracked artifact rather than folklore.
+
+use rsj_obs::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Bumped when the manifest layout changes incompatibly.
+pub const PERF_SCHEMA_VERSION: u32 = 1;
+
+fn default_schema_version() -> u32 {
+    PERF_SCHEMA_VERSION
+}
+
+/// Wall time of one experiment step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentTiming {
+    /// Step name as shown in the run log (e.g. `"Table 2"`).
+    pub name: String,
+    /// Wall-clock seconds the step took.
+    pub wall_seconds: f64,
+}
+
+/// The `results/perf_manifest.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfManifest {
+    /// Layout version ([`PERF_SCHEMA_VERSION`]).
+    #[serde(default = "default_schema_version")]
+    pub schema_version: u32,
+    /// `"Quick"` or `"Paper"` — the fidelity the suite ran at.
+    pub fidelity: String,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Whole-suite wall-clock seconds.
+    pub total_wall_seconds: f64,
+    /// Per-step timings, in execution order.
+    #[serde(default)]
+    pub experiments: Vec<ExperimentTiming>,
+    /// The global registry at the end of the run: solver wall-time
+    /// histograms (p50/p95/p99), candidate/state counters, per-batch
+    /// fault/refit counters.
+    #[serde(default)]
+    pub metrics: MetricsSnapshot,
+}
+
+impl PerfManifest {
+    /// An empty manifest for a run at `fidelity` with `seed`.
+    pub fn new(fidelity: impl Into<String>, seed: u64) -> Self {
+        Self {
+            schema_version: PERF_SCHEMA_VERSION,
+            fidelity: fidelity.into(),
+            seed,
+            total_wall_seconds: 0.0,
+            experiments: Vec::new(),
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    /// Records one finished step.
+    pub fn push_step(&mut self, name: impl Into<String>, wall_seconds: f64) {
+        self.experiments.push(ExperimentTiming {
+            name: name.into(),
+            wall_seconds,
+        });
+    }
+
+    /// Pretty JSON (round-trip-exact floats, same convention as the
+    /// metrics exporters).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest is serializable")
+    }
+
+    /// Writes the manifest to `results/perf_manifest.json` (honouring
+    /// `RSJ_RESULTS_DIR`) and returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let mut body = self.to_json();
+        body.push('\n');
+        crate::report::write_result_file("perf_manifest.json", &body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfManifest {
+        let mut m = PerfManifest::new("Quick", 7);
+        m.push_step("Table 2", 1.25);
+        m.push_step("Figure 3", 0.5);
+        m.total_wall_seconds = 1.75;
+        let reg = rsj_obs::Registry::new();
+        reg.counter("rsj_core_dp_solves_total").add(3);
+        reg.histogram("rsj_core_dp_wall_seconds").observe(0.125);
+        m.metrics = reg.snapshot();
+        m
+    }
+
+    #[test]
+    fn json_round_trips_bit_for_bit() {
+        let m = sample();
+        let json = m.to_json();
+        let back: PerfManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn old_manifest_without_new_fields_still_parses() {
+        let json = r#"{"fidelity": "Paper", "seed": 1, "total_wall_seconds": 9.5}"#;
+        let m: PerfManifest = serde_json::from_str(json).unwrap();
+        assert_eq!(m.schema_version, PERF_SCHEMA_VERSION);
+        assert!(m.experiments.is_empty());
+        assert!(m.metrics.is_empty());
+    }
+}

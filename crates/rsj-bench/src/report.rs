@@ -5,6 +5,45 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+/// Errors from assembling a report table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// A row's cell count does not match the header's column count.
+    RowWidthMismatch {
+        /// Number of header columns.
+        expected: usize,
+        /// Number of cells in the offending row.
+        got: usize,
+        /// Index the row would have had.
+        row_index: usize,
+    },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::RowWidthMismatch {
+                expected,
+                got,
+                row_index,
+            } => write!(
+                f,
+                "row {row_index} has {got} cells but the header has {expected} columns"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+/// Lets experiment binaries whose `emit` returns `io::Result` propagate
+/// table-shape errors with `?`.
+impl From<ReportError> for std::io::Error {
+    fn from(e: ReportError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, e)
+    }
+}
+
 /// Where experiment outputs go: `$RSJ_RESULTS_DIR` or `./results`.
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("RSJ_RESULTS_DIR").unwrap_or_else(|_| "results".into());
@@ -37,15 +76,20 @@ impl Table {
         }
     }
 
-    /// Appends a row; its length must match the header.
-    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+    /// Appends a row; errors when its length does not match the header
+    /// (a malformed experiment result must surface as a reportable error,
+    /// not a panic deep inside a long run).
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) -> Result<(), ReportError> {
         let row: Vec<String> = row.into_iter().map(Into::into).collect();
-        assert_eq!(
-            row.len(),
-            self.header.len(),
-            "row width must match header width"
-        );
+        if row.len() != self.header.len() {
+            return Err(ReportError::RowWidthMismatch {
+                expected: self.header.len(),
+                got: row.len(),
+                row_index: self.rows.len(),
+            });
+        }
         self.rows.push(row);
+        Ok(())
     }
 
     /// Number of data rows.
@@ -154,7 +198,7 @@ mod tests {
     #[test]
     fn markdown_rendering() {
         let mut t = Table::new(vec!["a", "b"]);
-        t.push_row(vec!["1", "2.50"]);
+        t.push_row(vec!["1", "2.50"]).unwrap();
         let md = t.to_markdown();
         assert!(md.contains("| a | b"), "{md}");
         assert!(md.contains("| 1 | 2.50 |"), "{md}");
@@ -164,15 +208,27 @@ mod tests {
     #[test]
     fn csv_quotes_commas() {
         let mut t = Table::new(vec!["name", "v"]);
-        t.push_row(vec!["a,b", "1"]);
+        t.push_row(vec!["a,b", "1"]).unwrap();
         assert!(t.to_csv().contains("\"a,b\",1"));
     }
 
     #[test]
-    #[should_panic(expected = "row width")]
-    fn row_width_checked() {
+    fn row_width_mismatch_is_a_typed_error() {
         let mut t = Table::new(vec!["a", "b"]);
-        t.push_row(vec!["only-one"]);
+        let err = t.push_row(vec!["only-one"]).unwrap_err();
+        assert_eq!(
+            err,
+            ReportError::RowWidthMismatch {
+                expected: 2,
+                got: 1,
+                row_index: 0,
+            }
+        );
+        assert!(err.to_string().contains("2 columns"));
+        assert!(t.is_empty(), "failed row must not be committed");
+        // And it converts into io::Error for `?` in emit() pipelines.
+        let io: std::io::Error = err.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -32,7 +32,13 @@ USAGE:
     rsj fit      --csv <traces.csv>       fit a LogNormal per application
     rsj simulate --config <sim.json>      simulate a batch queue (Figure 2)
 
-Every command also accepts `--json` for machine-readable output.
+Every command also accepts:
+    --json                  machine-readable output
+    --log-level <level>     stderr verbosity: error|warn|info|debug|trace|off
+                            (default warn; `RSJ_LOG` is honoured too)
+    --metrics-out <path>    export solver/simulator metrics after the run
+                            (Prometheus text, or JSON when <path> ends in .json)
+
 Configuration schemas are documented in the rsj-cli crate docs; a minimal
 plan.json:
 

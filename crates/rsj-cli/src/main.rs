@@ -23,6 +23,21 @@ fn main() -> ExitCode {
     };
     let json = args.iter().any(|a| a == "--json");
 
+    // Observability flags, accepted by every command. `--log-level`
+    // overrides `RSJ_LOG`; without either the CLI stays quiet (warnings
+    // and errors only) so stdout/stderr remain script-friendly.
+    match flag_value(&args, "--log-level") {
+        Some(spec) => match rsj_obs::parse_filter(&spec) {
+            Ok(level) => rsj_obs::init(level),
+            Err(e) => return fail(&format!("invalid --log-level: {e}")),
+        },
+        None => rsj_obs::init_from_env_default(Some(rsj_obs::Level::Warn)),
+    }
+    let metrics_out = flag_value(&args, "--metrics-out");
+    if metrics_out.is_some() {
+        rsj_obs::set_metrics_enabled(true);
+    }
+
     let result = match command.as_str() {
         "plan" | "risk" | "evaluate" | "simulate" => {
             let Some(path) = flag_value(&args, "--config") else {
@@ -66,6 +81,12 @@ fn main() -> ExitCode {
     match result {
         Ok(out) => {
             print!("{out}");
+            if let Some(path) = &metrics_out {
+                if let Err(e) = rsj_obs::write_metrics_file(rsj_obs::global_registry(), path) {
+                    return fail(&format!("cannot write metrics to {path}: {e}"));
+                }
+                rsj_obs::info!("metrics exported to {path}");
+            }
             ExitCode::SUCCESS
         }
         Err(msg) => fail(&msg),

@@ -64,7 +64,10 @@ fn e1_with_restart(s1: f64, s1_ref: f64, e1_ref: f64) -> f64 {
 fn optimal_pair() -> (f64, f64) {
     static PAIR: OnceLock<(f64, f64)> = OnceLock::new();
     *PAIR.get_or_init(|| {
+        let _wall = rsj_obs::ScopedTimer::global("rsj_core_exact_exp_wall_seconds");
+        let _span = rsj_obs::span!("exact.exp_optimal_pair");
         let (mut s1, mut e1) = (0.75, 2.37); // coarse §3.5 guesses
+        let mut evals: u64 = 0;
         for _ in 0..6 {
             // Grid scan: E(S) has small jumps where the breakdown depth
             // changes, so a fine scan is more robust than golden section.
@@ -77,6 +80,7 @@ fn optimal_pair() -> (f64, f64) {
                     best = (v, cand);
                 }
             }
+            evals += n as u64 + 1;
             let converged = (best.1 - s1).abs() < 1e-9 && (best.0 - e1).abs() < 1e-9;
             s1 = best.1;
             e1 = best.0;
@@ -84,6 +88,12 @@ fn optimal_pair() -> (f64, f64) {
                 break;
             }
         }
+        if rsj_obs::metrics_enabled() {
+            rsj_obs::global_registry()
+                .counter("rsj_core_exact_exp_grid_evals_total")
+                .add(evals);
+        }
+        rsj_obs::debug!("exact exponential optimum: s1 {s1:.6}, E1 {e1:.6} ({evals} grid evals)");
         (s1, e1)
     })
 }

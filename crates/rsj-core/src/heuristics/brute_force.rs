@@ -170,8 +170,18 @@ impl BruteForce {
         dist: &dyn ContinuousDistribution,
         cost: &CostModel,
     ) -> Result<BruteForceResult> {
+        let _wall = rsj_obs::ScopedTimer::global("rsj_core_brute_force_wall_seconds");
+        let _span = rsj_obs::span!("brute_force.best");
         let sweep = self.sweep(dist, cost);
         let valid_candidates = sweep.iter().filter(|p| p.normalized_cost.is_some()).count();
+        if rsj_obs::metrics_enabled() {
+            let reg = rsj_obs::global_registry();
+            reg.counter("rsj_core_brute_force_solves_total").inc();
+            reg.counter("rsj_core_brute_force_candidates_total")
+                .add(sweep.len() as u64);
+            reg.counter("rsj_core_brute_force_valid_candidates_total")
+                .add(valid_candidates as u64);
+        }
         let best = sweep
             .iter()
             .filter_map(|p| p.normalized_cost.map(|c| (p.t1, c)))
@@ -179,6 +189,14 @@ impl BruteForce {
             .ok_or(CoreError::NoValidCandidate)?;
         let sequence = sequence_from_t1(dist, cost, best.0, &self.config)?;
         let omniscient = cost.omniscient(dist);
+        rsj_obs::debug!(
+            "brute-force on {}: t1 {:.6}, normalized cost {:.6}, {}/{} valid candidates",
+            dist.name(),
+            best.0,
+            best.1,
+            valid_candidates,
+            self.m
+        );
         Ok(BruteForceResult {
             t1: best.0,
             sequence,

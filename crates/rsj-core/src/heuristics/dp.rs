@@ -32,6 +32,8 @@ pub struct DpSolution {
 
 /// Solves STOCHASTIC exactly for a discrete distribution (Theorem 5).
 pub fn optimal_discrete(dist: &DiscreteDistribution, cost: &CostModel) -> Result<DpSolution> {
+    let _wall = rsj_obs::ScopedTimer::global("rsj_core_dp_wall_seconds");
+    let _span = rsj_obs::span!("dp.optimal_discrete");
     let v = dist.values();
     let f = dist.probs();
     let n = v.len();
@@ -75,6 +77,20 @@ pub fn optimal_discrete(dist: &DiscreteDistribution, cost: &CostModel) -> Result
     if values.is_empty() {
         return Err(CoreError::EmptySequence);
     }
+    if rsj_obs::metrics_enabled() {
+        let reg = rsj_obs::global_registry();
+        reg.counter("rsj_core_dp_solves_total").inc();
+        reg.counter("rsj_core_dp_states_total").add(n as u64);
+        // The O(n²) inner minimization: Σ_{i} (n - i) transitions.
+        reg.counter("rsj_core_dp_transitions_total")
+            .add((n as u64 * (n as u64 + 1)) / 2);
+    }
+    rsj_obs::debug!(
+        "dp solved {} states: cost {:.6}, {} reservations",
+        n,
+        w[0] / s[0],
+        values.len()
+    );
     Ok(DpSolution {
         expected_cost: w[0] / s[0],
         values,

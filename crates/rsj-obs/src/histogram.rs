@@ -1,0 +1,320 @@
+//! A mergeable log-linear-bucket histogram for non-negative samples
+//! (latencies, costs, counts).
+//!
+//! Values are bucketed by binary exponent with [`SUBBUCKETS`] linear
+//! subdivisions per power of two, so any quantile estimate carries at most
+//! `1/SUBBUCKETS` (~3%) relative error while the memory footprint stays
+//! bounded by the sample *range*, not the sample *count*. Bucket counts are
+//! integers, which makes [`Histogram::merge`] exactly associative and
+//! commutative — per-shard histograms can be combined in any order and
+//! yield identical quantiles (the floating-point `sum` is the only
+//! order-sensitive field, and only in its last ulp).
+
+use std::collections::BTreeMap;
+
+/// Linear subdivisions per power of two. 32 bounds the relative quantile
+/// error by 1/32 ≈ 3.1%.
+pub const SUBBUCKETS: usize = 32;
+
+/// Smallest/largest binary exponents tracked; values beyond are clamped
+/// into the edge buckets. `2^-64 ≈ 5e-20` and `2^64 ≈ 1.8e19` cover every
+/// quantity this workspace measures (seconds, costs, counts).
+const MIN_EXP: i32 = -64;
+const MAX_EXP: i32 = 64;
+
+/// A mergeable log-linear histogram. See the module docs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    /// Bucket counts keyed by binary exponent; each entry holds
+    /// [`SUBBUCKETS`] linear sub-bucket counts for `[2^e, 2^{e+1})`.
+    buckets: BTreeMap<i32, Vec<u64>>,
+    /// Samples `<= 0` (a separate bucket: log buckets cannot hold them).
+    zero: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: BTreeMap::new(),
+            zero: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample. Non-finite values are dropped (they carry no
+    /// position on the bucket axis); zero and negative values land in a
+    /// dedicated underflow bucket.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value <= 0.0 {
+            self.zero += 1;
+            return;
+        }
+        let (exp, sub) = bucket_of(value);
+        self.buckets
+            .entry(exp)
+            .or_insert_with(|| vec![0; SUBBUCKETS])[sub] += 1;
+    }
+
+    /// Records every sample in `values`.
+    pub fn record_all(&mut self, values: &[f64]) {
+        for &v in values {
+            self.record(v);
+        }
+    }
+
+    /// Number of recorded (finite) samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the buckets.
+    ///
+    /// Returns 0 for an empty histogram. The estimate is the midpoint of
+    /// the bucket containing the rank-`⌈q·n⌉` sample, clamped to the exact
+    /// observed `[min, max]`, so the relative error is bounded by half a
+    /// bucket width (≤ 1/[`SUBBUCKETS`]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = self.zero;
+        if rank <= seen {
+            // The rank falls among zero/negative samples; min is exact for
+            // the common all-non-negative case.
+            return self.min.min(0.0);
+        }
+        for (&exp, subs) in &self.buckets {
+            for (i, &c) in subs.iter().enumerate() {
+                seen += c;
+                if rank <= seen {
+                    let lower = exp2(exp) * (1.0 + i as f64 / SUBBUCKETS as f64);
+                    let upper = exp2(exp) * (1.0 + (i + 1) as f64 / SUBBUCKETS as f64);
+                    return (0.5 * (lower + upper)).clamp(self.min, self.max);
+                }
+            }
+        }
+        self.max
+    }
+
+    /// The median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// The 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Adds every bucket of `other` into `self`. Exactly associative and
+    /// commutative on counts/min/max (see the module docs).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.zero += other.zero;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (&exp, subs) in &other.buckets {
+            let mine = self
+                .buckets
+                .entry(exp)
+                .or_insert_with(|| vec![0; SUBBUCKETS]);
+            for (m, &s) in mine.iter_mut().zip(subs) {
+                *m += s;
+            }
+        }
+    }
+
+    /// The non-empty buckets as `(lower, upper, count)` triples in
+    /// ascending order, with the underflow bucket (values ≤ 0) first as
+    /// `(0, 0, n)` when present. This is the exporters' view.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, f64, u64)> {
+        let mut out = Vec::new();
+        if self.zero > 0 {
+            out.push((0.0, 0.0, self.zero));
+        }
+        for (&exp, subs) in &self.buckets {
+            for (i, &c) in subs.iter().enumerate() {
+                if c > 0 {
+                    let lower = exp2(exp) * (1.0 + i as f64 / SUBBUCKETS as f64);
+                    let upper = exp2(exp) * (1.0 + (i + 1) as f64 / SUBBUCKETS as f64);
+                    out.push((lower, upper, c));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `2^exp` without `f64::powi`'s libm dependency question marks.
+fn exp2(exp: i32) -> f64 {
+    (exp as f64).exp2()
+}
+
+/// Maps a positive finite value to its (exponent, sub-bucket) pair.
+fn bucket_of(value: f64) -> (i32, usize) {
+    debug_assert!(value > 0.0 && value.is_finite());
+    // The IEEE-754 exponent field gives floor(log2) exactly for normal
+    // values — no rounding trouble at powers of two.
+    let bits = value.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i32;
+    let exp = if raw_exp == 0 {
+        MIN_EXP // subnormal: clamp into the lowest tracked decade
+    } else {
+        (raw_exp - 1023).clamp(MIN_EXP, MAX_EXP)
+    };
+    let lower = exp2(exp);
+    let frac = (value / lower - 1.0).clamp(0.0, 1.0 - f64::EPSILON);
+    let sub = ((frac * SUBBUCKETS as f64) as usize).min(SUBBUCKETS - 1);
+    (exp, sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn exact_on_powers_of_two() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(4.0);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 4.0);
+        assert_eq!(h.max(), 4.0);
+        // Single-bucket histograms clamp to [min, max]: exact.
+        assert_eq!(h.p50(), 4.0);
+        assert_eq!(h.p99(), 4.0);
+    }
+
+    #[test]
+    fn zero_and_negative_land_in_underflow() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(1.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), -3.0);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets[0], (0.0, 0.0, 2));
+    }
+
+    #[test]
+    fn non_finite_is_dropped() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        let samples: Vec<f64> = (1..=10_000).map(|i| i as f64 / 100.0).collect();
+        h.record_all(&samples);
+        for q in [0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            let exact = samples[((q * samples.len() as f64).ceil() as usize).max(1) - 1];
+            let est = h.quantile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(rel <= 1.0 / SUBBUCKETS as f64, "q={q}: {est} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let a_samples: Vec<f64> = (1..500).map(|i| (i as f64).sqrt()).collect();
+        let b_samples: Vec<f64> = (1..800).map(|i| (i as f64) * 0.17).collect();
+        let mut merged = Histogram::new();
+        merged.record_all(&a_samples);
+        merged.record_all(&b_samples);
+        let mut a = Histogram::new();
+        a.record_all(&a_samples);
+        let mut b = Histogram::new();
+        b.record_all(&b_samples);
+        a.merge(&b);
+        assert_eq!(a.count(), merged.count());
+        assert_eq!(a.min(), merged.min());
+        assert_eq!(a.max(), merged.max());
+        assert_eq!(a.nonzero_buckets(), merged.nonzero_buckets());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), merged.quantile(q));
+        }
+    }
+
+    #[test]
+    fn extreme_values_clamp_into_edge_buckets() {
+        let mut h = Histogram::new();
+        h.record(1e-300);
+        h.record(1e300);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 1e-300);
+        assert_eq!(h.max(), 1e300);
+        // Quantiles stay within the observed range despite clamping.
+        assert!(h.p50() >= 1e-300 && h.p50() <= 1e300);
+    }
+}

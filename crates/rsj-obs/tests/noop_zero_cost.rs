@@ -1,0 +1,106 @@
+//! The zero-cost guarantee, asserted: with no subscriber installed and
+//! metrics disabled, instrumented code paths allocate nothing, print
+//! nothing, and record nothing.
+
+use rsj_obs::{Level, MemorySink, NoopRecorder, Recorder, ScopedTimer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Subscriber/metrics state is process-global; the tests in this file
+/// serialize on this lock so they cannot observe each other's setup.
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+/// Counts allocations so tests can assert a region performed none.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A stand-in for an instrumented hot path: spans, leveled events with
+/// formatting arguments, a scoped timer and recorder calls.
+fn instrumented_work(recorder: &impl Recorder, iterations: u64) -> f64 {
+    let _timer = ScopedTimer::global("noop_test_wall_seconds");
+    let _span = rsj_obs::span!("noop_test");
+    let mut acc = 0.0;
+    for i in 0..iterations {
+        // Formatting here would allocate; the macros must skip it.
+        rsj_obs::debug!("iteration {} acc {}", i, acc);
+        rsj_obs::trace!("fine-grained {}", i);
+        acc += (i as f64).sqrt();
+        recorder.observe("noop_test_values", acc);
+    }
+    recorder.add("noop_test_iterations", iterations);
+    acc
+}
+
+#[test]
+fn disabled_observability_does_not_allocate_or_record() {
+    let _guard = GLOBAL_STATE.lock().unwrap();
+    // Process-global state: make the disabled state explicit rather than
+    // assuming test ordering.
+    rsj_obs::init(None);
+    rsj_obs::set_metrics_enabled(false);
+
+    // Warm up once so lazily initialized runtime structures (thread-local
+    // registration, etc.) don't count against the measured region.
+    std::hint::black_box(instrumented_work(&NoopRecorder, 10));
+
+    let before = allocations();
+    let result = std::hint::black_box(instrumented_work(&NoopRecorder, 10_000));
+    let after = allocations();
+
+    assert!(result > 0.0);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled instrumentation must not allocate"
+    );
+    assert!(
+        !rsj_obs::global_registry()
+            .names()
+            .iter()
+            .any(|n| n.starts_with("noop_test")),
+        "disabled instrumentation must not create metrics"
+    );
+}
+
+#[test]
+fn disabled_tracing_emits_nothing_to_a_sink_installed_later() {
+    let _guard = GLOBAL_STATE.lock().unwrap();
+    // Events emitted while disabled are gone: installing a sink afterwards
+    // must observe an empty world, proving nothing was buffered.
+    rsj_obs::init(None);
+    std::hint::black_box(instrumented_work(&NoopRecorder, 100));
+
+    let sink = Arc::new(MemorySink::new(Level::Trace));
+    rsj_obs::set_subscriber(sink.clone());
+    assert!(sink.events().is_empty());
+    assert!(sink.span_exits().is_empty());
+
+    // And with the sink live, the same code does report.
+    std::hint::black_box(instrumented_work(&NoopRecorder, 3));
+    assert!(!sink.events().is_empty(), "live sink must receive events");
+    assert!(
+        !sink.span_exits().is_empty(),
+        "live sink must receive span exits"
+    );
+    rsj_obs::clear_subscriber();
+}

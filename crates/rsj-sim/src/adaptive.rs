@@ -319,6 +319,8 @@ pub fn run_adaptive(
         return Err(SimError::EmptyBatch);
     }
     config.validate()?;
+    let _wall = rsj_obs::ScopedTimer::global("rsj_sim_adaptive_wall_seconds");
+    let _span = rsj_obs::span!("sim.run_adaptive");
     let mut injector = FaultInjector::new(&config.resilience.faults)?;
     let mut plan = strategy
         .sequence(prior, cost)
@@ -423,6 +425,15 @@ pub fn run_adaptive(
         } else {
             rejected += 1;
         }
+        rsj_obs::debug!(
+            "refit after {} jobs: accepted {}, replanned {}, fallback {}, model {}, ratio {:.4}",
+            j + 1,
+            accepted,
+            replanned,
+            fallback,
+            current_model_name,
+            total_cost / oracle_total
+        );
         refits.push(RefitRecord {
             after_jobs: j + 1,
             accepted,
@@ -431,6 +442,28 @@ pub fn run_adaptive(
             model: current_model_name.clone(),
             mean_ratio_so_far: total_cost / oracle_total,
         });
+    }
+
+    if rsj_obs::metrics_enabled() {
+        let reg = rsj_obs::global_registry();
+        reg.counter("rsj_sim_adaptive_runs_total").inc();
+        reg.counter("rsj_sim_adaptive_replans_total")
+            .add(replans as u64);
+        reg.counter("rsj_sim_adaptive_rejected_refits_total")
+            .add(rejected as u64);
+        reg.counter("rsj_sim_adaptive_fallbacks_total")
+            .add(fallbacks as u64);
+        reg.counter("rsj_sim_adaptive_censored_total")
+            .add(censored_count as u64);
+        reg.counter("rsj_sim_adaptive_gave_up_total")
+            .add(gave_up as u64);
+        // Hysteresis holds: the refit was accepted as the working model
+        // but the improvement did not clear the replan threshold.
+        let holds = refits.iter().filter(|r| r.accepted && !r.replanned).count();
+        reg.counter("rsj_sim_adaptive_hysteresis_holds_total")
+            .add(holds as u64);
+        reg.histogram("rsj_sim_adaptive_cost_ratio")
+            .observe(total_cost / oracle_total);
     }
 
     Ok(AdaptiveReport {

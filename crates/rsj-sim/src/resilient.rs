@@ -266,12 +266,15 @@ pub fn run_batch_resilient(
         return Err(SimError::EmptyBatch);
     }
     config.validate()?;
+    let _wall = rsj_obs::ScopedTimer::global("rsj_sim_batch_wall_seconds");
+    let _span = rsj_obs::span!("sim.run_batch_resilient");
     let mut injector = FaultInjector::new(&config.faults)?;
     let mut outcomes = Vec::with_capacity(n);
     let mut failures = 0usize;
     let mut restarts = 0usize;
     let mut gave_up = 0usize;
     let mut rework = 0.0;
+    let mut rework_hist = rsj_obs::Histogram::new();
     for _ in 0..n {
         let r = run_job_resilient(seq, cost, config, dist.sample(rng), &mut injector);
         failures += r.failures;
@@ -280,6 +283,7 @@ pub fn run_batch_resilient(
         restarts += r.failures - usize::from(!r.completed);
         gave_up += usize::from(!r.completed);
         rework += r.rework_time;
+        rework_hist.record(r.rework_time);
         outcomes.push(r.outcome);
     }
     let mut stats = aggregate(&outcomes)?;
@@ -287,6 +291,23 @@ pub fn run_batch_resilient(
     stats.restarts = restarts;
     stats.mean_rework = rework / n as f64;
     stats.gave_up = gave_up;
+    crate::runner::record_batch_metrics(&outcomes, &stats);
+    if rsj_obs::metrics_enabled() {
+        let reg = rsj_obs::global_registry();
+        reg.counter("rsj_sim_faults_total").add(failures as u64);
+        reg.counter("rsj_sim_restarts_total").add(restarts as u64);
+        reg.counter("rsj_sim_gave_up_total").add(gave_up as u64);
+        reg.histogram("rsj_sim_job_rework").merge_from(&rework_hist);
+    }
+    if failures > 0 {
+        rsj_obs::debug!(
+            "resilient batch: {} jobs, {} faults, {} restarts, {} gave up",
+            n,
+            failures,
+            restarts,
+            gave_up
+        );
+    }
     Ok(stats)
 }
 

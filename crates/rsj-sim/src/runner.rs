@@ -61,10 +61,41 @@ pub fn run_batch(
     if n == 0 {
         return Err(SimError::EmptyBatch);
     }
+    let _wall = rsj_obs::ScopedTimer::global("rsj_sim_batch_wall_seconds");
+    let _span = rsj_obs::span!("sim.run_batch");
     let outcomes: Vec<RunOutcome> = (0..n)
         .map(|_| run_job(seq, cost, dist.sample(rng)))
         .collect();
-    aggregate(&outcomes)
+    let stats = aggregate(&outcomes)?;
+    record_batch_metrics(&outcomes, &stats);
+    Ok(stats)
+}
+
+/// Feeds one batch's outcomes into the global metrics registry: per-job
+/// cost and reservation-count histograms (accumulated locally, merged
+/// under one lock — the shard pattern) plus batch-level counters. No-op
+/// unless metrics are enabled.
+pub(crate) fn record_batch_metrics(outcomes: &[RunOutcome], stats: &BatchStats) {
+    if !rsj_obs::metrics_enabled() {
+        return;
+    }
+    let mut cost_hist = rsj_obs::Histogram::new();
+    let mut reservations_hist = rsj_obs::Histogram::new();
+    let mut waste_hist = rsj_obs::Histogram::new();
+    for o in outcomes {
+        cost_hist.record(o.cost);
+        reservations_hist.record(o.reservations as f64);
+        waste_hist.record(o.wasted_time);
+    }
+    let reg = rsj_obs::global_registry();
+    reg.counter("rsj_sim_batches_total").inc();
+    reg.counter("rsj_sim_jobs_total").add(stats.jobs as u64);
+    reg.histogram("rsj_sim_job_cost").merge_from(&cost_hist);
+    reg.histogram("rsj_sim_job_reservations")
+        .merge_from(&reservations_hist);
+    reg.histogram("rsj_sim_job_waste").merge_from(&waste_hist);
+    reg.gauge("rsj_sim_waste_fraction")
+        .set(stats.waste_fraction);
 }
 
 /// Aggregates precomputed run outcomes. Errors on an empty slice or a
