@@ -1,6 +1,6 @@
 //! Criterion ablation: exact Eq. 4 series evaluation vs the paper's
 //! Monte-Carlo estimator (Eq. 13) at several sample counts, plus the
-//! sequential-vs-rayon brute-force sweep called out in DESIGN.md.
+//! sequential-vs-parallel brute-force sweep called out in DESIGN.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
@@ -9,6 +9,7 @@ use rsj_core::{
     CostModel, EvalMethod, RecurrenceConfig, Strategy,
 };
 use rsj_dist::LogNormal;
+use rsj_par::Parallelism;
 
 fn bench_eval_methods(c: &mut Criterion) {
     let dist = LogNormal::new(3.0, 0.5).unwrap();
@@ -28,20 +29,17 @@ fn bench_eval_methods(c: &mut Criterion) {
     }
     group.finish();
 
-    // Parallel vs sequential brute-force sweep.
+    // Parallel vs sequential brute-force sweep on the rsj-par pool.
     let mut group = c.benchmark_group("brute_force_parallelism");
     group.sample_size(10);
-    let bf = BruteForce::new(2000, 1000, EvalMethod::Analytic, 1).unwrap();
-    group.bench_function("rayon_default_pool", |b| {
-        b.iter(|| bf.sequence(&dist, &cost).unwrap());
-    });
-    group.bench_function("single_thread_pool", |b| {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(1)
-            .build()
-            .unwrap();
-        b.iter(|| pool.install(|| bf.sequence(&dist, &cost).unwrap()));
-    });
+    for threads in [1usize, 2, 4] {
+        let bf = BruteForce::new(2000, 1000, EvalMethod::Analytic, 1)
+            .unwrap()
+            .with_parallelism(Parallelism::new(threads).unwrap());
+        group.bench_with_input(BenchmarkId::new("threads", threads), &bf, |b, bf| {
+            b.iter(|| bf.sequence(&dist, &cost).unwrap());
+        });
+    }
     group.finish();
 }
 

@@ -1,0 +1,37 @@
+//! Criterion bench `par_scaling`: throughput of the seeded batch
+//! simulator ([`rsj_sim::run_batch_seeded`]) on the `rsj-par` worker pool
+//! at 1, 2 and 4 threads. The per-job substream seeding makes every
+//! thread count produce bit-for-bit identical statistics, so this bench
+//! measures pure scheduling overhead and scaling — on a multi-core box
+//! jobs/s should grow with the thread count; on a single hardware thread
+//! it quantifies the (small) cost of the chunked pool vs a serial loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsj_core::{CostModel, Strategy};
+use rsj_dist::LogNormal;
+use rsj_par::Parallelism;
+use rsj_sim::run_batch_seeded;
+
+const JOBS: usize = 20_000;
+
+fn bench_par_scaling(c: &mut Criterion) {
+    let dist = LogNormal::new(3.0, 0.5).unwrap();
+    let cost = CostModel::reservation_only();
+    let seq = rsj_core::MeanDoubling::default()
+        .sequence(&dist, &cost)
+        .unwrap();
+
+    let mut group = c.benchmark_group("batch_sim_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(JOBS as u64));
+    for threads in [1usize, 2, 4] {
+        let par = Parallelism::new(threads).unwrap();
+        group.bench_with_input(BenchmarkId::new("threads", threads), &par, |b, par| {
+            b.iter(|| run_batch_seeded(&seq, &dist, &cost, JOBS, 11, par).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_par_scaling);
+criterion_main!(benches);

@@ -14,30 +14,55 @@ use rsj_bench::perf::PerfManifest;
 use rsj_bench::scenarios::Fidelity;
 use rsj_bench::{experiments, DEFAULT_SEED};
 use rsj_obs::Stopwatch;
+use rsj_par::Parallelism;
 
-fn parse_metrics_out() -> Result<Option<String>, String> {
+struct Args {
+    metrics_out: Option<String>,
+    threads: Option<Parallelism>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        metrics_out: None,
+        threads: None,
+    };
     let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("--metrics-out") => match args.next() {
-            Some(path) => Ok(Some(path)),
-            None => Err("--metrics-out requires a path".into()),
-        },
-        Some(other) => Err(format!("unknown argument: {other}")),
-        None => Ok(None),
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics-out" => match args.next() {
+                Some(path) => parsed.metrics_out = Some(path),
+                None => return Err("--metrics-out requires a path".into()),
+            },
+            "--threads" => match args.next() {
+                Some(v) => {
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--threads: `{v}` is not a positive integer"))?;
+                    parsed.threads = Some(Parallelism::new(n).map_err(|e| e.to_string())?);
+                }
+                None => return Err("--threads requires a count".into()),
+            },
+            other => return Err(format!("unknown argument: {other}")),
+        }
     }
+    Ok(parsed)
 }
 
 fn main() -> std::io::Result<()> {
     rsj_obs::init_from_env();
     rsj_obs::set_metrics_enabled(true);
-    let metrics_out = match parse_metrics_out() {
+    let args = match parse_args() {
         Ok(v) => v,
         Err(msg) => {
             rsj_obs::error!("{msg}");
-            eprintln!("usage: run_all [--metrics-out <path>]");
+            eprintln!("usage: run_all [--metrics-out <path>] [--threads <n>]");
             std::process::exit(2);
         }
     };
+    if let Some(par) = args.threads {
+        par.install_global();
+    }
+    let metrics_out = args.metrics_out;
 
     let fidelity = Fidelity::from_env();
     rsj_obs::info!("running the full experiment suite at {fidelity:?} fidelity");
@@ -48,7 +73,7 @@ fn main() -> std::io::Result<()> {
         rsj_obs::info!("── {name} ({:.1}s elapsed) ──", total.elapsed_secs());
         let sw = Stopwatch::start();
         step()?;
-        manifest.push_step(name, sw.elapsed_secs());
+        manifest.push_step(name, sw.elapsed_secs(), Parallelism::current().threads());
         Ok::<(), std::io::Error>(())
     };
 

@@ -10,9 +10,9 @@
 use crate::report::Table;
 use crate::scenarios::{paper_distributions, Fidelity};
 use rand::SeedableRng;
-use rayon::prelude::*;
 use rsj_core::{CostModel, MeanByMean};
 use rsj_dist::{ContinuousDistribution, LogNormal};
+use rsj_par::Parallelism;
 use rsj_sim::adaptive::{run_adaptive, AdaptiveConfig, AdaptiveReport};
 
 /// One adaptive run's summary: cumulative oracle ratios at checkpoints.
@@ -98,10 +98,9 @@ fn run_one(
 /// Computes the ablation: two priors per Table 1 truth.
 pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Row> {
     let n_jobs = jobs(fidelity);
-    paper_distributions()
-        .par_iter()
-        .enumerate()
-        .flat_map(|(i, nd)| {
+    let dists = paper_distributions();
+    Parallelism::current()
+        .par_map(&dists, |i, nd| {
             let run_seed = seed.wrapping_mul(601).wrapping_add(i as u64);
             let correct = run_one(
                 nd.dist.as_ref(),
@@ -140,6 +139,8 @@ pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Row> {
             });
             vec![correct, misspecified]
         })
+        .into_iter()
+        .flatten()
         .collect()
 }
 

@@ -6,10 +6,10 @@
 
 use crate::report::Table;
 use crate::scenarios::{paper_distributions, Fidelity, EPSILON};
-use rayon::prelude::*;
 use rsj_core::extensions::{optimal_discrete_checkpointed, CheckpointConfig};
 use rsj_core::{optimal_discrete, CostModel};
 use rsj_dist::{discretize, DiscretizationScheme};
+use rsj_par::Parallelism;
 
 /// Overheads swept, expressed as a fraction of the distribution's mean.
 pub const OVERHEAD_FRACTIONS: [f64; 5] = [0.001, 0.01, 0.1, 0.5, 2.0];
@@ -29,39 +29,37 @@ pub struct Row {
 pub fn compute(fidelity: Fidelity) -> Vec<Row> {
     let cost = CostModel::reservation_only();
     let n = fidelity.discretization().min(500); // DP is O(n²) per overhead
-    paper_distributions()
-        .par_iter()
-        .map(|nd| {
-            let discrete = discretize(
-                nd.dist.as_ref(),
-                DiscretizationScheme::EqualProbability,
-                n,
-                EPSILON,
-            )
-            .expect("paper distributions discretize");
-            let omniscient = cost.omniscient(nd.dist.as_ref());
-            let plain = optimal_discrete(&discrete, &cost)
-                .expect("DP succeeds")
-                .expected_cost
-                / omniscient;
-            let mean = nd.dist.mean();
-            let checkpointed = OVERHEAD_FRACTIONS
-                .iter()
-                .map(|&frac| {
-                    let ck = CheckpointConfig::new(frac * mean, frac * mean)
-                        .expect("nonnegative overheads");
-                    let sol = optimal_discrete_checkpointed(&discrete, &cost, &ck)
-                        .expect("checkpoint DP succeeds");
-                    (frac, sol.expected_cost / omniscient)
-                })
-                .collect();
-            Row {
-                distribution: nd.name.to_string(),
-                plain,
-                checkpointed,
-            }
-        })
-        .collect()
+    let dists = paper_distributions();
+    Parallelism::current().par_map(&dists, |_, nd| {
+        let discrete = discretize(
+            nd.dist.as_ref(),
+            DiscretizationScheme::EqualProbability,
+            n,
+            EPSILON,
+        )
+        .expect("paper distributions discretize");
+        let omniscient = cost.omniscient(nd.dist.as_ref());
+        let plain = optimal_discrete(&discrete, &cost)
+            .expect("DP succeeds")
+            .expected_cost
+            / omniscient;
+        let mean = nd.dist.mean();
+        let checkpointed = OVERHEAD_FRACTIONS
+            .iter()
+            .map(|&frac| {
+                let ck =
+                    CheckpointConfig::new(frac * mean, frac * mean).expect("nonnegative overheads");
+                let sol = optimal_discrete_checkpointed(&discrete, &cost, &ck)
+                    .expect("checkpoint DP succeeds");
+                (frac, sol.expected_cost / omniscient)
+            })
+            .collect();
+        Row {
+            distribution: nd.name.to_string(),
+            plain,
+            checkpointed,
+        }
+    })
 }
 
 /// Renders and writes `results/ablation_checkpoint.{md,csv}`.

@@ -11,9 +11,9 @@ use crate::report::Table;
 use crate::scenarios::{paper_distributions, Fidelity};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use rsj_core::extensions::CheckpointConfig;
 use rsj_core::{CostModel, MeanDoubling, Strategy};
+use rsj_par::Parallelism;
 use rsj_sim::{run_batch, run_batch_resilient, FaultConfig, ResilienceConfig, RetryPolicy};
 
 /// MTBF values swept, expressed as multiples of the distribution's mean.
@@ -56,78 +56,75 @@ pub struct Row {
 pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Row> {
     let cost = CostModel::reservation_only();
     let n = fidelity.samples();
-    paper_distributions()
-        .par_iter()
-        .enumerate()
-        .map(|(d, nd)| {
-            let dist = nd.dist.as_ref();
-            let seq = MeanDoubling::default()
-                .sequence(dist, &cost)
-                .expect("paper distributions admit sequences");
-            let mean = dist.mean();
+    let dists = paper_distributions();
+    Parallelism::current().par_map(&dists, |d, nd| {
+        let dist = nd.dist.as_ref();
+        let seq = MeanDoubling::default()
+            .sequence(dist, &cost)
+            .expect("paper distributions admit sequences");
+        let mean = dist.mean();
 
-            // The same job sample everywhere: each run reseeds the
-            // workload RNG, so inflation isolates the fault process.
-            let job_seed = seed ^ (d as u64).wrapping_mul(0x9e37_79b9);
-            let fresh = || StdRng::seed_from_u64(job_seed);
+        // The same job sample everywhere: each run reseeds the
+        // workload RNG, so inflation isolates the fault process.
+        let job_seed = seed ^ (d as u64).wrapping_mul(0x9e37_79b9);
+        let fresh = || StdRng::seed_from_u64(job_seed);
 
-            let baseline = run_batch(&seq, dist, &cost, n, &mut fresh())
-                .expect("baseline batch runs")
-                .mean_cost;
+        let baseline = run_batch(&seq, dist, &cost, n, &mut fresh())
+            .expect("baseline batch runs")
+            .mean_cost;
 
-            let cells = MTBF_FRACTIONS
-                .iter()
-                .enumerate()
-                .map(|(m, &frac)| {
-                    let faults = FaultConfig::crashes(frac * mean, seed ^ (m as u64) << 8);
-                    let overhead = CHECKPOINT_OVERHEAD_FRACTION * mean;
-                    let scratch = run_batch_resilient(
-                        &seq,
-                        dist,
-                        &cost,
-                        n,
-                        &mut fresh(),
-                        &ResilienceConfig {
-                            faults,
-                            retry: RetryPolicy::RetrySameSlot,
-                            max_failures: MAX_FAILURES,
-                            checkpoint: None,
-                        },
-                    )
-                    .expect("faulted batch runs");
-                    let checkpointed = run_batch_resilient(
-                        &seq,
-                        dist,
-                        &cost,
-                        n,
-                        &mut fresh(),
-                        &ResilienceConfig {
-                            faults,
-                            retry: RetryPolicy::RetrySameSlot,
-                            max_failures: MAX_FAILURES,
-                            checkpoint: Some(
-                                CheckpointConfig::new(overhead, overhead)
-                                    .expect("nonnegative overheads"),
-                            ),
-                        },
-                    )
-                    .expect("checkpointed batch runs");
-                    Cell {
-                        mtbf_fraction: frac,
-                        inflation_scratch: scratch.mean_cost / baseline,
-                        inflation_checkpointed: checkpointed.mean_cost / baseline,
-                        failures: scratch.failures,
-                        gave_up: scratch.gave_up,
-                    }
-                })
-                .collect();
-            Row {
-                distribution: nd.name.to_string(),
-                baseline,
-                cells,
-            }
-        })
-        .collect()
+        let cells = MTBF_FRACTIONS
+            .iter()
+            .enumerate()
+            .map(|(m, &frac)| {
+                let faults = FaultConfig::crashes(frac * mean, seed ^ (m as u64) << 8);
+                let overhead = CHECKPOINT_OVERHEAD_FRACTION * mean;
+                let scratch = run_batch_resilient(
+                    &seq,
+                    dist,
+                    &cost,
+                    n,
+                    &mut fresh(),
+                    &ResilienceConfig {
+                        faults,
+                        retry: RetryPolicy::RetrySameSlot,
+                        max_failures: MAX_FAILURES,
+                        checkpoint: None,
+                    },
+                )
+                .expect("faulted batch runs");
+                let checkpointed = run_batch_resilient(
+                    &seq,
+                    dist,
+                    &cost,
+                    n,
+                    &mut fresh(),
+                    &ResilienceConfig {
+                        faults,
+                        retry: RetryPolicy::RetrySameSlot,
+                        max_failures: MAX_FAILURES,
+                        checkpoint: Some(
+                            CheckpointConfig::new(overhead, overhead)
+                                .expect("nonnegative overheads"),
+                        ),
+                    },
+                )
+                .expect("checkpointed batch runs");
+                Cell {
+                    mtbf_fraction: frac,
+                    inflation_scratch: scratch.mean_cost / baseline,
+                    inflation_checkpointed: checkpointed.mean_cost / baseline,
+                    failures: scratch.failures,
+                    gave_up: scratch.gave_up,
+                }
+            })
+            .collect();
+        Row {
+            distribution: nd.name.to_string(),
+            baseline,
+            cells,
+        }
+    })
 }
 
 /// Renders and writes `results/ablation_faults.{md,csv}`.

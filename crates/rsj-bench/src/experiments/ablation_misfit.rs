@@ -7,10 +7,10 @@
 use crate::report::Table;
 use crate::scenarios::{paper_distributions, Fidelity, EPSILON};
 use rand::SeedableRng;
-use rayon::prelude::*;
 use rsj_core::robustness::misspecification_report;
 use rsj_core::{CostModel, DiscretizedDp};
 use rsj_dist::{fit_lognormal, sample_n, DiscretizationScheme};
+use rsj_par::Parallelism;
 
 /// Trace sizes swept (the paper's archives hold "over 5000 runs").
 pub const SAMPLE_SIZES: [usize; 4] = [50, 200, 1000, 5000];
@@ -28,33 +28,30 @@ pub struct Row {
 pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Row> {
     let cost = CostModel::reservation_only();
     let n_dp = fidelity.discretization().min(500);
-    paper_distributions()
-        .par_iter()
-        .enumerate()
-        .map(|(i, nd)| {
-            let dp = DiscretizedDp::new(DiscretizationScheme::EqualProbability, n_dp, EPSILON)
-                .expect("valid parameters");
-            let penalties = SAMPLE_SIZES
-                .iter()
-                .map(|&n| {
-                    let mut rng = rand::rngs::StdRng::seed_from_u64(
-                        seed.wrapping_mul(389).wrapping_add((i * 31 + n) as u64),
-                    );
-                    let samples = sample_n(nd.dist.as_ref(), n, &mut rng);
-                    let ratio = fit_lognormal(&samples).ok().and_then(|fit| {
-                        misspecification_report(&dp, &fit.dist, nd.dist.as_ref(), &cost)
-                            .ok()
-                            .map(|r| r.penalty_ratio)
-                    });
-                    (n, ratio)
-                })
-                .collect();
-            Row {
-                distribution: nd.name.to_string(),
-                penalties,
-            }
-        })
-        .collect()
+    let dists = paper_distributions();
+    Parallelism::current().par_map(&dists, |i, nd| {
+        let dp = DiscretizedDp::new(DiscretizationScheme::EqualProbability, n_dp, EPSILON)
+            .expect("valid parameters");
+        let penalties = SAMPLE_SIZES
+            .iter()
+            .map(|&n| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    seed.wrapping_mul(389).wrapping_add((i * 31 + n) as u64),
+                );
+                let samples = sample_n(nd.dist.as_ref(), n, &mut rng);
+                let ratio = fit_lognormal(&samples).ok().and_then(|fit| {
+                    misspecification_report(&dp, &fit.dist, nd.dist.as_ref(), &cost)
+                        .ok()
+                        .map(|r| r.penalty_ratio)
+                });
+                (n, ratio)
+            })
+            .collect();
+        Row {
+            distribution: nd.name.to_string(),
+            penalties,
+        }
+    })
 }
 
 /// Renders and writes `results/ablation_misfit.{md,csv}`.

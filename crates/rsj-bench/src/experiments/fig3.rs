@@ -4,8 +4,8 @@
 
 use crate::report::{write_result_file, Table};
 use crate::scenarios::{paper_distributions, Fidelity};
-use rayon::prelude::*;
 use rsj_core::{BruteForce, CostModel, EvalMethod, SweepPoint};
+use rsj_par::Parallelism;
 
 /// One panel of Figure 3.
 #[derive(Debug, Clone)]
@@ -19,23 +19,20 @@ pub struct Panel {
 /// Computes all nine panels.
 pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Panel> {
     let cost = CostModel::reservation_only();
-    paper_distributions()
-        .par_iter()
-        .enumerate()
-        .map(|(i, nd)| {
-            let bf = BruteForce::new(
-                fidelity.grid(),
-                fidelity.samples(),
-                EvalMethod::MonteCarlo,
-                seed.wrapping_add(i as u64),
-            )
-            .expect("valid parameters");
-            Panel {
-                distribution: nd.name.to_string(),
-                points: bf.sweep(nd.dist.as_ref(), &cost),
-            }
-        })
-        .collect()
+    let dists = paper_distributions();
+    Parallelism::current().par_map(&dists, |i, nd| {
+        let bf = BruteForce::new(
+            fidelity.grid(),
+            fidelity.samples(),
+            EvalMethod::MonteCarlo,
+            seed.wrapping_add(i as u64),
+        )
+        .expect("valid parameters");
+        Panel {
+            distribution: nd.name.to_string(),
+            points: bf.sweep(nd.dist.as_ref(), &cost),
+        }
+    })
 }
 
 /// Writes one CSV per panel (`fig3_<dist>.csv`: `t1,normalized_cost`) plus

@@ -6,9 +6,9 @@
 use crate::report::{fmt_ratio, Table};
 use crate::scenarios::{heuristic_suite, Fidelity};
 use rand::SeedableRng;
-use rayon::prelude::*;
 use rsj_core::{draw_samples, expected_cost_monte_carlo};
 use rsj_dist::ContinuousDistribution;
+use rsj_par::Parallelism;
 use rsj_traces::NeuroHpcScenario;
 
 /// The `(mean_factor, std_factor)` grid of the robustness sweep.
@@ -39,35 +39,32 @@ pub struct Row {
 
 /// Computes the Figure 4 sweep.
 pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Row> {
-    factor_grid(fidelity)
-        .par_iter()
-        .enumerate()
-        .map(|(i, &(mf, sf))| {
-            let scenario = NeuroHpcScenario::with_scaled_moments(mf, sf).expect("positive factors");
-            let dist: &dyn ContinuousDistribution = &scenario.dist;
-            let cost = scenario.cost;
-            let suite = heuristic_suite(fidelity, seed.wrapping_add(i as u64));
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(131).wrapping_add(i as u64));
-            let samples = draw_samples(dist, fidelity.samples(), &mut rng);
-            let omniscient = cost.omniscient(dist);
-            let costs = suite
-                .iter()
-                .map(|h| {
-                    let ratio = h
-                        .sequence(dist, &cost)
-                        .ok()
-                        .map(|seq| expected_cost_monte_carlo(&seq, &cost, &samples) / omniscient);
-                    (h.name().to_string(), ratio)
-                })
-                .collect();
-            Row {
-                mean_factor: mf,
-                std_factor: sf,
-                costs,
-            }
-        })
-        .collect()
+    let grid = factor_grid(fidelity);
+    Parallelism::current().par_map(&grid, |i, &(mf, sf)| {
+        let scenario = NeuroHpcScenario::with_scaled_moments(mf, sf).expect("positive factors");
+        let dist: &dyn ContinuousDistribution = &scenario.dist;
+        let cost = scenario.cost;
+        let suite = heuristic_suite(fidelity, seed.wrapping_add(i as u64));
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(131).wrapping_add(i as u64));
+        let samples = draw_samples(dist, fidelity.samples(), &mut rng);
+        let omniscient = cost.omniscient(dist);
+        let costs = suite
+            .iter()
+            .map(|h| {
+                let ratio = h
+                    .sequence(dist, &cost)
+                    .ok()
+                    .map(|seq| expected_cost_monte_carlo(&seq, &cost, &samples) / omniscient);
+                (h.name().to_string(), ratio)
+            })
+            .collect();
+        Row {
+            mean_factor: mf,
+            std_factor: sf,
+            costs,
+        }
+    })
 }
 
 /// Renders the sweep as a long-format table.

@@ -4,8 +4,8 @@
 use crate::report::{fmt_ratio, Table};
 use crate::scenarios::{heuristic_suite, paper_distributions, Fidelity};
 use rand::SeedableRng;
-use rayon::prelude::*;
 use rsj_core::{draw_samples, expected_cost_monte_carlo, CostModel};
+use rsj_par::Parallelism;
 
 /// One distribution's row: heuristic name → normalized cost (None when the
 /// heuristic failed to produce a sequence).
@@ -22,31 +22,27 @@ pub struct Row {
 pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Row> {
     let cost = CostModel::reservation_only();
     let dists = paper_distributions();
-    dists
-        .par_iter()
-        .enumerate()
-        .map(|(i, nd)| {
-            let suite = heuristic_suite(fidelity, seed.wrapping_add(i as u64));
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(i as u64));
-            let samples = draw_samples(nd.dist.as_ref(), fidelity.samples(), &mut rng);
-            let omniscient = cost.omniscient(nd.dist.as_ref());
-            let costs = suite
-                .iter()
-                .map(|h| {
-                    let ratio = h
-                        .sequence(nd.dist.as_ref(), &cost)
-                        .ok()
-                        .map(|seq| expected_cost_monte_carlo(&seq, &cost, &samples) / omniscient);
-                    (h.name().to_string(), ratio)
-                })
-                .collect();
-            Row {
-                distribution: nd.name.to_string(),
-                costs,
-            }
-        })
-        .collect()
+    Parallelism::current().par_map(&dists, |i, nd| {
+        let suite = heuristic_suite(fidelity, seed.wrapping_add(i as u64));
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(i as u64));
+        let samples = draw_samples(nd.dist.as_ref(), fidelity.samples(), &mut rng);
+        let omniscient = cost.omniscient(nd.dist.as_ref());
+        let costs = suite
+            .iter()
+            .map(|h| {
+                let ratio = h
+                    .sequence(nd.dist.as_ref(), &cost)
+                    .ok()
+                    .map(|seq| expected_cost_monte_carlo(&seq, &cost, &samples) / omniscient);
+                (h.name().to_string(), ratio)
+            })
+            .collect();
+        Row {
+            distribution: nd.name.to_string(),
+            costs,
+        }
+    })
 }
 
 /// Renders the paper's layout: each non-brute-force column shows the

@@ -4,8 +4,8 @@
 
 use crate::report::Table;
 use crate::scenarios::{paper_distributions, Fidelity};
-use rayon::prelude::*;
 use rsj_core::{BruteForce, CostModel, EvalMethod};
+use rsj_par::Parallelism;
 
 /// Quantiles probed by the paper.
 pub const QUANTILES: [f64; 4] = [0.25, 0.5, 0.75, 0.99];
@@ -26,35 +26,32 @@ pub struct Row {
 /// Computes the Table 3 data.
 pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Row> {
     let cost = CostModel::reservation_only();
-    paper_distributions()
-        .par_iter()
-        .enumerate()
-        .map(|(i, nd)| {
-            let bf = BruteForce::new(
-                fidelity.grid(),
-                fidelity.samples(),
-                EvalMethod::MonteCarlo,
-                seed.wrapping_add(i as u64),
-            )
-            .expect("valid parameters");
-            let best = bf
-                .best(nd.dist.as_ref(), &cost)
-                .expect("every Table 1 distribution has a valid candidate");
-            let probes = QUANTILES
-                .iter()
-                .map(|&q| {
-                    let t1 = nd.dist.quantile(q);
-                    (t1, bf.score_t1(nd.dist.as_ref(), &cost, t1))
-                })
-                .collect();
-            Row {
-                distribution: nd.name.to_string(),
-                t1_bf: best.t1,
-                cost_bf: best.normalized_cost,
-                probes,
-            }
-        })
-        .collect()
+    let dists = paper_distributions();
+    Parallelism::current().par_map(&dists, |i, nd| {
+        let bf = BruteForce::new(
+            fidelity.grid(),
+            fidelity.samples(),
+            EvalMethod::MonteCarlo,
+            seed.wrapping_add(i as u64),
+        )
+        .expect("valid parameters");
+        let best = bf
+            .best(nd.dist.as_ref(), &cost)
+            .expect("every Table 1 distribution has a valid candidate");
+        let probes = QUANTILES
+            .iter()
+            .map(|&q| {
+                let t1 = nd.dist.quantile(q);
+                (t1, bf.score_t1(nd.dist.as_ref(), &cost, t1))
+            })
+            .collect();
+        Row {
+            distribution: nd.name.to_string(),
+            t1_bf: best.t1,
+            cost_bf: best.normalized_cost,
+            probes,
+        }
+    })
 }
 
 /// Renders the paper's layout.

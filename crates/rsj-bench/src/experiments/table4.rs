@@ -4,9 +4,9 @@
 use crate::report::{fmt_ratio, Table};
 use crate::scenarios::{paper_distributions, Fidelity, EPSILON};
 use rand::SeedableRng;
-use rayon::prelude::*;
 use rsj_core::{draw_samples, expected_cost_monte_carlo, CostModel, DiscretizedDp, Strategy};
 use rsj_dist::DiscretizationScheme;
+use rsj_par::Parallelism;
 
 /// The paper's sample-count sweep.
 pub const PAPER_NS: [usize; 7] = [10, 25, 50, 100, 250, 500, 1000];
@@ -36,32 +36,29 @@ fn ns(fidelity: Fidelity) -> Vec<usize> {
 pub fn compute(fidelity: Fidelity, seed: u64) -> Vec<Row> {
     let cost = CostModel::reservation_only();
     let sweep = ns(fidelity);
-    paper_distributions()
-        .par_iter()
-        .enumerate()
-        .map(|(i, nd)| {
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(97).wrapping_add(i as u64));
-            let samples = draw_samples(nd.dist.as_ref(), fidelity.samples(), &mut rng);
-            let omniscient = cost.omniscient(nd.dist.as_ref());
-            let score = |scheme: DiscretizationScheme, n: usize| -> Option<f64> {
-                let h = DiscretizedDp::new(scheme, n, EPSILON).ok()?;
-                let seq = h.sequence(nd.dist.as_ref(), &cost).ok()?;
-                Some(expected_cost_monte_carlo(&seq, &cost, &samples) / omniscient)
-            };
-            Row {
-                distribution: nd.name.to_string(),
-                equal_time: sweep
-                    .iter()
-                    .map(|&n| (n, score(DiscretizationScheme::EqualTime, n)))
-                    .collect(),
-                equal_probability: sweep
-                    .iter()
-                    .map(|&n| (n, score(DiscretizationScheme::EqualProbability, n)))
-                    .collect(),
-            }
-        })
-        .collect()
+    let dists = paper_distributions();
+    Parallelism::current().par_map(&dists, |i, nd| {
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(97).wrapping_add(i as u64));
+        let samples = draw_samples(nd.dist.as_ref(), fidelity.samples(), &mut rng);
+        let omniscient = cost.omniscient(nd.dist.as_ref());
+        let score = |scheme: DiscretizationScheme, n: usize| -> Option<f64> {
+            let h = DiscretizedDp::new(scheme, n, EPSILON).ok()?;
+            let seq = h.sequence(nd.dist.as_ref(), &cost).ok()?;
+            Some(expected_cost_monte_carlo(&seq, &cost, &samples) / omniscient)
+        };
+        Row {
+            distribution: nd.name.to_string(),
+            equal_time: sweep
+                .iter()
+                .map(|&n| (n, score(DiscretizationScheme::EqualTime, n)))
+                .collect(),
+            equal_probability: sweep
+                .iter()
+                .map(|&n| (n, score(DiscretizationScheme::EqualProbability, n)))
+                .collect(),
+        }
+    })
 }
 
 /// Renders the paper's (wide) layout.

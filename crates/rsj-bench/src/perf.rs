@@ -8,10 +8,17 @@ use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
 /// Bumped when the manifest layout changes incompatibly.
-pub const PERF_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: per-step `threads` in the manifest; solver-baseline rows carry
+/// `threads`, `speedup_vs_serial` and a determinism `digest`.
+pub const PERF_SCHEMA_VERSION: u32 = 2;
 
 fn default_schema_version() -> u32 {
     PERF_SCHEMA_VERSION
+}
+
+fn default_threads() -> usize {
+    1
 }
 
 /// Wall time of one experiment step.
@@ -21,6 +28,24 @@ pub struct ExperimentTiming {
     pub name: String,
     /// Wall-clock seconds the step took.
     pub wall_seconds: f64,
+    /// Worker threads the step ran with (defaults to 1 when reading
+    /// manifests written before the parallel layer).
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+}
+
+/// FNV-1a over the IEEE-754 bit patterns of `values`, rendered as 16 hex
+/// digits. Equal digests across runs at different thread counts certify
+/// bit-for-bit identical results — the determinism contract of `rsj-par`.
+pub fn digest_f64s(values: impl IntoIterator<Item = f64>) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
 }
 
 /// The `results/perf_manifest.json` document.
@@ -58,11 +83,12 @@ impl PerfManifest {
         }
     }
 
-    /// Records one finished step.
-    pub fn push_step(&mut self, name: impl Into<String>, wall_seconds: f64) {
+    /// Records one finished step and the thread count it ran with.
+    pub fn push_step(&mut self, name: impl Into<String>, wall_seconds: f64, threads: usize) {
         self.experiments.push(ExperimentTiming {
             name: name.into(),
             wall_seconds,
+            threads,
         });
     }
 
@@ -87,8 +113,8 @@ mod tests {
 
     fn sample() -> PerfManifest {
         let mut m = PerfManifest::new("Quick", 7);
-        m.push_step("Table 2", 1.25);
-        m.push_step("Figure 3", 0.5);
+        m.push_step("Table 2", 1.25, 4);
+        m.push_step("Figure 3", 0.5, 1);
         m.total_wall_seconds = 1.75;
         let reg = rsj_obs::Registry::new();
         reg.counter("rsj_core_dp_solves_total").add(3);
@@ -113,5 +139,20 @@ mod tests {
         assert_eq!(m.schema_version, PERF_SCHEMA_VERSION);
         assert!(m.experiments.is_empty());
         assert!(m.metrics.is_empty());
+        // A v1 step (no threads field) defaults to 1 worker.
+        let json = r#"{"name": "Table 2", "wall_seconds": 0.5}"#;
+        let t: ExperimentTiming = serde_json::from_str(json).unwrap();
+        assert_eq!(t.threads, 1);
+    }
+
+    #[test]
+    fn digest_is_stable_and_bit_sensitive() {
+        let a = digest_f64s([1.0, 2.5, -0.0]);
+        assert_eq!(a, digest_f64s([1.0, 2.5, -0.0]));
+        assert_eq!(a.len(), 16);
+        // +0.0 and -0.0 compare equal but differ in bits — the digest is
+        // over bit patterns, so it must tell them apart.
+        assert_ne!(a, digest_f64s([1.0, 2.5, 0.0]));
+        assert_ne!(digest_f64s([]), digest_f64s([0.0]));
     }
 }

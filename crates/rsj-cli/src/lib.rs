@@ -38,6 +38,10 @@ Every command also accepts:
                             (default warn; `RSJ_LOG` is honoured too)
     --metrics-out <path>    export solver/simulator metrics after the run
                             (Prometheus text, or JSON when <path> ends in .json)
+    --threads <n>           worker threads for solvers and batch simulation
+                            (default: the `RSJ_THREADS` env var, else all
+                            hardware threads; must be >= 1). Results are
+                            bit-for-bit identical at any thread count.
 
 Configuration schemas are documented in the rsj-cli crate docs; a minimal
 plan.json:

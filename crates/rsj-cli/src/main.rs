@@ -38,6 +38,27 @@ fn main() -> ExitCode {
         rsj_obs::set_metrics_enabled(true);
     }
 
+    // Worker-thread override: `--threads <n>` beats `RSJ_THREADS` beats
+    // the hardware default. Zero or garbage is a typed error (exit 1),
+    // not a panic — and a malformed RSJ_THREADS is rejected here rather
+    // than silently ignored mid-solve.
+    match flag_value(&args, "--threads") {
+        Some(spec) => match spec
+            .parse::<usize>()
+            .map_err(|_| rsj_par::ParError::InvalidEnv {
+                value: spec.clone(),
+            })
+            .and_then(rsj_par::Parallelism::new)
+        {
+            Ok(par) => par.install_global(),
+            Err(e) => return fail(&format!("invalid --threads: {e}")),
+        },
+        None => match rsj_par::Parallelism::from_env() {
+            Ok(par) => par.install_global(),
+            Err(e) => return fail(&format!("invalid RSJ_THREADS: {e}")),
+        },
+    }
+
     let result = match command.as_str() {
         "plan" | "risk" | "evaluate" | "simulate" => {
             let Some(path) = flag_value(&args, "--config") else {

@@ -15,9 +15,11 @@ use crate::eval::{expected_cost_analytic, expected_cost_monte_carlo};
 use crate::recurrence::{sequence_from_t1, RecurrenceConfig};
 use crate::sequence::ReservationSequence;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use rsj_dist::ContinuousDistribution;
+use rsj_par::Parallelism;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// How candidate sequences are scored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -64,7 +66,21 @@ pub struct BruteForce {
     eval: EvalMethod,
     seed: u64,
     config: RecurrenceConfig,
+    /// Worker-pool override; `None` follows [`Parallelism::current`].
+    par: Option<Parallelism>,
 }
+
+/// Key of one memoized sample vector: `(dist.cache_key(), seed, n)`.
+type SampleKey = (String, u64, usize);
+
+/// Memo for Monte-Carlo sample vectors. The Table 3 quantile probes call
+/// [`BruteForce::score_t1`] repeatedly with identical parameters, each
+/// draw costing `n` quantile evaluations; the samples are pure functions
+/// of the key, so sharing them changes nothing but the wall clock.
+static SAMPLE_CACHE: OnceLock<Mutex<HashMap<SampleKey, Arc<Vec<f64>>>>> = OnceLock::new();
+
+/// Entries kept before the sample memo is wiped (each holds `n` f64s).
+const SAMPLE_CACHE_CAPACITY: usize = 256;
 
 impl BruteForce {
     /// Creates a brute-force search with `m` grid points and `n_samples`
@@ -89,7 +105,17 @@ impl BruteForce {
             eval,
             seed,
             config: RecurrenceConfig::for_monte_carlo(n_samples),
+            par: None,
         })
+    }
+
+    /// Pins the worker pool used by [`BruteForce::sweep`] instead of the
+    /// process-wide [`Parallelism::current`]. The sweep result is
+    /// bit-for-bit identical at any thread count; this only controls the
+    /// wall clock (and lets tests exercise both paths explicitly).
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = Some(par);
+        self
     }
 
     /// The paper's evaluation parameters: `M = 5000`, `N = 1000`,
@@ -112,17 +138,36 @@ impl BruteForce {
             .collect()
     }
 
-    fn samples(&self, dist: &dyn ContinuousDistribution) -> Vec<f64> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
-        crate::eval::draw_samples(dist, self.n_samples, &mut rng)
+    fn samples(&self, dist: &dyn ContinuousDistribution) -> Arc<Vec<f64>> {
+        let draw = || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+            Arc::new(crate::eval::draw_samples(dist, self.n_samples, &mut rng))
+        };
+        let Some(dist_key) = dist.cache_key() else {
+            return draw();
+        };
+        let key = (dist_key, self.seed, self.n_samples);
+        let cache = SAMPLE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache.lock().expect("sample cache lock").get(&key) {
+            return Arc::clone(hit);
+        }
+        let samples = draw();
+        let mut map = cache.lock().expect("sample cache lock");
+        if map.len() >= SAMPLE_CACHE_CAPACITY {
+            map.clear();
+        }
+        Arc::clone(map.entry(key).or_insert(samples))
     }
 
     /// Scores every grid candidate; invalid candidates map to `None`
-    /// (Figure 3's gaps). Parallelized over the grid with rayon.
+    /// (Figure 3's gaps). Parallelized over the grid with the
+    /// deterministic `rsj-par` pool: the common-random-numbers samples
+    /// are drawn once up front and shared read-only, so the sweep is
+    /// bit-for-bit identical at any thread count.
     pub fn sweep(&self, dist: &dyn ContinuousDistribution, cost: &CostModel) -> Vec<SweepPoint> {
         let samples = match self.eval {
             EvalMethod::MonteCarlo => self.samples(dist),
-            EvalMethod::Analytic => Vec::new(),
+            EvalMethod::Analytic => Arc::new(Vec::new()),
         };
         let omniscient = cost.omniscient(dist);
         // A malformed distribution (e.g. a degenerate online refit) can
@@ -141,9 +186,10 @@ impl BruteForce {
                 })
                 .collect();
         }
-        self.grid(dist, cost)
-            .into_par_iter()
-            .map(|t1| {
+        let grid = self.grid(dist, cost);
+        self.par
+            .unwrap_or_else(Parallelism::current)
+            .par_map(&grid, |_, &t1| {
                 let normalized_cost = sequence_from_t1(dist, cost, t1, &self.config)
                     .ok()
                     .map(|seq| {
@@ -161,7 +207,6 @@ impl BruteForce {
                     normalized_cost,
                 }
             })
-            .collect()
     }
 
     /// Runs the full search and returns the best candidate found.
@@ -365,6 +410,32 @@ mod tests {
                 CoreError::NoValidCandidate
             );
             assert!(bf.score_t1(&NanDist, &c, 1.0).is_none());
+        }
+    }
+
+    #[test]
+    fn sweep_is_bit_for_bit_identical_across_thread_counts() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        let c = CostModel::reservation_only();
+        for eval in [EvalMethod::Analytic, EvalMethod::MonteCarlo] {
+            let bf = BruteForce::new(600, 400, eval, 11).unwrap();
+            let serial = bf
+                .clone()
+                .with_parallelism(Parallelism::serial())
+                .sweep(&d, &c);
+            let parallel = bf
+                .with_parallelism(Parallelism::new(4).unwrap())
+                .sweep(&d, &c);
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.t1.to_bits(), p.t1.to_bits());
+                assert_eq!(
+                    s.normalized_cost.map(f64::to_bits),
+                    p.normalized_cost.map(f64::to_bits),
+                    "{eval:?} diverged at t1 {}",
+                    s.t1
+                );
+            }
         }
     }
 

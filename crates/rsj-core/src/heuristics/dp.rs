@@ -17,7 +17,15 @@ use super::{Strategy, TailPolicy};
 use crate::cost::CostModel;
 use crate::error::{CoreError, Result};
 use crate::sequence::ReservationSequence;
-use rsj_dist::{discretize, ContinuousDistribution, DiscreteDistribution, DiscretizationScheme};
+use rsj_dist::{
+    discretize_eval, ContinuousDistribution, DiscreteDistribution, DiscretizationScheme,
+};
+use rsj_par::Parallelism;
+
+/// Minimum inner-loop span before the per-state minimization fans out to
+/// the worker pool. Below this the spawn overhead dwarfs the arithmetic;
+/// the paper's `n = 1000` grids always stay serial.
+const DP_PAR_MIN_SPAN: usize = 4096;
 
 /// Optimal solution of STOCHASTIC for a discrete distribution.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,8 +38,25 @@ pub struct DpSolution {
     pub indices: Vec<usize>,
 }
 
-/// Solves STOCHASTIC exactly for a discrete distribution (Theorem 5).
+/// Solves STOCHASTIC exactly for a discrete distribution (Theorem 5),
+/// using the process-wide [`Parallelism::current`] pool for large grids.
 pub fn optimal_discrete(dist: &DiscreteDistribution, cost: &CostModel) -> Result<DpSolution> {
+    optimal_discrete_par(dist, cost, &Parallelism::current())
+}
+
+/// [`optimal_discrete`] with an explicit worker pool.
+///
+/// The per-state minimization over `j ∈ [i, n)` evaluates a pure
+/// function of precomputed prefix arrays, so it fans out as a chunked
+/// min-reduction once the span exceeds `DP_PAR_MIN_SPAN`. Ties keep
+/// the smallest `j` (serial scan used strict `<`; the reduction keeps
+/// the left operand on ties and chunks are combined in index order), so
+/// the solution is bit-for-bit identical at any thread count.
+pub fn optimal_discrete_par(
+    dist: &DiscreteDistribution,
+    cost: &CostModel,
+    par: &Parallelism,
+) -> Result<DpSolution> {
     let _wall = rsj_obs::ScopedTimer::global("rsj_core_dp_wall_seconds");
     let _span = rsj_obs::span!("dp.optimal_discrete");
     let v = dist.values();
@@ -39,7 +64,10 @@ pub fn optimal_discrete(dist: &DiscreteDistribution, cost: &CostModel) -> Result
     let n = v.len();
     let s = dist.suffix_masses(); // s[i] = Σ_{k≥i} f_k, s[n] = 0
 
-    // Prefix sums of fₖ·vₖ: a[i] = Σ_{k<i} fₖ·vₖ.
+    // Prefix sums of fₖ·vₖ: a[i] = Σ_{k<i} fₖ·vₖ. Together with the
+    // suffix masses these hoist every distribution evaluation out of the
+    // O(n²) inner loop — each candidate is pure arithmetic on the
+    // precomputed arrays (no `cdf`/survival calls per `(i, j)` pair).
     let mut a = vec![0.0; n + 1];
     for i in 0..n {
         a[i + 1] = a[i] + f[i] * v[i];
@@ -49,18 +77,44 @@ pub fn optimal_discrete(dist: &DiscreteDistribution, cost: &CostModel) -> Result
     let mut w = vec![0.0; n + 1];
     let mut choice = vec![0usize; n];
     for i in (0..n).rev() {
-        let mut best = f64::INFINITY;
-        let mut best_j = i;
-        for j in i..n {
-            let cand = (cost.alpha * v[j] + cost.gamma) * s[i]
+        let span = n - i;
+        let cand_at = |j: usize| {
+            (cost.alpha * v[j] + cost.gamma) * s[i]
                 + cost.beta * (a[j + 1] - a[i])
                 + cost.beta * v[j] * s[j + 1]
-                + w[j + 1];
-            if cand < best {
-                best = cand;
-                best_j = j;
+                + w[j + 1]
+        };
+        // Branch on the span alone — never the thread count — so even
+        // degenerate inputs (NaN candidates) reduce identically at any
+        // parallelism: the pool's single-thread path uses the same chunked
+        // fold as its multi-thread path.
+        let (best, best_j) = if span >= DP_PAR_MIN_SPAN {
+            let candidates: Vec<usize> = (i..n).collect();
+            par.try_par_map_reduce(
+                &candidates,
+                |_, &j| (cand_at(j), j),
+                |a, b| if b.0 < a.0 { b } else { a },
+            )
+            .map_err(|e| CoreError::InvalidHeuristicParameter {
+                name: "parallelism",
+                reason: match e {
+                    rsj_par::ParError::WorkerPanicked { .. } => "worker panicked in DP inner loop",
+                    _ => "invalid worker-pool configuration",
+                },
+            })?
+            .expect("span >= 1")
+        } else {
+            let mut best = f64::INFINITY;
+            let mut best_j = i;
+            for j in i..n {
+                let cand = cand_at(j);
+                if cand < best {
+                    best = cand;
+                    best_j = j;
+                }
             }
-        }
+            (best, best_j)
+        };
         w[i] = best;
         choice[i] = best_j;
     }
@@ -198,17 +252,33 @@ impl Strategy for DiscretizedDp {
         dist: &dyn ContinuousDistribution,
         cost: &CostModel,
     ) -> Result<ReservationSequence> {
-        let discrete = discretize(dist, self.scheme, self.n, self.epsilon)?;
-        let solution = optimal_discrete(&discrete, cost)?;
+        // Cached discretization + evaluation table: repeated solves over
+        // the same (dist, scheme, n, ε) skip every quantile/cdf call.
+        let eval = discretize_eval(dist, self.scheme, self.n, self.epsilon)?;
+        let solution = optimal_discrete(&eval.discrete, cost)?;
         let mut times = solution.values;
         let bounded = dist.support().is_bounded();
         if bounded {
             return ReservationSequence::new(times, true);
         }
         // Unbounded: extend past v_n = Q(1-ε) with conditional-mean steps.
+        // The DP always ends at v_n, whose survival and conditional mean
+        // sit precomputed (exactly — the table's last entry is the same
+        // quadrature a direct call performs) in the evaluation table;
+        // deeper steps leave the grid and fall back to direct calls.
         let mut t = *times.last().expect("DP sequence non-empty");
-        while dist.survival(t) >= self.policy.tail_cutoff && times.len() < self.policy.max_len {
-            let cm = dist.conditional_mean_above(t);
+        let last = eval.table.len() - 1;
+        let mut table_entry = (t == eval.table.points()[last])
+            .then(|| (eval.table.survival()[last], eval.table.cond_mean()[last]));
+        while times.len() < self.policy.max_len {
+            let (survival, cached_cm) = match table_entry.take() {
+                Some((survival, cm)) => (survival, Some(cm)),
+                None => (dist.survival(t), None),
+            };
+            if survival < self.policy.tail_cutoff {
+                break;
+            }
+            let cm = cached_cm.unwrap_or_else(|| dist.conditional_mean_above(t));
             let next = if cm > t * (1.0 + 1e-9) { cm } else { t * 1.5 };
             times.push(next);
             t = next;
@@ -335,5 +405,95 @@ mod tests {
     fn rejects_bad_parameters() {
         assert!(DiscretizedDp::new(DiscretizationScheme::EqualTime, 0, 1e-7).is_err());
         assert!(DiscretizedDp::new(DiscretizationScheme::EqualTime, 10, 1.5).is_err());
+    }
+
+    /// The pre-EvalTable reference implementation of
+    /// [`DiscretizedDp::sequence`]: fresh discretization, serial DP, and
+    /// direct `survival`/`conditional_mean_above` calls in the tail
+    /// extension. Kept in tests as the before/after oracle for the
+    /// grid-hoisting change.
+    fn sequence_reference(
+        dp: &DiscretizedDp,
+        dist: &dyn rsj_dist::ContinuousDistribution,
+        cost: &CostModel,
+    ) -> ReservationSequence {
+        let discrete = rsj_dist::discretize(dist, dp.scheme(), dp.samples(), 1e-7).unwrap();
+        let solution =
+            optimal_discrete_par(&discrete, cost, &rsj_par::Parallelism::serial()).unwrap();
+        let mut times = solution.values;
+        if dist.support().is_bounded() {
+            return ReservationSequence::new(times, true).unwrap();
+        }
+        let mut t = *times.last().unwrap();
+        while dist.survival(t) >= dp.policy.tail_cutoff && times.len() < dp.policy.max_len {
+            let cm = dist.conditional_mean_above(t);
+            let next = if cm > t * (1.0 + 1e-9) { cm } else { t * 1.5 };
+            times.push(next);
+            t = next;
+        }
+        ReservationSequence::new(times, false).unwrap()
+    }
+
+    #[test]
+    fn eval_table_path_is_bit_identical_to_direct_path() {
+        // The satellite guarantee for the cdf/survival hoisting: the
+        // cached-table strategy equals the direct-evaluation strategy
+        // bit-for-bit, bounded and unbounded supports alike.
+        rsj_dist::clear_eval_cache();
+        let c = CostModel::new(0.95, 1.0, 1.05).unwrap();
+        let dists: Vec<Box<dyn rsj_dist::ContinuousDistribution>> = vec![
+            Box::new(Exponential::new(1.0).unwrap()),
+            Box::new(rsj_dist::LogNormal::new(3.0, 0.5).unwrap()),
+            Box::new(Uniform::new(10.0, 20.0).unwrap()),
+        ];
+        for scheme in [
+            DiscretizationScheme::EqualTime,
+            DiscretizationScheme::EqualProbability,
+        ] {
+            let dp = DiscretizedDp::new(scheme, 300, 1e-7).unwrap();
+            for dist in &dists {
+                let reference = sequence_reference(&dp, dist.as_ref(), &c);
+                // Run the table path twice: cold cache and warm cache.
+                for pass in ["cold", "warm"] {
+                    let cached = dp.sequence(dist.as_ref(), &c).unwrap();
+                    assert_eq!(
+                        reference.times().len(),
+                        cached.times().len(),
+                        "{scheme:?}/{}/{pass}",
+                        dist.name()
+                    );
+                    for (a, b) in reference.times().iter().zip(cached.times()) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{scheme:?}/{}/{pass}: {a} vs {b}",
+                            dist.name()
+                        );
+                    }
+                }
+            }
+        }
+        rsj_dist::clear_eval_cache();
+    }
+
+    #[test]
+    fn parallel_dp_matches_serial_bit_for_bit() {
+        // Large enough that inner spans exceed DP_PAR_MIN_SPAN and the
+        // chunked min-reduction actually runs multi-threaded.
+        let d = rsj_dist::discretize(
+            &Exponential::new(1.0).unwrap(),
+            DiscretizationScheme::EqualProbability,
+            6000,
+            1e-7,
+        )
+        .unwrap();
+        let c = CostModel::new(0.95, 1.0, 1.05).unwrap();
+        let serial = optimal_discrete_par(&d, &c, &rsj_par::Parallelism::serial()).unwrap();
+        let par4 = optimal_discrete_par(&d, &c, &rsj_par::Parallelism::new(4).unwrap()).unwrap();
+        assert_eq!(serial.indices, par4.indices);
+        assert_eq!(serial.expected_cost.to_bits(), par4.expected_cost.to_bits());
+        for (a, b) in serial.values.iter().zip(&par4.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

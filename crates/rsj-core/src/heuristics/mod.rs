@@ -15,7 +15,9 @@ mod dp;
 mod simple;
 
 pub use brute_force::{BruteForce, EvalMethod, SweepPoint};
-pub use dp::{discrete_sequence_cost, optimal_discrete, DiscretizedDp, DpSolution};
+pub use dp::{
+    discrete_sequence_cost, optimal_discrete, optimal_discrete_par, DiscretizedDp, DpSolution,
+};
 pub use simple::{MeanByMean, MeanDoubling, MeanStdev, MedianByMedian};
 
 use crate::cost::CostModel;

@@ -62,8 +62,9 @@ pub use eval::{
     run_job_convex, RunOutcome,
 };
 pub use heuristics::{
-    optimal_discrete, paper_suite, BruteForce, DiscretizedDp, DpSolution, EvalMethod, MeanByMean,
-    MeanDoubling, MeanStdev, MedianByMedian, Strategy, SweepPoint, TailPolicy,
+    optimal_discrete, optimal_discrete_par, paper_suite, BruteForce, DiscretizedDp, DpSolution,
+    EvalMethod, MeanByMean, MeanDoubling, MeanStdev, MedianByMedian, Strategy, SweepPoint,
+    TailPolicy,
 };
 pub use recurrence::{sequence_from_t1, sequence_from_t1_convex, RecurrenceConfig};
 pub use risk::{budget_at_quantile, risk_profile, CostBracket, RiskProfile};

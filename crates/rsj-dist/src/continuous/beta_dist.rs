@@ -44,6 +44,10 @@ impl ContinuousDistribution for BetaDist {
         format!("Beta(α={}, β={})", self.alpha, self.beta)
     }
 
+    fn cache_key(&self) -> Option<String> {
+        Some(self.name())
+    }
+
     fn support(&self) -> Support {
         Support::Bounded {
             lower: 0.0,

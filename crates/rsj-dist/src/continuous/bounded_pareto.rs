@@ -61,6 +61,10 @@ impl ContinuousDistribution for BoundedPareto {
         )
     }
 
+    fn cache_key(&self) -> Option<String> {
+        Some(self.name())
+    }
+
     fn support(&self) -> Support {
         Support::Bounded {
             lower: self.l,

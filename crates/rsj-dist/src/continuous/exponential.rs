@@ -30,6 +30,10 @@ impl ContinuousDistribution for Exponential {
         format!("Exponential(λ={})", self.lambda)
     }
 
+    fn cache_key(&self) -> Option<String> {
+        Some(self.name())
+    }
+
     fn support(&self) -> Support {
         Support::Unbounded { lower: 0.0 }
     }

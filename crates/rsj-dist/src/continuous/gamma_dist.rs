@@ -39,6 +39,10 @@ impl ContinuousDistribution for GammaDist {
         format!("Gamma(α={}, β={})", self.shape, self.rate)
     }
 
+    fn cache_key(&self) -> Option<String> {
+        Some(self.name())
+    }
+
     fn support(&self) -> Support {
         Support::Unbounded { lower: 0.0 }
     }

@@ -68,6 +68,10 @@ impl ContinuousDistribution for LogNormal {
         format!("LogNormal(μ={}, σ={})", self.mu, self.sigma)
     }
 
+    fn cache_key(&self) -> Option<String> {
+        Some(self.name())
+    }
+
     fn support(&self) -> Support {
         Support::Unbounded { lower: 0.0 }
     }

@@ -44,6 +44,10 @@ impl ContinuousDistribution for Pareto {
         format!("Pareto(ν={}, α={})", self.nu, self.alpha)
     }
 
+    fn cache_key(&self) -> Option<String> {
+        Some(self.name())
+    }
+
     fn support(&self) -> Support {
         Support::Unbounded { lower: self.nu }
     }

@@ -83,6 +83,10 @@ impl ContinuousDistribution for TruncatedNormal {
         )
     }
 
+    fn cache_key(&self) -> Option<String> {
+        Some(self.name())
+    }
+
     fn support(&self) -> Support {
         Support::Unbounded { lower: self.a }
     }

@@ -39,6 +39,10 @@ impl ContinuousDistribution for Uniform {
         format!("Uniform(a={}, b={})", self.a, self.b)
     }
 
+    fn cache_key(&self) -> Option<String> {
+        Some(self.name())
+    }
+
     fn support(&self) -> Support {
         Support::Bounded {
             lower: self.a,

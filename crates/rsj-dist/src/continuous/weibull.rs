@@ -37,6 +37,10 @@ impl ContinuousDistribution for Weibull {
         format!("Weibull(λ={}, κ={})", self.lambda, self.kappa)
     }
 
+    fn cache_key(&self) -> Option<String> {
+        Some(self.name())
+    }
+
     fn support(&self) -> Support {
         Support::Unbounded { lower: 0.0 }
     }

@@ -16,7 +16,7 @@ use crate::traits::ContinuousDistribution;
 use serde::{Deserialize, Serialize};
 
 /// Which discretization scheme of §4.2.1 to apply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DiscretizationScheme {
     /// All sampled execution times carry the same probability mass.
     EqualProbability,

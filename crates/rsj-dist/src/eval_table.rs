@@ -1,0 +1,304 @@
+//! Precomputed distribution evaluations over a discretization grid
+//! (system S22) plus a process-wide memo for
+//! discretization-and-table pairs.
+//!
+//! The discretized DP and the brute-force sweep call `F(tᵢ)` / survival /
+//! `E[X | X > tᵢ]` at the *same* grid points for every solve over a given
+//! `(distribution, scheme, n, ε)` tuple — previously re-evaluating the
+//! special functions (`ln Γ`, incomplete gamma/beta inverses, …) on every
+//! visit. An [`EvalTable`] evaluates each grid point once; the
+//! [`discretize_eval`] cache shares the table (and the discretization
+//! itself) across solver instances, experiment steps and worker threads.
+//!
+//! ## Exactness
+//!
+//! `cdf`/`survival` entries are the distribution's own values at the grid
+//! points — bit-for-bit what a direct call returns. The conditional-mean
+//! column is exact (one adaptive quadrature) at the **last** grid point —
+//! the only one the DP's unbounded-tail extension consumes — and a
+//! trapezoid-of-survival approximation at interior points, clearly
+//! documented for callers that can tolerate it.
+
+use crate::discrete::{discretize, DiscreteDistribution, DiscretizationScheme};
+use crate::error::{DistError, Result};
+use crate::traits::ContinuousDistribution;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Distribution evaluations precomputed over a fixed grid of points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalTable {
+    points: Vec<f64>,
+    cdf: Vec<f64>,
+    survival: Vec<f64>,
+    cond_mean: Vec<f64>,
+}
+
+impl EvalTable {
+    /// Evaluates `dist` at each of the strictly increasing `points`.
+    ///
+    /// Cost: one `cdf` + one `survival` call per point plus a single
+    /// adaptive quadrature for the tail beyond the last point.
+    pub fn build(dist: &dyn ContinuousDistribution, points: Vec<f64>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(DistError::DegenerateSample {
+                reason: "empty evaluation grid",
+            });
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for &p in &points {
+            if !p.is_finite() || p <= prev {
+                return Err(DistError::InvalidParameter {
+                    name: "points",
+                    value: p,
+                    requirement: "must be finite and strictly increasing",
+                });
+            }
+            prev = p;
+        }
+        let n = points.len();
+        let cdf: Vec<f64> = points.iter().map(|&p| dist.cdf(p)).collect();
+        let survival: Vec<f64> = points.iter().map(|&p| dist.survival(p)).collect();
+
+        // Conditional means, back to front. The last entry is the exact
+        // `E[X | X > v_n]` (one quadrature inside the default trait
+        // implementation); interior entries reuse that tail and integrate
+        // the survival function between grid points with the trapezoid
+        // rule, so they carry O(Δt²) discretization error.
+        let mut cond_mean = vec![0.0; n];
+        let last = n - 1;
+        let (exact_last, mut tail_integral) = if survival[last] > 0.0 {
+            let cm = dist.conditional_mean_above(points[last]);
+            (cm, (cm - points[last]) * survival[last])
+        } else {
+            (points[last], 0.0)
+        };
+        cond_mean[last] = exact_last;
+        for i in (0..last).rev() {
+            tail_integral += 0.5 * (survival[i] + survival[i + 1]) * (points[i + 1] - points[i]);
+            cond_mean[i] = if survival[i] > 0.0 {
+                points[i] + tail_integral / survival[i]
+            } else {
+                points[i]
+            };
+        }
+        Ok(EvalTable {
+            points,
+            cdf,
+            survival,
+            cond_mean,
+        })
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the grid is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The grid points, strictly increasing.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// `F(pᵢ)` for each grid point — exact distribution values.
+    pub fn cdf(&self) -> &[f64] {
+        &self.cdf
+    }
+
+    /// `P(X ≥ pᵢ)` for each grid point — exact distribution values.
+    pub fn survival(&self) -> &[f64] {
+        &self.survival
+    }
+
+    /// `E[X | X > pᵢ]` for each grid point: exact at the last point,
+    /// trapezoid-approximate at interior points (see type docs).
+    pub fn cond_mean(&self) -> &[f64] {
+        &self.cond_mean
+    }
+}
+
+/// A discretization paired with the evaluation table over its support
+/// points — the unit the process-wide cache shares between solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscretizedEval {
+    /// The §4.2.1 discrete law (identical to what [`discretize`] returns).
+    pub discrete: DiscreteDistribution,
+    /// Distribution evaluations at `discrete.values()`.
+    pub table: EvalTable,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    dist: String,
+    scheme: DiscretizationScheme,
+    n: usize,
+    epsilon_bits: u64,
+}
+
+/// Bound on cached entries. Each entry holds ~4 `n`-length vectors
+/// (n ≤ a few thousand in practice); 128 entries is a generous working
+/// set for a full experiment suite. On overflow the map is cleared — a
+/// crude but branch-free eviction that can only cost recomputation.
+const CACHE_CAPACITY: usize = 128;
+
+static CACHE: OnceLock<Mutex<HashMap<CacheKey, Arc<DiscretizedEval>>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<CacheKey, Arc<DiscretizedEval>>> {
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Discretizes `dist` (same semantics as [`discretize`]) and builds the
+/// evaluation table over the resulting support, memoized process-wide by
+/// `(dist.cache_key(), scheme, n, epsilon)`.
+///
+/// Distributions without a faithful [`ContinuousDistribution::cache_key`]
+/// are computed fresh on every call (correctness first). Concurrent
+/// misses on the same key may compute the entry twice; both arrive at
+/// identical values, and one wins the insert.
+pub fn discretize_eval(
+    dist: &dyn ContinuousDistribution,
+    scheme: DiscretizationScheme,
+    n: usize,
+    epsilon: f64,
+) -> Result<Arc<DiscretizedEval>> {
+    let key = dist.cache_key().map(|dist| CacheKey {
+        dist,
+        scheme,
+        n,
+        epsilon_bits: epsilon.to_bits(),
+    });
+    if let Some(key) = &key {
+        if let Some(hit) = cache().lock().expect("eval cache lock").get(key) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+
+    let discrete = discretize(dist, scheme, n, epsilon)?;
+    let table = EvalTable::build(dist, discrete.values().to_vec())?;
+    let entry = Arc::new(DiscretizedEval { discrete, table });
+
+    if let Some(key) = key {
+        let mut map = cache().lock().expect("eval cache lock");
+        if map.len() >= CACHE_CAPACITY {
+            map.clear();
+        }
+        map.entry(key).or_insert_with(|| Arc::clone(&entry));
+    }
+    Ok(entry)
+}
+
+/// `(hits, misses)` of the process-wide discretization cache since start
+/// (or the last reset). Exported by the benchmark binaries next to their
+/// timings.
+pub fn eval_cache_stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Empties the cache and zeroes the hit/miss counters. Benchmarks call
+/// this between timed solves so warm-cache and cold-cache timings stay
+/// distinguishable.
+pub fn clear_eval_cache() {
+    cache().lock().expect("eval cache lock").clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuous::{Exponential, LogNormal, Uniform};
+
+    #[test]
+    fn table_matches_direct_calls_bit_for_bit() {
+        let d = LogNormal::new(3.0, 0.5).unwrap();
+        let points: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let t = EvalTable::build(&d, points.clone()).unwrap();
+        for (i, &p) in points.iter().enumerate() {
+            assert_eq!(t.cdf()[i].to_bits(), d.cdf(p).to_bits());
+            assert_eq!(t.survival()[i].to_bits(), d.survival(p).to_bits());
+        }
+        // The last conditional mean is the exact quadrature value.
+        assert_eq!(
+            t.cond_mean()[49].to_bits(),
+            d.conditional_mean_above(50.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn interior_cond_means_approximate_the_exact_values() {
+        let d = Exponential::new(0.5).unwrap();
+        let points: Vec<f64> = (1..=2000).map(|i| i as f64 * 0.01).collect();
+        let t = EvalTable::build(&d, points.clone()).unwrap();
+        for i in (0..2000).step_by(137) {
+            let exact = d.conditional_mean_above(points[i]);
+            let approx = t.cond_mean()[i];
+            assert!(
+                (approx - exact).abs() / exact < 1e-4,
+                "point {}: approx {approx} vs exact {exact}",
+                points[i]
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_support_endpoint_is_handled() {
+        let d = Uniform::new(10.0, 20.0).unwrap();
+        let t = EvalTable::build(&d, vec![10.0, 15.0, 20.0]).unwrap();
+        assert_eq!(t.survival()[2], 0.0);
+        assert_eq!(t.cond_mean()[2], 20.0);
+        // E[X | X > 15] = 17.5 for the uniform.
+        assert!((t.cond_mean()[1] - 17.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_grids() {
+        let d = Exponential::new(1.0).unwrap();
+        assert!(EvalTable::build(&d, vec![]).is_err());
+        assert!(EvalTable::build(&d, vec![1.0, 1.0]).is_err());
+        assert!(EvalTable::build(&d, vec![2.0, 1.0]).is_err());
+        assert!(EvalTable::build(&d, vec![1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn cache_shares_entries_and_counts_hits() {
+        clear_eval_cache();
+        let d = LogNormal::new(1.25, 0.4).unwrap();
+        let a = discretize_eval(&d, DiscretizationScheme::EqualProbability, 64, 1e-7).unwrap();
+        let b = discretize_eval(&d, DiscretizationScheme::EqualProbability, 64, 1e-7).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        let (hits, misses) = eval_cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+
+        // Different scheme / n / epsilon are distinct entries.
+        let c = discretize_eval(&d, DiscretizationScheme::EqualTime, 64, 1e-7).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        let reference = discretize(&d, DiscretizationScheme::EqualProbability, 64, 1e-7).unwrap();
+        assert_eq!(a.discrete, reference, "cached law must equal discretize()");
+        clear_eval_cache();
+    }
+
+    #[test]
+    fn uncacheable_distributions_are_computed_fresh() {
+        clear_eval_cache();
+        let samples: Vec<f64> = (1..=200).map(|i| i as f64 * 0.1).collect();
+        let d = crate::interpolated::InterpolatedEmpirical::from_samples(&samples).unwrap();
+        assert!(d.cache_key().is_none());
+        let a = discretize_eval(&d, DiscretizationScheme::EqualProbability, 32, 1e-7).unwrap();
+        let b = discretize_eval(&d, DiscretizationScheme::EqualProbability, 32, 1e-7).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "no faithful key → no sharing");
+        assert_eq!(a.discrete, b.discrete);
+        let (hits, _) = eval_cache_stats();
+        assert_eq!(hits, 0);
+        clear_eval_cache();
+    }
+}

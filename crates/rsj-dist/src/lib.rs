@@ -44,6 +44,7 @@ pub mod continuous;
 pub mod discrete;
 pub mod empirical;
 pub mod error;
+pub mod eval_table;
 pub mod fit;
 pub mod interpolated;
 pub mod quadrature;
@@ -63,6 +64,9 @@ pub use continuous::{
 pub use discrete::{discretize, DiscreteDistribution, DiscretizationScheme};
 pub use empirical::Empirical;
 pub use error::{DistError, Result};
+pub use eval_table::{
+    clear_eval_cache, discretize_eval, eval_cache_stats, DiscretizedEval, EvalTable,
+};
 pub use fit::{fit_affine, fit_lognormal, AffineFit, LogNormalFit};
 pub use interpolated::InterpolatedEmpirical;
 pub use spec::DistSpec;

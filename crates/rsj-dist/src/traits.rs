@@ -135,6 +135,21 @@ pub trait ContinuousDistribution: Send + Sync + std::fmt::Debug {
         tau + integral / s_tau
     }
 
+    /// A string that uniquely identifies this distribution (law *and*
+    /// parameters) for process-wide memoization, or `None` when no
+    /// faithful key exists.
+    ///
+    /// Caching is opt-in: the default is `None` because a display name
+    /// that truncates parameters (e.g. an empirical law showing only its
+    /// knot count) would silently alias distinct distributions. Types
+    /// whose `name()` round-trips every parameter — the nine parametric
+    /// laws of Table 1 — override this with `Some(self.name())`, which is
+    /// faithful because Rust's `{}` formatting of `f64` is
+    /// shortest-roundtrip.
+    fn cache_key(&self) -> Option<String> {
+        None
+    }
+
     /// Draws one execution time by inverse-transform sampling.
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         // `gen` yields a uniform in [0, 1); Q(0) is the support's lower end.

@@ -37,6 +37,14 @@ impl<D: ContinuousDistribution> ContinuousDistribution for Scaled<D> {
         format!("{} × {}", self.factor, self.inner.name())
     }
 
+    fn cache_key(&self) -> Option<String> {
+        // Faithful iff the inner law's key is: `{}` on the factor is
+        // shortest-roundtrip.
+        self.inner
+            .cache_key()
+            .map(|inner| format!("{} × {inner}", self.factor))
+    }
+
     fn support(&self) -> Support {
         match self.inner.support() {
             Support::Bounded { lower, upper } => Support::Bounded {

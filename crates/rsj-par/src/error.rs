@@ -1,0 +1,57 @@
+//! Typed errors for the parallel execution layer.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::Parallelism`] construction and the
+/// fork-join entry points.
+///
+/// `Clone + PartialEq` so downstream error enums (e.g. `SimError`) can
+/// embed these without giving up their own derives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParError {
+    /// A thread count of zero was requested (`--threads 0`,
+    /// `RSJ_THREADS=0`, or `Parallelism::new(0)`).
+    ZeroThreads,
+    /// `RSJ_THREADS` was set but did not parse as a positive integer.
+    InvalidEnv {
+        /// The raw value of the environment variable.
+        value: String,
+    },
+    /// A worker panicked while executing a task. The panic does not tear
+    /// down the caller; it is captured and surfaced as this variant so
+    /// batch drivers can fail one batch without aborting the process.
+    WorkerPanicked {
+        /// Stringified panic payload (`&str`/`String` payloads verbatim,
+        /// anything else a placeholder).
+        message: String,
+    },
+}
+
+impl fmt::Display for ParError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParError::ZeroThreads => {
+                write!(f, "thread count must be at least 1 (got 0)")
+            }
+            ParError::InvalidEnv { value } => {
+                write!(f, "RSJ_THREADS must be a positive integer, got {value:?}")
+            }
+            ParError::WorkerPanicked { message } => {
+                write!(f, "worker panicked during parallel execution: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParError {}
+
+/// Extracts a human-readable message from a captured panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -39,6 +39,7 @@ use rsj_dist::censored::{
     Observation,
 };
 use rsj_dist::{ContinuousDistribution, DistError};
+use rsj_par::Parallelism;
 use serde::{Deserialize, Serialize};
 
 /// Which family the refitter estimates from the observation stream.
@@ -298,6 +299,13 @@ fn execute_one(
     (r.outcome.cost, false, r.completed, obs)
 }
 
+/// Blocks shorter than this execute serially: the plan is fixed between
+/// refit boundaries, so a refit-interval block is the natural parallel
+/// unit, but tiny blocks are not worth the fork-join overhead. Serial and
+/// parallel paths run the identical closure, so the threshold cannot
+/// affect results.
+const MIN_PAR_BLOCK: usize = 64;
+
 /// Runs the full adaptive loop: `n_jobs` durations sampled from `truth`,
 /// planned with `strategy` starting from `prior`, refitting the
 /// [`AdaptiveConfig::family`] on the growing (censored) observation
@@ -306,6 +314,14 @@ fn execute_one(
 /// One duration is drawn from `rng` per job, in order, so a run whose
 /// guardrails never replace the plan is bit-for-bit identical to executing
 /// the static prior plan on the same seed.
+///
+/// Jobs between two refit boundaries share one fixed plan, so each
+/// refit-interval block executes on the ambient [`Parallelism`]: durations
+/// are pre-drawn serially from `rng` (preserving the draw order), each job
+/// gets its fault trace from the per-job substream
+/// [`FaultInjector::for_job`], and accounting, observation collection and
+/// refits stay serial at block boundaries — results are bit-for-bit
+/// identical at any thread count.
 pub fn run_adaptive(
     truth: &dyn ContinuousDistribution,
     prior: &dyn ContinuousDistribution,
@@ -321,7 +337,7 @@ pub fn run_adaptive(
     config.validate()?;
     let _wall = rsj_obs::ScopedTimer::global("rsj_sim_adaptive_wall_seconds");
     let _span = rsj_obs::span!("sim.run_adaptive");
-    let mut injector = FaultInjector::new(&config.resilience.faults)?;
+    let par = Parallelism::current();
     let mut plan = strategy
         .sequence(prior, cost)
         .map_err(|e| SimError::Planning {
@@ -347,30 +363,63 @@ pub fn run_adaptive(
     let mut censored_count = 0usize;
     let mut gave_up = 0usize;
 
-    for j in 0..n_jobs {
-        let t = truth.sample(rng);
-        if !t.is_finite() || t < 0.0 {
-            return Err(SimError::NonFiniteSample { index: j, value: t });
+    let mut j0 = 0usize;
+    while j0 < n_jobs {
+        // --- One refit-interval block under the current (fixed) plan. ---
+        let block = config.refit_interval.min(n_jobs - j0);
+        let mut durations = Vec::with_capacity(block);
+        for k in 0..block {
+            let t = truth.sample(rng);
+            if !t.is_finite() || t < 0.0 {
+                return Err(SimError::NonFiniteSample {
+                    index: j0 + k,
+                    value: t,
+                });
+            }
+            durations.push(t);
         }
-        let oracle_cost_j = run_job(&oracle_plan, cost, t).cost;
-        let (cost_j, censored, completed, obs) = execute_one(&plan, cost, config, t, &mut injector);
-        censored_count += usize::from(censored);
-        gave_up += usize::from(!completed && !censored);
-        if let Some(o) = obs {
-            observations.push(o);
+        let execute = |k: usize, t: &f64| {
+            let t = *t;
+            let mut injector =
+                FaultInjector::for_job_unvalidated(&config.resilience.faults, (j0 + k) as u64);
+            let oracle_cost_j = run_job(&oracle_plan, cost, t).cost;
+            let (cost_j, censored, completed, obs) =
+                execute_one(&plan, cost, config, t, &mut injector);
+            (oracle_cost_j, cost_j, censored, completed, obs)
+        };
+        let results = if block >= MIN_PAR_BLOCK {
+            par.try_par_map(&durations, execute)?
+        } else {
+            durations
+                .iter()
+                .enumerate()
+                .map(|(k, t)| execute(k, t))
+                .collect()
+        };
+        for (k, (oracle_cost_j, cost_j, censored, completed, obs)) in
+            results.into_iter().enumerate()
+        {
+            censored_count += usize::from(censored);
+            gave_up += usize::from(!completed && !censored);
+            if let Some(o) = obs {
+                observations.push(o);
+            }
+            total_cost += cost_j;
+            oracle_total += oracle_cost_j;
+            jobs.push(AdaptiveJob {
+                duration: durations[k],
+                cost: cost_j,
+                oracle_cost: oracle_cost_j,
+                censored,
+                completed,
+            });
         }
-        total_cost += cost_j;
-        oracle_total += oracle_cost_j;
-        jobs.push(AdaptiveJob {
-            duration: t,
-            cost: cost_j,
-            oracle_cost: oracle_cost_j,
-            censored,
-            completed,
-        });
+        j0 += block;
 
-        let at_boundary = (j + 1) % config.refit_interval == 0;
-        if !at_boundary || j + 1 >= n_jobs || observations.len() < config.min_observations {
+        // `j0` only stops being a multiple of the interval on the final,
+        // partial block — where the `j0 >= n_jobs` guard fires anyway.
+        let at_boundary = block == config.refit_interval;
+        if !at_boundary || j0 >= n_jobs || observations.len() < config.min_observations {
             continue;
         }
 
@@ -427,7 +476,7 @@ pub fn run_adaptive(
         }
         rsj_obs::debug!(
             "refit after {} jobs: accepted {}, replanned {}, fallback {}, model {}, ratio {:.4}",
-            j + 1,
+            j0,
             accepted,
             replanned,
             fallback,
@@ -435,7 +484,7 @@ pub fn run_adaptive(
             total_cost / oracle_total
         );
         refits.push(RefitRecord {
-            after_jobs: j + 1,
+            after_jobs: j0,
             accepted,
             replanned,
             fallback,

@@ -41,6 +41,16 @@ pub enum SimError {
         /// The underlying core error.
         source: rsj_core::CoreError,
     },
+    /// The parallel execution layer failed: an invalid worker-pool
+    /// configuration (`--threads 0`, malformed `RSJ_THREADS`) or a worker
+    /// panic mid-batch.
+    Parallel(rsj_par::ParError),
+}
+
+impl From<rsj_par::ParError> for SimError {
+    fn from(e: rsj_par::ParError) -> Self {
+        SimError::Parallel(e)
+    }
 }
 
 impl fmt::Display for SimError {
@@ -60,6 +70,9 @@ impl fmt::Display for SimError {
             }
             SimError::Planning { context, source } => {
                 write!(f, "planning on the {context} failed: {source}")
+            }
+            SimError::Parallel(source) => {
+                write!(f, "parallel execution failed: {source}")
             }
         }
     }

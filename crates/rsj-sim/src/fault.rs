@@ -162,6 +162,29 @@ impl FaultInjector {
         })
     }
 
+    /// Builds the injector for job `job_index` of a batch, seeding its RNG
+    /// from a per-job substream of [`FaultConfig::seed`]
+    /// ([`rsj_par::substream_seed`]). Per-job streams make the fault trace
+    /// a function of `(config.seed, job_index)` alone — independent of
+    /// execution order — so batches can run their jobs in parallel and
+    /// still reproduce bit-for-bit at any thread count. Fault-free
+    /// configurations never draw, so they are unaffected by the seeding.
+    pub fn for_job(config: &FaultConfig, job_index: u64) -> Result<Self, SimError> {
+        config.validate()?;
+        Ok(Self::for_job_unvalidated(config, job_index))
+    }
+
+    /// [`Self::for_job`] without re-validating `config`; for batch hot
+    /// loops that validated once up front.
+    pub(crate) fn for_job_unvalidated(config: &FaultConfig, job_index: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(rsj_par::substream_seed(config.seed, job_index)),
+            mtbf: config.mtbf,
+            preemption_rate: config.preemption_rate,
+            jitter: config.walltime_jitter,
+        }
+    }
+
     /// Whether every process is disabled (no query ever draws).
     pub fn is_fault_free(&self) -> bool {
         self.mtbf.is_none() && self.preemption_rate.is_none() && self.jitter.is_none()
@@ -250,6 +273,28 @@ mod tests {
             assert_eq!(a.interruption(w), b.interruption(w));
             assert_eq!(a.effective_walltime(w), b.effective_walltime(w));
         }
+    }
+
+    #[test]
+    fn per_job_injectors_replay_and_decorrelate() {
+        let cfg = FaultConfig {
+            seed: 42,
+            mtbf: Some(3.0),
+            preemption_rate: Some(0.5),
+            walltime_jitter: Some(0.1),
+        };
+        // Same (seed, job) → identical trace.
+        let mut a = FaultInjector::for_job(&cfg, 7).unwrap();
+        let mut b = FaultInjector::for_job(&cfg, 7).unwrap();
+        let trace_a: Vec<_> = (0..50).map(|_| a.interruption(2.0)).collect();
+        let trace_b: Vec<_> = (0..50).map(|_| b.interruption(2.0)).collect();
+        assert_eq!(trace_a, trace_b);
+        // Different job index → different trace.
+        let mut c = FaultInjector::for_job(&cfg, 8).unwrap();
+        let trace_c: Vec<_> = (0..50).map(|_| c.interruption(2.0)).collect();
+        assert_ne!(trace_a, trace_c);
+        // Invalid configs still rejected.
+        assert!(FaultInjector::for_job(&FaultConfig::crashes(-1.0, 0), 0).is_err());
     }
 
     #[test]

@@ -72,9 +72,10 @@ pub use error::SimError;
 pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind};
 pub use job::{Job, JobId, JobRecord, Time};
 pub use resilient::{
-    run_batch_resilient, run_job_resilient, ResilienceConfig, ResilientOutcome, RetryPolicy,
+    run_batch_resilient, run_batch_resilient_seeded, run_job_resilient, ResilienceConfig,
+    ResilientOutcome, RetryPolicy,
 };
-pub use runner::{aggregate, cost_model_from_queue, run_batch, BatchStats};
+pub use runner::{aggregate, cost_model_from_queue, run_batch, run_batch_seeded, BatchStats};
 pub use scheduler::{PriorityConfig, SchedulerPolicy, SchedulerState};
 pub use wait_time::{analyze_wait_times, WaitGroup, WaitTimeAnalysis};
 pub use workload::{
@@ -90,8 +91,10 @@ pub mod prelude {
     };
     pub use crate::fault::{FaultConfig, FaultKind};
     pub use crate::job::{Job, JobId, JobRecord};
-    pub use crate::resilient::{run_batch_resilient, ResilienceConfig, RetryPolicy};
-    pub use crate::runner::{cost_model_from_queue, run_batch, BatchStats};
+    pub use crate::resilient::{
+        run_batch_resilient, run_batch_resilient_seeded, ResilienceConfig, RetryPolicy,
+    };
+    pub use crate::runner::{cost_model_from_queue, run_batch, run_batch_seeded, BatchStats};
     pub use crate::scheduler::SchedulerPolicy;
     pub use crate::wait_time::{analyze_wait_times, WaitTimeAnalysis};
     pub use crate::workload::{generate_workload, WorkloadConfig};

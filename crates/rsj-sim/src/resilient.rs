@@ -28,10 +28,12 @@
 use crate::error::{check_param, SimError};
 use crate::fault::{FaultConfig, FaultEvent, FaultInjector};
 use crate::runner::{aggregate, BatchStats};
-use rand::RngCore;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use rsj_core::extensions::CheckpointConfig;
 use rsj_core::{CostModel, ReservationSequence, RunOutcome};
 use rsj_dist::ContinuousDistribution;
+use rsj_par::{substream_seed, Parallelism};
 use serde::{Deserialize, Serialize};
 
 /// What the executor requests after a fault interrupts a reservation.
@@ -251,9 +253,14 @@ pub fn run_job_resilient(
 /// fields of [`BatchStats`].
 ///
 /// Job durations come from `rng` exactly as in
-/// [`crate::runner::run_batch`] — one draw per job — while fault times
-/// come from the dedicated injector RNG, so a fault-free configuration
-/// reproduces `run_batch`'s statistics bit-for-bit under the same seed.
+/// [`crate::runner::run_batch`] — one serial draw per job, in order —
+/// while fault times come from a **per-job substream** of the dedicated
+/// fault seed ([`FaultInjector::for_job`]), making each job's fault trace
+/// a function of `(config.faults.seed, job_index)` alone. Jobs therefore
+/// execute on the ambient [`Parallelism`] with bit-for-bit identical
+/// statistics at any thread count, and a fault-free configuration still
+/// reproduces `run_batch` bit-for-bit under the same seed (a fault-free
+/// injector never draws).
 pub fn run_batch_resilient(
     seq: &ReservationSequence,
     dist: &dyn ContinuousDistribution,
@@ -268,15 +275,60 @@ pub fn run_batch_resilient(
     config.validate()?;
     let _wall = rsj_obs::ScopedTimer::global("rsj_sim_batch_wall_seconds");
     let _span = rsj_obs::span!("sim.run_batch_resilient");
-    let mut injector = FaultInjector::new(&config.faults)?;
+    let durations: Vec<f64> = (0..n).map(|_| dist.sample(rng)).collect();
+    let results: Vec<ResilientOutcome> =
+        Parallelism::current().try_par_map(&durations, |i, &t| {
+            let mut injector = FaultInjector::for_job_unvalidated(&config.faults, i as u64);
+            run_job_resilient(seq, cost, config, t, &mut injector)
+        })?;
+    aggregate_resilient(&results)
+}
+
+/// Resilient counterpart of [`crate::runner::run_batch_seeded`]: job `i`
+/// draws its duration from the substream `(seed, i)` and its fault trace
+/// from the substream `(config.faults.seed, i)`, so the whole batch is a
+/// pure function of the two seeds — independent of execution order and
+/// thread count. A non-finite or negative draw is a typed
+/// [`SimError::NonFiniteSample`] naming the lowest offending job index.
+pub fn run_batch_resilient_seeded(
+    seq: &ReservationSequence,
+    dist: &dyn ContinuousDistribution,
+    cost: &CostModel,
+    n: usize,
+    seed: u64,
+    config: &ResilienceConfig,
+    par: &Parallelism,
+) -> Result<BatchStats, SimError> {
+    if n == 0 {
+        return Err(SimError::EmptyBatch);
+    }
+    config.validate()?;
+    let _wall = rsj_obs::ScopedTimer::global("rsj_sim_batch_wall_seconds");
+    let _span = rsj_obs::span!("sim.run_batch_resilient_seeded");
+    let results: Vec<Result<ResilientOutcome, SimError>> = par.try_par_run(n, |i| {
+        let mut rng = StdRng::seed_from_u64(substream_seed(seed, i as u64));
+        let t = dist.sample(&mut rng);
+        if !t.is_finite() || t < 0.0 {
+            return Err(SimError::NonFiniteSample { index: i, value: t });
+        }
+        let mut injector = FaultInjector::for_job_unvalidated(&config.faults, i as u64);
+        Ok(run_job_resilient(seq, cost, config, t, &mut injector))
+    })?;
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    aggregate_resilient(&results)
+}
+
+/// Serial accounting over per-job resilient outcomes: robustness counters,
+/// order statistics, and the batch's metrics contribution.
+fn aggregate_resilient(results: &[ResilientOutcome]) -> Result<BatchStats, SimError> {
+    let n = results.len();
     let mut outcomes = Vec::with_capacity(n);
     let mut failures = 0usize;
     let mut restarts = 0usize;
     let mut gave_up = 0usize;
     let mut rework = 0.0;
     let mut rework_hist = rsj_obs::Histogram::new();
-    for _ in 0..n {
-        let r = run_job_resilient(seq, cost, config, dist.sample(rng), &mut injector);
+    for r in results {
         failures += r.failures;
         // Every fault is followed by a restart except the one that makes
         // the job give up.

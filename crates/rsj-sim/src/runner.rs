@@ -5,9 +5,11 @@
 
 use crate::error::SimError;
 use crate::wait_time::WaitTimeAnalysis;
-use rand::RngCore;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use rsj_core::{run_job, CostModel, ReservationSequence, RunOutcome};
 use rsj_dist::ContinuousDistribution;
+use rsj_par::{substream_seed, Parallelism};
 use serde::{Deserialize, Serialize};
 
 /// Aggregate statistics of running many jobs through one sequence.
@@ -51,6 +53,11 @@ pub struct BatchStats {
 
 /// Runs `n` jobs sampled from `dist` through `seq` and aggregates the
 /// outcomes. Errors on an empty batch instead of panicking.
+///
+/// Durations are drawn from `rng` serially — one draw per job, in order,
+/// exactly as a fully serial loop would — and then executed on the ambient
+/// [`Parallelism`] (`run_job` is a pure function of the drawn duration),
+/// so the statistics are bit-for-bit identical at any thread count.
 pub fn run_batch(
     seq: &ReservationSequence,
     dist: &dyn ContinuousDistribution,
@@ -63,9 +70,44 @@ pub fn run_batch(
     }
     let _wall = rsj_obs::ScopedTimer::global("rsj_sim_batch_wall_seconds");
     let _span = rsj_obs::span!("sim.run_batch");
-    let outcomes: Vec<RunOutcome> = (0..n)
-        .map(|_| run_job(seq, cost, dist.sample(rng)))
-        .collect();
+    let durations: Vec<f64> = (0..n).map(|_| dist.sample(rng)).collect();
+    let outcomes: Vec<RunOutcome> =
+        Parallelism::current().try_par_map(&durations, |_, &t| run_job(seq, cost, t))?;
+    let stats = aggregate(&outcomes)?;
+    record_batch_metrics(&outcomes, &stats);
+    Ok(stats)
+}
+
+/// Runs `n` jobs through `seq` with **per-job seeded RNG substreams**: job
+/// `i` draws its duration from a fresh RNG seeded with
+/// [`substream_seed`]`(seed, i)`, so the sampled workload is a function of
+/// `(seed, i)` alone — independent of execution order — and serial and
+/// parallel runs consume identical randomness. A non-finite or negative
+/// draw is a typed [`SimError::NonFiniteSample`] naming the lowest
+/// offending job index.
+pub fn run_batch_seeded(
+    seq: &ReservationSequence,
+    dist: &dyn ContinuousDistribution,
+    cost: &CostModel,
+    n: usize,
+    seed: u64,
+    par: &Parallelism,
+) -> Result<BatchStats, SimError> {
+    if n == 0 {
+        return Err(SimError::EmptyBatch);
+    }
+    let _wall = rsj_obs::ScopedTimer::global("rsj_sim_batch_wall_seconds");
+    let _span = rsj_obs::span!("sim.run_batch_seeded");
+    let results: Vec<Result<RunOutcome, SimError>> = par.try_par_run(n, |i| {
+        let mut rng = StdRng::seed_from_u64(substream_seed(seed, i as u64));
+        let t = dist.sample(&mut rng);
+        if !t.is_finite() || t < 0.0 {
+            return Err(SimError::NonFiniteSample { index: i, value: t });
+        }
+        Ok(run_job(seq, cost, t))
+    })?;
+    // Results are in job order, so the first Err is the lowest index.
+    let outcomes = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     let stats = aggregate(&outcomes)?;
     record_batch_metrics(&outcomes, &stats);
     Ok(stats)

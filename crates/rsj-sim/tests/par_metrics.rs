@@ -1,0 +1,98 @@
+//! Metrics snapshots are part of the determinism contract: a serial and a
+//! four-thread batch record identical `rsj_sim_*` counter increments,
+//! histogram merges and gauge values.
+//!
+//! Lives in its own integration-test binary (= its own process) so the
+//! global registry starts empty and no other test records into it; the
+//! single `#[test]` keeps the recording sequence strictly ordered.
+
+use rsj_core::{CostModel, MeanDoubling, Strategy};
+use rsj_dist::LogNormal;
+use rsj_obs::export::{HistogramSample, MetricsSnapshot};
+use rsj_par::Parallelism;
+use rsj_sim::run_batch_seeded;
+
+fn sim_histogram<'a>(snap: &'a MetricsSnapshot, name: &str) -> &'a HistogramSample {
+    snap.histograms
+        .iter()
+        .find(|h| h.name == name)
+        .unwrap_or_else(|| panic!("histogram {name} missing from snapshot"))
+}
+
+fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|c| c.name == name)
+        .map(|c| c.value)
+        .unwrap_or_else(|| panic!("counter {name} missing from snapshot"))
+}
+
+/// Runs the same seeded batch once on one worker and once on four, and
+/// asserts the second run's metric deltas exactly replay the first's:
+/// counters double, histograms double bucket-by-bucket (sums bit-exactly,
+/// since `x + x` is exact in binary floating point), quantile summaries
+/// and gauges are unchanged. Pool-internal `rsj_par_*` metrics are
+/// excluded — they legitimately differ with worker count.
+#[test]
+fn metric_deltas_identical_across_thread_counts() {
+    rsj_obs::set_metrics_enabled(true);
+    let dist = LogNormal::new(1.0, 0.8).unwrap();
+    let cost = CostModel::new(1.0, 0.5, 0.2).unwrap();
+    let seq = MeanDoubling::default().sequence(&dist, &cost).unwrap();
+
+    let serial = Parallelism::new(1).unwrap();
+    let stats_serial = run_batch_seeded(&seq, &dist, &cost, 4000, 42, &serial).unwrap();
+    let snap1 = rsj_obs::global_registry().snapshot();
+
+    let wide = Parallelism::new(4).unwrap();
+    let stats_wide = run_batch_seeded(&seq, &dist, &cost, 4000, 42, &wide).unwrap();
+    let snap2 = rsj_obs::global_registry().snapshot();
+
+    assert_eq!(stats_serial, stats_wide);
+
+    // Counters: the second run adds exactly what the first did.
+    assert_eq!(counter(&snap1, "rsj_sim_batches_total"), 1);
+    assert_eq!(counter(&snap2, "rsj_sim_batches_total"), 2);
+    assert_eq!(counter(&snap1, "rsj_sim_jobs_total"), 4000);
+    assert_eq!(counter(&snap2, "rsj_sim_jobs_total"), 8000);
+
+    // Histograms: identical samples merged again — every bucket count and
+    // the sum double, while min/max/quantiles stay identical.
+    for name in [
+        "rsj_sim_job_cost",
+        "rsj_sim_job_reservations",
+        "rsj_sim_job_waste",
+    ] {
+        let h1 = sim_histogram(&snap1, name);
+        let h2 = sim_histogram(&snap2, name);
+        assert_eq!(h2.count, 2 * h1.count, "{name} count");
+        assert_eq!(h2.sum, h1.sum + h1.sum, "{name} sum");
+        assert_eq!(h2.min, h1.min, "{name} min");
+        assert_eq!(h2.max, h1.max, "{name} max");
+        assert_eq!(
+            (h2.p50, h2.p95, h2.p99),
+            (h1.p50, h1.p95, h1.p99),
+            "{name} quantiles"
+        );
+        assert_eq!(h1.buckets.len(), h2.buckets.len(), "{name} bucket layout");
+        for (b1, b2) in h1.buckets.iter().zip(&h2.buckets) {
+            assert_eq!(
+                (b1.lower, b1.upper),
+                (b2.lower, b2.upper),
+                "{name} bucket bounds"
+            );
+            assert_eq!(b2.count, 2 * b1.count, "{name} bucket count");
+        }
+    }
+
+    // Gauges: last-set-wins semantics, and both runs set the same value.
+    let gauge = |snap: &MetricsSnapshot| {
+        snap.gauges
+            .iter()
+            .find(|g| g.name == "rsj_sim_waste_fraction")
+            .map(|g| g.value)
+            .expect("waste-fraction gauge missing")
+    };
+    assert_eq!(gauge(&snap1), gauge(&snap2));
+    assert_eq!(gauge(&snap2), stats_serial.waste_fraction);
+}
