@@ -15,7 +15,7 @@
 //! `--threads <list>` (comma-separated) overrides the default sweep of
 //! {1, 2, 4, ncpu}.
 
-use rsj_bench::perf::{digest_f64s, PERF_SCHEMA_VERSION};
+use rsj_bench::perf::{digest_f64s, HostInfo, PERF_SCHEMA_VERSION};
 use rsj_bench::scenarios::{paper_distributions, Fidelity, EPSILON};
 use rsj_bench::{report, DEFAULT_SEED};
 use rsj_core::heuristics::optimal_discrete;
@@ -50,6 +50,11 @@ struct SolverBaseline {
     schema_version: u32,
     fidelity: String,
     seed: u64,
+    /// The machine the sweep ran on; a `speedup_vs_serial ≈ 1` row is
+    /// expected when `available_parallelism` is 1 and a regression
+    /// otherwise.
+    #[serde(default)]
+    host: HostInfo,
     /// Worker-thread counts the suite was swept over.
     threads_swept: Vec<usize>,
     timings: Vec<SolverTiming>,
@@ -83,6 +88,9 @@ fn parse_threads() -> Result<Option<Vec<usize>>, String> {
 fn main() -> std::io::Result<()> {
     rsj_obs::init_from_env();
     rsj_obs::set_metrics_enabled(true);
+    // Captured before the sweep installs its pools, so `pool_threads` is
+    // the default this machine would solve with.
+    let host = HostInfo::capture();
 
     let sweep = match parse_threads() {
         Ok(Some(list)) => list,
@@ -256,6 +264,7 @@ fn main() -> std::io::Result<()> {
         schema_version: PERF_SCHEMA_VERSION,
         fidelity: format!("{fidelity:?}"),
         seed: DEFAULT_SEED,
+        host,
         threads_swept: sweep,
         timings,
         metrics: rsj_obs::global_registry().snapshot(),

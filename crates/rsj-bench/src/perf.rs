@@ -11,7 +11,13 @@ use std::path::PathBuf;
 ///
 /// v2: per-step `threads` in the manifest; solver-baseline rows carry
 /// `threads`, `speedup_vs_serial` and a determinism `digest`.
-pub const PERF_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: a `host` section recording `available_parallelism` and the global
+/// pool width — without it, speedup columns were uninterpretable (a
+/// `speedup_vs_serial ≈ 1` row is expected on a 1-CPU container and a
+/// regression on a 16-CPU box, and the old format could not tell them
+/// apart).
+pub const PERF_SCHEMA_VERSION: u32 = 3;
 
 fn default_schema_version() -> u32 {
     PERF_SCHEMA_VERSION
@@ -19,6 +25,31 @@ fn default_schema_version() -> u32 {
 
 fn default_threads() -> usize {
     1
+}
+
+/// The machine a performance artifact was produced on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HostInfo {
+    /// `std::thread::available_parallelism()` at run time (0 when the
+    /// platform could not report it).
+    #[serde(default)]
+    pub available_parallelism: usize,
+    /// Width of the installed global `rsj-par` pool when the artifact was
+    /// written (what the solvers actually used).
+    #[serde(default)]
+    pub pool_threads: usize,
+}
+
+impl HostInfo {
+    /// Captures the current process's view of the machine.
+    pub fn capture() -> Self {
+        Self {
+            available_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(0),
+            pool_threads: rsj_par::Parallelism::current().threads(),
+        }
+    }
 }
 
 /// Wall time of one experiment step.
@@ -60,6 +91,10 @@ pub struct PerfManifest {
     pub seed: u64,
     /// Whole-suite wall-clock seconds.
     pub total_wall_seconds: f64,
+    /// The machine the run executed on (defaults to zeros when reading
+    /// pre-v3 manifests).
+    #[serde(default)]
+    pub host: HostInfo,
     /// Per-step timings, in execution order.
     #[serde(default)]
     pub experiments: Vec<ExperimentTiming>,
@@ -78,6 +113,7 @@ impl PerfManifest {
             fidelity: fidelity.into(),
             seed,
             total_wall_seconds: 0.0,
+            host: HostInfo::capture(),
             experiments: Vec::new(),
             metrics: MetricsSnapshot::default(),
         }
@@ -139,10 +175,19 @@ mod tests {
         assert_eq!(m.schema_version, PERF_SCHEMA_VERSION);
         assert!(m.experiments.is_empty());
         assert!(m.metrics.is_empty());
+        // Pre-v3 manifests have no host section; zeros mean "unknown".
+        assert_eq!(m.host, HostInfo::default());
         // A v1 step (no threads field) defaults to 1 worker.
         let json = r#"{"name": "Table 2", "wall_seconds": 0.5}"#;
         let t: ExperimentTiming = serde_json::from_str(json).unwrap();
         assert_eq!(t.threads, 1);
+    }
+
+    #[test]
+    fn host_capture_reports_the_machine() {
+        let host = HostInfo::capture();
+        assert!(host.available_parallelism >= 1);
+        assert!(host.pool_threads >= 1);
     }
 
     #[test]

@@ -1,11 +1,8 @@
 //! Shared experiment scenarios: the Table 1 distribution instantiations and
 //! the heuristic suites with the paper's parameters.
 
-use rsj_core::{
-    BruteForce, DiscretizedDp, EvalMethod, MeanByMean, MeanDoubling, MeanStdev, MedianByMedian,
-    Strategy,
-};
-use rsj_dist::{ContinuousDistribution, DiscretizationScheme, DistSpec};
+use rsj_core::{Strategy, SuiteBuilder};
+use rsj_dist::{ContinuousDistribution, DistSpec};
 
 /// A named Table 1 distribution.
 pub struct NamedDist {
@@ -74,39 +71,17 @@ impl Fidelity {
 /// The paper's ε for truncating unbounded supports.
 pub const EPSILON: f64 = 1e-7;
 
-/// The seven-heuristic Table 2 suite at the given fidelity.
+/// The seven-heuristic Table 2 suite at the given fidelity, built through
+/// `rsj-core`'s [`SuiteBuilder`] (the benches only adjust the evaluation
+/// parameters, never the set of heuristics).
 pub fn heuristic_suite(fidelity: Fidelity, seed: u64) -> Vec<Box<dyn Strategy>> {
-    vec![
-        Box::new(
-            BruteForce::new(
-                fidelity.grid(),
-                fidelity.samples(),
-                EvalMethod::MonteCarlo,
-                seed,
-            )
-            .expect("valid parameters"),
-        ),
-        Box::new(MeanByMean::default()),
-        Box::new(MeanStdev::default()),
-        Box::new(MeanDoubling::default()),
-        Box::new(MedianByMedian::default()),
-        Box::new(
-            DiscretizedDp::new(
-                DiscretizationScheme::EqualTime,
-                fidelity.discretization(),
-                EPSILON,
-            )
-            .expect("valid parameters"),
-        ),
-        Box::new(
-            DiscretizedDp::new(
-                DiscretizationScheme::EqualProbability,
-                fidelity.discretization(),
-                EPSILON,
-            )
-            .expect("valid parameters"),
-        ),
-    ]
+    SuiteBuilder::new(seed)
+        .grid(fidelity.grid())
+        .samples(fidelity.samples())
+        .discretization(fidelity.discretization())
+        .epsilon(EPSILON)
+        .build()
+        .expect("valid parameters")
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 
 use crate::config::{AdaptiveSpec, EvaluateConfig, PlanConfig, SimulateConfig};
 use rand::SeedableRng;
+use reservation_strategies::Planner;
 use rsj_core::{
     coverage_gap, expected_cost_analytic, expected_cost_monte_carlo, CostModel, ReservationSequence,
 };
@@ -22,40 +23,34 @@ fn to_json<T: Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).expect("serializable reports")
 }
 
-/// `rsj plan`: compute a ladder and report costs.
+/// `rsj plan`: compute a ladder and report costs. Runs entirely through
+/// the [`Planner`] facade, so `--json` output is the facade's [`Plan`]
+/// (digest included) — byte-comparable with `rsj-serve` responses.
+///
+/// [`Plan`]: reservation_strategies::Plan
 pub fn run_plan(cfg: &PlanConfig, json: bool) -> Result<String, String> {
-    let dist = cfg.distribution.build().map_err(|e| e.to_string())?;
-    let cost = cfg.cost.build()?;
-    let heuristic = cfg.heuristic.build()?;
-    let seq = heuristic
-        .sequence(dist.as_ref(), &cost)
+    let plan = Planner::builder()
+        .distribution(cfg.distribution.clone())
+        .cost_rates(cfg.cost.alpha, cfg.cost.beta, cfg.cost.gamma)
+        .solver(cfg.heuristic.clone())
+        .build()
+        .map_err(|e| e.to_string())?
+        .plan()
         .map_err(|e| e.to_string())?;
-    let expected = expected_cost_analytic(&seq, dist.as_ref(), &cost);
-    let omniscient = cost.omniscient(dist.as_ref());
-    let gap = coverage_gap(&seq, dist.as_ref());
 
     if json {
-        return Ok(to_json(&json!({
-            "heuristic": heuristic.name(),
-            "distribution": dist.name(),
-            "sequence": seq.times(),
-            "complete": seq.is_complete(),
-            "expected_cost": expected,
-            "omniscient_cost": omniscient,
-            "normalized_cost": expected / omniscient,
-            "coverage_gap": gap,
-        })));
+        return Ok(to_json(&plan));
     }
 
     let mut out = String::new();
-    out.push_str(&format!("distribution:     {}\n", dist.name()));
+    out.push_str(&format!("distribution:     {}\n", plan.distribution));
     out.push_str(&format!(
         "cost model:       C(R, t) = {}·R + {}·min(R,t) + {}\n",
-        cost.alpha, cost.beta, cost.gamma
+        cfg.cost.alpha, cfg.cost.beta, cfg.cost.gamma
     ));
-    out.push_str(&format!("heuristic:        {}\n", heuristic.name()));
-    let shown: Vec<String> = seq
-        .times()
+    out.push_str(&format!("solver:           {}\n", plan.solver));
+    let shown: Vec<String> = plan
+        .sequence
         .iter()
         .take(cfg.show)
         .map(|t| format!("{t:.4}"))
@@ -63,16 +58,24 @@ pub fn run_plan(cfg: &PlanConfig, json: bool) -> Result<String, String> {
     out.push_str(&format!(
         "request ladder:   {}{}\n",
         shown.join(", "),
-        if seq.len() > cfg.show { ", …" } else { "" }
+        if plan.sequence.len() > cfg.show {
+            ", …"
+        } else {
+            ""
+        }
     ));
-    out.push_str(&format!("ladder length:    {}\n", seq.len()));
-    out.push_str(&format!("expected cost:    {expected:.4}\n"));
+    out.push_str(&format!("ladder length:    {}\n", plan.sequence.len()));
+    out.push_str(&format!("expected cost:    {:.4}\n", plan.expected_cost));
     out.push_str(&format!(
-        "vs omniscient:    {:.4} (E° = {omniscient:.4})\n",
-        expected / omniscient
+        "vs omniscient:    {:.4} (E° = {:.4})\n",
+        plan.normalized_cost, plan.omniscient_cost
     ));
-    if gap > 0.0 {
-        out.push_str(&format!("tail gap:         P(X ≥ last) = {gap:.2e}\n"));
+    out.push_str(&format!("plan digest:      {}\n", plan.digest));
+    if plan.coverage_gap > 0.0 {
+        out.push_str(&format!(
+            "tail gap:         P(X ≥ last) = {:.2e}\n",
+            plan.coverage_gap
+        ));
     }
     Ok(out)
 }
@@ -82,7 +85,7 @@ pub fn run_plan(cfg: &PlanConfig, json: bool) -> Result<String, String> {
 pub fn run_risk(cfg: &PlanConfig, json: bool) -> Result<String, String> {
     let dist = cfg.distribution.build().map_err(|e| e.to_string())?;
     let cost = cfg.cost.build()?;
-    let heuristic = cfg.heuristic.build()?;
+    let heuristic = cfg.heuristic.build().map_err(|e| e.to_string())?;
     let seq = heuristic
         .sequence(dist.as_ref(), &cost)
         .map_err(|e| e.to_string())?;
@@ -328,7 +331,7 @@ fn run_adaptive_section(
     analyses: &[WaitTimeAnalysis],
 ) -> Result<AdaptiveReport, String> {
     let prior = spec.prior.build().map_err(|e| e.to_string())?;
-    let strategy = spec.heuristic.build()?;
+    let strategy = spec.heuristic.build().map_err(|e| e.to_string())?;
     let cost = match &spec.cost {
         Some(c) => c.build()?,
         None => analyses
@@ -375,15 +378,16 @@ mod tests {
     fn plan_text_output() {
         let cfg = plan_config(HeuristicSpec::MeanByMean);
         let out = run_plan(&cfg, false).unwrap();
-        assert!(out.contains("Mean-by-Mean"), "{out}");
+        assert!(out.contains("mean_by_mean"), "{out}");
         assert!(out.contains("request ladder"), "{out}");
         assert!(out.contains("vs omniscient"), "{out}");
+        assert!(out.contains("plan digest"), "{out}");
     }
 
     #[test]
     fn plan_json_output_parses() {
         let cfg = plan_config(HeuristicSpec::Dp {
-            scheme: "equal_time".into(),
+            scheme: rsj_dist::DiscretizationScheme::EqualTime,
             n: 200,
             epsilon: 1e-7,
         });
@@ -391,6 +395,7 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert!(v["normalized_cost"].as_f64().unwrap() > 1.0);
         assert!(v["sequence"].as_array().unwrap().len() > 2);
+        assert_eq!(v["digest"].as_str().unwrap().len(), 16);
     }
 
     #[test]

@@ -1,10 +1,7 @@
 //! JSON configuration schemas for the CLI commands.
 
-use rsj_core::{
-    BruteForce, CostModel, DiscretizedDp, EvalMethod, MeanByMean, MeanDoubling, MeanStdev,
-    MedianByMedian, Strategy,
-};
-use rsj_dist::{DiscretizationScheme, DistSpec};
+use rsj_core::{CostModel, SolverSpec};
+use rsj_dist::DistSpec;
 use rsj_sim::{AdaptiveConfig, FaultConfig};
 use serde::{Deserialize, Serialize};
 
@@ -29,89 +26,15 @@ impl CostSpec {
 }
 
 /// Which heuristic to run, with its parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
-pub enum HeuristicSpec {
-    /// §4.1 Brute-Force.
-    BruteForce {
-        /// Grid size `M` (default 5000).
-        #[serde(default = "default_grid")]
-        grid: usize,
-        /// Monte-Carlo samples `N` (default 1000).
-        #[serde(default = "default_samples")]
-        samples: usize,
-        /// Score candidates analytically instead of by Monte Carlo.
-        #[serde(default)]
-        analytic: bool,
-        /// RNG seed (default 0).
-        #[serde(default)]
-        seed: u64,
-    },
-    /// §4.2 discretization + dynamic programming.
-    Dp {
-        /// `equal_time` or `equal_probability`.
-        scheme: String,
-        /// Sample count `n` (default 1000).
-        #[serde(default = "default_samples")]
-        n: usize,
-        /// Truncation quantile ε (default 1e-7).
-        #[serde(default = "default_epsilon")]
-        epsilon: f64,
-    },
-    /// §4.3 Mean-by-Mean.
-    MeanByMean,
-    /// §4.3 Mean-Stdev.
-    MeanStdev,
-    /// §4.3 Mean-Doubling.
-    MeanDoubling,
-    /// §4.3 Median-by-Median.
-    MedianByMedian,
-}
-
-fn default_grid() -> usize {
-    5000
-}
-fn default_samples() -> usize {
-    1000
-}
-fn default_epsilon() -> f64 {
-    1e-7
-}
-
-impl HeuristicSpec {
-    /// Instantiates the described strategy.
-    pub fn build(&self) -> Result<Box<dyn Strategy>, String> {
-        Ok(match self {
-            HeuristicSpec::BruteForce {
-                grid,
-                samples,
-                analytic,
-                seed,
-            } => {
-                let method = if *analytic {
-                    EvalMethod::Analytic
-                } else {
-                    EvalMethod::MonteCarlo
-                };
-                Box::new(
-                    BruteForce::new(*grid, *samples, method, *seed).map_err(|e| e.to_string())?,
-                )
-            }
-            HeuristicSpec::Dp { scheme, n, epsilon } => {
-                let scheme = match scheme.as_str() {
-                    "equal_time" => DiscretizationScheme::EqualTime,
-                    "equal_probability" => DiscretizationScheme::EqualProbability,
-                    other => return Err(format!("unknown discretization scheme: {other}")),
-                };
-                Box::new(DiscretizedDp::new(scheme, *n, *epsilon).map_err(|e| e.to_string())?)
-            }
-            HeuristicSpec::MeanByMean => Box::new(MeanByMean::default()),
-            HeuristicSpec::MeanStdev => Box::new(MeanStdev::default()),
-            HeuristicSpec::MeanDoubling => Box::new(MeanDoubling::default()),
-            HeuristicSpec::MedianByMedian => Box::new(MedianByMedian::default()),
-        })
-    }
-}
+///
+/// Since the `SolverSpec` unification this is exactly the workspace-wide
+/// [`SolverSpec`] — the wire shape (`kind` tag, snake_case names, the same
+/// parameter defaults) is unchanged, so existing configs keep parsing, and
+/// the same JSON object drives `rsj plan`, the `Planner` facade and
+/// `rsj-serve` requests. One behavioral difference: an unknown DP
+/// `scheme` is now rejected when the config is parsed (a typed serde
+/// error naming the bad value) instead of when the solver is built.
+pub type HeuristicSpec = SolverSpec;
 
 /// `rsj plan` configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -217,7 +140,7 @@ pub struct AdaptiveSpec {
 }
 
 fn default_adaptive_heuristic() -> HeuristicSpec {
-    HeuristicSpec::MeanByMean
+    SolverSpec::MeanByMean
 }
 
 #[cfg(test)]
@@ -255,10 +178,10 @@ mod tests {
     }
 
     #[test]
-    fn bad_scheme_is_rejected() {
-        let spec: HeuristicSpec =
-            serde_json::from_str(r#"{ "kind": "dp", "scheme": "nope" }"#).unwrap();
-        assert!(spec.build().is_err());
+    fn bad_scheme_is_rejected_at_parse_time() {
+        let err = serde_json::from_str::<HeuristicSpec>(r#"{ "kind": "dp", "scheme": "nope" }"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
     }
 
     #[test]

@@ -3,11 +3,14 @@
 //! A small front-end over the `rsj-*` crates. Four commands, all driven by
 //! JSON configurations (see [`PlanConfig`] etc.) or flags:
 //!
-//! * `rsj plan` — compute a request ladder for a distribution + cost model;
+//! * `rsj plan` — compute a request ladder for a distribution + cost model
+//!   (through the `Planner` facade);
 //! * `rsj evaluate` — score an explicit sequence;
 //! * `rsj fit` — fit a LogNormal to a runtime-trace CSV;
 //! * `rsj simulate` — run the batch-queue simulator and fit the
-//!   wait-vs-request curve.
+//!   wait-vs-request curve;
+//! * `rsj serve` — run the `rsj-serve` planning daemon in the foreground;
+//! * `rsj request` — one-shot client for a running daemon.
 //!
 //! The library half exposes every command as a pure function returning its
 //! output text, so the whole CLI is unit-testable without spawning
@@ -17,9 +20,11 @@
 
 pub mod commands;
 pub mod config;
+pub mod serve_cmd;
 
 pub use commands::{run_evaluate, run_fit, run_plan, run_risk, run_simulate};
 pub use config::{EvaluateConfig, HeuristicSpec, PlanConfig, SimulateConfig};
+pub use serve_cmd::{run_request, run_serve, RequestAction, ServeOptions};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -31,6 +36,12 @@ USAGE:
     rsj evaluate --config <eval.json>     score an explicit sequence
     rsj fit      --csv <traces.csv>       fit a LogNormal per application
     rsj simulate --config <sim.json>      simulate a batch queue (Figure 2)
+    rsj serve    [--addr host:port]       run the planning server (default
+                                          127.0.0.1:7077; port 0 = auto) with
+                                          [--workers <n>] handler threads and an
+                                          LRU plan cache of [--cache <n>] entries
+    rsj request  --addr host:port         one-shot client for a running server:
+                 (--config <plan.json> | --ping | --metrics | --shutdown)
 
 Every command also accepts:
     --json                  machine-readable output

@@ -92,6 +92,50 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&format!("cannot read {path}: {e}")),
             }
         }
+        "serve" => {
+            let mut opts = rsj_cli::ServeOptions::default();
+            if let Some(addr) = flag_value(&args, "--addr") {
+                opts.addr = addr;
+            }
+            match flag_value(&args, "--workers").map(|w| w.parse::<usize>()) {
+                Some(Ok(workers)) => opts.workers = Some(workers),
+                Some(Err(_)) => return fail("invalid --workers: expected a number"),
+                None => {}
+            }
+            match flag_value(&args, "--cache").map(|c| c.parse::<usize>()) {
+                Some(Ok(cache)) => opts.cache = Some(cache),
+                Some(Err(_)) => return fail("invalid --cache: expected a number"),
+                None => {}
+            }
+            return match rsj_cli::run_serve(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => fail(&msg),
+            };
+        }
+        "request" => {
+            let Some(addr) = flag_value(&args, "--addr") else {
+                return fail("missing --addr <host:port>");
+            };
+            let action = if args.iter().any(|a| a == "--ping") {
+                rsj_cli::RequestAction::Ping
+            } else if args.iter().any(|a| a == "--metrics") {
+                rsj_cli::RequestAction::Metrics
+            } else if args.iter().any(|a| a == "--shutdown") {
+                rsj_cli::RequestAction::Shutdown
+            } else if let Some(path) = flag_value(&args, "--config") {
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => return fail(&format!("cannot read {path}: {e}")),
+                };
+                match serde_json::from_str(&text) {
+                    Ok(cfg) => rsj_cli::RequestAction::Plan(Box::new(cfg)),
+                    Err(e) => return fail(&format!("invalid plan config: {e}")),
+                }
+            } else {
+                return fail("request needs one of --config/--ping/--metrics/--shutdown");
+            };
+            rsj_cli::run_request(&addr, &action, json)
+        }
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

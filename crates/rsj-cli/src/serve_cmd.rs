@@ -1,0 +1,216 @@
+//! `rsj serve` and `rsj request`: the CLI front of the `rsj-serve`
+//! planning daemon.
+//!
+//! `serve` binds and runs a server in the foreground until a client sends
+//! a `shutdown` request (or the process is killed). `request` is a
+//! one-shot client: connect, send one request, print the response, exit —
+//! enough for scripts, smoke tests and quick interactive use.
+
+use crate::config::PlanConfig;
+use rsj_core::CostModel;
+use rsj_serve::{Client, Request, Response, Server, ServerConfig, PROTOCOL_VERSION};
+
+/// Options for `rsj serve`, all flag-settable.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (default `127.0.0.1:7077`; port 0 picks a free one).
+    pub addr: String,
+    /// Connection-handler threads (`--workers`).
+    pub workers: Option<usize>,
+    /// Plan-cache capacity (`--cache`, 0 disables caching).
+    pub cache: Option<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7077".to_string(),
+            workers: None,
+            cache: None,
+        }
+    }
+}
+
+/// `rsj serve`: run the planning server in the foreground. Prints the
+/// bound address on stdout (scripts bind port 0 and read it back), then
+/// blocks until a graceful shutdown drains the last request.
+pub fn run_serve(opts: &ServeOptions) -> Result<(), String> {
+    let mut config = ServerConfig {
+        addr: opts.addr.clone(),
+        ..ServerConfig::default()
+    };
+    if let Some(workers) = opts.workers {
+        if workers == 0 {
+            return Err("--workers must be >= 1".to_string());
+        }
+        config.workers = workers;
+    }
+    if let Some(cache) = opts.cache {
+        config.cache_capacity = cache;
+    }
+    let server = Server::bind(config).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+    println!("rsj-serve listening on {}", server.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| format!("server error: {e}"))
+}
+
+/// What `rsj request` should send.
+#[derive(Debug, Clone)]
+pub enum RequestAction {
+    /// `--ping`: liveness probe.
+    Ping,
+    /// `--metrics`: fetch Prometheus metrics.
+    Metrics,
+    /// `--shutdown`: ask the server to drain and exit.
+    Shutdown,
+    /// `--config <plan.json>`: request a plan (the same schema as
+    /// `rsj plan`).
+    Plan(Box<PlanConfig>),
+}
+
+/// `rsj request`: send one request to a running server and render the
+/// response. Error responses become `Err`, so the process exits non-zero.
+pub fn run_request(addr: &str, action: &RequestAction, json: bool) -> Result<String, String> {
+    let request = match action {
+        RequestAction::Ping => Request::ping(),
+        RequestAction::Metrics => Request::metrics(),
+        RequestAction::Shutdown => Request::shutdown(),
+        RequestAction::Plan(cfg) => Request::Plan {
+            v: PROTOCOL_VERSION,
+            distribution: cfg.distribution.clone(),
+            cost: Some(CostModel {
+                alpha: cfg.cost.alpha,
+                beta: cfg.cost.beta,
+                gamma: cfg.cost.gamma,
+            }),
+            solver: cfg.heuristic.clone(),
+            seed: None,
+            simulate: None,
+        },
+    };
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let response = client
+        .call(&request)
+        .map_err(|e| format!("request failed: {e}"))?;
+
+    if let Response::Error { kind, message, .. } = &response {
+        return Err(format!("server error ({kind}): {message}"));
+    }
+    if json {
+        return Ok(format!(
+            "{}\n",
+            serde_json::to_string_pretty(&response).expect("responses are serializable")
+        ));
+    }
+    Ok(match response {
+        Response::Pong { .. } => "pong\n".to_string(),
+        Response::ShuttingDown { .. } => "server shutting down\n".to_string(),
+        Response::Metrics { prometheus, .. } => prometheus,
+        Response::Plan {
+            plan,
+            provenance,
+            timings,
+            ..
+        } => {
+            let mut out = String::new();
+            out.push_str(&format!("server:           {}\n", provenance.server));
+            out.push_str(&format!("distribution:     {}\n", plan.distribution));
+            out.push_str(&format!("solver:           {}\n", plan.solver));
+            out.push_str(&format!("ladder length:    {}\n", plan.sequence.len()));
+            out.push_str(&format!("expected cost:    {:.4}\n", plan.expected_cost));
+            out.push_str(&format!(
+                "vs omniscient:    {:.4} (E° = {:.4})\n",
+                plan.normalized_cost, plan.omniscient_cost
+            ));
+            out.push_str(&format!("plan digest:      {}\n", plan.digest));
+            out.push_str(&format!(
+                "served:           {} in {:.1} ms\n",
+                if provenance.cached {
+                    "from cache"
+                } else {
+                    "computed"
+                },
+                timings.total_seconds * 1e3
+            ));
+            out
+        }
+        Response::Error { .. } => unreachable!("handled above"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CostSpec;
+    use rsj_core::SolverSpec;
+    use rsj_dist::DistSpec;
+
+    fn spawn_test_server() -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+        let server = Server::bind(ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let join = std::thread::spawn(move || server.run());
+        (addr, join)
+    }
+
+    #[test]
+    fn request_round_trip_against_live_server() {
+        let (addr, join) = spawn_test_server();
+        assert_eq!(
+            run_request(&addr, &RequestAction::Ping, false).unwrap(),
+            "pong\n"
+        );
+
+        let cfg = PlanConfig {
+            distribution: DistSpec::LogNormal {
+                mu: 3.0,
+                sigma: 0.5,
+            },
+            cost: CostSpec {
+                alpha: 1.0,
+                beta: 0.0,
+                gamma: 0.0,
+            },
+            heuristic: SolverSpec::MeanByMean,
+            show: 5,
+        };
+        let action = RequestAction::Plan(Box::new(cfg.clone()));
+        let text = run_request(&addr, &action, false).unwrap();
+        assert!(text.contains("plan digest"), "{text}");
+
+        // The served digest equals the offline `rsj plan --json` digest.
+        let offline = crate::commands::run_plan(&cfg, true).unwrap();
+        let offline: serde_json::Value = serde_json::from_str(&offline).unwrap();
+        let served = run_request(&addr, &action, true).unwrap();
+        let served: serde_json::Value = serde_json::from_str(&served).unwrap();
+        assert_eq!(served["plan"]["digest"], offline["digest"]);
+        assert_eq!(served["plan"]["sequence"], offline["sequence"]);
+
+        let metrics = run_request(&addr, &RequestAction::Metrics, false).unwrap();
+        assert!(metrics.contains("rsj_serve_requests_total"), "{metrics}");
+
+        assert!(run_request(&addr, &RequestAction::Shutdown, false)
+            .unwrap()
+            .contains("shutting down"));
+        join.join().expect("server thread").expect("clean exit");
+    }
+
+    #[test]
+    fn server_errors_exit_nonzero() {
+        let (addr, join) = spawn_test_server();
+        let cfg = PlanConfig {
+            distribution: DistSpec::Exponential { lambda: -1.0 },
+            cost: CostSpec {
+                alpha: 1.0,
+                beta: 0.0,
+                gamma: 0.0,
+            },
+            heuristic: SolverSpec::MeanByMean,
+            show: 5,
+        };
+        let err = run_request(&addr, &RequestAction::Plan(Box::new(cfg)), false).unwrap_err();
+        assert!(err.contains("invalid_distribution"), "{err}");
+        run_request(&addr, &RequestAction::Shutdown, false).unwrap();
+        join.join().expect("server thread").expect("clean exit");
+    }
+}

@@ -52,6 +52,16 @@ pub enum CoreError {
         /// The offending value.
         value: f64,
     },
+    /// A textual name (CLI flag, wire-protocol field) did not match any
+    /// known variant of an enumeration.
+    UnknownName {
+        /// What kind of thing was being parsed (e.g. `solver`).
+        what: &'static str,
+        /// The unrecognized input.
+        input: String,
+        /// The accepted spellings, for the error message.
+        expected: &'static str,
+    },
     /// Propagated distribution-layer error.
     Dist(rsj_dist::DistError),
 }
@@ -86,6 +96,11 @@ impl fmt::Display for CoreError {
             CoreError::DegenerateEvaluation { what, value } => {
                 write!(f, "degenerate evaluation: {what} = {value}")
             }
+            CoreError::UnknownName {
+                what,
+                input,
+                expected,
+            } => write!(f, "unknown {what} `{input}` (expected {expected})"),
             CoreError::Dist(e) => write!(f, "distribution error: {e}"),
         }
     }

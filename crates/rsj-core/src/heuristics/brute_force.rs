@@ -32,6 +32,41 @@ pub enum EvalMethod {
     Analytic,
 }
 
+impl std::fmt::Display for EvalMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalMethod::MonteCarlo => write!(f, "monte_carlo"),
+            EvalMethod::Analytic => write!(f, "analytic"),
+        }
+    }
+}
+
+impl std::str::FromStr for EvalMethod {
+    type Err = CoreError;
+
+    /// Parses the evaluation-method name used by CLI configs and the wire
+    /// protocol: case-insensitive, `-`/`_`/space-insensitive, so
+    /// `monte_carlo`, `Monte-Carlo` and `ANALYTIC` all parse.
+    fn from_str(s: &str) -> Result<Self> {
+        let canon: String = s
+            .chars()
+            .map(|c| match c {
+                '-' | ' ' => '_',
+                c => c.to_ascii_lowercase(),
+            })
+            .collect();
+        match canon.as_str() {
+            "monte_carlo" | "montecarlo" => Ok(EvalMethod::MonteCarlo),
+            "analytic" => Ok(EvalMethod::Analytic),
+            _ => Err(CoreError::UnknownName {
+                what: "evaluation method",
+                input: s.to_string(),
+                expected: "`monte_carlo` or `analytic`",
+            }),
+        }
+    }
+}
+
 /// One point of a `t₁` sweep (the data behind Figure 3).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {

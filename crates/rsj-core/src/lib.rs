@@ -63,8 +63,8 @@ pub use eval::{
 };
 pub use heuristics::{
     optimal_discrete, optimal_discrete_par, paper_suite, BruteForce, DiscretizedDp, DpSolution,
-    EvalMethod, MeanByMean, MeanDoubling, MeanStdev, MedianByMedian, Strategy, SweepPoint,
-    TailPolicy,
+    EvalMethod, MeanByMean, MeanDoubling, MeanStdev, MedianByMedian, SolverSpec, Strategy,
+    SuiteBuilder, SweepPoint, TailPolicy,
 };
 pub use recurrence::{sequence_from_t1, sequence_from_t1_convex, RecurrenceConfig};
 pub use risk::{budget_at_quantile, risk_profile, CostBracket, RiskProfile};
@@ -81,7 +81,7 @@ pub mod prelude {
     };
     pub use crate::heuristics::{
         BruteForce, DiscretizedDp, EvalMethod, MeanByMean, MeanDoubling, MeanStdev, MedianByMedian,
-        Strategy,
+        SolverSpec, Strategy, SuiteBuilder,
     };
     pub use crate::recurrence::{sequence_from_t1, RecurrenceConfig};
     pub use crate::sequence::ReservationSequence;

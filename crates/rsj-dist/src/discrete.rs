@@ -16,7 +16,14 @@ use crate::traits::ContinuousDistribution;
 use serde::{Deserialize, Serialize};
 
 /// Which discretization scheme of §4.2.1 to apply.
+///
+/// Serializes as the snake_case scheme name (`"equal_time"`,
+/// `"equal_probability"`) — the same spelling [`FromStr`] accepts — so
+/// CLI configs and the `rsj-serve` wire protocol share one vocabulary.
+///
+/// [`FromStr`]: std::str::FromStr
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum DiscretizationScheme {
     /// All sampled execution times carry the same probability mass.
     EqualProbability,
@@ -29,6 +36,33 @@ impl std::fmt::Display for DiscretizationScheme {
         match self {
             DiscretizationScheme::EqualProbability => write!(f, "Equal-probability"),
             DiscretizationScheme::EqualTime => write!(f, "Equal-time"),
+        }
+    }
+}
+
+impl std::str::FromStr for DiscretizationScheme {
+    type Err = DistError;
+
+    /// Parses the scheme name as it appears in CLI configs, the wire
+    /// protocol and the paper's table headers. Matching is
+    /// case-insensitive and treats `-`, `_` and spaces as equivalent, so
+    /// `equal_time`, `Equal-time` and `EQUAL TIME` all parse.
+    fn from_str(s: &str) -> Result<Self> {
+        let canon: String = s
+            .chars()
+            .map(|c| match c {
+                '-' | ' ' => '_',
+                c => c.to_ascii_lowercase(),
+            })
+            .collect();
+        match canon.as_str() {
+            "equal_time" => Ok(DiscretizationScheme::EqualTime),
+            "equal_probability" => Ok(DiscretizationScheme::EqualProbability),
+            _ => Err(DistError::UnknownName {
+                what: "discretization scheme",
+                input: s.to_string(),
+                expected: "`equal_time` or `equal_probability`",
+            }),
         }
     }
 }
@@ -260,6 +294,36 @@ pub fn discretize(
 mod tests {
     use super::*;
     use crate::continuous::{Exponential, Uniform};
+
+    #[test]
+    fn scheme_parses_all_spellings() {
+        for s in ["equal_time", "Equal-time", "EQUAL TIME", "equal-Time"] {
+            assert_eq!(
+                s.parse::<DiscretizationScheme>().unwrap(),
+                DiscretizationScheme::EqualTime,
+                "{s}"
+            );
+        }
+        for s in ["equal_probability", "Equal-probability"] {
+            assert_eq!(
+                s.parse::<DiscretizationScheme>().unwrap(),
+                DiscretizationScheme::EqualProbability,
+                "{s}"
+            );
+        }
+        // Display output round-trips through the parser.
+        for scheme in [
+            DiscretizationScheme::EqualTime,
+            DiscretizationScheme::EqualProbability,
+        ] {
+            assert_eq!(
+                scheme.to_string().parse::<DiscretizationScheme>(),
+                Ok(scheme)
+            );
+        }
+        let err = "nope".parse::<DiscretizationScheme>().unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
+    }
 
     #[test]
     fn rejects_invalid_inputs() {

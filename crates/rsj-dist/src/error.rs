@@ -28,6 +28,17 @@ pub enum DistError {
         /// Iterations spent before giving up.
         iterations: usize,
     },
+    /// A textual name (CLI flag, wire-protocol field) did not match any
+    /// known variant of an enumeration.
+    UnknownName {
+        /// What kind of thing was being parsed (e.g. `discretization
+        /// scheme`).
+        what: &'static str,
+        /// The unrecognized input.
+        input: String,
+        /// The accepted spellings, for the error message.
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -43,6 +54,13 @@ impl fmt::Display for DistError {
             }
             DistError::NonConvergence { what, iterations } => {
                 write!(f, "{what} did not converge after {iterations} iterations")
+            }
+            DistError::UnknownName {
+                what,
+                input,
+                expected,
+            } => {
+                write!(f, "unknown {what} `{input}` (expected {expected})")
             }
         }
     }

@@ -1,0 +1,110 @@
+//! A blocking line-protocol client for the planning server.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{encode, Request, Response};
+
+/// What can go wrong on the client side of a call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server's reply was not a valid protocol line.
+    Protocol(String),
+    /// The server closed the connection without replying.
+    ConnectionClosed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::ConnectionClosed => f.write_str("server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A persistent connection to an `rsj-serve` instance; requests pipeline
+/// over one TCP stream, one JSON line each way per call.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { reader, writer })
+    }
+
+    /// Bounds how long [`call`](Self::call) waits for a reply.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Sends one request and reads its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let line = encode(request).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::ConnectionClosed);
+        }
+        serde_json::from_str(reply.trim()).map_err(|e| {
+            ClientError::Protocol(format!("unparsable response: {e} (line: {reply:?})"))
+        })
+    }
+
+    /// Liveness probe; `Ok(())` when the server answered `pong`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::ping())? {
+            Response::Pong { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's Prometheus metrics exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::metrics())? {
+            Response::Metrics { prometheus, .. } => Ok(prometheus),
+            other => Err(ClientError::Protocol(format!(
+                "expected metrics, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests a graceful shutdown; `Ok(())` once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::shutdown())? {
+            Response::ShuttingDown { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected shutting_down, got {other:?}"
+            ))),
+        }
+    }
+}

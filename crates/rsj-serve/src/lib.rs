@@ -1,0 +1,52 @@
+//! # rsj-serve
+//!
+//! A multi-client planning service for *Reservation Strategies for
+//! Stochastic Jobs* (system S22 of DESIGN.md): a long-running TCP server
+//! that computes reservation plans on demand, behind the stable
+//! [`Planner`](reservation_strategies::Planner) facade.
+//!
+//! * **Protocol** ([`protocol`]) — versioned, line-delimited JSON: one
+//!   request object per line (`op`: `plan` / `metrics` / `ping` /
+//!   `shutdown`), one response object per line. Plan requests are exactly
+//!   a `Planner` configuration on the wire (`DistSpec` + `CostModel` +
+//!   `SolverSpec` + optional simulate), and plan responses embed the
+//!   facade's [`Plan`](reservation_strategies::Plan) verbatim, FNV-1a
+//!   sequence digest included — so served plans diff bit-for-bit against
+//!   offline artifacts.
+//! * **Server** ([`server`]) — a fixed accept loop feeding a bounded
+//!   worker pool, a sharded exact-LRU plan cache ([`cache`]) keyed on the
+//!   planner's faithful cache key, per-connection request limits and read
+//!   timeouts, graceful shutdown that drains in-flight requests, and full
+//!   `rsj-obs` instrumentation (request/error/cache counters, a latency
+//!   histogram, Prometheus exposition via the `metrics` op).
+//! * **Client** ([`client`]) — a small blocking client used by
+//!   `rsj request` and the integration tests.
+//!
+//! ```no_run
+//! use rsj_serve::{Client, Request, Server, ServerConfig};
+//! use rsj_dist::DistSpec;
+//!
+//! let server = Server::bind(ServerConfig::default())?;
+//! let addr = server.local_addr();
+//! std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr)?;
+//! let response = client.call(&Request::plan(DistSpec::Exponential { lambda: 1.0 }))?;
+//! # let _ = response;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::PlanCache;
+pub use client::{Client, ClientError};
+pub use protocol::{
+    classify, decode_request, encode, ErrorKind, Provenance, Request, Response, Timings,
+    PROTOCOL_VERSION,
+};
+pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,339 @@
+//! The versioned wire protocol: line-delimited JSON over TCP.
+//!
+//! Every message is one JSON object on one line, terminated by `\n`.
+//! Requests carry an `op` tag (`plan`, `metrics`, `ping`, `shutdown`) and a
+//! protocol version `v`; responses carry a `status` tag (`plan`, `metrics`,
+//! `pong`, `shutting_down`, `error`). Unknown ops, malformed JSON and
+//! unsupported versions all produce a typed [`Response::Error`] — the
+//! connection stays usable afterwards.
+//!
+//! The `plan` request body reuses the workspace's own serde shapes
+//! ([`DistSpec`], [`CostModel`], [`SolverSpec`], [`SimulateOptions`]), so a
+//! request is exactly "a [`Planner`](reservation_strategies::Planner)
+//! configuration on the wire" and the response embeds the facade's
+//! [`Plan`] verbatim.
+
+use reservation_strategies::{Plan, RsjError, SimulateOptions};
+use rsj_core::{CostModel, SolverSpec};
+use rsj_dist::DistSpec;
+use serde::{Deserialize, Serialize};
+
+/// The protocol version this build speaks. Requests with a different `v`
+/// are rejected with [`ErrorKind::UnsupportedVersion`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+fn default_version() -> u32 {
+    PROTOCOL_VERSION
+}
+
+fn default_solver() -> SolverSpec {
+    SolverSpec::MeanByMean
+}
+
+/// A client request. The `v` field defaults to [`PROTOCOL_VERSION`] when
+/// omitted so hand-written one-liners stay short.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum Request {
+    /// Compute (or fetch from cache) a reservation plan.
+    Plan {
+        /// Protocol version.
+        #[serde(default = "default_version")]
+        v: u32,
+        /// The job-runtime distribution (required).
+        distribution: DistSpec,
+        /// Cost model rates; defaults to RESERVATIONONLY (`α=1, β=γ=0`).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        cost: Option<CostModel>,
+        /// Which solver to dispatch to (default `mean_by_mean`).
+        #[serde(default = "default_solver")]
+        solver: SolverSpec,
+        /// Re-seeds the solver where a seed applies (Brute-Force Monte
+        /// Carlo); overrides the seed inside `solver`.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        seed: Option<u64>,
+        /// Also replay the plan against a seeded batch of sampled jobs.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        simulate: Option<SimulateOptions>,
+    },
+    /// Fetch the server's metrics in Prometheus text exposition format.
+    Metrics {
+        /// Protocol version.
+        #[serde(default = "default_version")]
+        v: u32,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Protocol version.
+        #[serde(default = "default_version")]
+        v: u32,
+    },
+    /// Ask the server to stop accepting connections and drain.
+    Shutdown {
+        /// Protocol version.
+        #[serde(default = "default_version")]
+        v: u32,
+    },
+}
+
+impl Request {
+    /// A plan request for `distribution` with all defaults (RESERVATIONONLY
+    /// cost, `mean_by_mean` solver, no simulation).
+    pub fn plan(distribution: DistSpec) -> Self {
+        Request::Plan {
+            v: PROTOCOL_VERSION,
+            distribution,
+            cost: None,
+            solver: default_solver(),
+            seed: None,
+            simulate: None,
+        }
+    }
+
+    /// A plan request for `distribution` solved by `solver`.
+    pub fn plan_with(distribution: DistSpec, solver: SolverSpec) -> Self {
+        Request::Plan {
+            v: PROTOCOL_VERSION,
+            distribution,
+            cost: None,
+            solver,
+            seed: None,
+            simulate: None,
+        }
+    }
+
+    /// A metrics request.
+    pub fn metrics() -> Self {
+        Request::Metrics {
+            v: PROTOCOL_VERSION,
+        }
+    }
+
+    /// A liveness probe.
+    pub fn ping() -> Self {
+        Request::Ping {
+            v: PROTOCOL_VERSION,
+        }
+    }
+
+    /// A graceful-shutdown request.
+    pub fn shutdown() -> Self {
+        Request::Shutdown {
+            v: PROTOCOL_VERSION,
+        }
+    }
+
+    /// The protocol version the request claims.
+    pub fn version(&self) -> u32 {
+        match *self {
+            Request::Plan { v, .. }
+            | Request::Metrics { v }
+            | Request::Ping { v }
+            | Request::Shutdown { v } => v,
+        }
+    }
+}
+
+/// Where a plan response came from and who produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Server identity, e.g. `rsj-serve/0.1.0`.
+    pub server: String,
+    /// Protocol version the response was produced under.
+    pub protocol: u32,
+    /// Canonical solver name that produced (or would have produced) the
+    /// plan.
+    pub solver: String,
+    /// Worker-pool width the solve ran with.
+    pub threads: usize,
+    /// `true` when the plan was served from the LRU cache without invoking
+    /// the solver.
+    pub cached: bool,
+}
+
+/// Wall-clock breakdown of one plan request, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Timings {
+    /// Validating the request and instantiating the planner.
+    pub build_seconds: f64,
+    /// Running the solver (0 on a cache hit).
+    pub solve_seconds: f64,
+    /// End-to-end handling time.
+    pub total_seconds: f64,
+}
+
+/// What went wrong, as a stable machine-readable discriminant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ErrorKind {
+    /// The line was not valid JSON or not a known request shape.
+    MalformedRequest,
+    /// The request's `v` does not match [`PROTOCOL_VERSION`].
+    UnsupportedVersion,
+    /// The distribution spec failed validation.
+    InvalidDistribution,
+    /// The cost-model rates violate the §2.2 constraints.
+    InvalidCost,
+    /// The solver spec or name failed validation.
+    InvalidSolver,
+    /// The solver ran and failed.
+    PlanningFailed,
+    /// The simulate-on-plan replay failed.
+    SimulationFailed,
+    /// The connection exceeded the server's per-connection request limit.
+    TooManyRequests,
+    /// The request line exceeded the server's size limit.
+    RequestTooLarge,
+    /// Anything else (worker pool failures, internal bugs).
+    Internal,
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorKind::MalformedRequest => "malformed_request",
+            ErrorKind::UnsupportedVersion => "unsupported_version",
+            ErrorKind::InvalidDistribution => "invalid_distribution",
+            ErrorKind::InvalidCost => "invalid_cost",
+            ErrorKind::InvalidSolver => "invalid_solver",
+            ErrorKind::PlanningFailed => "planning_failed",
+            ErrorKind::SimulationFailed => "simulation_failed",
+            ErrorKind::TooManyRequests => "too_many_requests",
+            ErrorKind::RequestTooLarge => "request_too_large",
+            ErrorKind::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Maps a facade error onto the wire discriminant.
+pub fn classify(err: &RsjError) -> ErrorKind {
+    match err {
+        RsjError::Dist(_) => ErrorKind::InvalidDistribution,
+        RsjError::Core(rsj_core::CoreError::UnknownName { .. }) => ErrorKind::InvalidSolver,
+        RsjError::Core(rsj_core::CoreError::InvalidHeuristicParameter { .. }) => {
+            ErrorKind::InvalidSolver
+        }
+        RsjError::Core(rsj_core::CoreError::InvalidCostParameter { .. }) => ErrorKind::InvalidCost,
+        RsjError::Core(_) => ErrorKind::PlanningFailed,
+        RsjError::Sim(_) => ErrorKind::SimulationFailed,
+        RsjError::Par(_) => ErrorKind::Internal,
+        RsjError::Config { .. } => ErrorKind::MalformedRequest,
+    }
+}
+
+/// A server response.
+// One short-lived Response exists per request and is serialized right
+// away, so the size skew of the Plan variant costs nothing; boxing it
+// would complicate the wire shape for the vendored serde stub.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum Response {
+    /// A successful plan.
+    Plan {
+        /// Protocol version.
+        v: u32,
+        /// The computed (or cached) plan, exactly as the offline facade
+        /// would return it — including the FNV-1a sequence digest.
+        plan: Plan,
+        /// Who computed it and whether the cache served it.
+        provenance: Provenance,
+        /// Wall-clock breakdown.
+        timings: Timings,
+    },
+    /// Metrics in Prometheus text exposition format.
+    Metrics {
+        /// Protocol version.
+        v: u32,
+        /// The exposition body.
+        prometheus: String,
+    },
+    /// Liveness reply.
+    Pong {
+        /// Protocol version.
+        v: u32,
+    },
+    /// Acknowledges a shutdown request; the server drains and exits.
+    ShuttingDown {
+        /// Protocol version.
+        v: u32,
+    },
+    /// A typed failure; the connection remains usable unless the kind is
+    /// [`ErrorKind::TooManyRequests`] or [`ErrorKind::RequestTooLarge`].
+    Error {
+        /// Protocol version.
+        v: u32,
+        /// Stable machine-readable discriminant.
+        kind: ErrorKind,
+        /// Human-readable explanation.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Shorthand for a versioned error response.
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Response::Error {
+            v: PROTOCOL_VERSION,
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses one request line, enforcing the protocol version. The error arm
+/// is ready to ship as a [`Response::Error`].
+pub fn decode_request(line: &str) -> Result<Request, (ErrorKind, String)> {
+    let request: Request = serde_json::from_str(line.trim())
+        .map_err(|e| (ErrorKind::MalformedRequest, format!("bad request: {e}")))?;
+    let v = request.version();
+    if v != PROTOCOL_VERSION {
+        return Err((
+            ErrorKind::UnsupportedVersion,
+            format!("protocol version {v} not supported (server speaks {PROTOCOL_VERSION})"),
+        ));
+    }
+    Ok(request)
+}
+
+/// Serializes a message as one wire line (no trailing newline).
+pub fn encode<T: Serialize>(message: &T) -> serde_json::Result<String> {
+    serde_json::to_string(message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_defaults_and_is_enforced() {
+        let req = decode_request(r#"{"op":"ping"}"#).unwrap();
+        assert_eq!(req, Request::ping());
+        let (kind, msg) = decode_request(r#"{"op":"ping","v":99}"#).unwrap_err();
+        assert_eq!(kind, ErrorKind::UnsupportedVersion);
+        assert!(msg.contains("99"), "{msg}");
+    }
+
+    #[test]
+    fn plan_request_defaults_mirror_the_facade() {
+        let req =
+            decode_request(r#"{"op":"plan","distribution":{"family":"exponential","lambda":1.0}}"#)
+                .unwrap();
+        assert_eq!(req, Request::plan(DistSpec::Exponential { lambda: 1.0 }));
+    }
+
+    #[test]
+    fn malformed_lines_are_typed() {
+        for line in [
+            "not json",
+            "{}",
+            r#"{"op":"warp"}"#,
+            r#"{"op":"plan"}"#,
+            r#"{"op":"plan","distribution":{"family":"nope"}}"#,
+        ] {
+            let (kind, _) = decode_request(line).unwrap_err();
+            assert_eq!(kind, ErrorKind::MalformedRequest, "{line}");
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! The planning server: a fixed accept loop feeding a bounded pool of
+//! connection-handler threads.
+//!
+//! Life of a request:
+//!
+//! 1. the accept loop (non-blocking, polling the shutdown flag) hands the
+//!    connection to a worker over an `mpsc` channel;
+//! 2. the worker reads one line, decodes it ([`crate::decode_request`])
+//!    and dispatches: `ping`/`metrics` answer immediately, `plan` goes
+//!    through the LRU cache or the [`Planner`] facade, `shutdown` raises
+//!    the flag;
+//! 3. once the flag is up the accept loop stops accepting, the channel is
+//!    closed, and workers drain: every connection already accepted gets
+//!    an answer to the request it is processing before its worker exits.
+//!
+//! Determinism: solvers run on the caller thread via the facade, and every
+//! internally parallel stage goes through `rsj-par`, which is bit-identical
+//! at any thread count — so concurrent clients asking the same question
+//! get byte-identical plans whether computed, recomputed, or cached.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use reservation_strategies::{Plan, Planner, SimulateOptions};
+use rsj_core::{CostModel, SolverSpec};
+use rsj_dist::DistSpec;
+
+use crate::cache::PlanCache;
+use crate::protocol::{
+    classify, decode_request, encode, ErrorKind, Provenance, Request, Response, Timings,
+    PROTOCOL_VERSION,
+};
+
+/// Tunables for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (read it back with
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Connection-handler threads.
+    pub workers: usize,
+    /// Requests served on one connection before it is closed with a
+    /// `too_many_requests` error.
+    pub max_requests_per_conn: usize,
+    /// Idle-read timeout per connection; an idle client is disconnected.
+    pub read_timeout: Duration,
+    /// Total plans held by the LRU cache (0 disables caching).
+    pub cache_capacity: usize,
+    /// Lock shards for the cache.
+    pub cache_shards: usize,
+    /// Longest accepted request line, in bytes.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_requests_per_conn: 1024,
+            read_timeout: Duration::from_secs(30),
+            cache_capacity: 256,
+            cache_shards: 8,
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Signals a running [`Server`] to drain and exit, from any thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Raises the shutdown flag. Idempotent.
+    pub fn signal(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_signaled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    cache: PlanCache,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound (but not yet running) planning server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and prepares the cache; call [`run`](Self::run)
+    /// to start serving.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let cache = PlanCache::new(config.cache_capacity, config.cache_shards);
+        let shared = Arc::new(Shared {
+            config,
+            cache,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+        Ok(Self {
+            local_addr,
+            listener,
+            shared,
+        })
+    }
+
+    /// The address the server actually listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that can signal shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shared.shutdown))
+    }
+
+    /// Serves until shutdown is signaled (by a `shutdown` request or a
+    /// [`ShutdownHandle`]), then drains in-flight connections and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            listener,
+            local_addr,
+            shared,
+        } = self;
+        listener.set_nonblocking(true)?;
+        rsj_obs::info!("rsj-serve listening on {local_addr}");
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rsj-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while receiving so workers
+                        // pull connections one at a time.
+                        let stream = match rx.lock().expect("rx poisoned").recv() {
+                            Ok(stream) => stream,
+                            Err(_) => break, // channel closed: drain done
+                        };
+                        if let Err(e) = handle_connection(stream, &shared) {
+                            rsj_obs::debug!("connection ended with I/O error: {e}");
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        while !shared.shutting_down() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    counter("rsj_serve_connections_total").inc();
+                    // A receiver outlives us until drop(tx) below, so the
+                    // send only fails if every worker panicked.
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Graceful drain: stop accepting, let every queued/in-flight
+        // connection finish its current request, then join the pool.
+        rsj_obs::info!("rsj-serve draining {} workers", workers.len());
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        rsj_obs::info!("rsj-serve stopped");
+        Ok(())
+    }
+}
+
+fn counter(name: &str) -> rsj_obs::Counter {
+    rsj_obs::global_registry().counter(name)
+}
+
+/// How often a blocked read wakes up to check the shutdown flag; bounds
+/// how long a drain can wait on idle connections.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Reading one line can end the connection (EOF, idle timeout, drain) or
+/// yield a line — possibly one that overflowed the size cap.
+enum LineRead {
+    Line(String),
+    TooLarge,
+    Closed,
+}
+
+/// Reads one `\n`-terminated line, waking every [`READ_POLL`] to honor
+/// shutdown and the idle deadline, and capping the length at
+/// `max_line_bytes`.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    shared: &Shared,
+) -> std::io::Result<LineRead> {
+    let deadline = Instant::now() + shared.config.read_timeout;
+    let mut line = String::new();
+    loop {
+        // `take` caps this call at one byte over the limit so an
+        // overlong line is detectable without unbounded buffering.
+        let room = (shared.config.max_line_bytes + 1).saturating_sub(line.len());
+        match Read::by_ref(reader).take(room as u64).read_line(&mut line) {
+            // EOF: a partial unterminated line is still one request.
+            Ok(0) if line.trim().is_empty() => return Ok(LineRead::Closed),
+            Ok(n) => {
+                if line.len() > shared.config.max_line_bytes {
+                    return Ok(LineRead::TooLarge);
+                }
+                if n == 0 || line.ends_with('\n') {
+                    return Ok(LineRead::Line(line));
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Partial bytes (if any) stay in `line`; decide whether
+                // this connection should keep waiting.
+                if shared.shutting_down() {
+                    rsj_obs::debug!("dropping idle connection for drain");
+                    return Ok(LineRead::Closed);
+                }
+                if Instant::now() >= deadline {
+                    rsj_obs::debug!("closing idle connection");
+                    return Ok(LineRead::Closed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Serves one connection: a loop of read line → dispatch → write line.
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut served: usize = 0;
+
+    loop {
+        let line = match read_line_bounded(&mut reader, shared)? {
+            LineRead::Line(line) => line,
+            LineRead::Closed => return Ok(()),
+            LineRead::TooLarge => {
+                write_response(
+                    &mut writer,
+                    &Response::error(
+                        ErrorKind::RequestTooLarge,
+                        format!("request exceeds {} bytes", shared.config.max_line_bytes),
+                    ),
+                )?;
+                counter("rsj_serve_errors_total").inc();
+                return Ok(());
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+
+        served += 1;
+        if served > shared.config.max_requests_per_conn {
+            write_response(
+                &mut writer,
+                &Response::error(
+                    ErrorKind::TooManyRequests,
+                    format!(
+                        "connection exceeded {} requests; reconnect to continue",
+                        shared.config.max_requests_per_conn
+                    ),
+                ),
+            )?;
+            counter("rsj_serve_errors_total").inc();
+            return Ok(());
+        }
+
+        let started = Instant::now();
+        counter("rsj_serve_requests_total").inc();
+        let (response, is_shutdown) = dispatch(shared, &line);
+        if matches!(response, Response::Error { .. }) {
+            counter("rsj_serve_errors_total").inc();
+        }
+        rsj_obs::global_registry()
+            .histogram("rsj_serve_request_seconds")
+            .observe(started.elapsed().as_secs_f64());
+        write_response(&mut writer, &response)?;
+        if is_shutdown {
+            shared.shutdown.store(true, Ordering::SeqCst);
+        }
+        // During a drain, finish the request being processed but take no
+        // further work from this connection.
+        if shared.shutting_down() {
+            return Ok(());
+        }
+    }
+}
+
+fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
+    let body = encode(response).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("encode: {e}"))
+    })?;
+    writer.write_all(body.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Decodes and answers one request line. The bool is "shutdown requested".
+fn dispatch(shared: &Shared, line: &str) -> (Response, bool) {
+    let request = match decode_request(line) {
+        Ok(request) => request,
+        Err((kind, message)) => return (Response::error(kind, message), false),
+    };
+    match request {
+        Request::Ping { .. } => (
+            Response::Pong {
+                v: PROTOCOL_VERSION,
+            },
+            false,
+        ),
+        Request::Metrics { .. } => (
+            Response::Metrics {
+                v: PROTOCOL_VERSION,
+                prometheus: rsj_obs::global_registry().snapshot().to_prometheus(),
+            },
+            false,
+        ),
+        Request::Shutdown { .. } => (
+            Response::ShuttingDown {
+                v: PROTOCOL_VERSION,
+            },
+            true,
+        ),
+        Request::Plan {
+            distribution,
+            cost,
+            solver,
+            seed,
+            simulate,
+            ..
+        } => (
+            handle_plan(shared, distribution, cost, solver, seed, simulate),
+            false,
+        ),
+    }
+}
+
+/// The composite cache key: the planner's own `(dist, cost, solver)` key
+/// plus the simulate options, which also shape the returned [`Plan`].
+fn full_cache_key(planner: &Planner, simulate: Option<SimulateOptions>) -> Option<String> {
+    let base = planner.cache_key()?;
+    let sim = match simulate {
+        Some(s) => format!("jobs={},seed={}", s.jobs, s.seed),
+        None => "none".to_string(),
+    };
+    Some(format!("{base}|sim={sim}"))
+}
+
+fn handle_plan(
+    shared: &Shared,
+    distribution: DistSpec,
+    cost: Option<CostModel>,
+    solver: SolverSpec,
+    seed: Option<u64>,
+    simulate: Option<SimulateOptions>,
+) -> Response {
+    let started = Instant::now();
+    let solver = match seed {
+        Some(seed) => solver.with_seed(seed),
+        None => solver,
+    };
+    let mut builder = Planner::builder().distribution(distribution).solver(solver);
+    if let Some(cost) = cost {
+        builder = builder.cost_rates(cost.alpha, cost.beta, cost.gamma);
+    }
+    if let Some(simulate) = simulate {
+        builder = builder.simulate(simulate);
+    }
+    let planner = match builder.build() {
+        Ok(planner) => planner,
+        Err(e) => return Response::error(classify(&e), e.to_string()),
+    };
+    let build_seconds = started.elapsed().as_secs_f64();
+
+    let key = full_cache_key(&planner, simulate);
+    if let Some(key) = key.as_deref() {
+        if let Some(cached) = shared.cache.get(key) {
+            counter("rsj_serve_cache_hits_total").inc();
+            return plan_response(
+                &planner,
+                (*cached).clone(),
+                true,
+                build_seconds,
+                0.0,
+                started,
+            );
+        }
+    }
+    counter("rsj_serve_cache_misses_total").inc();
+
+    let solve_started = Instant::now();
+    counter("rsj_serve_solver_invocations_total").inc();
+    let plan = match planner.plan() {
+        Ok(plan) => plan,
+        Err(e) => return Response::error(classify(&e), e.to_string()),
+    };
+    let solve_seconds = solve_started.elapsed().as_secs_f64();
+    if let Some(key) = key {
+        shared.cache.insert(key, Arc::new(plan.clone()));
+    }
+    plan_response(&planner, plan, false, build_seconds, solve_seconds, started)
+}
+
+fn plan_response(
+    planner: &Planner,
+    plan: Plan,
+    cached: bool,
+    build_seconds: f64,
+    solve_seconds: f64,
+    started: Instant,
+) -> Response {
+    Response::Plan {
+        v: PROTOCOL_VERSION,
+        provenance: Provenance {
+            server: concat!("rsj-serve/", env!("CARGO_PKG_VERSION")).to_string(),
+            protocol: PROTOCOL_VERSION,
+            solver: planner.solver_spec().name().to_string(),
+            threads: rsj_par::Parallelism::current().threads(),
+            cached,
+        },
+        timings: Timings {
+            build_seconds,
+            solve_seconds,
+            total_seconds: started.elapsed().as_secs_f64(),
+        },
+        plan,
+    }
+}

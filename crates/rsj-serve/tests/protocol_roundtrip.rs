@@ -1,0 +1,135 @@
+//! Wire-format round-trip tests over the public protocol API.
+
+use reservation_strategies::{Plan, SimulateOptions};
+use rsj_core::{CostModel, SolverSpec};
+use rsj_dist::DistSpec;
+use rsj_serve::{
+    decode_request, encode, ErrorKind, Provenance, Request, Response, Timings, PROTOCOL_VERSION,
+};
+
+fn sample_plan() -> Plan {
+    Plan {
+        distribution: "LogNormal(3, 0.5)".to_string(),
+        solver: "dp_equal_probability".to_string(),
+        sequence: vec![21.5, 29.25, 40.125],
+        complete: false,
+        expected_cost: 31.0,
+        omniscient_cost: 22.4,
+        normalized_cost: 31.0 / 22.4,
+        coverage_gap: 1.25e-7,
+        digest: "0123456789abcdef".to_string(),
+        simulation: None,
+    }
+}
+
+#[test]
+fn every_request_shape_round_trips() {
+    let requests = vec![
+        Request::ping(),
+        Request::metrics(),
+        Request::shutdown(),
+        Request::plan(DistSpec::Exponential { lambda: 1.0 }),
+        Request::plan_with(
+            DistSpec::LogNormal {
+                mu: 3.0,
+                sigma: 0.5,
+            },
+            SolverSpec::Dp {
+                scheme: rsj_dist::DiscretizationScheme::EqualTime,
+                n: 500,
+                epsilon: 1e-6,
+            },
+        ),
+        Request::Plan {
+            v: PROTOCOL_VERSION,
+            distribution: DistSpec::Weibull {
+                lambda: 1.0,
+                kappa: 0.5,
+            },
+            cost: Some(CostModel {
+                alpha: 1.0,
+                beta: 0.5,
+                gamma: 0.1,
+            }),
+            solver: SolverSpec::BruteForce {
+                grid: 100,
+                samples: 50,
+                analytic: true,
+                seed: 3,
+            },
+            seed: Some(17),
+            simulate: Some(SimulateOptions { jobs: 32, seed: 4 }),
+        },
+    ];
+    for request in requests {
+        let line = encode(&request).expect("encode");
+        assert!(!line.contains('\n'), "wire lines are single-line: {line}");
+        let back = decode_request(&line).expect("decode");
+        assert_eq!(back, request, "{line}");
+    }
+}
+
+#[test]
+fn every_response_shape_round_trips() {
+    let responses = vec![
+        Response::Pong {
+            v: PROTOCOL_VERSION,
+        },
+        Response::ShuttingDown {
+            v: PROTOCOL_VERSION,
+        },
+        Response::Metrics {
+            v: PROTOCOL_VERSION,
+            prometheus: "# TYPE rsj_serve_requests_total counter\nrsj_serve_requests_total 3\n"
+                .to_string(),
+        },
+        Response::error(ErrorKind::InvalidSolver, "unknown solver `warp_drive`"),
+        Response::Plan {
+            v: PROTOCOL_VERSION,
+            plan: sample_plan(),
+            provenance: Provenance {
+                server: "rsj-serve/0.1.0".to_string(),
+                protocol: PROTOCOL_VERSION,
+                solver: "dp_equal_probability".to_string(),
+                threads: 1,
+                cached: true,
+            },
+            timings: Timings {
+                build_seconds: 0.0001,
+                solve_seconds: 0.0,
+                total_seconds: 0.00012,
+            },
+        },
+    ];
+    for response in responses {
+        let line = encode(&response).expect("encode");
+        assert!(!line.contains('\n'), "wire lines are single-line");
+        let back: Response = serde_json::from_str(&line).expect("decode");
+        assert_eq!(back, response, "{line}");
+    }
+}
+
+#[test]
+fn plan_sequences_round_trip_bit_exactly() {
+    // The digest convention only works if the JSON layer preserves f64s
+    // exactly (the vendored serde_json's float_roundtrip feature).
+    let mut plan = sample_plan();
+    plan.sequence = vec![
+        f64::MIN_POSITIVE,
+        1.0 + f64::EPSILON,
+        1e308,
+        0.1 + 0.2, // famously not 0.3
+    ];
+    let line = serde_json::to_string(&plan).expect("encode");
+    let back: Plan = serde_json::from_str(&line).expect("decode");
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&back.sequence), bits(&plan.sequence));
+}
+
+#[test]
+fn error_kinds_use_stable_snake_case_names() {
+    let line = encode(&Response::error(ErrorKind::UnsupportedVersion, "v")).unwrap();
+    assert!(line.contains(r#""kind":"unsupported_version""#), "{line}");
+    let line = encode(&Response::error(ErrorKind::RequestTooLarge, "v")).unwrap();
+    assert!(line.contains(r#""kind":"request_too_large""#), "{line}");
+}

@@ -1,0 +1,432 @@
+//! End-to-end tests: a real server on a loopback port, real TCP clients.
+//!
+//! The process-global metrics registry is shared by every test in this
+//! binary, so tests that assert on counter deltas serialize on
+//! [`registry_lock`]. Each test binds its own server on port 0.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use reservation_strategies::plan_digest;
+use rsj_core::{CostModel, DiscretizedDp, SolverSpec, Strategy};
+use rsj_dist::{DiscretizationScheme, DistSpec};
+use rsj_serve::{Client, ErrorKind, Request, Response, Server, ServerConfig};
+
+fn registry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Binds a server, runs it on a background thread, returns the address
+/// plus a join handle resolving to `run()`'s result.
+fn spawn_server(
+    config: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    rsj_serve::ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+/// A cheap DP solver spec (fast enough to run nine times in a test).
+fn fast_dp() -> SolverSpec {
+    SolverSpec::Dp {
+        scheme: DiscretizationScheme::EqualProbability,
+        n: 150,
+        epsilon: 1e-6,
+    }
+}
+
+fn counter_value(prometheus: &str, name: &str) -> u64 {
+    prometheus
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .map(|v| v.trim().parse().expect("counter value"))
+        .unwrap_or(0)
+}
+
+fn expect_plan(response: Response) -> (reservation_strategies::Plan, bool) {
+    match response {
+        Response::Plan {
+            plan, provenance, ..
+        } => (plan, provenance.cached),
+        other => panic!("expected a plan, got {other:?}"),
+    }
+}
+
+#[test]
+fn all_table1_distributions_match_offline_solver() {
+    let _guard = registry_lock();
+    let (addr, handle, join) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping");
+
+    let cost = CostModel::reservation_only();
+    let offline = DiscretizedDp::new(DiscretizationScheme::EqualProbability, 150, 1e-6).unwrap();
+    for (name, spec) in DistSpec::paper_table1() {
+        let (plan, _) = expect_plan(
+            client
+                .call(&Request::plan_with(spec.clone(), fast_dp()))
+                .unwrap_or_else(|e| panic!("{name}: {e}")),
+        );
+        let dist = spec.build().unwrap();
+        let expected = offline.sequence(dist.as_ref(), &cost).unwrap();
+        assert_eq!(plan.sequence, expected.times(), "{name}");
+        assert_eq!(
+            plan.digest,
+            plan_digest(expected.times().iter().copied()),
+            "{name}: served plan must be bit-identical to the offline DP"
+        );
+    }
+
+    client.shutdown().expect("shutdown ack");
+    drop(client);
+    join.join().expect("server thread").expect("clean exit");
+    assert!(handle.is_signaled());
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_plans() {
+    let _guard = registry_lock();
+    let (addr, _handle, join) = spawn_server(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+
+    // Offline ground truth for both solver families.
+    let cost = CostModel::reservation_only();
+    let spec = DistSpec::LogNormal {
+        mu: 3.0,
+        sigma: 0.5,
+    };
+    let dist = spec.build().unwrap();
+    let brute = SolverSpec::BruteForce {
+        grid: 200,
+        samples: 200,
+        analytic: true,
+        seed: 7,
+    };
+    let dp_offline = DiscretizedDp::new(DiscretizationScheme::EqualProbability, 150, 1e-6)
+        .unwrap()
+        .sequence(dist.as_ref(), &cost)
+        .unwrap();
+    let brute_offline = brute
+        .build()
+        .unwrap()
+        .sequence(dist.as_ref(), &cost)
+        .unwrap();
+    let dp_digest = plan_digest(dp_offline.times().iter().copied());
+    let brute_digest = plan_digest(brute_offline.times().iter().copied());
+
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let spec = spec.clone();
+            let brute = brute.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let (dp_plan, _) = expect_plan(
+                    client
+                        .call(&Request::plan_with(spec.clone(), fast_dp()))
+                        .unwrap_or_else(|e| panic!("client {i} dp: {e}")),
+                );
+                let (brute_plan, _) = expect_plan(
+                    client
+                        .call(&Request::plan_with(spec, brute))
+                        .unwrap_or_else(|e| panic!("client {i} brute: {e}")),
+                );
+                (dp_plan, brute_plan)
+            })
+        })
+        .collect();
+    for c in clients {
+        let (dp_plan, brute_plan) = c.join().expect("client thread");
+        assert_eq!(dp_plan.digest, dp_digest);
+        assert_eq!(dp_plan.sequence, dp_offline.times());
+        assert_eq!(brute_plan.digest, brute_digest);
+        assert_eq!(brute_plan.sequence, brute_offline.times());
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown ack");
+    drop(client);
+    join.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn repeat_request_hits_cache_without_reinvoking_solver() {
+    let _guard = registry_lock();
+    let (addr, _handle, join) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // A parameterization no other test uses, so the first call must miss.
+    let request = Request::plan_with(
+        DistSpec::LogNormal {
+            mu: 1.71,
+            sigma: 0.29,
+        },
+        fast_dp(),
+    );
+    let (first, first_cached) = expect_plan(client.call(&request).expect("first call"));
+    assert!(!first_cached, "first request must be computed");
+
+    let before = client.metrics().expect("metrics");
+    let hits_before = counter_value(&before, "rsj_serve_cache_hits_total");
+    let solves_before = counter_value(&before, "rsj_serve_solver_invocations_total");
+
+    let (second, second_cached) = expect_plan(client.call(&request).expect("second call"));
+    assert!(second_cached, "identical request must be served from cache");
+    assert_eq!(first, second, "cache hit must be byte-identical");
+
+    let after = client.metrics().expect("metrics");
+    assert_eq!(
+        counter_value(&after, "rsj_serve_cache_hits_total"),
+        hits_before + 1,
+        "cache-hit counter must increment"
+    );
+    assert_eq!(
+        counter_value(&after, "rsj_serve_solver_invocations_total"),
+        solves_before,
+        "a cache hit must not invoke the solver"
+    );
+
+    client.shutdown().expect("shutdown ack");
+    drop(client);
+    join.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn malformed_and_invalid_requests_get_typed_errors() {
+    let _guard = registry_lock();
+    let (addr, handle, join) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Not JSON: the connection survives and the error is typed.
+    use std::io::Write;
+    // Reach under the helper to write a raw garbage line.
+    let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+    raw.write_all(b"this is not json\n").expect("write");
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("read");
+    let response: Response = serde_json::from_str(line.trim()).expect("parse");
+    assert!(matches!(
+        response,
+        Response::Error {
+            kind: ErrorKind::MalformedRequest,
+            ..
+        }
+    ));
+    // Same connection still serves valid requests afterwards.
+    raw.write_all(b"{\"op\":\"ping\"}\n").expect("write");
+    line.clear();
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("read");
+    let response: Response = serde_json::from_str(line.trim()).expect("parse");
+    assert!(matches!(response, Response::Pong { .. }));
+    drop(reader);
+    drop(raw);
+
+    // Invalid distribution parameters → invalid_distribution.
+    let response = client
+        .call(&Request::plan(DistSpec::Exponential { lambda: -1.0 }))
+        .expect("call");
+    assert!(
+        matches!(
+            response,
+            Response::Error {
+                kind: ErrorKind::InvalidDistribution,
+                ..
+            }
+        ),
+        "{response:?}"
+    );
+
+    // Invalid cost rates → invalid_cost.
+    let response = client
+        .call(&Request::Plan {
+            v: rsj_serve::PROTOCOL_VERSION,
+            distribution: DistSpec::Exponential { lambda: 1.0 },
+            cost: Some(CostModel {
+                alpha: 0.0,
+                beta: 0.0,
+                gamma: 0.0,
+            }),
+            solver: SolverSpec::MeanByMean,
+            seed: None,
+            simulate: None,
+        })
+        .expect("call");
+    assert!(
+        matches!(
+            response,
+            Response::Error {
+                kind: ErrorKind::InvalidCost,
+                ..
+            }
+        ),
+        "{response:?}"
+    );
+
+    // Unsupported protocol version → unsupported_version.
+    let response = client.call(&Request::Ping { v: 99 }).expect("call");
+    assert!(
+        matches!(
+            response,
+            Response::Error {
+                kind: ErrorKind::UnsupportedVersion,
+                ..
+            }
+        ),
+        "{response:?}"
+    );
+
+    handle.signal();
+    join.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn per_connection_limits_are_enforced() {
+    let _guard = registry_lock();
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        max_requests_per_conn: 2,
+        max_line_bytes: 512,
+        ..ServerConfig::default()
+    });
+
+    // Request limit: the third request on one connection is refused and
+    // the connection closed.
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping 1");
+    client.ping().expect("ping 2");
+    let response = client.call(&Request::ping()).expect("call");
+    assert!(
+        matches!(
+            response,
+            Response::Error {
+                kind: ErrorKind::TooManyRequests,
+                ..
+            }
+        ),
+        "{response:?}"
+    );
+    assert!(client.ping().is_err(), "connection must be closed");
+
+    // Line limit: an oversized line is refused and the connection closed.
+    let mut client = Client::connect(addr).expect("connect");
+    use std::io::Write;
+    let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+    let oversized = format!("{}\n", "x".repeat(1024));
+    raw.write_all(oversized.as_bytes()).expect("write");
+    let mut reader = std::io::BufReader::new(raw);
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("read");
+    let response: Response = serde_json::from_str(line.trim()).expect("parse");
+    assert!(
+        matches!(
+            response,
+            Response::Error {
+                kind: ErrorKind::RequestTooLarge,
+                ..
+            }
+        ),
+        "{response:?}"
+    );
+
+    client.ping().expect("fresh connection still works");
+    handle.signal();
+    drop(client);
+    join.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let _guard = registry_lock();
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        workers: 2,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    });
+
+    // A solver slow enough that the shutdown signal usually lands while
+    // it is still running; the response must arrive regardless.
+    let slow = Request::plan_with(
+        DistSpec::LogNormal {
+            mu: 3.0,
+            sigma: 0.5,
+        },
+        SolverSpec::BruteForce {
+            grid: 600,
+            samples: 400,
+            analytic: false,
+            seed: 11,
+        },
+    );
+    let in_flight = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .call(&slow)
+            .expect("in-flight request must be answered")
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    handle.signal();
+
+    let (plan, _) = expect_plan(in_flight.join().expect("client thread"));
+    assert!(!plan.sequence.is_empty());
+    join.join().expect("server thread").expect("clean exit");
+
+    // The drained server no longer accepts work.
+    assert!(
+        Client::connect(addr)
+            .map(|mut c| c.ping())
+            .map_or(true, |r| r.is_err()),
+        "server must be gone after drain"
+    );
+}
+
+#[test]
+fn simulate_on_request_attaches_batch_stats() {
+    let _guard = registry_lock();
+    let (addr, handle, join) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let response = client
+        .call(&Request::Plan {
+            v: rsj_serve::PROTOCOL_VERSION,
+            distribution: DistSpec::Exponential { lambda: 1.0 },
+            cost: None,
+            solver: SolverSpec::MeanByMean,
+            seed: None,
+            simulate: Some(reservation_strategies::SimulateOptions { jobs: 64, seed: 9 }),
+        })
+        .expect("call");
+    let (plan, _) = expect_plan(response);
+    let stats = plan.simulation.expect("simulation attached");
+    assert!(stats.mean_cost.is_finite() && stats.mean_cost > 0.0);
+
+    // Offline replay must agree exactly (same seed, deterministic pool).
+    let dist = DistSpec::Exponential { lambda: 1.0 }.build().unwrap();
+    let cost = CostModel::reservation_only();
+    let seq = rsj_core::MeanByMean::default()
+        .sequence(dist.as_ref(), &cost)
+        .unwrap();
+    let offline = rsj_sim::run_batch_seeded(
+        &seq,
+        dist.as_ref(),
+        &cost,
+        64,
+        9,
+        &rsj_par::Parallelism::serial(),
+    )
+    .unwrap();
+    assert_eq!(stats, offline);
+
+    handle.signal();
+    drop(client);
+    join.join().expect("server thread").expect("clean exit");
+}

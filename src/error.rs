@@ -1,0 +1,116 @@
+//! The workspace-level error type.
+//!
+//! Every layer of the workspace has its own typed error (`DistError`,
+//! `CoreError`, `SimError`, `ParError`); applications built on the
+//! [`Planner`](crate::Planner) facade get them unified under one
+//! [`RsjError`] with `From` conversions, so `?` works across layers.
+
+use std::fmt;
+
+/// Top-level error for the `reservation-strategies` facade: every
+/// layer-specific error converts into it, plus a `Config` variant for
+/// mistakes in how the facade itself was driven (missing distribution,
+/// unparsable solver name carried as a typed sub-error, …).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RsjError {
+    /// Distribution-layer failure (invalid parameters, degenerate fits).
+    Dist(rsj_dist::DistError),
+    /// Planning-layer failure (invalid cost model, no valid sequence).
+    Core(rsj_core::CoreError),
+    /// Simulation-layer failure (empty batches, non-finite samples).
+    Sim(rsj_sim::SimError),
+    /// Parallel-execution failure (bad thread config, worker panic).
+    Par(rsj_par::ParError),
+    /// The facade was configured incompletely or inconsistently.
+    Config {
+        /// Which piece of configuration is wrong (`distribution`, …).
+        what: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RsjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsjError::Dist(e) => write!(f, "distribution error: {e}"),
+            RsjError::Core(e) => write!(f, "planning error: {e}"),
+            RsjError::Sim(e) => write!(f, "simulation error: {e}"),
+            RsjError::Par(e) => write!(f, "parallel execution error: {e}"),
+            RsjError::Config { what, reason } => {
+                write!(f, "invalid {what} configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RsjError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RsjError::Dist(e) => Some(e),
+            RsjError::Core(e) => Some(e),
+            RsjError::Sim(e) => Some(e),
+            RsjError::Par(e) => Some(e),
+            RsjError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<rsj_dist::DistError> for RsjError {
+    fn from(e: rsj_dist::DistError) -> Self {
+        RsjError::Dist(e)
+    }
+}
+
+impl From<rsj_core::CoreError> for RsjError {
+    fn from(e: rsj_core::CoreError) -> Self {
+        // A distribution error that bubbled through the core layer is
+        // still a distribution error to the caller.
+        match e {
+            rsj_core::CoreError::Dist(d) => RsjError::Dist(d),
+            other => RsjError::Core(other),
+        }
+    }
+}
+
+impl From<rsj_sim::SimError> for RsjError {
+    fn from(e: rsj_sim::SimError) -> Self {
+        match e {
+            rsj_sim::SimError::Parallel(p) => RsjError::Par(p),
+            other => RsjError::Sim(other),
+        }
+    }
+}
+
+impl From<rsj_par::ParError> for RsjError {
+    fn from(e: rsj_par::ParError) -> Self {
+        RsjError::Par(e)
+    }
+}
+
+/// Convenience alias for facade entry points.
+pub type Result<T> = std::result::Result<T, RsjError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_errors_convert_and_display() {
+        let core: RsjError = rsj_core::CoreError::EmptySequence.into();
+        assert_eq!(core, RsjError::Core(rsj_core::CoreError::EmptySequence));
+        assert!(core.to_string().contains("planning error"));
+
+        // Nested distribution errors unwrap to the Dist variant no matter
+        // which layer they passed through.
+        let dist_err = rsj_dist::DistError::DegenerateSample {
+            reason: "empty evaluation grid",
+        };
+        let through_core: RsjError = rsj_core::CoreError::Dist(dist_err.clone()).into();
+        assert_eq!(through_core, RsjError::Dist(dist_err));
+
+        let par_err = rsj_par::ParError::ZeroThreads;
+        let through_sim: RsjError = rsj_sim::SimError::Parallel(par_err.clone()).into();
+        assert_eq!(through_sim, RsjError::Par(par_err));
+    }
+}

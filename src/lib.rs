@@ -7,7 +7,9 @@
 //! queues) by computing cost-minimizing sequences of increasing
 //! reservations.
 //!
-//! This facade crate re-exports the four library crates of the workspace:
+//! This facade crate provides the stable top-level API — the [`Planner`]
+//! builder, its [`Plan`] result and the unified [`RsjError`] — and
+//! re-exports the library crates of the workspace:
 //!
 //! * [`dist`] (`rsj-dist`) — probability distributions, special functions,
 //!   discretization and fitting;
@@ -16,7 +18,26 @@
 //! * [`sim`] (`rsj-sim`) — the discrete-event batch-queue simulator and
 //!   cloud pricing models;
 //! * [`traces`] (`rsj-traces`) — neuroscience runtime archives and the
-//!   NeuroHPC scenario.
+//!   NeuroHPC scenario;
+//! * [`obs`] (`rsj-obs`) — tracing, metrics and profiling hooks;
+//! * [`par`] (`rsj-par`) — the deterministic fork-join worker pool.
+//!
+//! The long-running planning daemon built on this facade lives in the
+//! `rsj-serve` crate (`rsj serve` / `rsj request` on the CLI).
+//!
+//! ## Planner facade
+//!
+//! ```
+//! use reservation_strategies::{Planner, dist::DistSpec};
+//!
+//! let plan = Planner::builder()
+//!     .distribution(DistSpec::LogNormal { mu: 3.0, sigma: 0.5 })
+//!     .solver_name("dp_equal_probability")
+//!     .build()?
+//!     .plan()?;
+//! assert!(plan.normalized_cost < 2.0);
+//! # Ok::<(), reservation_strategies::RsjError>(())
+//! ```
 //!
 //! ## Quickstart
 //!
@@ -39,11 +60,21 @@
 
 pub use rsj_core as core;
 pub use rsj_dist as dist;
+pub use rsj_obs as obs;
+pub use rsj_par as par;
 pub use rsj_sim as sim;
 pub use rsj_traces as traces;
 
+pub mod error;
+pub mod planner;
+
+pub use error::RsjError;
+pub use planner::{plan_digest, Plan, Planner, PlannerBuilder, SimulateOptions};
+
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use crate::error::RsjError;
+    pub use crate::planner::{Plan, Planner, PlannerBuilder, SimulateOptions};
     pub use rsj_core::prelude::*;
     pub use rsj_dist::prelude::*;
     pub use rsj_sim::prelude::*;

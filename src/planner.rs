@@ -1,0 +1,369 @@
+//! The stable `Planner` facade: one builder-configured entry point that
+//! wraps distribution parsing (`rsj-dist::spec`), solver dispatch over the
+//! `Strategy` suite (`rsj-core::heuristics`) and optional batch simulation
+//! (`rsj-sim`), returning everything a caller needs as one serializable
+//! [`Plan`].
+//!
+//! This is the API the `rsj-serve` planning daemon and the `rsj` CLI are
+//! built on; see the API-stability note in the README for what is
+//! semver-stable here.
+//!
+//! ```
+//! use reservation_strategies::{Planner, dist::DistSpec};
+//!
+//! let plan = Planner::builder()
+//!     .distribution(DistSpec::LogNormal { mu: 3.0, sigma: 0.5 })
+//!     .solver_name("mean_by_mean")
+//!     .build()
+//!     .unwrap()
+//!     .plan()
+//!     .unwrap();
+//! assert!(plan.normalized_cost > 1.0 && plan.normalized_cost < 3.0);
+//! ```
+
+use crate::error::{Result, RsjError};
+use rsj_core::{coverage_gap, expected_cost_analytic, CostModel, SolverSpec, Strategy};
+use rsj_dist::{ContinuousDistribution, DistSpec};
+use rsj_sim::BatchStats;
+use serde::{Deserialize, Serialize};
+
+/// Optional simulate-on-plan: replay the computed sequence against `jobs`
+/// sampled runtimes (seeded, deterministic at any thread count).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulateOptions {
+    /// Number of jobs to sample.
+    pub jobs: usize,
+    /// RNG seed for the batch (default 0).
+    #[serde(default)]
+    pub seed: u64,
+}
+
+/// FNV-1a over the IEEE-754 bit patterns of `values`, rendered as 16 hex
+/// digits — the same digest convention as `rsj-bench`'s solver baselines,
+/// so serve-mode and offline artifacts can be diffed directly.
+pub fn plan_digest(values: impl IntoIterator<Item = f64>) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// The result of one [`Planner::plan`] call: the reservation sequence plus
+/// every derived quantity the workspace knows how to compute for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Display name of the distribution that was planned for.
+    pub distribution: String,
+    /// Canonical solver name (`brute_force`, `dp_equal_time`, …).
+    pub solver: String,
+    /// The computed reservation ladder, strictly increasing.
+    pub sequence: Vec<f64>,
+    /// Whether the last entry covers the distribution's whole support.
+    pub complete: bool,
+    /// Exact expected cost of the ladder (Eq. 4).
+    pub expected_cost: f64,
+    /// The omniscient scheduler's cost (§5.1 baseline).
+    pub omniscient_cost: f64,
+    /// `expected_cost / omniscient_cost` — the paper's reported metric.
+    pub normalized_cost: f64,
+    /// `P(X ≥ last entry)`: tail mass not covered by the ladder.
+    pub coverage_gap: f64,
+    /// FNV-1a digest of the sequence's f64 bit patterns; equal digests
+    /// mean bit-identical plans.
+    pub digest: String,
+    /// Batch-simulation statistics when simulate-on-plan was requested.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub simulation: Option<BatchStats>,
+}
+
+/// How the solver was chosen, kept unresolved until [`PlannerBuilder::build`]
+/// so builder chaining stays infallible.
+#[derive(Debug, Clone)]
+enum SolverChoice {
+    Spec(SolverSpec),
+    Name(String),
+}
+
+/// Builder-style configuration for a [`Planner`].
+#[derive(Debug, Clone)]
+pub struct PlannerBuilder {
+    distribution: Option<DistSpec>,
+    cost: CostModel,
+    solver: SolverChoice,
+    simulate: Option<SimulateOptions>,
+}
+
+impl Default for PlannerBuilder {
+    fn default() -> Self {
+        Self {
+            distribution: None,
+            cost: CostModel::reservation_only(),
+            solver: SolverChoice::Spec(SolverSpec::MeanByMean),
+            simulate: None,
+        }
+    }
+}
+
+impl PlannerBuilder {
+    /// The job-runtime law to plan for (required).
+    pub fn distribution(mut self, spec: DistSpec) -> Self {
+        self.distribution = Some(spec);
+        self
+    }
+
+    /// The platform cost model (default RESERVATIONONLY: `α=1`, `β=γ=0`).
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Cost model from its Eq. 1 rates; validated at [`build`](Self::build).
+    pub fn cost_rates(mut self, alpha: f64, beta: f64, gamma: f64) -> Self {
+        // Stored unvalidated so chaining stays infallible; build() calls
+        // CostModel::new which re-checks the §2.2 constraints.
+        self.cost = CostModel { alpha, beta, gamma };
+        self
+    }
+
+    /// The solver to dispatch to (default Mean-by-Mean).
+    pub fn solver(mut self, spec: SolverSpec) -> Self {
+        self.solver = SolverChoice::Spec(spec);
+        self
+    }
+
+    /// Solver by canonical name (`brute_force`, `dp_equal_time`, …),
+    /// parsed with paper-default parameters at [`build`](Self::build).
+    pub fn solver_name(mut self, name: impl Into<String>) -> Self {
+        self.solver = SolverChoice::Name(name.into());
+        self
+    }
+
+    /// Also replay the plan against a seeded batch of sampled jobs.
+    pub fn simulate(mut self, options: SimulateOptions) -> Self {
+        self.simulate = Some(options);
+        self
+    }
+
+    /// Validates the configuration and instantiates the planner.
+    pub fn build(self) -> Result<Planner> {
+        let spec = self.distribution.ok_or(RsjError::Config {
+            what: "distribution",
+            reason: "no distribution specified (call .distribution(DistSpec))".into(),
+        })?;
+        let dist = spec.build()?;
+        let cost = CostModel::new(self.cost.alpha, self.cost.beta, self.cost.gamma)?;
+        let solver_spec = match self.solver {
+            SolverChoice::Spec(s) => s,
+            SolverChoice::Name(name) => name.parse::<SolverSpec>()?,
+        };
+        let solver = solver_spec.build()?;
+        if let Some(sim) = self.simulate {
+            if sim.jobs == 0 {
+                return Err(RsjError::Sim(rsj_sim::SimError::EmptyBatch));
+            }
+        }
+        Ok(Planner {
+            dist,
+            cost,
+            solver,
+            solver_spec,
+            simulate: self.simulate,
+        })
+    }
+}
+
+/// A fully validated planning pipeline: distribution + cost model +
+/// solver, reusable across [`plan`](Planner::plan) calls.
+pub struct Planner {
+    dist: Box<dyn ContinuousDistribution>,
+    cost: CostModel,
+    solver: Box<dyn Strategy>,
+    solver_spec: SolverSpec,
+    simulate: Option<SimulateOptions>,
+}
+
+impl std::fmt::Debug for Planner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Planner")
+            .field("distribution", &self.dist.name())
+            .field("cost", &self.cost)
+            .field("solver", &self.solver_spec)
+            .field("simulate", &self.simulate)
+            .finish()
+    }
+}
+
+impl Planner {
+    /// Starts a builder with defaults (RESERVATIONONLY cost, Mean-by-Mean).
+    pub fn builder() -> PlannerBuilder {
+        PlannerBuilder::default()
+    }
+
+    /// The validated cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The distribution being planned for.
+    pub fn distribution(&self) -> &dyn ContinuousDistribution {
+        self.dist.as_ref()
+    }
+
+    /// The solver specification this planner dispatches to.
+    pub fn solver_spec(&self) -> &SolverSpec {
+        &self.solver_spec
+    }
+
+    /// A process-stable key identifying `(distribution, cost model,
+    /// solver config)` — the triple that fully determines [`plan`]'s
+    /// output. `None` when the distribution has no faithful
+    /// `cache_key` (plan caches must then skip caching).
+    ///
+    /// [`plan`]: Planner::plan
+    pub fn cache_key(&self) -> Option<String> {
+        let dist = self.dist.cache_key()?;
+        Some(format!(
+            "{dist}|a={:x},b={:x},g={:x}|{}",
+            self.cost.alpha.to_bits(),
+            self.cost.beta.to_bits(),
+            self.cost.gamma.to_bits(),
+            self.solver_spec.config_key(),
+        ))
+    }
+
+    /// Computes the reservation sequence and scores it.
+    pub fn plan(&self) -> Result<Plan> {
+        let seq = self.solver.sequence(self.dist.as_ref(), &self.cost)?;
+        let expected_cost = expected_cost_analytic(&seq, self.dist.as_ref(), &self.cost);
+        let omniscient_cost = self.cost.omniscient(self.dist.as_ref());
+        let simulation = match self.simulate {
+            Some(opts) => Some(rsj_sim::run_batch_seeded(
+                &seq,
+                self.dist.as_ref(),
+                &self.cost,
+                opts.jobs,
+                opts.seed,
+                &rsj_par::Parallelism::current(),
+            )?),
+            None => None,
+        };
+        Ok(Plan {
+            distribution: self.dist.name(),
+            solver: self.solver_spec.name().to_string(),
+            digest: plan_digest(seq.times().iter().copied()),
+            sequence: seq.times().to_vec(),
+            complete: seq.is_complete(),
+            expected_cost,
+            omniscient_cost,
+            normalized_cost: expected_cost / omniscient_cost,
+            coverage_gap: coverage_gap(&seq, self.dist.as_ref()),
+            simulation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_requires_a_distribution() {
+        let err = Planner::builder().build().unwrap_err();
+        assert!(matches!(
+            err,
+            RsjError::Config {
+                what: "distribution",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn plan_matches_direct_solver_output() {
+        use rsj_core::{MeanByMean, Strategy};
+        let spec = DistSpec::LogNormal {
+            mu: 3.0,
+            sigma: 0.5,
+        };
+        let plan = Planner::builder()
+            .distribution(spec.clone())
+            .solver_name("mean_by_mean")
+            .build()
+            .unwrap()
+            .plan()
+            .unwrap();
+        let dist = spec.build().unwrap();
+        let direct = MeanByMean::default()
+            .sequence(dist.as_ref(), &CostModel::reservation_only())
+            .unwrap();
+        assert_eq!(plan.sequence, direct.times());
+        assert_eq!(plan.digest, plan_digest(direct.times().iter().copied()));
+        assert!(plan.normalized_cost > 1.0);
+        assert!(plan.simulation.is_none());
+    }
+
+    #[test]
+    fn invalid_cost_rates_fail_at_build() {
+        let err = Planner::builder()
+            .distribution(DistSpec::Exponential { lambda: 1.0 })
+            .cost_rates(0.0, 0.0, 0.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RsjError::Core(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_solver_name_is_typed() {
+        let err = Planner::builder()
+            .distribution(DistSpec::Exponential { lambda: 1.0 })
+            .solver_name("warp_drive")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("warp_drive"), "{err}");
+    }
+
+    #[test]
+    fn simulate_on_plan_attaches_batch_stats() {
+        let plan = Planner::builder()
+            .distribution(DistSpec::Exponential { lambda: 1.0 })
+            .simulate(SimulateOptions { jobs: 64, seed: 9 })
+            .build()
+            .unwrap()
+            .plan()
+            .unwrap();
+        let stats = plan.simulation.expect("simulation requested");
+        assert!(stats.mean_cost.is_finite() && stats.mean_cost > 0.0);
+    }
+
+    #[test]
+    fn cache_key_separates_every_input() {
+        let base = || Planner::builder().distribution(DistSpec::Exponential { lambda: 1.0 });
+        let a = base().build().unwrap().cache_key().unwrap();
+        let other_dist = base()
+            .distribution(DistSpec::Exponential { lambda: 2.0 })
+            .build()
+            .unwrap()
+            .cache_key()
+            .unwrap();
+        let other_cost = base()
+            .cost_rates(2.0, 0.0, 0.0)
+            .build()
+            .unwrap()
+            .cache_key()
+            .unwrap();
+        let other_solver = base()
+            .solver_name("mean_doubling")
+            .build()
+            .unwrap()
+            .cache_key()
+            .unwrap();
+        assert_ne!(a, other_dist);
+        assert_ne!(a, other_cost);
+        assert_ne!(a, other_solver);
+        assert_eq!(a, base().build().unwrap().cache_key().unwrap());
+    }
+}
