@@ -1,0 +1,362 @@
+//! Seeds `results/BENCH_serve.json`: closed-loop load numbers for the
+//! `rsj-serve` planning daemon under three regimes — a healthy baseline,
+//! deliberate overload against a tiny admission queue, and the fixed-seed
+//! chaos schedule behind a fault-injecting proxy with a retrying client.
+//!
+//! Reported per scenario: throughput, p50/p99 request latency, and the
+//! shed/failure split. Future robustness PRs diff against this file
+//! instead of folklore. Timings move with the host; the invariants the
+//! suite *asserts* (typed sheds, bit-identical successes) are enforced by
+//! the `rsj-serve` test suite, not here.
+//!
+//! Honours `RSJ_FIDELITY` (`quick` shrinks the request counts), `RSJ_LOG`
+//! and `RSJ_RESULTS_DIR`.
+
+use rsj_bench::perf::HostInfo;
+use rsj_bench::scenarios::Fidelity;
+use rsj_bench::{report, DEFAULT_SEED};
+use rsj_core::SolverSpec;
+use rsj_dist::{DiscretizationScheme, DistSpec};
+use rsj_serve::{
+    AdmissionConfig, BreakerConfig, ChaosPolicy, ChaosProxy, Client, Request, ResilientClient,
+    Response, RetryPolicy, Server, ServerConfig,
+};
+use serde::{Deserialize, Serialize};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const SCHEMA_VERSION: u32 = 1;
+
+/// One load regime's aggregate numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ScenarioResult {
+    name: String,
+    /// Requests attempted (including ones that were shed or failed).
+    requests: usize,
+    /// Successful plan/pong responses.
+    ok: usize,
+    /// Typed `overloaded` / `deadline_exceeded` rejections.
+    shed: usize,
+    /// Transport-level failures (chaos faults, torn lines).
+    failed: usize,
+    /// Client-side retry attempts beyond the first try (chaos scenario).
+    retries: usize,
+    wall_seconds: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    shed_rate: f64,
+}
+
+/// The `results/BENCH_serve.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServeBaseline {
+    schema_version: u32,
+    fidelity: String,
+    seed: u64,
+    host: HostInfo,
+    workers: usize,
+    scenarios: Vec<ScenarioResult>,
+}
+
+/// The rotating request mix: three distributions over one DP config, so
+/// the stream exercises cold solves, cache hits and coalescing alike.
+fn request_for(i: usize) -> Request {
+    let dists = [
+        DistSpec::LogNormal {
+            mu: 3.0,
+            sigma: 0.5,
+        },
+        DistSpec::LogNormal {
+            mu: 2.0,
+            sigma: 0.8,
+        },
+        DistSpec::LogNormal {
+            mu: 1.5,
+            sigma: 0.3,
+        },
+    ];
+    Request::plan_with(
+        dists[i % 3].clone(),
+        SolverSpec::Dp {
+            scheme: DiscretizationScheme::EqualProbability,
+            n: 300,
+            epsilon: 1e-6,
+        },
+    )
+}
+
+/// A request no other load thread will have cached: every solve is cold,
+/// so the overload scenario keeps the workers genuinely busy.
+fn unique_request(i: usize) -> Request {
+    Request::plan_with(
+        DistSpec::LogNormal {
+            mu: 1.5 + 0.01 * i as f64,
+            sigma: 0.6,
+        },
+        SolverSpec::Dp {
+            scheme: DiscretizationScheme::EqualProbability,
+            n: 600,
+            epsilon: 1e-6,
+        },
+    )
+}
+
+fn percentile_ms(latencies: &mut [Duration], q: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_unstable();
+    let rank = ((latencies.len() as f64 * q).ceil() as usize).clamp(1, latencies.len());
+    latencies[rank - 1].as_secs_f64() * 1e3
+}
+
+/// Outcome counts accumulated while driving one regime.
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    ok: usize,
+    shed: usize,
+    failed: usize,
+    retries: usize,
+}
+
+fn finish(
+    name: &str,
+    requests: usize,
+    tally: Tally,
+    wall: Duration,
+    latencies: &mut [Duration],
+) -> ScenarioResult {
+    let wall_seconds = wall.as_secs_f64();
+    ScenarioResult {
+        name: name.to_string(),
+        requests,
+        ok: tally.ok,
+        shed: tally.shed,
+        failed: tally.failed,
+        retries: tally.retries,
+        wall_seconds,
+        throughput_rps: requests as f64 / wall_seconds.max(1e-9),
+        p50_ms: percentile_ms(latencies, 0.50),
+        p99_ms: percentile_ms(latencies, 0.99),
+        shed_rate: tally.shed as f64 / (requests as f64).max(1.0),
+    }
+}
+
+fn spawn_server(config: ServerConfig) -> (SocketAddr, impl FnOnce()) {
+    let server = Server::bind(config).expect("bind server");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, move || {
+        shutdown.signal();
+        // Unblock the accept poll with one last connection attempt.
+        let _ = std::net::TcpStream::connect(addr);
+        join.join()
+            .expect("server thread")
+            .expect("clean server exit");
+    })
+}
+
+/// Healthy regime: one closed-loop client, default admission settings.
+fn baseline(workers: usize, requests: usize) -> ScenarioResult {
+    let (addr, stop) = spawn_server(ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let mut latencies = Vec::with_capacity(requests);
+    let mut tally = Tally::default();
+    let started = Instant::now();
+    for i in 0..requests {
+        let t = Instant::now();
+        match client.call(&request_for(i)) {
+            Ok(Response::Plan { .. }) => tally.ok += 1,
+            Ok(Response::Error { .. }) => tally.shed += 1,
+            Ok(_) => {}
+            Err(_) => tally.failed += 1,
+        }
+        latencies.push(t.elapsed());
+    }
+    let wall = started.elapsed();
+    drop(client);
+    stop();
+    finish("baseline", requests, tally, wall, &mut latencies)
+}
+
+/// Overload regime: a burst of concurrent connections against a tiny
+/// admission queue; the interesting number is the typed shed rate.
+fn overload(workers: usize, clients: usize, per_client: usize) -> ScenarioResult {
+    let (addr, stop) = spawn_server(ServerConfig {
+        workers,
+        admission: AdmissionConfig {
+            capacity: 2,
+            high_watermark: 2,
+            low_watermark: 1,
+        },
+        ..ServerConfig::default()
+    });
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(per_client);
+                let mut tally = Tally::default();
+                for i in 0..per_client {
+                    let t = Instant::now();
+                    match Client::connect(addr) {
+                        Ok(mut client) => {
+                            match client
+                                .call(&unique_request(c * per_client + i).with_deadline_ms(10_000))
+                            {
+                                Ok(Response::Plan { .. }) => tally.ok += 1,
+                                Ok(Response::Error { .. }) => tally.shed += 1,
+                                Ok(_) => {}
+                                Err(_) => tally.failed += 1,
+                            }
+                        }
+                        Err(_) => tally.failed += 1,
+                    }
+                    latencies.push(t.elapsed());
+                }
+                (tally, latencies)
+            })
+        })
+        .collect();
+    let mut tally = Tally::default();
+    let mut latencies = Vec::new();
+    for t in threads {
+        let (part, l) = t.join().expect("load thread");
+        tally.ok += part.ok;
+        tally.shed += part.shed;
+        tally.failed += part.failed;
+        latencies.extend(l);
+    }
+    let wall = started.elapsed();
+    stop();
+    finish(
+        "overload",
+        clients * per_client,
+        tally,
+        wall,
+        &mut latencies,
+    )
+}
+
+/// Chaos regime: the fixed-seed fault schedule (worker panics, dispatch
+/// delays, dropped/truncated/stalled connections) behind the chaos proxy,
+/// driven by the retrying resilient client.
+fn chaos(workers: usize, requests: usize, seed: u64) -> ScenarioResult {
+    let policy = ChaosPolicy {
+        seed,
+        worker_panic_every: 5,
+        delay_every: 4,
+        delay_ms: 10,
+        drop_conn_every: 6,
+        stall_every: 5,
+        stall_ms: 50,
+        partial_write_every: 7,
+    };
+    let (addr, stop) = spawn_server(ServerConfig {
+        workers,
+        chaos: Some(policy),
+        ..ServerConfig::default()
+    });
+    let proxy = ChaosProxy::bind(addr, policy).expect("bind proxy");
+    let proxy_addr = proxy.local_addr();
+    let proxy_stop = proxy.stop_handle();
+    let proxy_join = std::thread::spawn(move || proxy.run());
+
+    let retry = RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(50),
+        jitter_seed: seed,
+        retry_budget: (requests * 2) as u32,
+    };
+    // A lenient breaker: the point of this scenario is retry
+    // effectiveness under a known fault rate, not fail-fast behavior.
+    let breaker = BreakerConfig {
+        failure_threshold: u32::MAX,
+        ..BreakerConfig::default()
+    };
+    let mut client = ResilientClient::new(proxy_addr.to_string(), retry, breaker);
+    let mut latencies = Vec::with_capacity(requests);
+    let mut tally = Tally::default();
+    let started = Instant::now();
+    for i in 0..requests {
+        let t = Instant::now();
+        match client.call(&request_for(i)) {
+            Ok(Response::Plan { .. }) => tally.ok += 1,
+            Ok(Response::Error { .. }) => tally.shed += 1,
+            Ok(_) => {}
+            Err(_) => tally.failed += 1,
+        }
+        latencies.push(t.elapsed());
+    }
+    let wall = started.elapsed();
+    tally.retries = client.retries_spent() as usize;
+    drop(client);
+    proxy_stop.stop();
+    stop();
+    proxy_join
+        .join()
+        .expect("proxy thread")
+        .expect("clean proxy exit");
+    finish("chaos", requests, tally, wall, &mut latencies)
+}
+
+fn main() -> std::io::Result<()> {
+    rsj_obs::init_from_env();
+    rsj_obs::set_metrics_enabled(true);
+    let host = HostInfo::capture();
+    let fidelity = Fidelity::from_env();
+    // Closed-loop volumes per regime; the baked-in solver configs are
+    // bench-scoped, so only the counts move with fidelity.
+    let (base_requests, load_clients, load_per_client, chaos_requests) = match fidelity {
+        Fidelity::Paper => (400, 12, 20, 96),
+        Fidelity::Quick => (60, 6, 5, 24),
+    };
+    let workers = 2;
+
+    rsj_obs::info!("serve_load at {fidelity:?} fidelity, {workers} workers");
+    let scenarios = vec![
+        baseline(workers, base_requests),
+        overload(workers, load_clients, load_per_client),
+        chaos(workers, chaos_requests, DEFAULT_SEED),
+    ];
+    for s in &scenarios {
+        rsj_obs::info!(
+            "{}: {} req in {:.2}s ({:.1} rps), p50 {:.2}ms p99 {:.2}ms, \
+             ok={} shed={} failed={} retries={}",
+            s.name,
+            s.requests,
+            s.wall_seconds,
+            s.throughput_rps,
+            s.p50_ms,
+            s.p99_ms,
+            s.ok,
+            s.shed,
+            s.failed,
+            s.retries
+        );
+    }
+
+    let doc = ServeBaseline {
+        schema_version: SCHEMA_VERSION,
+        fidelity: format!("{fidelity:?}"),
+        seed: DEFAULT_SEED,
+        host,
+        workers,
+        scenarios,
+    };
+    let path = report::write_result_file(
+        "BENCH_serve.json",
+        &format!(
+            "{}\n",
+            serde_json::to_string_pretty(&doc).expect("serializable")
+        ),
+    )?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -24,7 +24,7 @@ pub mod serve_cmd;
 
 pub use commands::{run_evaluate, run_fit, run_plan, run_risk, run_simulate};
 pub use config::{EvaluateConfig, HeuristicSpec, PlanConfig, SimulateConfig};
-pub use serve_cmd::{run_request, run_serve, RequestAction, ServeOptions};
+pub use serve_cmd::{run_request, run_serve, RequestAction, RequestOptions, ServeOptions};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -38,10 +38,15 @@ USAGE:
     rsj simulate --config <sim.json>      simulate a batch queue (Figure 2)
     rsj serve    [--addr host:port]       run the planning server (default
                                           127.0.0.1:7077; port 0 = auto) with
-                                          [--workers <n>] handler threads and an
+                                          [--workers <n>] handler threads, an
                                           LRU plan cache of [--cache <n>] entries
+                                          and an admission queue of [--queue <n>]
+                                          connections (shedding between
+                                          [--queue-high <n>] and [--queue-low <n>])
     rsj request  --addr host:port         one-shot client for a running server:
                  (--config <plan.json> | --ping | --metrics | --shutdown)
+                 [--deadline-ms <n>]      shed server-side once the deadline lapses
+                 [--retries <n>]          retry transient failures with backoff
 
 Every command also accepts:
     --json                  machine-readable output

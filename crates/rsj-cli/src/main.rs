@@ -3,8 +3,17 @@
 use rsj_cli::{run_evaluate, run_fit, run_plan, run_simulate, USAGE};
 use std::process::ExitCode;
 
+/// Argv-level mistake: the user asked for something the CLI doesn't
+/// have, so show them what it does have.
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+/// Runtime failure in a correctly-invoked command (solver error, server
+/// rejection, bad config contents): the usage text would only bury it.
+fn fail_runtime(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
     ExitCode::FAILURE
 }
 
@@ -107,9 +116,20 @@ fn main() -> ExitCode {
                 Some(Err(_)) => return fail("invalid --cache: expected a number"),
                 None => {}
             }
+            for (flag, slot) in [
+                ("--queue", &mut opts.queue),
+                ("--queue-high", &mut opts.queue_high),
+                ("--queue-low", &mut opts.queue_low),
+            ] {
+                match flag_value(&args, flag).map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) => *slot = Some(n),
+                    Some(Err(_)) => return fail(&format!("invalid {flag}: expected a number")),
+                    None => {}
+                }
+            }
             return match rsj_cli::run_serve(&opts) {
                 Ok(()) => ExitCode::SUCCESS,
-                Err(msg) => fail(&msg),
+                Err(msg) => fail_runtime(&msg),
             };
         }
         "request" => {
@@ -134,7 +154,18 @@ fn main() -> ExitCode {
             } else {
                 return fail("request needs one of --config/--ping/--metrics/--shutdown");
             };
-            rsj_cli::run_request(&addr, &action, json)
+            let mut opts = rsj_cli::RequestOptions::default();
+            match flag_value(&args, "--deadline-ms").map(|v| v.parse::<u64>()) {
+                Some(Ok(ms)) => opts.deadline_ms = Some(ms),
+                Some(Err(_)) => return fail("invalid --deadline-ms: expected a number"),
+                None => {}
+            }
+            match flag_value(&args, "--retries").map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) => opts.retries = Some(n),
+                Some(Err(_)) => return fail("invalid --retries: expected a number"),
+                None => {}
+            }
+            rsj_cli::run_request(&addr, &action, json, opts)
         }
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -154,6 +185,6 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Err(msg) => fail(&msg),
+        Err(msg) => fail_runtime(&msg),
     }
 }

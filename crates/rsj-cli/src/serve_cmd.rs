@@ -8,7 +8,10 @@
 
 use crate::config::PlanConfig;
 use rsj_core::CostModel;
-use rsj_serve::{Client, Request, Response, Server, ServerConfig, PROTOCOL_VERSION};
+use rsj_serve::{
+    BreakerConfig, Client, Request, ResilientClient, Response, RetryPolicy, Server, ServerConfig,
+    PROTOCOL_VERSION,
+};
 
 /// Options for `rsj serve`, all flag-settable.
 #[derive(Debug, Clone)]
@@ -19,6 +22,12 @@ pub struct ServeOptions {
     pub workers: Option<usize>,
     /// Plan-cache capacity (`--cache`, 0 disables caching).
     pub cache: Option<usize>,
+    /// Admission-queue hard capacity (`--queue`).
+    pub queue: Option<usize>,
+    /// Shedding starts at this queue depth (`--queue-high`).
+    pub queue_high: Option<usize>,
+    /// Shedding stops once depth drains to this (`--queue-low`).
+    pub queue_low: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -27,6 +36,9 @@ impl Default for ServeOptions {
             addr: "127.0.0.1:7077".to_string(),
             workers: None,
             cache: None,
+            queue: None,
+            queue_high: None,
+            queue_low: None,
         }
     }
 }
@@ -47,6 +59,21 @@ pub fn run_serve(opts: &ServeOptions) -> Result<(), String> {
     }
     if let Some(cache) = opts.cache {
         config.cache_capacity = cache;
+    }
+    if let Some(queue) = opts.queue {
+        if queue == 0 {
+            return Err("--queue must be >= 1".to_string());
+        }
+        config.admission.capacity = queue;
+        // Keep the watermarks proportional unless overridden below.
+        config.admission.high_watermark = queue * 3 / 4;
+        config.admission.low_watermark = queue / 4;
+    }
+    if let Some(high) = opts.queue_high {
+        config.admission.high_watermark = high;
+    }
+    if let Some(low) = opts.queue_low {
+        config.admission.low_watermark = low;
     }
     let server = Server::bind(config).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
     println!("rsj-serve listening on {}", server.local_addr());
@@ -69,10 +96,27 @@ pub enum RequestAction {
     Plan(Box<PlanConfig>),
 }
 
+/// Client-side knobs for `rsj request`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestOptions {
+    /// Per-request deadline in milliseconds (`--deadline-ms`); the server
+    /// sheds the request (typed `deadline_exceeded`) once it lapses.
+    pub deadline_ms: Option<u64>,
+    /// Retry attempts after the first (`--retries`); retried through the
+    /// resilient client (seeded-jitter backoff + circuit breaker) and
+    /// only for transient failures (`overloaded`, `internal`, transport).
+    pub retries: Option<u32>,
+}
+
 /// `rsj request`: send one request to a running server and render the
 /// response. Error responses become `Err`, so the process exits non-zero.
-pub fn run_request(addr: &str, action: &RequestAction, json: bool) -> Result<String, String> {
-    let request = match action {
+pub fn run_request(
+    addr: &str,
+    action: &RequestAction,
+    json: bool,
+    opts: RequestOptions,
+) -> Result<String, String> {
+    let mut request = match action {
         RequestAction::Ping => Request::ping(),
         RequestAction::Metrics => Request::metrics(),
         RequestAction::Shutdown => Request::shutdown(),
@@ -87,12 +131,31 @@ pub fn run_request(addr: &str, action: &RequestAction, json: bool) -> Result<Str
             solver: cfg.heuristic.clone(),
             seed: None,
             simulate: None,
+            deadline_ms: None,
         },
     };
-    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let response = client
-        .call(&request)
-        .map_err(|e| format!("request failed: {e}"))?;
+    if let Some(ms) = opts.deadline_ms {
+        request = request.with_deadline_ms(ms);
+    }
+    let response = match opts.retries {
+        Some(retries) if retries > 0 => {
+            let policy = RetryPolicy {
+                max_attempts: retries + 1,
+                ..RetryPolicy::default()
+            };
+            let mut client = ResilientClient::new(addr, policy, BreakerConfig::default());
+            client
+                .call(&request)
+                .map_err(|e| format!("request failed: {e}"))?
+        }
+        _ => {
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            client
+                .call(&request)
+                .map_err(|e| format!("request failed: {e}"))?
+        }
+    };
 
     if let Response::Error { kind, message, .. } = &response {
         return Err(format!("server error ({kind}): {message}"));
@@ -128,6 +191,8 @@ pub fn run_request(addr: &str, action: &RequestAction, json: bool) -> Result<Str
                 "served:           {} in {:.1} ms\n",
                 if provenance.cached {
                     "from cache"
+                } else if provenance.coalesced {
+                    "coalesced"
                 } else {
                     "computed"
                 },
@@ -157,7 +222,13 @@ mod tests {
     fn request_round_trip_against_live_server() {
         let (addr, join) = spawn_test_server();
         assert_eq!(
-            run_request(&addr, &RequestAction::Ping, false).unwrap(),
+            run_request(
+                &addr,
+                &RequestAction::Ping,
+                false,
+                RequestOptions::default()
+            )
+            .unwrap(),
             "pong\n"
         );
 
@@ -175,23 +246,34 @@ mod tests {
             show: 5,
         };
         let action = RequestAction::Plan(Box::new(cfg.clone()));
-        let text = run_request(&addr, &action, false).unwrap();
+        let text = run_request(&addr, &action, false, RequestOptions::default()).unwrap();
         assert!(text.contains("plan digest"), "{text}");
 
         // The served digest equals the offline `rsj plan --json` digest.
         let offline = crate::commands::run_plan(&cfg, true).unwrap();
         let offline: serde_json::Value = serde_json::from_str(&offline).unwrap();
-        let served = run_request(&addr, &action, true).unwrap();
+        let served = run_request(&addr, &action, true, RequestOptions::default()).unwrap();
         let served: serde_json::Value = serde_json::from_str(&served).unwrap();
         assert_eq!(served["plan"]["digest"], offline["digest"]);
         assert_eq!(served["plan"]["sequence"], offline["sequence"]);
 
-        let metrics = run_request(&addr, &RequestAction::Metrics, false).unwrap();
+        let metrics = run_request(
+            &addr,
+            &RequestAction::Metrics,
+            false,
+            RequestOptions::default(),
+        )
+        .unwrap();
         assert!(metrics.contains("rsj_serve_requests_total"), "{metrics}");
 
-        assert!(run_request(&addr, &RequestAction::Shutdown, false)
-            .unwrap()
-            .contains("shutting down"));
+        assert!(run_request(
+            &addr,
+            &RequestAction::Shutdown,
+            false,
+            RequestOptions::default()
+        )
+        .unwrap()
+        .contains("shutting down"));
         join.join().expect("server thread").expect("clean exit");
     }
 
@@ -208,9 +290,21 @@ mod tests {
             heuristic: SolverSpec::MeanByMean,
             show: 5,
         };
-        let err = run_request(&addr, &RequestAction::Plan(Box::new(cfg)), false).unwrap_err();
+        let err = run_request(
+            &addr,
+            &RequestAction::Plan(Box::new(cfg)),
+            false,
+            RequestOptions::default(),
+        )
+        .unwrap_err();
         assert!(err.contains("invalid_distribution"), "{err}");
-        run_request(&addr, &RequestAction::Shutdown, false).unwrap();
+        run_request(
+            &addr,
+            &RequestAction::Shutdown,
+            false,
+            RequestOptions::default(),
+        )
+        .unwrap();
         join.join().expect("server thread").expect("clean exit");
     }
 }

@@ -52,6 +52,9 @@ pub enum CoreError {
         /// The offending value.
         value: f64,
     },
+    /// A cooperative cancellation token fired mid-solve (explicit cancel
+    /// or deadline); the partial result was discarded.
+    Cancelled,
     /// A textual name (CLI flag, wire-protocol field) did not match any
     /// known variant of an enumeration.
     UnknownName {
@@ -95,6 +98,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::DegenerateEvaluation { what, value } => {
                 write!(f, "degenerate evaluation: {what} = {value}")
+            }
+            CoreError::Cancelled => {
+                write!(f, "solve cancelled (deadline or explicit cancellation)")
             }
             CoreError::UnknownName {
                 what,

@@ -9,6 +9,7 @@
 
 use super::Strategy;
 use crate::bounds::upper_bound_t1;
+use crate::cancel::CancelToken;
 use crate::cost::CostModel;
 use crate::error::{CoreError, Result};
 use crate::eval::{expected_cost_analytic, expected_cost_monte_carlo};
@@ -200,6 +201,22 @@ impl BruteForce {
     /// are drawn once up front and shared read-only, so the sweep is
     /// bit-for-bit identical at any thread count.
     pub fn sweep(&self, dist: &dyn ContinuousDistribution, cost: &CostModel) -> Vec<SweepPoint> {
+        self.sweep_cancellable(dist, cost, &CancelToken::none())
+            .expect("a none token never cancels")
+    }
+
+    /// [`sweep`](Self::sweep) with cooperative cancellation, polled once
+    /// per grid candidate. Once the token fires, remaining candidates are
+    /// skipped (their scoring work elided) and the call returns
+    /// [`CoreError::Cancelled`]; an uncancelled sweep is bit-for-bit the
+    /// same as [`sweep`](Self::sweep).
+    pub fn sweep_cancellable(
+        &self,
+        dist: &dyn ContinuousDistribution,
+        cost: &CostModel,
+        cancel: &CancelToken,
+    ) -> Result<Vec<SweepPoint>> {
+        cancel.check()?;
         let samples = match self.eval {
             EvalMethod::MonteCarlo => self.samples(dist),
             EvalMethod::Analytic => Arc::new(Vec::new()),
@@ -212,19 +229,29 @@ impl BruteForce {
         let degenerate =
             !(omniscient.is_finite() && omniscient > 0.0) || samples.iter().any(|s| !s.is_finite());
         if degenerate {
-            return self
+            return Ok(self
                 .grid(dist, cost)
                 .into_iter()
                 .map(|t1| SweepPoint {
                     t1,
                     normalized_cost: None,
                 })
-                .collect();
+                .collect());
         }
         let grid = self.grid(dist, cost);
-        self.par
+        let points = self
+            .par
             .unwrap_or_else(Parallelism::current)
             .par_map(&grid, |_, &t1| {
+                // A fired token short-circuits the remaining candidates;
+                // the whole sweep is then discarded below, so the skipped
+                // scores never leak into an uncancelled result.
+                if cancel.is_cancelled() {
+                    return SweepPoint {
+                        t1,
+                        normalized_cost: None,
+                    };
+                }
                 let normalized_cost = sequence_from_t1(dist, cost, t1, &self.config)
                     .ok()
                     .map(|seq| {
@@ -241,7 +268,9 @@ impl BruteForce {
                     t1,
                     normalized_cost,
                 }
-            })
+            });
+        cancel.check()?;
+        Ok(points)
     }
 
     /// Runs the full search and returns the best candidate found.
@@ -250,9 +279,20 @@ impl BruteForce {
         dist: &dyn ContinuousDistribution,
         cost: &CostModel,
     ) -> Result<BruteForceResult> {
+        self.best_cancellable(dist, cost, &CancelToken::none())
+    }
+
+    /// [`best`](Self::best) with cooperative cancellation (see
+    /// [`sweep_cancellable`](Self::sweep_cancellable)).
+    pub fn best_cancellable(
+        &self,
+        dist: &dyn ContinuousDistribution,
+        cost: &CostModel,
+        cancel: &CancelToken,
+    ) -> Result<BruteForceResult> {
         let _wall = rsj_obs::ScopedTimer::global("rsj_core_brute_force_wall_seconds");
         let _span = rsj_obs::span!("brute_force.best");
-        let sweep = self.sweep(dist, cost);
+        let sweep = self.sweep_cancellable(dist, cost, cancel)?;
         let valid_candidates = sweep.iter().filter(|p| p.normalized_cost.is_some()).count();
         if rsj_obs::metrics_enabled() {
             let reg = rsj_obs::global_registry();
@@ -319,6 +359,15 @@ impl Strategy for BruteForce {
         cost: &CostModel,
     ) -> Result<ReservationSequence> {
         Ok(self.best(dist, cost)?.sequence)
+    }
+
+    fn sequence_cancellable(
+        &self,
+        dist: &dyn ContinuousDistribution,
+        cost: &CostModel,
+        cancel: &CancelToken,
+    ) -> Result<ReservationSequence> {
+        Ok(self.best_cancellable(dist, cost, cancel)?.sequence)
     }
 }
 

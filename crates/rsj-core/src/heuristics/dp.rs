@@ -14,6 +14,7 @@
 //! at two prefix-sum arrays.
 
 use super::{Strategy, TailPolicy};
+use crate::cancel::CancelToken;
 use crate::cost::CostModel;
 use crate::error::{CoreError, Result};
 use crate::sequence::ReservationSequence;
@@ -26,6 +27,9 @@ use rsj_par::Parallelism;
 /// the worker pool. Below this the spawn overhead dwarfs the arithmetic;
 /// the paper's `n = 1000` grids always stay serial.
 const DP_PAR_MIN_SPAN: usize = 4096;
+
+/// States of the backward pass between cancellation polls.
+const DP_CANCEL_STRIDE: usize = 64;
 
 /// Optimal solution of STOCHASTIC for a discrete distribution.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +61,18 @@ pub fn optimal_discrete_par(
     cost: &CostModel,
     par: &Parallelism,
 ) -> Result<DpSolution> {
+    optimal_discrete_cancellable(dist, cost, par, &CancelToken::none())
+}
+
+/// [`optimal_discrete_par`] with cooperative cancellation, polled every
+/// `DP_CANCEL_STRIDE` states of the backward pass. An uncancelled run
+/// is bit-for-bit identical to the uncancellable entry points.
+pub fn optimal_discrete_cancellable(
+    dist: &DiscreteDistribution,
+    cost: &CostModel,
+    par: &Parallelism,
+    cancel: &CancelToken,
+) -> Result<DpSolution> {
     let _wall = rsj_obs::ScopedTimer::global("rsj_core_dp_wall_seconds");
     let _span = rsj_obs::span!("dp.optimal_discrete");
     let v = dist.values();
@@ -77,6 +93,12 @@ pub fn optimal_discrete_par(
     let mut w = vec![0.0; n + 1];
     let mut choice = vec![0usize; n];
     for i in (0..n).rev() {
+        // Each state costs O(n - i); polling by stride keeps the check
+        // off the inner arithmetic while bounding reaction latency to a
+        // few thousand transitions.
+        if (n - i).is_multiple_of(DP_CANCEL_STRIDE) {
+            cancel.check()?;
+        }
         let span = n - i;
         let cand_at = |j: usize| {
             (cost.alpha * v[j] + cost.gamma) * s[i]
@@ -252,10 +274,21 @@ impl Strategy for DiscretizedDp {
         dist: &dyn ContinuousDistribution,
         cost: &CostModel,
     ) -> Result<ReservationSequence> {
+        self.sequence_cancellable(dist, cost, &CancelToken::none())
+    }
+
+    fn sequence_cancellable(
+        &self,
+        dist: &dyn ContinuousDistribution,
+        cost: &CostModel,
+        cancel: &CancelToken,
+    ) -> Result<ReservationSequence> {
+        cancel.check()?;
         // Cached discretization + evaluation table: repeated solves over
         // the same (dist, scheme, n, ε) skip every quantile/cdf call.
         let eval = discretize_eval(dist, self.scheme, self.n, self.epsilon)?;
-        let solution = optimal_discrete(&eval.discrete, cost)?;
+        let solution =
+            optimal_discrete_cancellable(&eval.discrete, cost, &Parallelism::current(), cancel)?;
         let mut times = solution.values;
         let bounded = dist.support().is_bounded();
         if bounded {
@@ -271,6 +304,8 @@ impl Strategy for DiscretizedDp {
         let mut table_entry = (t == eval.table.points()[last])
             .then(|| (eval.table.survival()[last], eval.table.cond_mean()[last]));
         while times.len() < self.policy.max_len {
+            // Off-grid steps cost a quadrature each; stay responsive here.
+            cancel.check()?;
             let (survival, cached_cm) = match table_entry.take() {
                 Some((survival, cm)) => (survival, Some(cm)),
                 None => (dist.survival(t), None),

@@ -17,11 +17,13 @@ mod spec;
 
 pub use brute_force::{BruteForce, EvalMethod, SweepPoint};
 pub use dp::{
-    discrete_sequence_cost, optimal_discrete, optimal_discrete_par, DiscretizedDp, DpSolution,
+    discrete_sequence_cost, optimal_discrete, optimal_discrete_cancellable, optimal_discrete_par,
+    DiscretizedDp, DpSolution,
 };
 pub use simple::{MeanByMean, MeanDoubling, MeanStdev, MedianByMedian};
 pub use spec::{SolverSpec, DEFAULT_EPSILON, DEFAULT_GRID, DEFAULT_SAMPLES};
 
+use crate::cancel::CancelToken;
 use crate::cost::CostModel;
 use crate::error::Result;
 use crate::sequence::ReservationSequence;
@@ -39,6 +41,22 @@ pub trait Strategy: Send + Sync {
         dist: &dyn ContinuousDistribution,
         cost: &CostModel,
     ) -> Result<ReservationSequence>;
+
+    /// [`sequence`](Self::sequence) with cooperative cancellation: returns
+    /// [`CoreError::Cancelled`](crate::CoreError::Cancelled) once `cancel`
+    /// fires. The default checks once up front and then runs to
+    /// completion — right for the O(1)-ish §4.3 rules; the expensive
+    /// solvers ([`BruteForce`], [`DiscretizedDp`]) override it to poll at
+    /// loop granularity so a deadline can interrupt a solve mid-flight.
+    fn sequence_cancellable(
+        &self,
+        dist: &dyn ContinuousDistribution,
+        cost: &CostModel,
+        cancel: &CancelToken,
+    ) -> Result<ReservationSequence> {
+        cancel.check()?;
+        self.sequence(dist, cost)
+    }
 }
 
 /// Parameters shared by the sequence generators of the simple heuristics:

@@ -42,6 +42,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod bounds;
+pub mod cancel;
 pub mod cost;
 pub mod error;
 pub mod eval;
@@ -54,6 +55,7 @@ pub mod robustness;
 pub mod sequence;
 
 pub use bounds::{upper_bound_expected_cost, upper_bound_t1};
+pub use cancel::CancelToken;
 pub use cost::{AffineConvexCost, ConvexCost, CostModel, QuadraticCost};
 pub use error::{CoreError, Result};
 pub use eval::{
@@ -74,6 +76,7 @@ pub use sequence::ReservationSequence;
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::bounds::{upper_bound_expected_cost, upper_bound_t1};
+    pub use crate::cancel::CancelToken;
     pub use crate::cost::{ConvexCost, CostModel, QuadraticCost};
     pub use crate::eval::{
         expected_cost_analytic, expected_cost_monte_carlo, normalized_cost_analytic,

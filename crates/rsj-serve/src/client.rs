@@ -1,10 +1,16 @@
 //! A blocking line-protocol client for the planning server.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{encode, Request, Response};
+
+/// Longest response line the client will buffer before giving up with
+/// [`ClientError::ResponseTooLarge`] — the client-side mirror of the
+/// server's `max_line_bytes` bounded read. Plans embed their sequences,
+/// so this is far roomier than the request cap.
+pub const DEFAULT_MAX_RESPONSE_BYTES: usize = 64 << 20;
 
 /// What can go wrong on the client side of a call.
 #[derive(Debug)]
@@ -15,6 +21,22 @@ pub enum ClientError {
     Protocol(String),
     /// The server closed the connection without replying.
     ConnectionClosed,
+    /// The server closed the connection mid-response: bytes arrived but
+    /// the line never terminated. Distinct from [`ConnectionClosed`]
+    /// because a torn response proves the request *was* dispatched.
+    ///
+    /// [`ConnectionClosed`]: ClientError::ConnectionClosed
+    UnexpectedEof {
+        /// How many bytes of the torn response had arrived.
+        received: usize,
+    },
+    /// The response line exceeded the client's size cap.
+    ResponseTooLarge {
+        /// The cap that was exceeded.
+        limit: usize,
+    },
+    /// The circuit breaker is open; the request was not sent.
+    CircuitOpen,
 }
 
 impl std::fmt::Display for ClientError {
@@ -23,6 +45,14 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::ConnectionClosed => f.write_str("server closed the connection"),
+            ClientError::UnexpectedEof { received } => write!(
+                f,
+                "server closed the connection mid-response ({received} bytes received)"
+            ),
+            ClientError::ResponseTooLarge { limit } => {
+                write!(f, "response line exceeds {limit} bytes")
+            }
+            ClientError::CircuitOpen => f.write_str("circuit breaker open; request not sent"),
         }
     }
 }
@@ -47,14 +77,22 @@ impl From<std::io::Error> for ClientError {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    max_response_bytes: usize,
 }
 
 impl Client {
     /// Connects to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let writer = TcpStream::connect(addr)?;
+        // Requests are single small lines; Nagle would stall each one
+        // behind the server's delayed ACK.
+        let _ = writer.set_nodelay(true);
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Self { reader, writer })
+        Ok(Self {
+            reader,
+            writer,
+            max_response_bytes: DEFAULT_MAX_RESPONSE_BYTES,
+        })
     }
 
     /// Bounds how long [`call`](Self::call) waits for a reply.
@@ -62,20 +100,55 @@ impl Client {
         self.writer.set_read_timeout(timeout)
     }
 
+    /// Caps the accepted response line (default
+    /// [`DEFAULT_MAX_RESPONSE_BYTES`]).
+    pub fn set_max_response_bytes(&mut self, limit: usize) {
+        self.max_response_bytes = limit.max(1);
+    }
+
     /// Sends one request and reads its response.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let line = encode(request).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let mut line = encode(request).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        line.push('\n');
         self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
         self.writer.flush()?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(ClientError::ConnectionClosed);
-        }
+        let reply = self.read_response_line()?;
         serde_json::from_str(reply.trim()).map_err(|e| {
             ClientError::Protocol(format!("unparsable response: {e} (line: {reply:?})"))
         })
+    }
+
+    /// Reads one `\n`-terminated response line, bounded at
+    /// `max_response_bytes`, distinguishing a clean pre-reply close from
+    /// a torn mid-response one.
+    fn read_response_line(&mut self) -> Result<String, ClientError> {
+        let mut reply = String::new();
+        loop {
+            // One byte of headroom past the cap makes an overlong line
+            // detectable without unbounded buffering — the same idiom as
+            // the server's bounded request read.
+            let room = (self.max_response_bytes + 1).saturating_sub(reply.len());
+            let n = Read::by_ref(&mut self.reader)
+                .take(room as u64)
+                .read_line(&mut reply)?;
+            if reply.len() > self.max_response_bytes {
+                return Err(ClientError::ResponseTooLarge {
+                    limit: self.max_response_bytes,
+                });
+            }
+            if n == 0 {
+                return if reply.is_empty() {
+                    Err(ClientError::ConnectionClosed)
+                } else {
+                    Err(ClientError::UnexpectedEof {
+                        received: reply.len(),
+                    })
+                };
+            }
+            if reply.ends_with('\n') {
+                return Ok(reply);
+            }
+        }
     }
 
     /// Liveness probe; `Ok(())` when the server answered `pong`.

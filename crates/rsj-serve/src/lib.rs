@@ -14,13 +14,24 @@
 //!   sequence digest included — so served plans diff bit-for-bit against
 //!   offline artifacts.
 //! * **Server** ([`server`]) — a fixed accept loop feeding a bounded
-//!   worker pool, a sharded exact-LRU plan cache ([`cache`]) keyed on the
-//!   planner's faithful cache key, per-connection request limits and read
-//!   timeouts, graceful shutdown that drains in-flight requests, and full
-//!   `rsj-obs` instrumentation (request/error/cache counters, a latency
-//!   histogram, Prometheus exposition via the `metrics` op).
+//!   worker pool through an admission-controlled queue ([`admission`]:
+//!   watermark-hysteresis load shedding with typed `overloaded`
+//!   fast-rejects), per-request deadlines enforced at dequeue and
+//!   propagated into the solvers as cooperative cancellation,
+//!   single-flight coalescing of identical concurrent solves
+//!   ([`singleflight`]), a sharded exact-LRU plan cache ([`cache`]) keyed
+//!   on the planner's faithful cache key, per-connection request limits
+//!   and read timeouts, panic-tolerant workers, graceful idempotent
+//!   shutdown that drains in-flight requests, and full `rsj-obs`
+//!   instrumentation (request/error/shed/coalesce counters, latency and
+//!   queue-wait histograms, Prometheus exposition via the `metrics` op).
 //! * **Client** ([`client`]) — a small blocking client used by
-//!   `rsj request` and the integration tests.
+//!   `rsj request` and the integration tests, with typed errors for torn
+//!   and oversized responses; [`retry`] wraps it into a
+//!   [`ResilientClient`] with seeded-jitter backoff, retry budgets and a
+//!   circuit breaker.
+//! * **Chaos** ([`chaos`]) — a seed-reproducible fault-injection policy
+//!   and TCP proxy for hardening tests and the `serve_load` bench.
 //!
 //! ```no_run
 //! use rsj_serve::{Client, Request, Server, ServerConfig};
@@ -38,15 +49,23 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod protocol;
+pub mod retry;
 pub mod server;
+pub mod singleflight;
 
+pub use admission::{AdmissionConfig, AdmissionQueue};
 pub use cache::PlanCache;
+pub use chaos::{ChaosPolicy, ChaosProxy, ProxyHandle};
 pub use client::{Client, ClientError};
 pub use protocol::{
     classify, decode_request, encode, ErrorKind, Provenance, Request, Response, Timings,
     PROTOCOL_VERSION,
 };
+pub use retry::{BreakerConfig, BreakerState, CircuitBreaker, ResilientClient, RetryPolicy};
 pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use singleflight::{Flighted, SingleFlight};

@@ -55,6 +55,14 @@ pub enum Request {
         /// Also replay the plan against a seeded batch of sampled jobs.
         #[serde(default, skip_serializing_if = "Option::is_none")]
         simulate: Option<SimulateOptions>,
+        /// Per-request deadline in milliseconds, measured from the moment
+        /// the server takes the request off the wire (for a freshly
+        /// accepted connection, from accept — queue wait counts). Expired
+        /// requests are shed with [`ErrorKind::DeadlineExceeded`] without
+        /// invoking the solver; a deadline that fires mid-solve cancels
+        /// the solver cooperatively.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        deadline_ms: Option<u64>,
     },
     /// Fetch the server's metrics in Prometheus text exposition format.
     Metrics {
@@ -87,6 +95,7 @@ impl Request {
             solver: default_solver(),
             seed: None,
             simulate: None,
+            deadline_ms: None,
         }
     }
 
@@ -99,7 +108,17 @@ impl Request {
             solver,
             seed: None,
             simulate: None,
+            deadline_ms: None,
         }
+    }
+
+    /// Sets the per-request deadline on a plan request; a no-op for the
+    /// other ops (they answer immediately).
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        if let Request::Plan { deadline_ms, .. } = &mut self {
+            *deadline_ms = Some(ms);
+        }
+        self
     }
 
     /// A metrics request.
@@ -149,6 +168,10 @@ pub struct Provenance {
     /// `true` when the plan was served from the LRU cache without invoking
     /// the solver.
     pub cached: bool,
+    /// `true` when this response coalesced onto another request's
+    /// in-flight solve (single-flight) instead of running its own.
+    #[serde(default)]
+    pub coalesced: bool,
 }
 
 /// Wall-clock breakdown of one plan request, in seconds.
@@ -184,6 +207,13 @@ pub enum ErrorKind {
     TooManyRequests,
     /// The request line exceeded the server's size limit.
     RequestTooLarge,
+    /// The server shed the request under load (admission queue above its
+    /// high watermark). Retryable after backoff: nothing about the
+    /// request itself is wrong.
+    Overloaded,
+    /// The request's `deadline_ms` expired — in the queue, or mid-solve
+    /// (the solver was cancelled cooperatively).
+    DeadlineExceeded,
     /// Anything else (worker pool failures, internal bugs).
     Internal,
 }
@@ -200,9 +230,21 @@ impl std::fmt::Display for ErrorKind {
             ErrorKind::SimulationFailed => "simulation_failed",
             ErrorKind::TooManyRequests => "too_many_requests",
             ErrorKind::RequestTooLarge => "request_too_large",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::Internal => "internal",
         };
         f.write_str(s)
+    }
+}
+
+impl ErrorKind {
+    /// Whether retrying the identical request later can succeed. Only
+    /// transient server-side conditions qualify; malformed or invalid
+    /// requests will fail the same way every time, and an expired
+    /// deadline stays expired.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ErrorKind::Overloaded | ErrorKind::Internal)
     }
 }
 
@@ -210,6 +252,9 @@ impl std::fmt::Display for ErrorKind {
 pub fn classify(err: &RsjError) -> ErrorKind {
     match err {
         RsjError::Dist(_) => ErrorKind::InvalidDistribution,
+        // The only cancellation source in the server is the per-request
+        // deadline token, so a cancelled solve is a deadline miss.
+        RsjError::Core(rsj_core::CoreError::Cancelled) => ErrorKind::DeadlineExceeded,
         RsjError::Core(rsj_core::CoreError::UnknownName { .. }) => ErrorKind::InvalidSolver,
         RsjError::Core(rsj_core::CoreError::InvalidHeuristicParameter { .. }) => {
             ErrorKind::InvalidSolver
@@ -321,6 +366,39 @@ mod tests {
             decode_request(r#"{"op":"plan","distribution":{"family":"exponential","lambda":1.0}}"#)
                 .unwrap();
         assert_eq!(req, Request::plan(DistSpec::Exponential { lambda: 1.0 }));
+    }
+
+    #[test]
+    fn deadline_round_trips_and_defaults_off() {
+        let req =
+            decode_request(r#"{"op":"plan","distribution":{"family":"exponential","lambda":1.0}}"#)
+                .unwrap();
+        assert!(matches!(
+            req,
+            Request::Plan {
+                deadline_ms: None,
+                ..
+            }
+        ));
+        let req = Request::plan(DistSpec::Exponential { lambda: 1.0 }).with_deadline_ms(250);
+        let line = encode(&req).unwrap();
+        assert!(line.contains(r#""deadline_ms":250"#), "{line}");
+        assert_eq!(decode_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn retryability_is_limited_to_transient_kinds() {
+        assert!(ErrorKind::Overloaded.is_retryable());
+        assert!(ErrorKind::Internal.is_retryable());
+        for kind in [
+            ErrorKind::MalformedRequest,
+            ErrorKind::InvalidDistribution,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::TooManyRequests,
+            ErrorKind::RequestTooLarge,
+        ] {
+            assert!(!kind.is_retryable(), "{kind}");
+        }
     }
 
     #[test]

@@ -1,39 +1,52 @@
 //! The planning server: a fixed accept loop feeding a bounded pool of
-//! connection-handler threads.
+//! connection-handler threads through an admission-controlled queue.
 //!
 //! Life of a request:
 //!
-//! 1. the accept loop (non-blocking, polling the shutdown flag) hands the
-//!    connection to a worker over an `mpsc` channel;
-//! 2. the worker reads one line, decodes it ([`crate::decode_request`])
-//!    and dispatches: `ping`/`metrics` answer immediately, `plan` goes
-//!    through the LRU cache or the [`Planner`] facade, `shutdown` raises
-//!    the flag;
-//! 3. once the flag is up the accept loop stops accepting, the channel is
-//!    closed, and workers drain: every connection already accepted gets
+//! 1. the accept loop (non-blocking, polling the shutdown flag) offers
+//!    the connection to the [`AdmissionQueue`]; above the high watermark
+//!    the connection is *shed* on the spot with a typed
+//!    [`ErrorKind::Overloaded`] line instead of joining an unbounded
+//!    backlog;
+//! 2. a worker dequeues the connection, reads one line, decodes it
+//!    ([`crate::decode_request`]) and dispatches: `ping`/`metrics` answer
+//!    immediately, `plan` goes through the LRU cache, the single-flight
+//!    group, or the [`Planner`] facade, `shutdown` raises the flag. A
+//!    request carrying `deadline_ms` is shed at dequeue if already
+//!    expired, and its solve is cancelled cooperatively (via
+//!    [`CancelToken`]) if the deadline fires mid-flight;
+//! 3. once the flag is up the accept loop stops accepting, the queue is
+//!    closed, and workers drain: every connection already admitted gets
 //!    an answer to the request it is processing before its worker exits.
+//!
+//! Workers are panic-tolerant: a panicking connection handler (a bug, or
+//! an injected [`ChaosPolicy`] fault) kills that connection only — the
+//! worker catches the unwind, counts it, and pulls the next connection.
 //!
 //! Determinism: solvers run on the caller thread via the facade, and every
 //! internally parallel stage goes through `rsj-par`, which is bit-identical
 //! at any thread count — so concurrent clients asking the same question
-//! get byte-identical plans whether computed, recomputed, or cached.
+//! get byte-identical plans whether computed, recomputed, cached, or
+//! coalesced onto another client's in-flight solve.
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use reservation_strategies::{Plan, Planner, SimulateOptions};
+use reservation_strategies::{CancelToken, Plan, Planner, SimulateOptions};
 use rsj_core::{CostModel, SolverSpec};
 use rsj_dist::DistSpec;
 
+use crate::admission::{AdmissionConfig, AdmissionQueue, Pop};
 use crate::cache::PlanCache;
+use crate::chaos::ChaosPolicy;
 use crate::protocol::{
     classify, decode_request, encode, ErrorKind, Provenance, Request, Response, Timings,
     PROTOCOL_VERSION,
 };
+use crate::singleflight::{Flighted, SingleFlight};
 
 /// Tunables for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -54,6 +67,10 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// Longest accepted request line, in bytes.
     pub max_line_bytes: usize,
+    /// Admission-queue sizing (capacity and shed watermarks).
+    pub admission: AdmissionConfig,
+    /// Fault-injection schedule; `None` in production.
+    pub chaos: Option<ChaosPolicy>,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +83,8 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             cache_shards: 8,
             max_line_bytes: 1 << 20,
+            admission: AdmissionConfig::default(),
+            chaos: None,
         }
     }
 }
@@ -75,7 +94,8 @@ impl Default for ServerConfig {
 pub struct ShutdownHandle(Arc<AtomicBool>);
 
 impl ShutdownHandle {
-    /// Raises the shutdown flag. Idempotent.
+    /// Raises the shutdown flag. Idempotent: signalling an already
+    /// draining (or even finished) server is a no-op, never an error.
     pub fn signal(&self) {
         self.0.store(true, Ordering::SeqCst);
     }
@@ -86,9 +106,23 @@ impl ShutdownHandle {
     }
 }
 
+/// A connection waiting in the admission queue.
+struct Pending {
+    stream: TcpStream,
+    accepted_at: Instant,
+    conn_id: u64,
+}
+
+/// What one plan solve produced, as shared through the single-flight
+/// group: the plan, or the typed error every coalesced caller should
+/// echo.
+type SolveOutcome = Result<Arc<Plan>, (ErrorKind, String)>;
+
 struct Shared {
     config: ServerConfig,
     cache: PlanCache,
+    flights: SingleFlight<SolveOutcome>,
+    admission: AdmissionQueue<Pending>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -112,9 +146,12 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let cache = PlanCache::new(config.cache_capacity, config.cache_shards);
+        let admission = AdmissionQueue::new(config.admission);
         let shared = Arc::new(Shared {
             config,
             cache,
+            flights: SingleFlight::new(),
+            admission,
             shutdown: Arc::new(AtomicBool::new(false)),
         });
         Ok(Self {
@@ -145,38 +182,34 @@ impl Server {
         listener.set_nonblocking(true)?;
         rsj_obs::info!("rsj-serve listening on {local_addr}");
 
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
         let workers: Vec<_> = (0..shared.config.workers.max(1))
             .map(|i| {
-                let rx = Arc::clone(&rx);
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("rsj-serve-worker-{i}"))
-                    .spawn(move || loop {
-                        // Hold the lock only while receiving so workers
-                        // pull connections one at a time.
-                        let stream = match rx.lock().expect("rx poisoned").recv() {
-                            Ok(stream) => stream,
-                            Err(_) => break, // channel closed: drain done
-                        };
-                        if let Err(e) = handle_connection(stream, &shared) {
-                            rsj_obs::debug!("connection ended with I/O error: {e}");
-                        }
-                    })
+                    .spawn(move || worker_loop(&shared))
                     .expect("spawn worker")
             })
             .collect();
 
+        let mut conn_id: u64 = 0;
         while !shared.shutting_down() {
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     counter("rsj_serve_connections_total").inc();
-                    // A receiver outlives us until drop(tx) below, so the
-                    // send only fails if every worker panicked.
-                    if tx.send(stream).is_err() {
-                        break;
+                    // Responses are single small lines; leaving Nagle on
+                    // costs a delayed-ACK round trip (~40ms) per request.
+                    let _ = stream.set_nodelay(true);
+                    let pending = Pending {
+                        stream,
+                        accepted_at: Instant::now(),
+                        conn_id,
+                    };
+                    conn_id += 1;
+                    if let Err(rejected) = shared.admission.try_admit(pending) {
+                        shed_connection(rejected.stream, &shared);
                     }
+                    queue_depth_gauge(&shared);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
@@ -188,8 +221,10 @@ impl Server {
 
         // Graceful drain: stop accepting, let every queued/in-flight
         // connection finish its current request, then join the pool.
+        // `close` is idempotent, so racing a second shutdown signal (or a
+        // concurrent `shutdown` request landing on a worker) is harmless.
         rsj_obs::info!("rsj-serve draining {} workers", workers.len());
-        drop(tx);
+        shared.admission.close();
         for w in workers {
             let _ = w.join();
         }
@@ -198,8 +233,63 @@ impl Server {
     }
 }
 
+/// One worker: dequeue → handle, absorbing handler panics so a poisoned
+/// connection (or an injected chaos panic) never shrinks the pool.
+fn worker_loop(shared: &Shared) {
+    loop {
+        match shared.admission.pop(READ_POLL) {
+            Pop::Item(pending) => {
+                queue_depth_gauge(shared);
+                rsj_obs::global_registry()
+                    .histogram("rsj_serve_queue_wait_seconds")
+                    .observe(pending.accepted_at.elapsed().as_secs_f64());
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(pending, shared)
+                }));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => rsj_obs::debug!("connection ended with I/O error: {e}"),
+                    Err(_) => {
+                        counter("rsj_serve_worker_panics_total").inc();
+                        rsj_obs::warn!("worker survived a connection-handler panic");
+                    }
+                }
+            }
+            Pop::TimedOut => {}
+            Pop::Closed => break,
+        }
+    }
+}
+
+/// Fast-rejects a connection the admission queue refused: one typed
+/// `overloaded` line, then close. The write gets a short timeout so a
+/// hostile peer cannot wedge the accept loop.
+fn shed_connection(stream: TcpStream, shared: &Shared) {
+    counter("rsj_serve_shed_total").inc();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let mut writer = BufWriter::new(stream);
+    let config = shared.admission.config();
+    let _ = write_response(
+        &mut writer,
+        &Response::error(
+            ErrorKind::Overloaded,
+            format!(
+                "admission queue above its high watermark ({} queued ≥ {}); retry with backoff",
+                shared.admission.depth(),
+                config.high_watermark
+            ),
+        ),
+    );
+}
+
 fn counter(name: &str) -> rsj_obs::Counter {
     rsj_obs::global_registry().counter(name)
+}
+
+fn queue_depth_gauge(shared: &Shared) {
+    rsj_obs::global_registry()
+        .gauge("rsj_serve_queue_depth")
+        .set(shared.admission.depth() as f64);
 }
 
 /// How often a blocked read wakes up to check the shutdown flag; bounds
@@ -223,6 +313,10 @@ fn read_line_bounded(
 ) -> std::io::Result<LineRead> {
     let deadline = Instant::now() + shared.config.read_timeout;
     let mut line = String::new();
+    // One extra poll before a drain close: a request may have landed in
+    // the socket buffer between the read timing out and the flag check,
+    // and a concurrent shutdown caller deserves its response if possible.
+    let mut drain_grace_used = false;
     loop {
         // `take` caps this call at one byte over the limit so an
         // overlong line is detectable without unbounded buffering.
@@ -245,8 +339,12 @@ fn read_line_bounded(
                 // Partial bytes (if any) stay in `line`; decide whether
                 // this connection should keep waiting.
                 if shared.shutting_down() {
-                    rsj_obs::debug!("dropping idle connection for drain");
-                    return Ok(LineRead::Closed);
+                    if drain_grace_used {
+                        rsj_obs::debug!("dropping idle connection for drain");
+                        return Ok(LineRead::Closed);
+                    }
+                    drain_grace_used = true;
+                    continue;
                 }
                 if Instant::now() >= deadline {
                     rsj_obs::debug!("closing idle connection");
@@ -260,11 +358,20 @@ fn read_line_bounded(
 }
 
 /// Serves one connection: a loop of read line → dispatch → write line.
-fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+fn handle_connection(pending: Pending, shared: &Shared) -> std::io::Result<()> {
+    let Pending {
+        stream,
+        accepted_at,
+        conn_id,
+    } = pending;
     stream.set_read_timeout(Some(READ_POLL))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut served: usize = 0;
+    // The first request's deadline base is accept time, so time spent in
+    // the admission queue counts against it; later requests are timed
+    // from when their line arrives.
+    let mut first_base = Some(accepted_at);
 
     loop {
         let line = match read_line_bounded(&mut reader, shared)? {
@@ -285,6 +392,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
         if line.trim().is_empty() {
             continue;
         }
+        let base = first_base.take().unwrap_or_else(Instant::now);
 
         served += 1;
         if served > shared.config.max_requests_per_conn {
@@ -302,11 +410,24 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
             return Ok(());
         }
 
+        if let Some(chaos) = &shared.config.chaos {
+            let req = served as u64 - 1;
+            if let Some(delay) = chaos.dispatch_delay(conn_id, req) {
+                std::thread::sleep(delay);
+            }
+            if chaos.worker_panics(conn_id, req) {
+                panic!("chaos: injected worker panic (conn {conn_id}, request {req})");
+            }
+        }
+
         let started = Instant::now();
         counter("rsj_serve_requests_total").inc();
-        let (response, is_shutdown) = dispatch(shared, &line);
-        if matches!(response, Response::Error { .. }) {
+        let (response, is_shutdown) = dispatch(shared, &line, base);
+        if let Response::Error { kind, .. } = &response {
             counter("rsj_serve_errors_total").inc();
+            if *kind == ErrorKind::DeadlineExceeded {
+                counter("rsj_serve_deadline_exceeded_total").inc();
+            }
         }
         rsj_obs::global_registry()
             .histogram("rsj_serve_request_seconds")
@@ -324,16 +445,19 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
 }
 
 fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
-    let body = encode(response).map_err(|e| {
+    let mut body = encode(response).map_err(|e| {
         std::io::Error::new(std::io::ErrorKind::InvalidData, format!("encode: {e}"))
     })?;
+    // One write per response: a separate `\n` write would hand Nagle a
+    // second tiny segment and stall behind the peer's delayed ACK.
+    body.push('\n');
     writer.write_all(body.as_bytes())?;
-    writer.write_all(b"\n")?;
     writer.flush()
 }
 
-/// Decodes and answers one request line. The bool is "shutdown requested".
-fn dispatch(shared: &Shared, line: &str) -> (Response, bool) {
+/// Decodes and answers one request line; `base` anchors the request's
+/// deadline. The bool is "shutdown requested".
+fn dispatch(shared: &Shared, line: &str, base: Instant) -> (Response, bool) {
     let request = match decode_request(line) {
         Ok(request) => request,
         Err((kind, message)) => return (Response::error(kind, message), false),
@@ -364,11 +488,15 @@ fn dispatch(shared: &Shared, line: &str) -> (Response, bool) {
             solver,
             seed,
             simulate,
+            deadline_ms,
             ..
-        } => (
-            handle_plan(shared, distribution, cost, solver, seed, simulate),
-            false,
-        ),
+        } => {
+            let deadline = deadline_ms.map(|ms| base + Duration::from_millis(ms));
+            (
+                handle_plan(shared, distribution, cost, solver, seed, simulate, deadline),
+                false,
+            )
+        }
     }
 }
 
@@ -383,6 +511,13 @@ fn full_cache_key(planner: &Planner, simulate: Option<SimulateOptions>) -> Optio
     Some(format!("{base}|sim={sim}"))
 }
 
+fn deadline_response(deadline: Instant) -> Response {
+    Response::error(
+        ErrorKind::DeadlineExceeded,
+        format!("deadline expired {} ms ago", deadline.elapsed().as_millis()),
+    )
+}
+
 fn handle_plan(
     shared: &Shared,
     distribution: DistSpec,
@@ -390,8 +525,16 @@ fn handle_plan(
     solver: SolverSpec,
     seed: Option<u64>,
     simulate: Option<SimulateOptions>,
+    deadline: Option<Instant>,
 ) -> Response {
     let started = Instant::now();
+    // Shed-at-dequeue: a request whose deadline lapsed while queued is
+    // dead on arrival; answering it would only waste a solver slot.
+    if let Some(d) = deadline {
+        if Instant::now() >= d {
+            return deadline_response(d);
+        }
+    }
     let solver = match seed {
         Some(seed) => solver.with_seed(seed),
         None => solver,
@@ -416,7 +559,7 @@ fn handle_plan(
             return plan_response(
                 &planner,
                 (*cached).clone(),
-                true,
+                Origin::Cached,
                 build_seconds,
                 0.0,
                 started,
@@ -426,22 +569,79 @@ fn handle_plan(
     counter("rsj_serve_cache_misses_total").inc();
 
     let solve_started = Instant::now();
-    counter("rsj_serve_solver_invocations_total").inc();
-    let plan = match planner.plan() {
-        Ok(plan) => plan,
-        Err(e) => return Response::error(classify(&e), e.to_string()),
+    let flighted = match key.as_deref() {
+        // Identical concurrent misses coalesce onto one solver run; the
+        // abandoned value is what followers see if the leader panics
+        // (e.g. an injected chaos fault) — typed, not a hang.
+        Some(key) => shared.flights.run(
+            key,
+            deadline,
+            Err((ErrorKind::Internal, "in-flight solve abandoned".to_string())),
+            || solve(shared, &planner, key, deadline),
+        ),
+        // Uncacheable requests have no stable identity to coalesce on.
+        None => Flighted::Led(solve_uncached(&planner, deadline)),
     };
     let solve_seconds = solve_started.elapsed().as_secs_f64();
-    if let Some(key) = key {
-        shared.cache.insert(key, Arc::new(plan.clone()));
+    let (outcome, origin) = match flighted {
+        Flighted::Led(outcome) => {
+            counter("rsj_serve_singleflight_leaders_total").inc();
+            (outcome, Origin::Computed)
+        }
+        Flighted::Joined(outcome) => {
+            counter("rsj_serve_singleflight_coalesced_total").inc();
+            (outcome, Origin::Coalesced)
+        }
+        Flighted::TimedOut => {
+            let d = deadline.expect("only a deadline can time a follower out");
+            return deadline_response(d);
+        }
+    };
+    match outcome {
+        Ok(plan) => plan_response(
+            &planner,
+            (*plan).clone(),
+            origin,
+            build_seconds,
+            solve_seconds,
+            started,
+        ),
+        Err((kind, message)) => Response::error(kind, message),
     }
-    plan_response(&planner, plan, false, build_seconds, solve_seconds, started)
+}
+
+/// Runs the solver as a single-flight leader: cancellable by `deadline`,
+/// publishing into the cache on success.
+fn solve(shared: &Shared, planner: &Planner, key: &str, deadline: Option<Instant>) -> SolveOutcome {
+    let plan = solve_uncached(planner, deadline)?;
+    shared.cache.insert(key.to_string(), Arc::clone(&plan));
+    Ok(plan)
+}
+
+fn solve_uncached(planner: &Planner, deadline: Option<Instant>) -> SolveOutcome {
+    counter("rsj_serve_solver_invocations_total").inc();
+    let cancel = match deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::none(),
+    };
+    match planner.plan_with_cancel(&cancel) {
+        Ok(plan) => Ok(Arc::new(plan)),
+        Err(e) => Err((classify(&e), e.to_string())),
+    }
+}
+
+/// How a plan reached this response, for [`Provenance`].
+#[derive(Clone, Copy)]
+enum Origin {
+    Cached,
+    Computed,
+    Coalesced,
 }
 
 fn plan_response(
     planner: &Planner,
     plan: Plan,
-    cached: bool,
+    origin: Origin,
     build_seconds: f64,
     solve_seconds: f64,
     started: Instant,
@@ -453,7 +653,8 @@ fn plan_response(
             protocol: PROTOCOL_VERSION,
             solver: planner.solver_spec().name().to_string(),
             threads: rsj_par::Parallelism::current().threads(),
-            cached,
+            cached: matches!(origin, Origin::Cached),
+            coalesced: matches!(origin, Origin::Coalesced),
         },
         timings: Timings {
             build_seconds,

@@ -59,6 +59,7 @@ fn every_request_shape_round_trips() {
             },
             seed: Some(17),
             simulate: Some(SimulateOptions { jobs: 32, seed: 4 }),
+            deadline_ms: Some(1500),
         },
     ];
     for request in requests {
@@ -93,6 +94,7 @@ fn every_response_shape_round_trips() {
                 solver: "dp_equal_probability".to_string(),
                 threads: 1,
                 cached: true,
+                coalesced: false,
             },
             timings: Timings {
                 build_seconds: 0.0001,

@@ -260,6 +260,7 @@ fn malformed_and_invalid_requests_get_typed_errors() {
             solver: SolverSpec::MeanByMean,
             seed: None,
             simulate: None,
+            deadline_ms: None,
         })
         .expect("call");
     assert!(
@@ -403,6 +404,7 @@ fn simulate_on_request_attaches_batch_stats() {
             solver: SolverSpec::MeanByMean,
             seed: None,
             simulate: Some(reservation_strategies::SimulateOptions { jobs: 64, seed: 9 }),
+            deadline_ms: None,
         })
         .expect("call");
     let (plan, _) = expect_plan(response);

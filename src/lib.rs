@@ -70,6 +70,7 @@ pub mod planner;
 
 pub use error::RsjError;
 pub use planner::{plan_digest, Plan, Planner, PlannerBuilder, SimulateOptions};
+pub use rsj_core::CancelToken;
 
 /// One-stop imports for applications.
 pub mod prelude {

@@ -22,7 +22,9 @@
 //! ```
 
 use crate::error::{Result, RsjError};
-use rsj_core::{coverage_gap, expected_cost_analytic, CostModel, SolverSpec, Strategy};
+use rsj_core::{
+    coverage_gap, expected_cost_analytic, CancelToken, CostModel, SolverSpec, Strategy,
+};
 use rsj_dist::{ContinuousDistribution, DistSpec};
 use rsj_sim::BatchStats;
 use serde::{Deserialize, Serialize};
@@ -237,9 +239,23 @@ impl Planner {
 
     /// Computes the reservation sequence and scores it.
     pub fn plan(&self) -> Result<Plan> {
-        let seq = self.solver.sequence(self.dist.as_ref(), &self.cost)?;
+        self.plan_with_cancel(&CancelToken::none())
+    }
+
+    /// [`plan`](Self::plan) with cooperative cancellation: the token is
+    /// threaded into the solver (polled per DP state / brute-force
+    /// candidate) and checked between the solve, the scoring pass and the
+    /// optional simulation replay. Once it fires the call returns
+    /// `RsjError::Core(CoreError::Cancelled)`; an uncancelled call is
+    /// bit-for-bit identical to [`plan`](Self::plan).
+    pub fn plan_with_cancel(&self, cancel: &CancelToken) -> Result<Plan> {
+        let seq = self
+            .solver
+            .sequence_cancellable(self.dist.as_ref(), &self.cost, cancel)?;
+        cancel.check()?;
         let expected_cost = expected_cost_analytic(&seq, self.dist.as_ref(), &self.cost);
         let omniscient_cost = self.cost.omniscient(self.dist.as_ref());
+        cancel.check()?;
         let simulation = match self.simulate {
             Some(opts) => Some(rsj_sim::run_batch_seeded(
                 &seq,
@@ -337,6 +353,51 @@ mod tests {
             .unwrap();
         let stats = plan.simulation.expect("simulation requested");
         assert!(stats.mean_cost.is_finite() && stats.mean_cost > 0.0);
+    }
+
+    #[test]
+    fn fired_cancel_token_aborts_plan_with_typed_error() {
+        use rsj_core::SolverSpec;
+        for solver in [
+            SolverSpec::BruteForce {
+                grid: 500,
+                samples: 200,
+                analytic: true,
+                seed: 1,
+            },
+            SolverSpec::Dp {
+                scheme: rsj_dist::DiscretizationScheme::EqualProbability,
+                n: 500,
+                epsilon: 1e-7,
+            },
+            SolverSpec::MeanByMean,
+        ] {
+            let planner = Planner::builder()
+                .distribution(DistSpec::LogNormal {
+                    mu: 3.0,
+                    sigma: 0.5,
+                })
+                .solver(solver)
+                .build()
+                .unwrap();
+            let token = CancelToken::new();
+            token.cancel();
+            assert_eq!(
+                planner.plan_with_cancel(&token).unwrap_err(),
+                RsjError::Core(rsj_core::CoreError::Cancelled),
+            );
+            // An expired deadline behaves the same without an explicit cancel.
+            let expired = CancelToken::with_deadline(
+                std::time::Instant::now() - std::time::Duration::from_millis(1),
+            );
+            assert!(planner.plan_with_cancel(&expired).is_err());
+            // A live token changes nothing: bit-identical to plan().
+            let live = CancelToken::with_timeout(std::time::Duration::from_secs(3600));
+            let a = planner.plan_with_cancel(&live).unwrap();
+            let b = planner.plan().unwrap();
+            assert_eq!(a.digest, b.digest);
+            assert_eq!(a.sequence, b.sequence);
+        }
     }
 
     #[test]
