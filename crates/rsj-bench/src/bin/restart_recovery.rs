@@ -1,0 +1,274 @@
+//! Seeds `results/BENCH_recovery.json`: restart-recovery numbers for the
+//! durable `rsj-serve` journal (cold start vs warm restart on the same
+//! `--journal-dir`).
+//!
+//! Two phases over one journal directory:
+//!
+//! 1. **Cold** — a fresh directory: time-to-ready (nothing to recover),
+//!    then solve a batch of distinct DP plans (all cache misses), each
+//!    append-journaled before the response.
+//! 2. **Warm** — restart a server on the same directory: time-to-ready now
+//!    includes replaying the journal into the cache, then re-request the
+//!    identical batch and measure the post-restart hit rate and latency.
+//!
+//! Every served digest — cold and warm — is checked bit-for-bit against
+//! the offline [`Planner`] facade; a mismatch is a hard failure, not a
+//! statistic. Timings move with the host; the digest/hit invariants are
+//! also enforced by the `rsj-serve` recovery test suite.
+//!
+//! Honours `RSJ_FIDELITY` (`quick` shrinks the batch), `RSJ_LOG` and
+//! `RSJ_RESULTS_DIR`.
+
+use reservation_strategies::Planner;
+use rsj_bench::perf::HostInfo;
+use rsj_bench::scenarios::Fidelity;
+use rsj_bench::{report, DEFAULT_SEED};
+use rsj_core::SolverSpec;
+use rsj_dist::{DiscretizationScheme, DistSpec};
+use rsj_serve::{Client, DurabilityConfig, Request, Response, Server, ServerConfig};
+use serde::{Deserialize, Serialize};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+const SCHEMA_VERSION: u32 = 1;
+
+/// One phase's numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PhaseResult {
+    name: String,
+    /// Seconds from bind to the `ready` op answering ready.
+    ready_seconds: f64,
+    /// Plans requested in the phase.
+    requests: usize,
+    /// Responses served from the cache (warm phase: recovered entries).
+    cache_hits: usize,
+    hit_rate: f64,
+    /// Wall-clock for the request batch.
+    batch_seconds: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    /// Records the recovery pass reported (0 for the cold phase).
+    recovered_records: u64,
+    corrupt_records: u64,
+}
+
+/// The `results/BENCH_recovery.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RecoveryBaseline {
+    schema_version: u32,
+    fidelity: String,
+    seed: u64,
+    host: HostInfo,
+    plans: usize,
+    /// All served digests matched the offline facade, both phases.
+    digests_match_offline: bool,
+    phases: Vec<PhaseResult>,
+}
+
+fn dist_for(i: usize) -> DistSpec {
+    DistSpec::LogNormal {
+        mu: 1.5 + 0.01 * i as f64,
+        sigma: 0.6,
+    }
+}
+
+fn dp_solver() -> SolverSpec {
+    SolverSpec::Dp {
+        scheme: DiscretizationScheme::EqualProbability,
+        n: 600,
+        epsilon: 1e-6,
+    }
+}
+
+fn request_for(i: usize) -> Request {
+    Request::plan_with(dist_for(i), dp_solver())
+}
+
+fn offline_digest(i: usize) -> String {
+    Planner::builder()
+        .distribution(dist_for(i))
+        .solver(dp_solver())
+        .build()
+        .expect("planner")
+        .plan()
+        .expect("offline plan")
+        .digest
+}
+
+fn percentile_ms(latencies: &mut [Duration], q: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_unstable();
+    let rank = ((latencies.len() as f64 * q).ceil() as usize).clamp(1, latencies.len());
+    latencies[rank - 1].as_secs_f64() * 1e3
+}
+
+fn spawn_durable(dir: &Path) -> (SocketAddr, impl FnOnce()) {
+    let server = Server::bind(ServerConfig {
+        workers: 2,
+        durability: Some(DurabilityConfig::new(dir)),
+        ..ServerConfig::default()
+    })
+    .expect("bind server");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, move || {
+        shutdown.signal();
+        let _ = std::net::TcpStream::connect(addr);
+        join.join()
+            .expect("server thread")
+            .expect("clean server exit");
+    })
+}
+
+fn wait_ready(addr: SocketAddr) -> Duration {
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(120);
+    loop {
+        if let Ok(mut client) = Client::connect(addr) {
+            if client.ready().unwrap_or(false) {
+                return started.elapsed();
+            }
+        }
+        assert!(Instant::now() < deadline, "server never became ready");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Drive the full batch through one server; returns the phase numbers and
+/// whether every digest matched the offline expectation.
+fn run_phase(
+    name: &str,
+    addr: SocketAddr,
+    ready: Duration,
+    plans: usize,
+    expected: &[String],
+) -> (PhaseResult, bool) {
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    let mut latencies = Vec::with_capacity(plans);
+    let mut hits = 0usize;
+    let mut digests_ok = true;
+    let started = Instant::now();
+    for (i, expected_digest) in expected.iter().enumerate() {
+        let t = Instant::now();
+        match client.call(&request_for(i)).expect("plan response") {
+            Response::Plan {
+                plan, provenance, ..
+            } => {
+                if provenance.cached {
+                    hits += 1;
+                }
+                if &plan.digest != expected_digest {
+                    rsj_obs::warn!("digest mismatch on plan {i}: {}", plan.digest);
+                    digests_ok = false;
+                }
+            }
+            other => panic!("expected a plan, got {other:?}"),
+        }
+        latencies.push(t.elapsed());
+    }
+    let batch = started.elapsed();
+    let health = client.health().expect("health");
+    let (recovered, corrupt) = health
+        .recovery
+        .map(|r| (r.recovered_records, r.corrupt_records))
+        .unwrap_or((0, 0));
+    (
+        PhaseResult {
+            name: name.to_string(),
+            ready_seconds: ready.as_secs_f64(),
+            requests: plans,
+            cache_hits: hits,
+            hit_rate: hits as f64 / (plans as f64).max(1.0),
+            batch_seconds: batch.as_secs_f64(),
+            p50_ms: percentile_ms(&mut latencies, 0.50),
+            p99_ms: percentile_ms(&mut latencies, 0.99),
+            recovered_records: recovered,
+            corrupt_records: corrupt,
+        },
+        digests_ok,
+    )
+}
+
+fn main() -> std::io::Result<()> {
+    rsj_obs::init_from_env();
+    rsj_obs::set_metrics_enabled(true);
+    let host = HostInfo::capture();
+    let fidelity = Fidelity::from_env();
+    let plans = match fidelity {
+        Fidelity::Paper => 48,
+        Fidelity::Quick => 12,
+    };
+    let dir = std::env::temp_dir().join(format!("rsj_bench_recovery_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+
+    rsj_obs::info!("restart_recovery at {fidelity:?} fidelity, {plans} plans");
+    let expected: Vec<String> = (0..plans).map(offline_digest).collect();
+
+    // Cold phase: empty journal dir, every solve a miss.
+    let (addr, stop) = spawn_durable(&dir);
+    let ready = wait_ready(addr);
+    let (cold, cold_ok) = run_phase("cold", addr, ready, plans, &expected);
+    stop();
+
+    // Warm phase: same dir; readiness now includes journal replay, and
+    // the whole batch should come back from the recovered cache.
+    let (addr, stop) = spawn_durable(&dir);
+    let ready = wait_ready(addr);
+    let (warm, warm_ok) = run_phase("warm", addr, ready, plans, &expected);
+    stop();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for p in [&cold, &warm] {
+        rsj_obs::info!(
+            "{}: ready in {:.3}s, {} plans in {:.2}s, hit rate {:.2}, \
+             p50 {:.2}ms p99 {:.2}ms, recovered={} corrupt={}",
+            p.name,
+            p.ready_seconds,
+            p.requests,
+            p.batch_seconds,
+            p.hit_rate,
+            p.p50_ms,
+            p.p99_ms,
+            p.recovered_records,
+            p.corrupt_records
+        );
+    }
+    assert!(
+        warm.recovered_records >= plans as u64,
+        "warm restart recovered {} of {plans} journaled plans",
+        warm.recovered_records
+    );
+    assert!(
+        warm.cache_hits == plans,
+        "warm restart served {}/{plans} from the recovered cache",
+        warm.cache_hits
+    );
+    assert!(cold_ok && warm_ok, "served digests diverged from offline");
+
+    let doc = RecoveryBaseline {
+        schema_version: SCHEMA_VERSION,
+        fidelity: format!("{fidelity:?}"),
+        seed: DEFAULT_SEED,
+        host,
+        plans,
+        digests_match_offline: cold_ok && warm_ok,
+        phases: vec![cold, warm],
+    };
+    let path = report::write_result_file(
+        "BENCH_recovery.json",
+        &format!(
+            "{}\n",
+            serde_json::to_string_pretty(&doc).expect("serializable")
+        ),
+    )?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

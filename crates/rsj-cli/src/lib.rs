@@ -42,9 +42,15 @@ USAGE:
                                           LRU plan cache of [--cache <n>] entries
                                           and an admission queue of [--queue <n>]
                                           connections (shedding between
-                                          [--queue-high <n>] and [--queue-low <n>])
+                                          [--queue-high <n>] and [--queue-low <n>]).
+                                          [--journal-dir <dir>] makes solved plans
+                                          durable (journal + snapshots; a restart
+                                          on the same dir warm-fills the cache),
+                                          compacting every [--snapshot-every <n>]
+                                          appends (default 64)
     rsj request  --addr host:port         one-shot client for a running server:
-                 (--config <plan.json> | --ping | --metrics | --shutdown)
+                 (--config <plan.json> | --ping | --metrics | --health |
+                  --ready | --shutdown)
                  [--deadline-ms <n>]      shed server-side once the deadline lapses
                  [--retries <n>]          retry transient failures with backoff
 

@@ -127,6 +127,12 @@ fn main() -> ExitCode {
                     None => {}
                 }
             }
+            opts.journal_dir = flag_value(&args, "--journal-dir");
+            match flag_value(&args, "--snapshot-every").map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => opts.snapshot_every = Some(n),
+                Some(Err(_)) => return fail("invalid --snapshot-every: expected a number"),
+                None => {}
+            }
             return match rsj_cli::run_serve(&opts) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(msg) => fail_runtime(&msg),
@@ -140,6 +146,10 @@ fn main() -> ExitCode {
                 rsj_cli::RequestAction::Ping
             } else if args.iter().any(|a| a == "--metrics") {
                 rsj_cli::RequestAction::Metrics
+            } else if args.iter().any(|a| a == "--health") {
+                rsj_cli::RequestAction::Health
+            } else if args.iter().any(|a| a == "--ready") {
+                rsj_cli::RequestAction::Ready
             } else if args.iter().any(|a| a == "--shutdown") {
                 rsj_cli::RequestAction::Shutdown
             } else if let Some(path) = flag_value(&args, "--config") {
@@ -152,7 +162,9 @@ fn main() -> ExitCode {
                     Err(e) => return fail(&format!("invalid plan config: {e}")),
                 }
             } else {
-                return fail("request needs one of --config/--ping/--metrics/--shutdown");
+                return fail(
+                    "request needs one of --config/--ping/--metrics/--health/--ready/--shutdown",
+                );
             };
             let mut opts = rsj_cli::RequestOptions::default();
             match flag_value(&args, "--deadline-ms").map(|v| v.parse::<u64>()) {

@@ -9,8 +9,8 @@
 use crate::config::PlanConfig;
 use rsj_core::CostModel;
 use rsj_serve::{
-    BreakerConfig, Client, Request, ResilientClient, Response, RetryPolicy, Server, ServerConfig,
-    PROTOCOL_VERSION,
+    BreakerConfig, Client, DurabilityConfig, Request, ResilientClient, Response, RetryPolicy,
+    Server, ServerConfig, PROTOCOL_VERSION,
 };
 
 /// Options for `rsj serve`, all flag-settable.
@@ -28,6 +28,13 @@ pub struct ServeOptions {
     pub queue_high: Option<usize>,
     /// Shedding stops once depth drains to this (`--queue-low`).
     pub queue_low: Option<usize>,
+    /// Directory for the durable plan journal and snapshots
+    /// (`--journal-dir`); restarting against the same directory
+    /// warm-fills the cache. Unset serves memory-only.
+    pub journal_dir: Option<String>,
+    /// Compact the journal into a snapshot every N appends
+    /// (`--snapshot-every`, default 64; 0 disables snapshots).
+    pub snapshot_every: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -39,6 +46,8 @@ impl Default for ServeOptions {
             queue: None,
             queue_high: None,
             queue_low: None,
+            journal_dir: None,
+            snapshot_every: None,
         }
     }
 }
@@ -75,6 +84,15 @@ pub fn run_serve(opts: &ServeOptions) -> Result<(), String> {
     if let Some(low) = opts.queue_low {
         config.admission.low_watermark = low;
     }
+    if let Some(dir) = &opts.journal_dir {
+        let mut durability = DurabilityConfig::new(dir);
+        if let Some(every) = opts.snapshot_every {
+            durability.snapshot_every = every;
+        }
+        config.durability = Some(durability);
+    } else if opts.snapshot_every.is_some() {
+        return Err("--snapshot-every requires --journal-dir".to_string());
+    }
     let server = Server::bind(config).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
     println!("rsj-serve listening on {}", server.local_addr());
     use std::io::Write;
@@ -89,6 +107,12 @@ pub enum RequestAction {
     Ping,
     /// `--metrics`: fetch Prometheus metrics.
     Metrics,
+    /// `--health`: fetch the server's durability/load posture (answers
+    /// even mid-recovery).
+    Health,
+    /// `--ready`: readiness probe; exits non-zero with a typed
+    /// `not_ready` while the server is still recovering.
+    Ready,
     /// `--shutdown`: ask the server to drain and exit.
     Shutdown,
     /// `--config <plan.json>`: request a plan (the same schema as
@@ -119,6 +143,8 @@ pub fn run_request(
     let mut request = match action {
         RequestAction::Ping => Request::ping(),
         RequestAction::Metrics => Request::metrics(),
+        RequestAction::Health => Request::health(),
+        RequestAction::Ready => Request::ready(),
         RequestAction::Shutdown => Request::shutdown(),
         RequestAction::Plan(cfg) => Request::Plan {
             v: PROTOCOL_VERSION,
@@ -168,6 +194,26 @@ pub fn run_request(
     }
     Ok(match response {
         Response::Pong { .. } => "pong\n".to_string(),
+        Response::Ready { .. } => "ready\n".to_string(),
+        Response::Health { health, .. } => {
+            let mut out = String::new();
+            out.push_str(&format!("ready:            {}\n", health.ready));
+            out.push_str(&format!("recovered:        {}\n", health.recovered));
+            out.push_str(&format!("draining:         {}\n", health.draining));
+            out.push_str(&format!("queue depth:      {}\n", health.queue_depth));
+            out.push_str(&format!("cache entries:    {}\n", health.cache_entries));
+            if let Some(recovery) = &health.recovery {
+                out.push_str(&format!(
+                    "recovery:         {} records warm ({} snapshot + {} journal), {} corrupt skipped, {:.3}s\n",
+                    recovery.recovered_records,
+                    recovery.snapshot_records,
+                    recovery.journal_records,
+                    recovery.corrupt_records,
+                    recovery.wall_seconds
+                ));
+            }
+            out
+        }
         Response::ShuttingDown { .. } => "server shutting down\n".to_string(),
         Response::Metrics { prometheus, .. } => prometheus,
         Response::Plan {
@@ -274,6 +320,38 @@ mod tests {
         )
         .unwrap()
         .contains("shutting down"));
+        join.join().expect("server thread").expect("clean exit");
+    }
+
+    #[test]
+    fn health_and_ready_round_trip_against_live_server() {
+        let (addr, join) = spawn_test_server();
+        assert_eq!(
+            run_request(
+                &addr,
+                &RequestAction::Ready,
+                false,
+                RequestOptions::default()
+            )
+            .unwrap(),
+            "ready\n"
+        );
+        let health = run_request(
+            &addr,
+            &RequestAction::Health,
+            false,
+            RequestOptions::default(),
+        )
+        .unwrap();
+        assert!(health.contains("ready:            true"), "{health}");
+        assert!(health.contains("recovered:        true"), "{health}");
+        run_request(
+            &addr,
+            &RequestAction::Shutdown,
+            false,
+            RequestOptions::default(),
+        )
+        .unwrap();
         join.join().expect("server thread").expect("clean exit");
     }
 

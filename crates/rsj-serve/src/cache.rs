@@ -46,12 +46,21 @@ pub struct PlanCache {
 
 impl PlanCache {
     /// A cache holding up to `capacity` plans spread over `shards` shards
-    /// (each shard holds `ceil(capacity / shards)`, minimum 1). A zero
-    /// `capacity` disables the cache: every lookup misses and inserts are
-    /// dropped.
+    /// (each shard holds `ceil(capacity / shards)`, minimum 1).
+    ///
+    /// Degenerate arguments are clamped, never panicked on, and each
+    /// clamp logs a warning so a misconfigured deployment is visible:
+    /// zero `shards` is clamped to 1, and zero `capacity` disables the
+    /// cache entirely (every lookup misses and inserts are dropped).
     pub fn new(capacity: usize, shards: usize) -> Self {
-        let shards = shards.max(1);
+        let shards = if shards == 0 {
+            rsj_obs::warn!("PlanCache configured with 0 shards; clamping to 1");
+            1
+        } else {
+            shards
+        };
         let per_shard_capacity = if capacity == 0 {
+            rsj_obs::warn!("PlanCache configured with 0 capacity; caching is disabled");
             0
         } else {
             capacity.div_ceil(shards).max(1)
@@ -120,6 +129,25 @@ impl PlanCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// A point-in-time copy of every cached `(key, plan)` pair, in
+    /// unspecified order. Shards are locked one at a time, so the copy is
+    /// consistent per shard but not across shards — exactly the guarantee
+    /// a snapshot compaction needs (any plan it misses is still in the
+    /// journal tail).
+    pub fn entries(&self) -> Vec<(String, Arc<Plan>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            out.extend(
+                shard
+                    .map
+                    .iter()
+                    .map(|(k, e)| (k.clone(), Arc::clone(&e.plan))),
+            );
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +208,38 @@ mod tests {
         cache.insert("a".into(), plan("a"));
         assert!(cache.is_empty());
         assert!(cache.get("a").is_none());
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one_without_panicking() {
+        let cache = PlanCache::new(4, 0);
+        cache.insert("a".into(), plan("a"));
+        cache.insert("b".into(), plan("b"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_some());
+    }
+
+    #[test]
+    fn zero_everything_is_a_working_null_cache() {
+        // Both degenerate edges at once: must not panic, must behave as a
+        // cache that never holds anything.
+        let cache = PlanCache::new(0, 0);
+        cache.insert("a".into(), plan("a"));
+        assert!(cache.is_empty());
+        assert!(cache.get("a").is_none());
+        assert!(cache.entries().is_empty());
+    }
+
+    #[test]
+    fn entries_copies_every_shard() {
+        let cache = PlanCache::new(8, 4);
+        cache.insert("a".into(), plan("a"));
+        cache.insert("b".into(), plan("b"));
+        cache.insert("c".into(), plan("c"));
+        let mut keys: Vec<String> = cache.entries().into_iter().map(|(k, _)| k).collect();
+        keys.sort();
+        assert_eq!(keys, vec!["a", "b", "c"]);
     }
 
     #[test]

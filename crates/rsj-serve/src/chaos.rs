@@ -31,6 +31,7 @@ const STREAM_DELAY: u64 = 2;
 const STREAM_DROP: u64 = 3;
 const STREAM_STALL: u64 = 4;
 const STREAM_TRUNCATE: u64 = 5;
+const STREAM_CORRUPT: u64 = 6;
 
 /// A deterministic fault schedule. Every `*_every` knob is a sampling
 /// rate: `0` disables the fault, `n` injects it on roughly 1-in-`n`
@@ -133,6 +134,120 @@ impl ChaosPolicy {
             )));
         }
         None
+    }
+}
+
+/// One way to damage a journal/snapshot byte stream, as chosen by the
+/// [`CorruptionPolicy`]. Each variant models a real failure: a crash
+/// mid-append ([`TruncateAt`](Corruption::TruncateAt),
+/// [`ZeroLengthTail`](Corruption::ZeroLengthTail) — filesystems often
+/// extend a file with zeros before the data lands), silent media bit rot
+/// ([`BitFlip`](Corruption::BitFlip)), and a replayed write
+/// ([`DuplicateRecord`](Corruption::DuplicateRecord)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Cut the stream at this byte offset (torn tail).
+    TruncateAt {
+        /// Offset to truncate at; clamped to the stream length.
+        offset: usize,
+    },
+    /// Flip one bit of one byte (media rot).
+    BitFlip {
+        /// Byte offset to damage; clamped to the stream length.
+        offset: usize,
+        /// Which bit (0–7) to flip.
+        bit: u8,
+    },
+    /// Append a copy of an existing record's frame (replayed write).
+    DuplicateRecord {
+        /// Index of the frame to duplicate, modulo the frame count.
+        index: usize,
+    },
+    /// Append a run of zero bytes (preallocated-but-unwritten tail).
+    ZeroLengthTail {
+        /// How many zero bytes to append.
+        zeros: usize,
+    },
+}
+
+/// A seed-reproducible journal-corruption injector, following the same
+/// `(seed, stream, index)` discipline as [`ChaosPolicy`]: corruption op
+/// `k` is a pure function of the seed and `k`, so a failing recovery run
+/// replays byte-for-byte from its seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionPolicy {
+    /// Root seed for the corruption substream.
+    pub seed: u64,
+}
+
+impl CorruptionPolicy {
+    /// A policy rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The `index`-th corruption op for a stream of `len` bytes holding
+    /// `records` well-formed frames. Pure: same `(seed, index, len,
+    /// records)` → same op, regardless of call order or thread.
+    pub fn op(&self, index: u64, len: usize, records: usize) -> Corruption {
+        let roll = substream_seed(substream_seed(self.seed, STREAM_CORRUPT), index);
+        // Decorrelated draws for the op selector and its parameters.
+        let param = substream_seed(roll, 1);
+        match roll % 4 {
+            0 => Corruption::TruncateAt {
+                offset: if len == 0 { 0 } else { param as usize % len },
+            },
+            1 => Corruption::BitFlip {
+                offset: if len == 0 { 0 } else { param as usize % len },
+                bit: (substream_seed(roll, 2) % 8) as u8,
+            },
+            2 => Corruption::DuplicateRecord {
+                index: if records == 0 {
+                    0
+                } else {
+                    param as usize % records
+                },
+            },
+            _ => Corruption::ZeroLengthTail {
+                zeros: 1 + (param as usize % 64),
+            },
+        }
+    }
+
+    /// Applies `count` seeded ops to a framed byte stream (`spans` are
+    /// the well-formed frame ranges, from
+    /// [`crate::journal::frame_spans`]). Ops are applied sequentially —
+    /// op `k+1` sees the stream op `k` produced — so the damage pattern
+    /// is fully determined by `(seed, count)` and the input bytes.
+    pub fn corrupt(&self, bytes: &[u8], spans: &[std::ops::Range<usize>], count: u64) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        for index in 0..count {
+            match self.op(index, out.len(), spans.len()) {
+                Corruption::TruncateAt { offset } => {
+                    out.truncate(offset.min(out.len()));
+                }
+                Corruption::BitFlip { offset, bit } => {
+                    if let Some(b) = out.get_mut(offset) {
+                        *b ^= 1 << bit;
+                    }
+                }
+                Corruption::DuplicateRecord { index } => {
+                    // Spans describe the *original* stream; skip if a
+                    // previous truncation already ate that frame.
+                    if let Some(span) = spans.get(index) {
+                        if span.end <= out.len() {
+                            let frame = out[span.clone()].to_vec();
+                            out.extend_from_slice(&frame);
+                        }
+                    }
+                }
+                Corruption::ZeroLengthTail { zeros } => {
+                    let new_len = out.len() + zeros;
+                    out.resize(new_len, 0);
+                }
+            }
+        }
+        out
     }
 }
 
@@ -393,6 +508,48 @@ mod tests {
                 assert_eq!(policy.dispatch_delay(conn, req), None);
             }
         }
+    }
+
+    #[test]
+    fn corruption_ops_are_pure_functions_of_seed_and_index() {
+        let policy = CorruptionPolicy::new(20190520);
+        let replay = CorruptionPolicy::new(20190520);
+        for index in 0..64u64 {
+            assert_eq!(policy.op(index, 1000, 5), replay.op(index, 1000, 5));
+        }
+        let other = CorruptionPolicy::new(20190521);
+        let ops = |p: &CorruptionPolicy| -> Vec<Corruption> {
+            (0..64).map(|i| p.op(i, 1000, 5)).collect()
+        };
+        assert_ne!(ops(&policy), ops(&other));
+    }
+
+    #[test]
+    fn corruption_covers_every_variant() {
+        let policy = CorruptionPolicy::new(7);
+        let mut seen = [false; 4];
+        for index in 0..256u64 {
+            match policy.op(index, 1000, 5) {
+                Corruption::TruncateAt { .. } => seen[0] = true,
+                Corruption::BitFlip { .. } => seen[1] = true,
+                Corruption::DuplicateRecord { .. } => seen[2] = true,
+                Corruption::ZeroLengthTail { .. } => seen[3] = true,
+            }
+        }
+        assert_eq!(seen, [true; 4], "{seen:?}");
+    }
+
+    #[test]
+    fn corrupt_is_deterministic_and_never_panics_on_short_input() {
+        let policy = CorruptionPolicy::new(99);
+        let bytes: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let spans = vec![0..50, 50..120, 120..200];
+        let a = policy.corrupt(&bytes, &spans, 8);
+        let b = policy.corrupt(&bytes, &spans, 8);
+        assert_eq!(a, b);
+        // Degenerate inputs must not panic.
+        let _ = policy.corrupt(&[], &[], 8);
+        let _ = policy.corrupt(&bytes[..3], &[], 8);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{encode, Request, Response};
+use crate::protocol::{encode, ErrorKind, HealthInfo, Request, Response};
 
 /// Longest response line the client will buffer before giving up with
 /// [`ClientError::ResponseTooLarge`] — the client-side mirror of the
@@ -157,6 +157,31 @@ impl Client {
             Response::Pong { .. } => Ok(()),
             other => Err(ClientError::Protocol(format!(
                 "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's health report (answered even mid-recovery).
+    pub fn health(&mut self) -> Result<HealthInfo, ClientError> {
+        match self.call(&Request::health())? {
+            Response::Health { health, .. } => Ok(health),
+            other => Err(ClientError::Protocol(format!(
+                "expected health, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Readiness probe: `Ok(true)` when the server is ready, `Ok(false)`
+    /// when it answered a typed `not_ready`, an error otherwise.
+    pub fn ready(&mut self) -> Result<bool, ClientError> {
+        match self.call(&Request::ready())? {
+            Response::Ready { .. } => Ok(true),
+            Response::Error {
+                kind: ErrorKind::NotReady,
+                ..
+            } => Ok(false),
+            other => Err(ClientError::Protocol(format!(
+                "expected ready/not_ready, got {other:?}"
             ))),
         }
     }

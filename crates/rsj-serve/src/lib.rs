@@ -31,7 +31,15 @@
 //!   [`ResilientClient`] with seeded-jitter backoff, retry budgets and a
 //!   circuit breaker.
 //! * **Chaos** ([`chaos`]) — a seed-reproducible fault-injection policy
-//!   and TCP proxy for hardening tests and the `serve_load` bench.
+//!   and TCP proxy for hardening tests and the `serve_load` bench, plus a
+//!   seeded journal-[`CorruptionPolicy`] for recovery testing.
+//! * **Durability** ([`journal`] / [`snapshot`] / [`recovery`]) — a
+//!   CRC32-framed append-only plan journal with periodic atomically-renamed
+//!   snapshot compactions, and a startup recovery path that warm-fills the
+//!   cache, skipping torn or bit-flipped records with typed faults and
+//!   re-verifying every recovered plan's FNV-1a digest. `health`/`ready`
+//!   protocol ops expose the recovery posture; `plan` requests are shed
+//!   with a typed `not_ready` until recovery completes.
 //!
 //! ```no_run
 //! use rsj_serve::{Client, Request, Server, ServerConfig};
@@ -53,19 +61,27 @@ pub mod admission;
 pub mod cache;
 pub mod chaos;
 pub mod client;
+pub mod journal;
 pub mod protocol;
+pub mod recovery;
 pub mod retry;
 pub mod server;
 pub mod singleflight;
+pub mod snapshot;
 
 pub use admission::{AdmissionConfig, AdmissionQueue};
 pub use cache::PlanCache;
-pub use chaos::{ChaosPolicy, ChaosProxy, ProxyHandle};
+pub use chaos::{ChaosPolicy, ChaosProxy, Corruption, CorruptionPolicy, ProxyHandle};
 pub use client::{Client, ClientError};
+pub use journal::{JournalRecord, JournalWriter, RecordFault, RecordScanner};
 pub use protocol::{
-    classify, decode_request, encode, ErrorKind, Provenance, Request, Response, Timings,
-    PROTOCOL_VERSION,
+    classify, decode_request, encode, ErrorKind, HealthInfo, Provenance, Request, Response,
+    Timings, PROTOCOL_VERSION,
 };
-pub use retry::{BreakerConfig, BreakerState, CircuitBreaker, ResilientClient, RetryPolicy};
-pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use recovery::{recover, RecoveryStats};
+pub use retry::{
+    BreakerConfig, BreakerState, CircuitBreaker, ResilientClient, RetryClass, RetryPolicy,
+};
+pub use server::{DurabilityConfig, Server, ServerConfig, ShutdownHandle};
 pub use singleflight::{Flighted, SingleFlight};
+pub use snapshot::{SnapshotFile, SnapshotStore};

@@ -18,6 +18,8 @@ use rsj_core::{CostModel, SolverSpec};
 use rsj_dist::DistSpec;
 use serde::{Deserialize, Serialize};
 
+use crate::recovery::RecoveryStats;
+
 /// The protocol version this build speaks. Requests with a different `v`
 /// are rejected with [`ErrorKind::UnsupportedVersion`].
 pub const PROTOCOL_VERSION: u32 = 1;
@@ -72,6 +74,21 @@ pub enum Request {
     },
     /// Liveness probe.
     Ping {
+        /// Protocol version.
+        #[serde(default = "default_version")]
+        v: u32,
+    },
+    /// Health probe: always answers (even mid-recovery) with the server's
+    /// durability and load posture.
+    Health {
+        /// Protocol version.
+        #[serde(default = "default_version")]
+        v: u32,
+    },
+    /// Readiness probe: succeeds only when recovery has completed and the
+    /// admission queue sits below its high watermark; otherwise a typed
+    /// [`ErrorKind::NotReady`] error.
+    Ready {
         /// Protocol version.
         #[serde(default = "default_version")]
         v: u32,
@@ -135,6 +152,20 @@ impl Request {
         }
     }
 
+    /// A health probe.
+    pub fn health() -> Self {
+        Request::Health {
+            v: PROTOCOL_VERSION,
+        }
+    }
+
+    /// A readiness probe.
+    pub fn ready() -> Self {
+        Request::Ready {
+            v: PROTOCOL_VERSION,
+        }
+    }
+
     /// A graceful-shutdown request.
     pub fn shutdown() -> Self {
         Request::Shutdown {
@@ -148,6 +179,8 @@ impl Request {
             Request::Plan { v, .. }
             | Request::Metrics { v }
             | Request::Ping { v }
+            | Request::Health { v }
+            | Request::Ready { v }
             | Request::Shutdown { v } => v,
         }
     }
@@ -211,6 +244,12 @@ pub enum ErrorKind {
     /// high watermark). Retryable after backoff: nothing about the
     /// request itself is wrong.
     Overloaded,
+    /// The server is still warming up (recovery in progress, or the
+    /// queue is above its high watermark). Retryable — and unlike
+    /// [`ErrorKind::Overloaded`] it signals a *warming* server, not a
+    /// struggling one, so clients should retry patiently without
+    /// escalating backoff or tripping circuit breakers.
+    NotReady,
     /// The request's `deadline_ms` expired — in the queue, or mid-solve
     /// (the solver was cancelled cooperatively).
     DeadlineExceeded,
@@ -231,6 +270,7 @@ impl std::fmt::Display for ErrorKind {
             ErrorKind::TooManyRequests => "too_many_requests",
             ErrorKind::RequestTooLarge => "request_too_large",
             ErrorKind::Overloaded => "overloaded",
+            ErrorKind::NotReady => "not_ready",
             ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::Internal => "internal",
         };
@@ -244,7 +284,10 @@ impl ErrorKind {
     /// requests will fail the same way every time, and an expired
     /// deadline stays expired.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, ErrorKind::Overloaded | ErrorKind::Internal)
+        matches!(
+            self,
+            ErrorKind::Overloaded | ErrorKind::NotReady | ErrorKind::Internal
+        )
     }
 }
 
@@ -265,6 +308,28 @@ pub fn classify(err: &RsjError) -> ErrorKind {
         RsjError::Par(_) => ErrorKind::Internal,
         RsjError::Config { .. } => ErrorKind::MalformedRequest,
     }
+}
+
+/// The server's durability and load posture, as reported by the `health`
+/// op. Always available — a server mid-recovery still answers `health`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthInfo {
+    /// Whether the server would answer a `ready` probe right now:
+    /// recovery complete, not draining, queue below its high watermark.
+    pub ready: bool,
+    /// Whether startup recovery (snapshot load + journal replay) has
+    /// completed. Servers without a `--journal-dir` recover trivially.
+    pub recovered: bool,
+    /// Whether a shutdown/drain is in progress.
+    pub draining: bool,
+    /// Current admission-queue depth.
+    pub queue_depth: usize,
+    /// Plans currently held by the cache.
+    pub cache_entries: usize,
+    /// What recovery found, once it has run (absent before that, and on
+    /// servers without durability configured).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub recovery: Option<RecoveryStats>,
 }
 
 /// A server response.
@@ -296,6 +361,19 @@ pub enum Response {
     },
     /// Liveness reply.
     Pong {
+        /// Protocol version.
+        v: u32,
+    },
+    /// Health report (always answered, even mid-recovery).
+    Health {
+        /// Protocol version.
+        v: u32,
+        /// The server's current posture.
+        health: HealthInfo,
+    },
+    /// Readiness confirmation; a not-ready server answers the `ready` op
+    /// with a typed [`ErrorKind::NotReady`] error instead.
+    Ready {
         /// Protocol version.
         v: u32,
     },
@@ -387,8 +465,43 @@ mod tests {
     }
 
     #[test]
+    fn health_and_ready_round_trip() {
+        assert_eq!(
+            decode_request(r#"{"op":"health"}"#).unwrap(),
+            Request::health()
+        );
+        assert_eq!(
+            decode_request(r#"{"op":"ready"}"#).unwrap(),
+            Request::ready()
+        );
+        let resp = Response::Health {
+            v: PROTOCOL_VERSION,
+            health: HealthInfo {
+                ready: true,
+                recovered: true,
+                draining: false,
+                queue_depth: 3,
+                cache_entries: 17,
+                recovery: Some(RecoveryStats {
+                    snapshot_generation: Some(2),
+                    snapshot_records: 10,
+                    journal_records: 7,
+                    recovered_records: 17,
+                    corrupt_records: 1,
+                    wall_seconds: 0.25,
+                }),
+            },
+        };
+        let line = encode(&resp).unwrap();
+        assert!(line.contains(r#""status":"health""#), "{line}");
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
     fn retryability_is_limited_to_transient_kinds() {
         assert!(ErrorKind::Overloaded.is_retryable());
+        assert!(ErrorKind::NotReady.is_retryable());
         assert!(ErrorKind::Internal.is_retryable());
         for kind in [
             ErrorKind::MalformedRequest,

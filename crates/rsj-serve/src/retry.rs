@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use rsj_par::substream_seed;
 
 use crate::client::{Client, ClientError};
-use crate::protocol::{Request, Response};
+use crate::protocol::{ErrorKind, Request, Response};
 
 /// Backoff shape and retry limits for [`ResilientClient`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,14 +202,48 @@ impl CircuitBreaker {
     }
 }
 
+/// How one attempt's outcome steers the retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// A usable answer (success, or a typed error retrying can't fix):
+    /// return it.
+    Done,
+    /// A transient failure (`overloaded`, `internal`, transport): retry
+    /// with exponential backoff, and count it against the breaker — the
+    /// backend is struggling.
+    Transient,
+    /// The server answered `not_ready`: it is up but still warming
+    /// (recovery in progress). Retry on a *constant* base backoff and do
+    /// **not** feed the breaker — a healthy server booting must not trip
+    /// open the circuit that would then refuse it traffic once ready.
+    Warming,
+}
+
+/// Classifies one attempt outcome for the retry loop. Transport errors
+/// worth a reconnect are [`RetryClass::Transient`]; a fatal transport
+/// error is not classified here (the caller returns it as-is).
+pub fn classify_response(response: &Response) -> RetryClass {
+    match response {
+        Response::Error {
+            kind: ErrorKind::NotReady,
+            ..
+        } => RetryClass::Warming,
+        Response::Error { kind, .. } if kind.is_retryable() => RetryClass::Transient,
+        _ => RetryClass::Done,
+    }
+}
+
 /// A [`Client`] wrapper that reconnects and retries per
 /// [`RetryPolicy`], gated by a [`CircuitBreaker`].
 ///
 /// Retried failures: transport errors (connect/I/O/torn responses) and
 /// typed server errors with [`ErrorKind::is_retryable`] — i.e.
-/// `overloaded` and `internal`. Everything else (invalid requests,
-/// deadline misses, protocol violations) returns immediately: retrying
-/// cannot change the outcome.
+/// `overloaded`, `not_ready` and `internal`. Everything else (invalid
+/// requests, deadline misses, protocol violations) returns immediately:
+/// retrying cannot change the outcome. `not_ready` is special-cased as
+/// [`RetryClass::Warming`]: retried on a constant base backoff without
+/// counting against the circuit breaker, because a warming server is not
+/// a failing one.
 ///
 /// [`ErrorKind::is_retryable`]: crate::ErrorKind::is_retryable
 pub struct ResilientClient {
@@ -262,28 +296,38 @@ impl ResilientClient {
                 return Err(ClientError::CircuitOpen);
             }
             let outcome = self.attempt(request);
-            let failure = match &outcome {
-                Ok(Response::Error { kind, .. }) if kind.is_retryable() => true,
-                Ok(_) => false,
+            let class = match &outcome {
+                Ok(response) => classify_response(response),
                 Err(e) => {
                     if !is_transient(e) {
                         return outcome;
                     }
-                    true
+                    RetryClass::Transient
                 }
             };
-            if !failure {
+            if class == RetryClass::Done {
                 self.breaker.on_success(Instant::now());
                 return outcome;
             }
-            self.breaker.on_failure(Instant::now());
-            self.conn = None; // reconnect on the next attempt
+            if class == RetryClass::Transient {
+                // Warming is deliberately excluded: a booting server must
+                // not trip the breaker that would refuse it traffic later.
+                self.breaker.on_failure(Instant::now());
+                self.conn = None; // reconnect on the next attempt
+            }
             if retry + 1 >= self.policy.max_attempts
                 || self.retries_spent >= self.policy.retry_budget
             {
                 return outcome;
             }
-            std::thread::sleep(self.policy.backoff(call, retry));
+            let pause = match class {
+                // Constant base pause while warming: recovery finishes on
+                // its own schedule, escalating backoff only delays the
+                // first post-recovery request.
+                RetryClass::Warming => self.policy.backoff(call, 0),
+                _ => self.policy.backoff(call, retry),
+            };
+            std::thread::sleep(pause);
             retry += 1;
             self.retries_spent += 1;
         }
@@ -377,6 +421,22 @@ mod tests {
         assert!(b.allow(probe_time));
         assert!(b.allow(probe_time));
         assert!(!b.allow(probe_time), "probe quota exhausted");
+    }
+
+    #[test]
+    fn not_ready_is_warming_while_overloaded_is_transient() {
+        let warming = Response::error(ErrorKind::NotReady, "recovering");
+        let struggling = Response::error(ErrorKind::Overloaded, "shedding");
+        let broken = Response::error(ErrorKind::Internal, "bug");
+        let fatal = Response::error(ErrorKind::InvalidDistribution, "nope");
+        assert_eq!(classify_response(&warming), RetryClass::Warming);
+        assert_eq!(classify_response(&struggling), RetryClass::Transient);
+        assert_eq!(classify_response(&broken), RetryClass::Transient);
+        assert_eq!(classify_response(&fatal), RetryClass::Done);
+        assert_eq!(
+            classify_response(&Response::Pong { v: 1 }),
+            RetryClass::Done
+        );
     }
 
     #[test]

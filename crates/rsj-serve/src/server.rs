@@ -31,8 +31,9 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use reservation_strategies::{CancelToken, Plan, Planner, SimulateOptions};
@@ -42,11 +43,49 @@ use rsj_dist::DistSpec;
 use crate::admission::{AdmissionConfig, AdmissionQueue, Pop};
 use crate::cache::PlanCache;
 use crate::chaos::ChaosPolicy;
+use crate::journal::{JournalRecord, JournalWriter, JOURNAL_FILE};
 use crate::protocol::{
-    classify, decode_request, encode, ErrorKind, Provenance, Request, Response, Timings,
-    PROTOCOL_VERSION,
+    classify, decode_request, encode, ErrorKind, HealthInfo, Provenance, Request, Response,
+    Timings, PROTOCOL_VERSION,
 };
+use crate::recovery::{recover, RecoveryStats};
 use crate::singleflight::{Flighted, SingleFlight};
+use crate::snapshot::SnapshotStore;
+
+/// Crash-safety settings: where the plan journal lives and how often it
+/// compacts into a snapshot. See [`crate::journal`] / [`crate::snapshot`]
+/// / [`crate::recovery`] for the machinery.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding `journal.log` and `snapshot-*.snap`; created if
+    /// missing. Restarting against the same directory warm-fills the
+    /// cache.
+    pub dir: PathBuf,
+    /// Compact the journal into a snapshot every this many appends
+    /// (0 disables snapshots; the journal then grows unboundedly until
+    /// restart).
+    pub snapshot_every: u64,
+    /// `sync_data` per append: extends the durability guarantee from
+    /// process death (`kill -9`) to machine death, at a large per-append
+    /// cost. Off by default.
+    pub fsync: bool,
+    /// Test-only: stall recovery by this long before it starts, to make
+    /// the not-ready window observable. `None` in production.
+    pub recovery_delay: Option<Duration>,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with the default snapshot cadence
+    /// (every 64 appends) and no per-append fsync.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            snapshot_every: 64,
+            fsync: false,
+            recovery_delay: None,
+        }
+    }
+}
 
 /// Tunables for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -71,6 +110,9 @@ pub struct ServerConfig {
     pub admission: AdmissionConfig,
     /// Fault-injection schedule; `None` in production.
     pub chaos: Option<ChaosPolicy>,
+    /// Crash-safety settings; `None` serves memory-only (a restart loses
+    /// the cache).
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +127,7 @@ impl Default for ServerConfig {
             max_line_bytes: 1 << 20,
             admission: AdmissionConfig::default(),
             chaos: None,
+            durability: None,
         }
     }
 }
@@ -118,17 +161,121 @@ struct Pending {
 /// echo.
 type SolveOutcome = Result<Arc<Plan>, (ErrorKind, String)>;
 
+/// The journal's write-side state, installed once recovery completes.
+struct JournalState {
+    writer: JournalWriter,
+    store: SnapshotStore,
+    appends_since_snapshot: u64,
+    next_generation: u64,
+    snapshot_every: u64,
+}
+
 struct Shared {
     config: ServerConfig,
     cache: PlanCache,
     flights: SingleFlight<SolveOutcome>,
     admission: AdmissionQueue<Pending>,
     shutdown: Arc<AtomicBool>,
+    /// Raised once startup recovery (if any) has finished; `plan`
+    /// requests are shed with a typed `not_ready` until then.
+    recovered: AtomicBool,
+    /// What recovery found, for the `health` op.
+    recovery: Mutex<Option<RecoveryStats>>,
+    /// The journal writer; `None` until recovery installs it (and always
+    /// `None` without a [`DurabilityConfig`]).
+    journal: Mutex<Option<JournalState>>,
 }
 
 impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn is_recovered(&self) -> bool {
+        self.recovered.load(Ordering::SeqCst)
+    }
+
+    /// Readiness: recovered, not draining, and the queue below its shed
+    /// watermark — the same gate an orchestrator should route traffic on.
+    fn is_ready(&self) -> bool {
+        self.is_recovered()
+            && !self.shutting_down()
+            && self.admission.depth() < self.admission.config().high_watermark
+    }
+
+    fn health_info(&self) -> HealthInfo {
+        HealthInfo {
+            ready: self.is_ready(),
+            recovered: self.is_recovered(),
+            draining: self.shutting_down(),
+            queue_depth: self.admission.depth(),
+            cache_entries: self.cache.len(),
+            recovery: self
+                .recovery
+                .lock()
+                .expect("recovery lock poisoned")
+                .clone(),
+        }
+    }
+
+    /// Journals one solved plan (append-before-response, so anything a
+    /// client heard back survives `kill -9`), compacting into a snapshot
+    /// every `snapshot_every` appends. Journal failures are logged and
+    /// counted, never propagated: serving degrades to memory-only rather
+    /// than failing requests over a full disk.
+    fn journal_append(&self, key: &str, plan: &Plan) {
+        let mut guard = self.journal.lock().expect("journal lock poisoned");
+        let Some(state) = guard.as_mut() else { return };
+        let record = JournalRecord {
+            key: key.to_string(),
+            plan: plan.clone(),
+        };
+        match state.writer.append(&record) {
+            Ok(_) => counter("rsj_serve_journal_appends_total").inc(),
+            Err(e) => {
+                counter("rsj_serve_journal_errors_total").inc();
+                rsj_obs::warn!("journal append failed (serving continues memory-only): {e}");
+                return;
+            }
+        }
+        rsj_obs::global_registry()
+            .gauge("rsj_serve_cache_entries")
+            .set(self.cache.len() as f64);
+        state.appends_since_snapshot += 1;
+        if state.snapshot_every > 0 && state.appends_since_snapshot >= state.snapshot_every {
+            let entries = self.cache.entries();
+            let records: Vec<JournalRecord> = entries
+                .into_iter()
+                .map(|(key, plan)| JournalRecord {
+                    key,
+                    plan: (*plan).clone(),
+                })
+                .collect();
+            match state.store.write(state.next_generation, &records) {
+                Ok(path) => {
+                    counter("rsj_serve_snapshots_total").inc();
+                    rsj_obs::info!(
+                        "snapshot generation {} written ({} records) to {}",
+                        state.next_generation,
+                        records.len(),
+                        path.display()
+                    );
+                    state.next_generation += 1;
+                    state.appends_since_snapshot = 0;
+                    // The snapshot durably holds everything; the journal
+                    // restarts empty. Order matters: truncating *before*
+                    // the rename lands would open a loss window.
+                    if let Err(e) = state.writer.reset() {
+                        counter("rsj_serve_journal_errors_total").inc();
+                        rsj_obs::warn!("journal truncate after snapshot failed: {e}");
+                    }
+                }
+                Err(e) => {
+                    counter("rsj_serve_journal_errors_total").inc();
+                    rsj_obs::warn!("snapshot write failed (journal keeps growing): {e}");
+                }
+            }
+        }
     }
 }
 
@@ -153,6 +300,9 @@ impl Server {
             flights: SingleFlight::new(),
             admission,
             shutdown: Arc::new(AtomicBool::new(false)),
+            recovered: AtomicBool::new(false),
+            recovery: Mutex::new(None),
+            journal: Mutex::new(None),
         });
         Ok(Self {
             local_addr,
@@ -181,6 +331,26 @@ impl Server {
         } = self;
         listener.set_nonblocking(true)?;
         rsj_obs::info!("rsj-serve listening on {local_addr}");
+
+        // Recovery runs concurrently with the accept loop so the server
+        // answers `ping`/`health` from the first instant; `plan` requests
+        // get a typed `not_ready` until the cache is warm.
+        let recovery_thread = match shared.config.durability.clone() {
+            Some(durability) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("rsj-serve-recovery".to_string())
+                        .spawn(move || run_recovery(&shared, &durability))
+                        .expect("spawn recovery thread"),
+                )
+            }
+            None => {
+                // Nothing to recover: ready as soon as we listen.
+                shared.recovered.store(true, Ordering::SeqCst);
+                None
+            }
+        };
 
         let workers: Vec<_> = (0..shared.config.workers.max(1))
             .map(|i| {
@@ -228,9 +398,73 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        if let Some(t) = recovery_thread {
+            let _ = t.join();
+        }
+        // Force the journal tail to disk on a clean exit: a graceful
+        // drain should leave nothing for the OS page cache to lose.
+        if let Some(state) = shared
+            .journal
+            .lock()
+            .expect("journal lock poisoned")
+            .as_mut()
+        {
+            if let Err(e) = state.writer.sync() {
+                rsj_obs::warn!("journal sync on drain failed: {e}");
+            }
+        }
         rsj_obs::info!("rsj-serve stopped");
         Ok(())
     }
+}
+
+/// The recovery thread body: warm the cache from disk, install the
+/// journal writer, flip `recovered`. An unusable journal directory is
+/// downgraded to memory-only serving with a warning — the server still
+/// becomes ready (an operator losing durability beats an operator losing
+/// serving).
+fn run_recovery(shared: &Shared, durability: &DurabilityConfig) {
+    if let Some(delay) = durability.recovery_delay {
+        std::thread::sleep(delay);
+    }
+    match recover(&durability.dir, &shared.cache) {
+        Ok(stats) => {
+            *shared.recovery.lock().expect("recovery lock poisoned") = Some(stats);
+        }
+        Err(e) => {
+            rsj_obs::warn!(
+                "recovery failed for {}; serving memory-only: {e}",
+                durability.dir.display()
+            );
+        }
+    }
+    match open_journal(durability) {
+        Ok(state) => {
+            *shared.journal.lock().expect("journal lock poisoned") = Some(state);
+        }
+        Err(e) => {
+            rsj_obs::warn!(
+                "cannot open journal in {}; serving memory-only: {e}",
+                durability.dir.display()
+            );
+        }
+    }
+    shared.recovered.store(true, Ordering::SeqCst);
+    rsj_obs::info!("rsj-serve ready ({} plans warm)", shared.cache.len());
+}
+
+fn open_journal(durability: &DurabilityConfig) -> std::io::Result<JournalState> {
+    let store = SnapshotStore::open(&durability.dir)?;
+    let next_generation = store.next_generation()?;
+    let writer = JournalWriter::open(durability.dir.join(JOURNAL_FILE), durability.fsync)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    Ok(JournalState {
+        writer,
+        store,
+        appends_since_snapshot: 0,
+        next_generation,
+        snapshot_every: durability.snapshot_every,
+    })
 }
 
 /// One worker: dequeue → handle, absorbing handler panics so a poisoned
@@ -476,6 +710,28 @@ fn dispatch(shared: &Shared, line: &str, base: Instant) -> (Response, bool) {
             },
             false,
         ),
+        Request::Health { .. } => (
+            Response::Health {
+                v: PROTOCOL_VERSION,
+                health: shared.health_info(),
+            },
+            false,
+        ),
+        Request::Ready { .. } => {
+            if shared.is_ready() {
+                (
+                    Response::Ready {
+                        v: PROTOCOL_VERSION,
+                    },
+                    false,
+                )
+            } else {
+                (
+                    Response::error(ErrorKind::NotReady, not_ready_message(shared)),
+                    false,
+                )
+            }
+        }
         Request::Shutdown { .. } => (
             Response::ShuttingDown {
                 v: PROTOCOL_VERSION,
@@ -491,12 +747,36 @@ fn dispatch(shared: &Shared, line: &str, base: Instant) -> (Response, bool) {
             deadline_ms,
             ..
         } => {
+            // A recovering server sheds plan work with a typed
+            // `not_ready`: answering from a half-warm cache would turn
+            // guaranteed hits into misses and double-solve the backlog.
+            if !shared.is_recovered() {
+                counter("rsj_serve_not_ready_total").inc();
+                return (
+                    Response::error(ErrorKind::NotReady, not_ready_message(shared)),
+                    false,
+                );
+            }
             let deadline = deadline_ms.map(|ms| base + Duration::from_millis(ms));
             (
                 handle_plan(shared, distribution, cost, solver, seed, simulate, deadline),
                 false,
             )
         }
+    }
+}
+
+fn not_ready_message(shared: &Shared) -> String {
+    if !shared.is_recovered() {
+        "server is recovering its plan cache; retry shortly".to_string()
+    } else if shared.shutting_down() {
+        "server is draining".to_string()
+    } else {
+        format!(
+            "admission queue at {} (high watermark {})",
+            shared.admission.depth(),
+            shared.admission.config().high_watermark
+        )
     }
 }
 
@@ -615,6 +895,9 @@ fn handle_plan(
 fn solve(shared: &Shared, planner: &Planner, key: &str, deadline: Option<Instant>) -> SolveOutcome {
     let plan = solve_uncached(planner, deadline)?;
     shared.cache.insert(key.to_string(), Arc::clone(&plan));
+    // Append-before-response: once the client hears this answer, the
+    // record is already flushed to the OS, so it survives `kill -9`.
+    shared.journal_append(key, &plan);
     Ok(plan)
 }
 
