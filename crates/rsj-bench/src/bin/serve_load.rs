@@ -27,6 +27,18 @@ use std::time::{Duration, Instant};
 
 const SCHEMA_VERSION: u32 = 1;
 
+/// Per-stage latency summary, computed from the server's own request
+/// timelines (the `trace` op against a `trace_buffer` server), so the
+/// numbers attribute time the way the server measured it rather than the
+/// way the client observed it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StageSummary {
+    stage: String,
+    count: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
 /// One load regime's aggregate numbers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ScenarioResult {
@@ -46,6 +58,10 @@ struct ScenarioResult {
     p50_ms: f64,
     p99_ms: f64,
     shed_rate: f64,
+    /// Server-side stage breakdown (baseline scenario only; empty where
+    /// the regime runs untraced).
+    #[serde(default)]
+    stages: Vec<StageSummary>,
 }
 
 /// The `results/BENCH_serve.json` document.
@@ -140,7 +156,32 @@ fn finish(
         p50_ms: percentile_ms(latencies, 0.50),
         p99_ms: percentile_ms(latencies, 0.99),
         shed_rate: tally.shed as f64 / (requests as f64).max(1.0),
+        stages: Vec::new(),
     }
+}
+
+/// Per-stage p50/p99 over the plan timelines retained by the server's
+/// trace ring, name-sorted for a stable JSON diff.
+fn stage_summaries(timelines: &[rsj_obs::TimelineRecord]) -> Vec<StageSummary> {
+    let mut by_stage: std::collections::BTreeMap<&str, Vec<Duration>> =
+        std::collections::BTreeMap::new();
+    for record in timelines.iter().filter(|r| r.op == "plan") {
+        for stage in &record.stages {
+            by_stage
+                .entry(stage.name.as_str())
+                .or_default()
+                .push(Duration::from_micros(stage.duration_us()));
+        }
+    }
+    by_stage
+        .into_iter()
+        .map(|(stage, mut durations)| StageSummary {
+            stage: stage.to_string(),
+            count: durations.len(),
+            p50_ms: percentile_ms(&mut durations, 0.50),
+            p99_ms: percentile_ms(&mut durations, 0.99),
+        })
+        .collect()
 }
 
 fn spawn_server(config: ServerConfig) -> (SocketAddr, impl FnOnce()) {
@@ -159,9 +200,12 @@ fn spawn_server(config: ServerConfig) -> (SocketAddr, impl FnOnce()) {
 }
 
 /// Healthy regime: one closed-loop client, default admission settings.
+/// Runs against a `trace_buffer` server so the result also carries the
+/// server-side per-stage breakdown.
 fn baseline(workers: usize, requests: usize) -> ScenarioResult {
     let (addr, stop) = spawn_server(ServerConfig {
         workers,
+        trace_buffer: requests.max(64),
         ..ServerConfig::default()
     });
     let mut client = Client::connect(addr).expect("connect");
@@ -179,9 +223,12 @@ fn baseline(workers: usize, requests: usize) -> ScenarioResult {
         latencies.push(t.elapsed());
     }
     let wall = started.elapsed();
+    let timelines = client.trace(Some(requests), None, None).unwrap_or_default();
     drop(client);
     stop();
-    finish("baseline", requests, tally, wall, &mut latencies)
+    let mut result = finish("baseline", requests, tally, wall, &mut latencies);
+    result.stages = stage_summaries(&timelines);
+    result
 }
 
 /// Overload regime: a burst of concurrent connections against a tiny

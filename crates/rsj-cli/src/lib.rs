@@ -24,7 +24,10 @@ pub mod serve_cmd;
 
 pub use commands::{run_evaluate, run_fit, run_plan, run_risk, run_simulate};
 pub use config::{EvaluateConfig, HeuristicSpec, PlanConfig, SimulateConfig};
-pub use serve_cmd::{run_request, run_serve, RequestAction, RequestOptions, ServeOptions};
+pub use serve_cmd::{
+    run_request, run_serve, run_trace_export, RequestAction, RequestOptions, ServeOptions,
+    TraceExportOptions,
+};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -47,12 +50,21 @@ USAGE:
                                           durable (journal + snapshots; a restart
                                           on the same dir warm-fills the cache),
                                           compacting every [--snapshot-every <n>]
-                                          appends (default 64)
+                                          appends (default 64).
+                                          [--trace-buffer <n>] retains the last n
+                                          request timelines for the trace op;
+                                          [--slow-ms <n>] warns (with a stage
+                                          breakdown) on requests slower than n ms
     rsj request  --addr host:port         one-shot client for a running server:
                  (--config <plan.json> | --ping | --metrics | --health |
                   --ready | --shutdown)
                  [--deadline-ms <n>]      shed server-side once the deadline lapses
                  [--retries <n>]          retry transient failures with backoff
+                 [--trace]                print the server-side stage timeline
+    rsj trace export --addr host:port     export recent server timelines as
+                 --out <trace.json>       Chrome-trace JSON (Perfetto-loadable)
+                 [--last <n>]             at most n timelines (default 32)
+                 [--min-ms <x>]           only timelines at least x ms long
 
 Every command also accepts:
     --json                  machine-readable output

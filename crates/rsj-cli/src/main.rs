@@ -133,6 +133,16 @@ fn main() -> ExitCode {
                 Some(Err(_)) => return fail("invalid --snapshot-every: expected a number"),
                 None => {}
             }
+            match flag_value(&args, "--trace-buffer").map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => opts.trace_buffer = Some(n),
+                Some(Err(_)) => return fail("invalid --trace-buffer: expected a number"),
+                None => {}
+            }
+            match flag_value(&args, "--slow-ms").map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => opts.slow_ms = Some(n),
+                Some(Err(_)) => return fail("invalid --slow-ms: expected a number"),
+                None => {}
+            }
             return match rsj_cli::run_serve(&opts) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(msg) => fail_runtime(&msg),
@@ -177,7 +187,34 @@ fn main() -> ExitCode {
                 Some(Err(_)) => return fail("invalid --retries: expected a number"),
                 None => {}
             }
+            opts.trace = args.iter().any(|a| a == "--trace");
             rsj_cli::run_request(&addr, &action, json, opts)
+        }
+        "trace" => {
+            if args.get(1).map(String::as_str) != Some("export") {
+                return fail("trace supports one subcommand: export");
+            }
+            let Some(addr) = flag_value(&args, "--addr") else {
+                return fail("missing --addr <host:port>");
+            };
+            let mut opts = rsj_cli::TraceExportOptions {
+                out: match flag_value(&args, "--out") {
+                    Some(out) => out,
+                    None => return fail("missing --out <trace.json>"),
+                },
+                ..rsj_cli::TraceExportOptions::default()
+            };
+            match flag_value(&args, "--last").map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => opts.last = Some(n),
+                Some(Err(_)) => return fail("invalid --last: expected a number"),
+                None => {}
+            }
+            match flag_value(&args, "--min-ms").map(|v| v.parse::<f64>()) {
+                Some(Ok(x)) => opts.min_ms = Some(x),
+                Some(Err(_)) => return fail("invalid --min-ms: expected a number"),
+                None => {}
+            }
+            rsj_cli::run_trace_export(&addr, &opts)
         }
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

@@ -35,6 +35,12 @@ pub struct ServeOptions {
     /// Compact the journal into a snapshot every N appends
     /// (`--snapshot-every`, default 64; 0 disables snapshots).
     pub snapshot_every: Option<u64>,
+    /// Retain the last N request timelines for the `trace` op
+    /// (`--trace-buffer`; 0 or unset disables server-side retention).
+    pub trace_buffer: Option<usize>,
+    /// Warn (one event, full stage breakdown) on requests slower than
+    /// this many milliseconds (`--slow-ms`; unset disables).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -48,6 +54,8 @@ impl Default for ServeOptions {
             queue_low: None,
             journal_dir: None,
             snapshot_every: None,
+            trace_buffer: None,
+            slow_ms: None,
         }
     }
 }
@@ -93,6 +101,10 @@ pub fn run_serve(opts: &ServeOptions) -> Result<(), String> {
     } else if opts.snapshot_every.is_some() {
         return Err("--snapshot-every requires --journal-dir".to_string());
     }
+    if let Some(buffer) = opts.trace_buffer {
+        config.trace_buffer = buffer;
+    }
+    config.slow_ms = opts.slow_ms;
     let server = Server::bind(config).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
     println!("rsj-serve listening on {}", server.local_addr());
     use std::io::Write;
@@ -130,6 +142,9 @@ pub struct RequestOptions {
     /// resilient client (seeded-jitter backoff + circuit breaker) and
     /// only for transient failures (`overloaded`, `internal`, transport).
     pub retries: Option<u32>,
+    /// `--trace`: ask the server to return its per-request timeline and
+    /// render it under the plan (text mode) or embed it (JSON mode).
+    pub trace: bool,
 }
 
 /// `rsj request`: send one request to a running server and render the
@@ -158,10 +173,15 @@ pub fn run_request(
             seed: None,
             simulate: None,
             deadline_ms: None,
+            trace_id: None,
+            trace: false,
         },
     };
     if let Some(ms) = opts.deadline_ms {
         request = request.with_deadline_ms(ms);
+    }
+    if opts.trace {
+        request = request.with_trace();
     }
     let response = match opts.retries {
         Some(retries) if retries > 0 => {
@@ -220,6 +240,8 @@ pub fn run_request(
             plan,
             provenance,
             timings,
+            trace_id,
+            timeline,
             ..
         } => {
             let mut out = String::new();
@@ -244,10 +266,76 @@ pub fn run_request(
                 },
                 timings.total_seconds * 1e3
             ));
+            if let Some(id) = &trace_id {
+                out.push_str(&format!("trace id:         {id}\n"));
+            }
+            if let Some(timeline) = &timeline {
+                out.push_str(&render_timeline(timeline));
+            }
             out
         }
         Response::Error { .. } => unreachable!("handled above"),
+        Response::Trace { .. } => unreachable!("request never sends a trace op"),
     })
+}
+
+/// The server-side timeline as an indented stage table: one line per
+/// stage with its offset and duration, then the stage-sum coverage of
+/// the server-measured wall time.
+fn render_timeline(timeline: &rsj_obs::TimelineRecord) -> String {
+    let mut out = String::new();
+    let wall_ms = timeline.total_us as f64 / 1e3;
+    out.push_str(&format!("server timeline:  {wall_ms:.3} ms wall\n"));
+    for stage in &timeline.stages {
+        out.push_str(&format!(
+            "  {:<18} @{:>9.3} ms  {:>9.3} ms\n",
+            stage.name,
+            stage.start_us as f64 / 1e3,
+            stage.duration_us() as f64 / 1e3,
+        ));
+    }
+    let sum_ms = timeline.stage_sum_us() as f64 / 1e3;
+    let pct = if timeline.total_us > 0 {
+        100.0 * sum_ms / wall_ms
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "  stage sum:       {sum_ms:.3} ms ({pct:.0}% of wall)\n"
+    ));
+    out
+}
+
+/// Options for `rsj trace export`.
+#[derive(Debug, Clone, Default)]
+pub struct TraceExportOptions {
+    /// Output path (`--out`); the file is Chrome-trace JSON, loadable in
+    /// Perfetto / `chrome://tracing`.
+    pub out: String,
+    /// Fetch at most this many timelines (`--last`; server default 32).
+    pub last: Option<usize>,
+    /// Keep only timelines at least this long (`--min-ms`).
+    pub min_ms: Option<f64>,
+}
+
+/// `rsj trace export`: fetch recent request timelines from a running
+/// server's trace ring and write them as a Chrome-trace JSON file.
+pub fn run_trace_export(addr: &str, opts: &TraceExportOptions) -> Result<String, String> {
+    if opts.out.is_empty() {
+        return Err("missing --out <trace.json>".to_string());
+    }
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let timelines = client
+        .trace(opts.last, opts.min_ms, None)
+        .map_err(|e| format!("trace fetch failed: {e}"))?;
+    let mut json = rsj_obs::chrome_trace_json(&timelines);
+    json.push('\n');
+    std::fs::write(&opts.out, json).map_err(|e| format!("cannot write {}: {e}", opts.out))?;
+    Ok(format!(
+        "wrote {} timeline(s) to {}\n",
+        timelines.len(),
+        opts.out
+    ))
 }
 
 #[cfg(test)]

@@ -1,0 +1,132 @@
+//! Chrome-trace (Perfetto-loadable) export of request timelines.
+//!
+//! Emits the JSON object format — `{"traceEvents": [...]}` — using only
+//! complete (`"ph": "X"`) events, which are well-nested by construction:
+//! each timeline becomes one synthetic thread whose request-level event
+//! spans `[0, total_us]` and whose stage events sit inside it, clamped to
+//! the request's extent. Timestamps (`ts`) and durations (`dur`) are in
+//! microseconds, as the format requires.
+
+use crate::timeline::TimelineRecord;
+use serde_json::{json, Value};
+
+/// Renders `records` as a Chrome-trace JSON string. Each record gets its
+/// own `tid` (1-based, in input order) under a single `pid`, so Perfetto
+/// shows one lane per request. Stage events carry the record's trace id
+/// in `args`.
+pub fn chrome_trace_json(records: &[TimelineRecord]) -> String {
+    let mut events = Vec::new();
+    for (index, record) in records.iter().enumerate() {
+        let tid = index as u64 + 1;
+        events.push(event(
+            &format!("request:{}", record.op),
+            "request",
+            0,
+            record.total_us,
+            tid,
+            &record.trace_id,
+        ));
+        let mut stages: Vec<_> = record.stages.iter().collect();
+        // Sort by start, longest first on ties, so enclosing events
+        // precede the events they contain (the format's nesting rule).
+        stages.sort_by(|a, b| {
+            a.start_us
+                .cmp(&b.start_us)
+                .then(b.end_us.cmp(&a.end_us))
+                .then(a.name.cmp(&b.name))
+        });
+        for stage in stages {
+            let ts = stage.start_us.min(record.total_us);
+            let dur = stage.end_us.min(record.total_us).saturating_sub(ts);
+            events.push(event(&stage.name, "stage", ts, dur, tid, &record.trace_id));
+        }
+    }
+    let doc = json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    });
+    serde_json::to_string_pretty(&doc).expect("chrome trace serializes")
+}
+
+/// One complete ("X") trace event.
+fn event(name: &str, cat: &str, ts: u64, dur: u64, tid: u64, trace_id: &str) -> Value {
+    json!({
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": ts,
+        "dur": dur,
+        "pid": 1u64,
+        "tid": tid,
+        "args": json!({ "trace_id": trace_id }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::StageRecord;
+
+    fn sample() -> TimelineRecord {
+        TimelineRecord {
+            trace_id: "00000000000000000000000000000abc".to_string(),
+            op: "plan".to_string(),
+            total_us: 1_000,
+            stages: vec![
+                StageRecord {
+                    name: "queue_wait".to_string(),
+                    start_us: 0,
+                    end_us: 100,
+                },
+                StageRecord {
+                    name: "solve".to_string(),
+                    start_us: 120,
+                    end_us: 900,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn exports_parseable_x_events() {
+        let text = chrome_trace_json(&[sample()]);
+        let doc: Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        assert_eq!(events.len(), 3);
+        for e in events {
+            assert_eq!(e["ph"].as_str(), Some("X"));
+            assert!(e["ts"].as_u64().is_some());
+            assert!(e["dur"].as_u64().is_some());
+            assert_eq!(
+                e["args"]["trace_id"].as_str(),
+                Some("00000000000000000000000000000abc")
+            );
+        }
+        assert_eq!(events[0]["name"].as_str(), Some("request:plan"));
+        assert_eq!(events[0]["dur"].as_u64(), Some(1_000));
+    }
+
+    #[test]
+    fn stages_beyond_total_are_clamped_inside_the_request() {
+        let mut record = sample();
+        record.stages.push(StageRecord {
+            name: "late".to_string(),
+            start_us: 950,
+            end_us: 2_000,
+        });
+        let text = chrome_trace_json(&[record]);
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        for e in doc["traceEvents"].as_array().unwrap() {
+            let ts = e["ts"].as_u64().unwrap();
+            let dur = e["dur"].as_u64().unwrap();
+            assert!(ts + dur <= 1_000, "{e:?} escapes the request extent");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_still_valid() {
+        let text = chrome_trace_json(&[]);
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(doc["traceEvents"].as_array().unwrap().len(), 0);
+    }
+}

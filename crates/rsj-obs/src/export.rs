@@ -26,6 +26,16 @@ pub struct GaugeSample {
     pub value: f64,
 }
 
+/// An exported exemplar: the bucket's most recent traced sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExemplarSample {
+    /// The sample value.
+    pub value: f64,
+    /// The trace id of the request that produced it; resolvable to a
+    /// full timeline via the serving layer's `trace` op.
+    pub trace_id: String,
+}
+
 /// One histogram bucket: samples in `[lower, upper)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BucketSample {
@@ -35,6 +45,9 @@ pub struct BucketSample {
     pub upper: f64,
     /// Samples in the bucket.
     pub count: u64,
+    /// The bucket's exemplar, when a traced sample landed here.
+    #[serde(default)]
+    pub exemplar: Option<ExemplarSample>,
 }
 
 /// One histogram at snapshot time, with precomputed summary quantiles.
@@ -73,12 +86,16 @@ impl HistogramSample {
             p95: histogram.p95(),
             p99: histogram.p99(),
             buckets: histogram
-                .nonzero_buckets()
+                .nonzero_buckets_with_exemplars()
                 .into_iter()
-                .map(|(lower, upper, count)| BucketSample {
+                .map(|(lower, upper, count, exemplar)| BucketSample {
                     lower,
                     upper,
                     count,
+                    exemplar: exemplar.map(|e| ExemplarSample {
+                        value: e.value,
+                        trace_id: e.trace_id.clone(),
+                    }),
                 })
                 .collect(),
         }
@@ -137,6 +154,20 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "{name}_count {}", h.count);
             let _ = writeln!(out, "{name}_min {}", fmt_value(h.min));
             let _ = writeln!(out, "{name}_max {}", fmt_value(h.max));
+            // Exemplars ride as comments (the 0.0.4 text format has no
+            // native exemplar syntax): one line per traced bucket, tying
+            // the aggregate to a concrete, fetchable trace id.
+            for b in &h.buckets {
+                if let Some(e) = &b.exemplar {
+                    let _ = writeln!(
+                        out,
+                        "# exemplar {name}{{le=\"{}\"}} {} trace_id=\"{}\"",
+                        fmt_value(b.upper),
+                        fmt_value(e.value),
+                        e.trace_id.replace(['"', '\\', '\n'], "_"),
+                    );
+                }
+            }
         }
         out
     }
@@ -196,6 +227,7 @@ mod tests {
         for i in 1..=100 {
             h.observe(i as f64 / 1000.0);
         }
+        h.observe_with_exemplar(0.05, "0000000000000000000000000000beef");
         reg
     }
 
@@ -205,14 +237,37 @@ mod tests {
         for line in text.lines() {
             let ok = line.starts_with("# TYPE ")
                 || line.starts_with("# HELP ")
+                || exemplar_comment_ok(line)
                 || prometheus_sample_line_ok(line);
             assert!(ok, "bad exposition line: {line:?}");
         }
         assert!(text.contains("# TYPE rsj_jobs_total counter"));
         assert!(text.contains("rsj_jobs_total 12"));
         assert!(text.contains("# TYPE rsj_solve_seconds summary"));
-        assert!(text.contains("rsj_solve_seconds_count 100"));
+        assert!(text.contains("rsj_solve_seconds_count 101"));
         assert!(text.contains("rsj_solve_seconds{quantile=\"0.5\"}"));
+        assert!(
+            text.contains("trace_id=\"0000000000000000000000000000beef\""),
+            "exemplar comment missing: {text}"
+        );
+    }
+
+    /// `# exemplar name{le="upper"} value trace_id="id"` — the comment
+    /// form this crate emits for bucket exemplars.
+    fn exemplar_comment_ok(line: &str) -> bool {
+        let Some(rest) = line.strip_prefix("# exemplar ") else {
+            return false;
+        };
+        let Some((series, tail)) = rest.split_once("} ") else {
+            return false;
+        };
+        let Some((value, trace)) = tail.split_once(' ') else {
+            return false;
+        };
+        series.contains("{le=\"")
+            && value.parse::<f64>().is_ok()
+            && trace.starts_with("trace_id=\"")
+            && trace.ends_with('"')
     }
 
     /// `name{labels} value` with the value a decimal float.

@@ -22,6 +22,21 @@ pub const SUBBUCKETS: usize = 32;
 const MIN_EXP: i32 = -64;
 const MAX_EXP: i32 = 64;
 
+/// The bucket key reserved for exemplars of the underflow bucket
+/// (values `<= 0`); real buckets clamp their exponent to
+/// `[MIN_EXP, MAX_EXP]`, so this never collides.
+const UNDERFLOW_KEY: (i32, usize) = (i32::MIN, 0);
+
+/// An exemplar: one concrete sample retained alongside a bucket's count
+/// so an aggregate can be traced back to an individual request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// The sample value.
+    pub value: f64,
+    /// The trace id of the request that produced it.
+    pub trace_id: String,
+}
+
 /// A mergeable log-linear histogram. See the module docs.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Histogram {
@@ -34,6 +49,9 @@ pub struct Histogram {
     sum: f64,
     min: f64,
     max: f64,
+    /// Most recent traced sample per bucket, keyed like `buckets` plus
+    /// [`UNDERFLOW_KEY`]. Only populated by [`Histogram::record_with_exemplar`].
+    exemplars: BTreeMap<(i32, usize), Exemplar>,
 }
 
 impl Histogram {
@@ -46,6 +64,7 @@ impl Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            exemplars: BTreeMap::new(),
         }
     }
 
@@ -68,6 +87,29 @@ impl Histogram {
         self.buckets
             .entry(exp)
             .or_insert_with(|| vec![0; SUBBUCKETS])[sub] += 1;
+    }
+
+    /// Records one sample and retains it as its bucket's exemplar
+    /// (last-writer-wins: the bucket remembers its most recent traced
+    /// sample). Non-finite values are dropped exactly as in
+    /// [`Histogram::record`].
+    pub fn record_with_exemplar(&mut self, value: f64, trace_id: &str) {
+        if !value.is_finite() {
+            return;
+        }
+        let key = if value <= 0.0 {
+            UNDERFLOW_KEY
+        } else {
+            bucket_of(value)
+        };
+        self.record(value);
+        self.exemplars.insert(
+            key,
+            Exemplar {
+                value,
+                trace_id: trace_id.to_string(),
+            },
+        );
     }
 
     /// Records every sample in `values`.
@@ -177,6 +219,11 @@ impl Histogram {
                 *m += s;
             }
         }
+        // Exemplars are most-recent-wins: the merged-in histogram is the
+        // newer batch, so its exemplars replace ours where both exist.
+        for (key, exemplar) in &other.exemplars {
+            self.exemplars.insert(*key, exemplar.clone());
+        }
     }
 
     /// The non-empty buckets as `(lower, upper, count)` triples in
@@ -193,6 +240,25 @@ impl Histogram {
                     let lower = exp2(exp) * (1.0 + i as f64 / SUBBUCKETS as f64);
                     let upper = exp2(exp) * (1.0 + (i + 1) as f64 / SUBBUCKETS as f64);
                     out.push((lower, upper, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// [`Histogram::nonzero_buckets`] with each bucket's retained
+    /// exemplar, if any.
+    pub fn nonzero_buckets_with_exemplars(&self) -> Vec<(f64, f64, u64, Option<&Exemplar>)> {
+        let mut out = Vec::new();
+        if self.zero > 0 {
+            out.push((0.0, 0.0, self.zero, self.exemplars.get(&UNDERFLOW_KEY)));
+        }
+        for (&exp, subs) in &self.buckets {
+            for (i, &c) in subs.iter().enumerate() {
+                if c > 0 {
+                    let lower = exp2(exp) * (1.0 + i as f64 / SUBBUCKETS as f64);
+                    let upper = exp2(exp) * (1.0 + (i + 1) as f64 / SUBBUCKETS as f64);
+                    out.push((lower, upper, c, self.exemplars.get(&(exp, i))));
                 }
             }
         }
@@ -304,6 +370,40 @@ mod tests {
         for q in [0.1, 0.5, 0.9, 0.99] {
             assert_eq!(a.quantile(q), merged.quantile(q));
         }
+    }
+
+    #[test]
+    fn exemplars_track_the_most_recent_traced_sample() {
+        let mut h = Histogram::new();
+        h.record(4.05); // untraced: counted, no exemplar
+        h.record_with_exemplar(4.20, "trace-a");
+        h.record_with_exemplar(4.21, "trace-b"); // same sub-bucket: replaces
+        h.record_with_exemplar(-1.0, "trace-z"); // underflow bucket
+        h.record_with_exemplar(f64::NAN, "dropped");
+        assert_eq!(h.count(), 4);
+        let buckets = h.nonzero_buckets_with_exemplars();
+        assert_eq!(buckets.len(), 3);
+        let (lower, upper, count, exemplar) = &buckets[0];
+        assert_eq!((*lower, *upper, *count), (0.0, 0.0, 1));
+        assert_eq!(exemplar.unwrap().trace_id, "trace-z");
+        assert!(buckets[1].3.is_none(), "untraced bucket has no exemplar");
+        let exemplar = buckets[2].3.expect("traced bucket keeps an exemplar");
+        assert_eq!(exemplar.trace_id, "trace-b");
+        assert_eq!(exemplar.value, 4.21);
+        // Plain bucket views are unchanged by exemplars.
+        assert_eq!(h.nonzero_buckets().len(), 3);
+    }
+
+    #[test]
+    fn merge_adopts_the_newer_batch_exemplars() {
+        let mut a = Histogram::new();
+        a.record_with_exemplar(2.5, "old");
+        let mut b = Histogram::new();
+        b.record_with_exemplar(2.5, "new");
+        a.merge(&b);
+        let buckets = a.nonzero_buckets_with_exemplars();
+        assert_eq!(buckets[0].2, 2);
+        assert_eq!(buckets[0].3.unwrap().trace_id, "new");
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Observability for the reservation-strategies workspace: structured
 //! span/event tracing, a metrics registry with mergeable log-linear
-//! histograms, exporters (Prometheus text exposition and round-trip-exact
-//! JSON), and wall-clock profiling hooks.
+//! histograms (with per-bucket exemplars), exporters (Prometheus text
+//! exposition and round-trip-exact JSON), wall-clock profiling hooks,
+//! and per-request distributed tracing — [`TraceContext`] identities,
+//! [`Timeline`] stage recorders, a [`TraceRing`] of completed request
+//! timelines, and a Chrome-trace/Perfetto exporter
+//! ([`chrome_trace_json`]).
 //!
 //! The crate is built so that *disabled* observability is effectively
 //! free: every tracing macro and metrics guard reduces to one relaxed
@@ -34,22 +38,31 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod export;
 pub mod histogram;
 pub mod level;
 pub mod metrics;
+pub mod ring;
 pub mod subscribers;
+pub mod timeline;
 pub mod timer;
 pub mod trace;
 
+pub use chrome::chrome_trace_json;
 pub use export::{
-    sanitize_metric_name, write_metrics_file, BucketSample, CounterSample, GaugeSample,
-    HistogramSample, MetricsSnapshot,
+    sanitize_metric_name, write_metrics_file, BucketSample, CounterSample, ExemplarSample,
+    GaugeSample, HistogramSample, MetricsSnapshot,
 };
-pub use histogram::{Histogram, SUBBUCKETS};
+pub use histogram::{Exemplar, Histogram, SUBBUCKETS};
 pub use level::{parse_filter, Level, ParseLevelError};
 pub use metrics::{Counter, Gauge, HistogramHandle, Registry};
+pub use ring::TraceRing;
 pub use subscribers::{JsonLinesSink, MemorySink, StderrLogger};
+pub use timeline::{
+    request_tracing_enabled, set_request_tracing, set_trace_seed, StageRecord, Timeline,
+    TimelineRecord, TraceContext,
+};
 pub use timer::{NoopRecorder, Recorder, ScopedTimer, Stopwatch};
 pub use trace::{clear_subscriber, set_subscriber, Span, Subscriber};
 

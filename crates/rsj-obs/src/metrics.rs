@@ -69,6 +69,17 @@ impl HistogramHandle {
             .record(value);
     }
 
+    /// Records one sample and retains it as its bucket's exemplar, so
+    /// the exported aggregate points back at this request's trace id
+    /// (see [`Histogram::record_with_exemplar`]).
+    #[inline]
+    pub fn observe_with_exemplar(&self, value: f64, trace_id: &str) {
+        self.0
+            .lock()
+            .expect("histogram lock poisoned")
+            .record_with_exemplar(value, trace_id);
+    }
+
     /// Records a whole slice under one lock acquisition.
     pub fn observe_all(&self, values: &[f64]) {
         self.0

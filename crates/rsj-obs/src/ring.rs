@@ -1,0 +1,126 @@
+//! A fixed-capacity ring buffer of completed request timelines.
+//!
+//! Writers claim a slot with one `fetch_add` on the shared cursor and
+//! then swap the record in under that slot's own mutex — the lock guards
+//! a single pointer-sized store, is never held across allocation or I/O,
+//! and is only ever contended when two writers are a full lap apart on
+//! the same slot. Readers lock each slot just long enough to clone the
+//! `Arc`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::timeline::TimelineRecord;
+
+/// A bounded, concurrently writable buffer of the most recent
+/// [`TimelineRecord`]s. See the module docs for the locking discipline.
+#[derive(Debug)]
+pub struct TraceRing {
+    slots: Box<[Mutex<Option<Arc<TimelineRecord>>>]>,
+    /// Total records ever pushed; `cursor % capacity` is the next slot.
+    cursor: AtomicU64,
+}
+
+impl TraceRing {
+    /// A ring holding the last `capacity` records (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// How many records the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// How many records are currently held (saturates at capacity).
+    pub fn len(&self) -> usize {
+        (self.cursor.load(Ordering::Acquire) as usize).min(self.capacity())
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.cursor.load(Ordering::Acquire) == 0
+    }
+
+    /// Total records ever pushed (monotone; exceeds capacity once the
+    /// ring has wrapped).
+    pub fn pushed_total(&self) -> u64 {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    /// Stores `record`, evicting the oldest entry once full.
+    pub fn push(&self, record: TimelineRecord) {
+        let record = Arc::new(record);
+        let slot = self.cursor.fetch_add(1, Ordering::AcqRel) as usize % self.capacity();
+        *self.slots[slot].lock().expect("trace ring slot poisoned") = Some(record);
+    }
+
+    /// The most recent `n` records, newest first. Under concurrent
+    /// writers this is a best-effort snapshot: each slot is read
+    /// atomically, but a racing lap may reorder neighbours.
+    pub fn recent(&self, n: usize) -> Vec<Arc<TimelineRecord>> {
+        let cursor = self.cursor.load(Ordering::Acquire);
+        let take = n.min(self.capacity()).min(cursor as usize);
+        let mut out = Vec::with_capacity(take);
+        for back in 1..=take as u64 {
+            let slot = ((cursor - back) % self.capacity() as u64) as usize;
+            if let Some(record) = &*self.slots[slot].lock().expect("trace ring slot poisoned") {
+                out.push(Arc::clone(record));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tag: u64) -> TimelineRecord {
+        TimelineRecord {
+            trace_id: format!("{tag:032x}"),
+            op: "test".to_string(),
+            total_us: tag,
+            stages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn recent_returns_newest_first() {
+        let ring = TraceRing::new(4);
+        assert!(ring.is_empty());
+        assert!(ring.recent(10).is_empty());
+        for i in 0..3 {
+            ring.push(record(i));
+        }
+        let got = ring.recent(10);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].total_us, 2);
+        assert_eq!(got[2].total_us, 0);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn wraparound_keeps_the_last_capacity_records() {
+        let ring = TraceRing::new(3);
+        for i in 0..10 {
+            ring.push(record(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.pushed_total(), 10);
+        let got: Vec<u64> = ring.recent(10).iter().map(|r| r.total_us).collect();
+        assert_eq!(got, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = TraceRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(record(5));
+        assert_eq!(ring.recent(1)[0].total_us, 5);
+    }
+}

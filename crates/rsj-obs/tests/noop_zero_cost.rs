@@ -35,19 +35,26 @@ fn allocations() -> u64 {
 }
 
 /// A stand-in for an instrumented hot path: spans, leveled events with
-/// formatting arguments, a scoped timer and recorder calls.
+/// formatting arguments, a scoped timer, recorder calls, and a
+/// per-request timeline (disabled unless request tracing is on).
 fn instrumented_work(recorder: &impl Recorder, iterations: u64) -> f64 {
     let _timer = ScopedTimer::global("noop_test_wall_seconds");
     let _span = rsj_obs::span!("noop_test");
+    let epoch = std::time::Instant::now();
+    let mut timeline = rsj_obs::Timeline::begin_if_enabled(epoch);
     let mut acc = 0.0;
     for i in 0..iterations {
         // Formatting here would allocate; the macros must skip it.
         rsj_obs::debug!("iteration {} acc {}", i, acc);
         rsj_obs::trace!("fine-grained {}", i);
-        acc += (i as f64).sqrt();
+        acc += timeline.time("noop_stage", || (i as f64).sqrt());
         recorder.observe("noop_test_values", acc);
     }
+    timeline.record_span("noop_span", epoch, epoch);
     recorder.add("noop_test_iterations", iterations);
+    // A disabled timeline yields no record (and allocated nothing on the
+    // way here).
+    assert!(timeline.finish("noop").is_some() == rsj_obs::request_tracing_enabled());
     acc
 }
 
@@ -58,6 +65,7 @@ fn disabled_observability_does_not_allocate_or_record() {
     // assuming test ordering.
     rsj_obs::init(None);
     rsj_obs::set_metrics_enabled(false);
+    rsj_obs::set_request_tracing(false);
 
     // Warm up once so lazily initialized runtime structures (thread-local
     // registration, etc.) don't count against the measured region.
@@ -103,4 +111,22 @@ fn disabled_tracing_emits_nothing_to_a_sink_installed_later() {
         "live sink must receive span exits"
     );
     rsj_obs::clear_subscriber();
+}
+
+#[test]
+fn request_tracing_toggle_gates_timeline_capture() {
+    let _guard = GLOBAL_STATE.lock().unwrap();
+    rsj_obs::set_request_tracing(false);
+    let off = rsj_obs::Timeline::begin_if_enabled(std::time::Instant::now());
+    assert!(!off.is_enabled());
+    assert!(off.finish("noop").is_none());
+
+    rsj_obs::set_request_tracing(true);
+    let mut on = rsj_obs::Timeline::begin_if_enabled(std::time::Instant::now());
+    assert!(on.is_enabled());
+    on.time("stage_a", || ());
+    let record = on.finish("noop").expect("enabled timeline yields a record");
+    assert_eq!(record.op, "noop");
+    assert!(record.stage_us("stage_a").is_some());
+    rsj_obs::set_request_tracing(false);
 }

@@ -37,6 +37,17 @@ pub enum ClientError {
     },
     /// The circuit breaker is open; the request was not sent.
     CircuitOpen,
+    /// A [`ResilientClient`](crate::retry::ResilientClient) exhausted its
+    /// retry budget. Carries the trace id of the final attempt so the
+    /// failure can be correlated with server-side timelines and logs.
+    RetriesExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The trace id the final attempt carried.
+        trace_id: String,
+        /// The error the final attempt failed with.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -53,6 +64,14 @@ impl std::fmt::Display for ClientError {
                 write!(f, "response line exceeds {limit} bytes")
             }
             ClientError::CircuitOpen => f.write_str("circuit breaker open; request not sent"),
+            ClientError::RetriesExhausted {
+                attempts,
+                trace_id,
+                last,
+            } => write!(
+                f,
+                "retries exhausted after {attempts} attempts (trace_id={trace_id}): {last}"
+            ),
         }
     }
 }
@@ -61,6 +80,7 @@ impl std::error::Error for ClientError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ClientError::Io(e) => Some(e),
+            ClientError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -192,6 +212,28 @@ impl Client {
             Response::Metrics { prometheus, .. } => Ok(prometheus),
             other => Err(ClientError::Protocol(format!(
                 "expected metrics, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches recent request timelines from the server's trace ring:
+    /// the newest `last` (server default when `None`), optionally kept
+    /// only when at least `min_duration_ms` long or matching an exact
+    /// `trace_id`.
+    pub fn trace(
+        &mut self,
+        last: Option<usize>,
+        min_duration_ms: Option<f64>,
+        trace_id: Option<&str>,
+    ) -> Result<Vec<rsj_obs::TimelineRecord>, ClientError> {
+        let request = Request::trace_query(last, min_duration_ms, trace_id.map(str::to_owned));
+        match self.call(&request)? {
+            Response::Trace { timelines, .. } => Ok(timelines),
+            Response::Error { kind, message, .. } => Err(ClientError::Protocol(format!(
+                "trace query failed: {kind}: {message}"
+            ))),
+            other => Err(ClientError::Protocol(format!(
+                "expected trace, got {other:?}"
             ))),
         }
     }

@@ -75,8 +75,8 @@ pub use chaos::{ChaosPolicy, ChaosProxy, Corruption, CorruptionPolicy, ProxyHand
 pub use client::{Client, ClientError};
 pub use journal::{JournalRecord, JournalWriter, RecordFault, RecordScanner};
 pub use protocol::{
-    classify, decode_request, encode, ErrorKind, HealthInfo, Provenance, Request, Response,
-    Timings, PROTOCOL_VERSION,
+    classify, decode_request, encode, sanitize_trace_id, ErrorKind, HealthInfo, Provenance,
+    Request, Response, Timings, PROTOCOL_VERSION,
 };
 pub use recovery::{recover, RecoveryStats};
 pub use retry::{

@@ -1,11 +1,17 @@
 //! The versioned wire protocol: line-delimited JSON over TCP.
 //!
 //! Every message is one JSON object on one line, terminated by `\n`.
-//! Requests carry an `op` tag (`plan`, `metrics`, `ping`, `shutdown`) and a
-//! protocol version `v`; responses carry a `status` tag (`plan`, `metrics`,
-//! `pong`, `shutting_down`, `error`). Unknown ops, malformed JSON and
-//! unsupported versions all produce a typed [`Response::Error`] — the
-//! connection stays usable afterwards.
+//! Requests carry an `op` tag (`plan`, `trace`, `metrics`, `ping`,
+//! `shutdown`) and a protocol version `v`; responses carry a `status` tag
+//! (`plan`, `trace`, `metrics`, `pong`, `shutting_down`, `error`).
+//! Unknown ops, malformed JSON and unsupported versions all produce a
+//! typed [`Response::Error`] — the connection stays usable afterwards.
+//!
+//! Plan requests may carry a client-chosen `trace_id`; the server adopts
+//! and echoes it on every reply to that request — success, typed error,
+//! or an `overloaded`/`not_ready` shed — so client and server logs join
+//! on one key. `trace: true` additionally embeds the server-side stage
+//! timeline in the response.
 //!
 //! The `plan` request body reuses the workspace's own serde shapes
 //! ([`DistSpec`], [`CostModel`], [`SolverSpec`], [`SimulateOptions`]), so a
@@ -65,6 +71,34 @@ pub enum Request {
         /// the solver cooperatively.
         #[serde(default, skip_serializing_if = "Option::is_none")]
         deadline_ms: Option<u64>,
+        /// Client-supplied trace id. The server adopts it (instead of
+        /// generating one) and echoes it in the response — including
+        /// error and shed responses — so client and server logs join.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace_id: Option<String>,
+        /// Ask the server to record a stage timeline for this request and
+        /// embed it in the response, even when the server-wide trace ring
+        /// is off.
+        #[serde(default)]
+        trace: bool,
+    },
+    /// Fetch recent request timelines from the server's trace ring
+    /// (requires the server to run with `--trace-buffer`).
+    Trace {
+        /// Protocol version.
+        #[serde(default = "default_version")]
+        v: u32,
+        /// At most this many timelines, newest first (server-capped at
+        /// the ring capacity; defaults to 32).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        last: Option<usize>,
+        /// Only timelines at least this long, in milliseconds.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        min_duration_ms: Option<f64>,
+        /// Only the timeline(s) with exactly this trace id (a filter, not
+        /// an identity for the trace request itself).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace_id: Option<String>,
     },
     /// Fetch the server's metrics in Prometheus text exposition format.
     Metrics {
@@ -113,6 +147,8 @@ impl Request {
             seed: None,
             simulate: None,
             deadline_ms: None,
+            trace_id: None,
+            trace: false,
         }
     }
 
@@ -126,6 +162,8 @@ impl Request {
             seed: None,
             simulate: None,
             deadline_ms: None,
+            trace_id: None,
+            trace: false,
         }
     }
 
@@ -136,6 +174,51 @@ impl Request {
             *deadline_ms = Some(ms);
         }
         self
+    }
+
+    /// Attaches a client-chosen trace id to a plan request (or sets the
+    /// id filter on a trace request); a no-op for the other ops.
+    pub fn with_trace_id(mut self, id: impl Into<String>) -> Self {
+        match &mut self {
+            Request::Plan { trace_id, .. } | Request::Trace { trace_id, .. } => {
+                *trace_id = Some(id.into());
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// Asks for an embedded stage timeline on a plan request; a no-op for
+    /// the other ops.
+    pub fn with_trace(mut self) -> Self {
+        if let Request::Plan { trace, .. } = &mut self {
+            *trace = true;
+        }
+        self
+    }
+
+    /// The trace id the request carries, if any.
+    pub fn trace_id(&self) -> Option<&str> {
+        match self {
+            Request::Plan { trace_id, .. } | Request::Trace { trace_id, .. } => trace_id.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// A trace-ring query: at most `last` timelines (newest first),
+    /// optionally only those at least `min_duration_ms` long or matching
+    /// `trace_id` exactly.
+    pub fn trace_query(
+        last: Option<usize>,
+        min_duration_ms: Option<f64>,
+        trace_id: Option<String>,
+    ) -> Self {
+        Request::Trace {
+            v: PROTOCOL_VERSION,
+            last,
+            min_duration_ms,
+            trace_id,
+        }
     }
 
     /// A metrics request.
@@ -177,6 +260,7 @@ impl Request {
     pub fn version(&self) -> u32 {
         match *self {
             Request::Plan { v, .. }
+            | Request::Trace { v, .. }
             | Request::Metrics { v }
             | Request::Ping { v }
             | Request::Health { v }
@@ -184,6 +268,18 @@ impl Request {
             | Request::Shutdown { v } => v,
         }
     }
+}
+
+/// Validates a client-supplied trace id for adoption: trimmed, non-empty,
+/// at most 64 printable-ASCII characters. Anything else is treated as
+/// absent rather than rejected — a bad trace id should never fail a
+/// request.
+pub fn sanitize_trace_id(id: Option<&str>) -> Option<String> {
+    let id = id?.trim();
+    if id.is_empty() || id.len() > 64 || !id.chars().all(|c| c.is_ascii_graphic()) {
+        return None;
+    }
+    Some(id.to_string())
 }
 
 /// Where a plan response came from and who produced it.
@@ -253,6 +349,8 @@ pub enum ErrorKind {
     /// The request's `deadline_ms` expired — in the queue, or mid-solve
     /// (the solver was cancelled cooperatively).
     DeadlineExceeded,
+    /// A `trace` op hit a server running without `--trace-buffer`.
+    TracingDisabled,
     /// Anything else (worker pool failures, internal bugs).
     Internal,
 }
@@ -272,6 +370,7 @@ impl std::fmt::Display for ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::NotReady => "not_ready",
             ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::TracingDisabled => "tracing_disabled",
             ErrorKind::Internal => "internal",
         };
         f.write_str(s)
@@ -351,6 +450,22 @@ pub enum Response {
         provenance: Provenance,
         /// Wall-clock breakdown.
         timings: Timings,
+        /// The request's trace id (echoed when the client sent one,
+        /// server-generated when tracing is on, absent otherwise).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace_id: Option<String>,
+        /// The server-side stage timeline, when the request asked for it
+        /// with `trace: true`.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        timeline: Option<rsj_obs::TimelineRecord>,
+    },
+    /// Recent request timelines from the server's trace ring, newest
+    /// first.
+    Trace {
+        /// Protocol version.
+        v: u32,
+        /// The matching timelines.
+        timelines: Vec<rsj_obs::TimelineRecord>,
     },
     /// Metrics in Prometheus text exposition format.
     Metrics {
@@ -391,6 +506,10 @@ pub enum Response {
         kind: ErrorKind,
         /// Human-readable explanation.
         message: String,
+        /// The request's trace id, echoed even on failures and sheds so
+        /// client-side errors join to server-side timelines.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace_id: Option<String>,
     },
 }
 
@@ -401,7 +520,46 @@ impl Response {
             v: PROTOCOL_VERSION,
             kind,
             message: message.into(),
+            trace_id: None,
         }
+    }
+
+    /// [`Response::error`] carrying the request's trace id.
+    pub fn error_traced(
+        kind: ErrorKind,
+        message: impl Into<String>,
+        trace_id: Option<String>,
+    ) -> Self {
+        Response::Error {
+            v: PROTOCOL_VERSION,
+            kind,
+            message: message.into(),
+            trace_id,
+        }
+    }
+
+    /// The trace id the response carries, if any.
+    pub fn trace_id(&self) -> Option<&str> {
+        match self {
+            Response::Plan { trace_id, .. } | Response::Error { trace_id, .. } => {
+                trace_id.as_deref()
+            }
+            _ => None,
+        }
+    }
+
+    /// Stamps `id` onto the variants that carry a trace id (plan and
+    /// error responses); a no-op for the rest.
+    pub fn with_trace_id(mut self, id: Option<String>) -> Self {
+        if id.is_some() {
+            match &mut self {
+                Response::Plan { trace_id, .. } | Response::Error { trace_id, .. } => {
+                    *trace_id = id;
+                }
+                _ => {}
+            }
+        }
+        self
     }
 }
 
@@ -512,6 +670,80 @@ mod tests {
         ] {
             assert!(!kind.is_retryable(), "{kind}");
         }
+    }
+
+    #[test]
+    fn trace_fields_round_trip_and_default_off() {
+        let req =
+            decode_request(r#"{"op":"plan","distribution":{"family":"exponential","lambda":1.0}}"#)
+                .unwrap();
+        assert!(matches!(
+            req,
+            Request::Plan {
+                trace_id: None,
+                trace: false,
+                ..
+            }
+        ));
+        let req = Request::plan(DistSpec::Exponential { lambda: 1.0 })
+            .with_trace_id("abc123")
+            .with_trace();
+        assert_eq!(req.trace_id(), Some("abc123"));
+        let line = encode(&req).unwrap();
+        assert!(line.contains(r#""trace_id":"abc123""#), "{line}");
+        assert_eq!(decode_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn trace_op_round_trips() {
+        let req = decode_request(r#"{"op":"trace","last":5,"min_duration_ms":2.5}"#).unwrap();
+        assert_eq!(req, Request::trace_query(Some(5), Some(2.5), None));
+        let resp = Response::Trace {
+            v: PROTOCOL_VERSION,
+            timelines: vec![rsj_obs::TimelineRecord {
+                trace_id: "deadbeef".to_string(),
+                op: "plan".to_string(),
+                total_us: 1234,
+                stages: vec![rsj_obs::StageRecord {
+                    name: "solve".to_string(),
+                    start_us: 10,
+                    end_us: 1200,
+                }],
+            }],
+        };
+        let line = encode(&resp).unwrap();
+        assert!(line.contains(r#""status":"trace""#), "{line}");
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn error_responses_echo_trace_ids() {
+        let resp = Response::error_traced(ErrorKind::Overloaded, "try later", Some("t-1".into()));
+        assert_eq!(resp.trace_id(), Some("t-1"));
+        let line = encode(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.trace_id(), Some("t-1"));
+        // Stamping only fills variants that carry an id, and never erases.
+        let stamped = Response::error(ErrorKind::Internal, "x").with_trace_id(Some("t-2".into()));
+        assert_eq!(stamped.trace_id(), Some("t-2"));
+        let pong = Response::Pong {
+            v: PROTOCOL_VERSION,
+        }
+        .with_trace_id(Some("ignored".into()));
+        assert_eq!(pong.trace_id(), None);
+    }
+
+    #[test]
+    fn trace_id_sanitizer_rejects_junk() {
+        assert_eq!(sanitize_trace_id(Some(" ab12 ")).as_deref(), Some("ab12"));
+        assert_eq!(sanitize_trace_id(None), None);
+        assert_eq!(sanitize_trace_id(Some("")), None);
+        assert_eq!(sanitize_trace_id(Some("   ")), None);
+        assert_eq!(sanitize_trace_id(Some("has space")), None);
+        assert_eq!(sanitize_trace_id(Some("new\nline")), None);
+        assert_eq!(sanitize_trace_id(Some(&"x".repeat(65))), None);
+        assert!(sanitize_trace_id(Some(&"x".repeat(64))).is_some());
     }
 
     #[test]

@@ -253,6 +253,7 @@ pub struct ResilientClient {
     conn: Option<Client>,
     calls: u64,
     retries_spent: u32,
+    last_trace_id: Option<String>,
 }
 
 impl ResilientClient {
@@ -269,6 +270,7 @@ impl ResilientClient {
             conn: None,
             calls: 0,
             retries_spent: 0,
+            last_trace_id: None,
         }
     }
 
@@ -276,6 +278,13 @@ impl ResilientClient {
     /// policy's `retry_budget`).
     pub fn retries_spent(&self) -> u32 {
         self.retries_spent
+    }
+
+    /// The trace id the most recent [`call`](Self::call) carried (the
+    /// caller's own, or the one this client minted for an untraced plan
+    /// request). `None` until a traceable request has been sent.
+    pub fn last_trace_id(&self) -> Option<&str> {
+        self.last_trace_id.as_deref()
     }
 
     /// The breaker's state at `now` (diagnostic).
@@ -290,12 +299,36 @@ impl ResilientClient {
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         let call = self.calls;
         self.calls += 1;
+        // Mint a trace id for plan requests that lack one, so every
+        // attempt of this call — and the server's logs, timelines and
+        // exemplars — correlate under a single id. (A `trace` op's id
+        // field is a *filter*, never auto-filled.)
+        let minted;
+        let request = match request {
+            Request::Plan { trace_id: None, .. } => {
+                minted = request
+                    .clone()
+                    .with_trace_id(rsj_obs::TraceContext::generate().trace_id_hex());
+                &minted
+            }
+            _ => request,
+        };
+        if let Some(id) = request.trace_id() {
+            self.last_trace_id = Some(id.to_owned());
+        }
+        let trace_id = request.trace_id().unwrap_or("untraced");
         let mut retry: u32 = 0;
         loop {
             if !self.breaker.allow(Instant::now()) {
                 return Err(ClientError::CircuitOpen);
             }
             let outcome = self.attempt(request);
+            rsj_obs::debug!(
+                "call {call} attempt {}/{} trace_id={trace_id}: {}",
+                retry + 1,
+                self.policy.max_attempts,
+                describe_outcome(&outcome),
+            );
             let class = match &outcome {
                 Ok(response) => classify_response(response),
                 Err(e) => {
@@ -318,7 +351,18 @@ impl ResilientClient {
             if retry + 1 >= self.policy.max_attempts
                 || self.retries_spent >= self.policy.retry_budget
             {
-                return outcome;
+                // A retryable *response* is still a server answer — return
+                // it faithfully. Only transport errors get wrapped, so the
+                // caller learns the trace id and attempt count of a call
+                // that never produced an answer at all.
+                return match outcome {
+                    Ok(response) => Ok(response),
+                    Err(last) => Err(ClientError::RetriesExhausted {
+                        attempts: retry + 1,
+                        trace_id: trace_id.to_owned(),
+                        last: Box::new(last),
+                    }),
+                };
             }
             let pause = match class {
                 // Constant base pause while warming: recovery finishes on
@@ -351,6 +395,15 @@ impl ResilientClient {
             self.conn = None;
         }
         result
+    }
+}
+
+/// One-line outcome description for the per-attempt debug log.
+fn describe_outcome(outcome: &Result<Response, ClientError>) -> String {
+    match outcome {
+        Ok(Response::Error { kind, .. }) => format!("server error: {kind}"),
+        Ok(_) => "ok".to_string(),
+        Err(e) => format!("transport error: {e}"),
     }
 }
 

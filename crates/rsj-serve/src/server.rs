@@ -45,8 +45,8 @@ use crate::cache::PlanCache;
 use crate::chaos::ChaosPolicy;
 use crate::journal::{JournalRecord, JournalWriter, JOURNAL_FILE};
 use crate::protocol::{
-    classify, decode_request, encode, ErrorKind, HealthInfo, Provenance, Request, Response,
-    Timings, PROTOCOL_VERSION,
+    classify, decode_request, encode, sanitize_trace_id, ErrorKind, HealthInfo, Provenance,
+    Request, Response, Timings, PROTOCOL_VERSION,
 };
 use crate::recovery::{recover, RecoveryStats};
 use crate::singleflight::{Flighted, SingleFlight};
@@ -113,6 +113,13 @@ pub struct ServerConfig {
     /// Crash-safety settings; `None` serves memory-only (a restart loses
     /// the cache).
     pub durability: Option<DurabilityConfig>,
+    /// Retain the last this many request timelines in a ring buffer,
+    /// served by the `trace` op (0 disables server-side tracing; requests
+    /// asking `trace: true` still get a per-request timeline).
+    pub trace_buffer: usize,
+    /// Emit one warn-level event with the full stage breakdown for any
+    /// request slower than this many milliseconds (`None` disables).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -128,6 +135,8 @@ impl Default for ServerConfig {
             admission: AdmissionConfig::default(),
             chaos: None,
             durability: None,
+            trace_buffer: 0,
+            slow_ms: None,
         }
     }
 }
@@ -184,6 +193,9 @@ struct Shared {
     /// The journal writer; `None` until recovery installs it (and always
     /// `None` without a [`DurabilityConfig`]).
     journal: Mutex<Option<JournalState>>,
+    /// Completed request timelines, served by the `trace` op; `None`
+    /// when the server runs without `--trace-buffer`.
+    trace: Option<rsj_obs::TraceRing>,
 }
 
 impl Shared {
@@ -294,6 +306,7 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let cache = PlanCache::new(config.cache_capacity, config.cache_shards);
         let admission = AdmissionQueue::new(config.admission);
+        let trace = (config.trace_buffer > 0).then(|| rsj_obs::TraceRing::new(config.trace_buffer));
         let shared = Arc::new(Shared {
             config,
             cache,
@@ -303,6 +316,7 @@ impl Server {
             recovered: AtomicBool::new(false),
             recovery: Mutex::new(None),
             journal: Mutex::new(None),
+            trace,
         });
         Ok(Self {
             local_addr,
@@ -500,20 +514,49 @@ fn worker_loop(shared: &Shared) {
 /// hostile peer cannot wedge the accept loop.
 fn shed_connection(stream: TcpStream, shared: &Shared) {
     counter("rsj_serve_shed_total").inc();
+    let trace_id = shed_trace_id(&stream);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
     let mut writer = BufWriter::new(stream);
     let config = shared.admission.config();
     let _ = write_response(
         &mut writer,
-        &Response::error(
+        &Response::error_traced(
             ErrorKind::Overloaded,
             format!(
                 "admission queue above its high watermark ({} queued ≥ {}); retry with backoff",
                 shared.admission.depth(),
                 config.high_watermark
             ),
+            trace_id,
         ),
     );
+}
+
+/// Best-effort peek at a shed request's `trace_id`, so even an
+/// `overloaded` reply joins the client's logs. Bounded like the shed
+/// write: one read of at most 64 KiB under a 100 ms timeout — clients
+/// write their request at connect, so the line is normally already
+/// buffered, and a silent peer costs the accept loop at most the grace
+/// window (the same order as the existing 200 ms write timeout).
+fn shed_trace_id(stream: &TcpStream) -> Option<String> {
+    #[derive(serde::Deserialize)]
+    struct TraceIdField {
+        #[serde(default)]
+        trace_id: Option<String>,
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut line = String::new();
+    match Read::by_ref(&mut reader)
+        .take(64 * 1024)
+        .read_line(&mut line)
+    {
+        Ok(n) if n > 0 => {
+            let parsed: TraceIdField = serde_json::from_str(line.trim()).ok()?;
+            sanitize_trace_id(parsed.trace_id.as_deref())
+        }
+        _ => None,
+    }
 }
 
 fn counter(name: &str) -> rsj_obs::Counter {
@@ -598,6 +641,7 @@ fn handle_connection(pending: Pending, shared: &Shared) -> std::io::Result<()> {
         accepted_at,
         conn_id,
     } = pending;
+    let dequeued_at = Instant::now();
     stream.set_read_timeout(Some(READ_POLL))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -626,6 +670,7 @@ fn handle_connection(pending: Pending, shared: &Shared) -> std::io::Result<()> {
         if line.trim().is_empty() {
             continue;
         }
+        let is_first = first_base.is_some();
         let base = first_base.take().unwrap_or_else(Instant::now);
 
         served += 1;
@@ -656,17 +701,71 @@ fn handle_connection(pending: Pending, shared: &Shared) -> std::io::Result<()> {
 
         let started = Instant::now();
         counter("rsj_serve_requests_total").inc();
-        let (response, is_shutdown) = dispatch(shared, &line, base);
+        let decoded = decode_request(&line);
+        let decode_ended = Instant::now();
+        let (client_trace_id, want_trace) = match &decoded {
+            Ok(Request::Plan {
+                trace_id, trace, ..
+            }) => (sanitize_trace_id(trace_id.as_deref()), *trace),
+            _ => (None, false),
+        };
+        let op = op_name(&decoded);
+        // A timeline exists when the server retains traces, when slow
+        // logging needs a breakdown, or when this request asked for one.
+        // Otherwise the disabled timeline allocates nothing and every
+        // recording call below is a branch on `None`.
+        let tracing = want_trace || shared.trace.is_some() || shared.config.slow_ms.is_some();
+        let mut timeline = if tracing {
+            let mut t = rsj_obs::Timeline::begin(rsj_obs::TraceContext::generate(), base);
+            if let Some(id) = &client_trace_id {
+                t.adopt_trace_id(id.clone());
+            }
+            if is_first {
+                t.record_span("queue_wait", accepted_at, dequeued_at);
+            }
+            t.record_span("decode", started, decode_ended);
+            t
+        } else {
+            rsj_obs::Timeline::disabled()
+        };
+        // Generate-or-adopt: every response carries the client's id when
+        // it sent one, or the server-minted id when tracing is on.
+        let trace_id = timeline.trace_id().or_else(|| client_trace_id.clone());
+        let (response, is_shutdown) = dispatch(shared, decoded, base, &mut timeline);
+        let response = response.with_trace_id(trace_id.clone());
         if let Response::Error { kind, .. } = &response {
             counter("rsj_serve_errors_total").inc();
             if *kind == ErrorKind::DeadlineExceeded {
                 counter("rsj_serve_deadline_exceeded_total").inc();
             }
         }
-        rsj_obs::global_registry()
-            .histogram("rsj_serve_request_seconds")
-            .observe(started.elapsed().as_secs_f64());
+        let elapsed = started.elapsed().as_secs_f64();
+        let registry = rsj_obs::global_registry();
+        let aggregate = registry.histogram("rsj_serve_request_seconds");
+        let per_op = registry.histogram(per_op_histogram(op));
+        match &trace_id {
+            Some(id) => {
+                aggregate.observe_with_exemplar(elapsed, id);
+                per_op.observe_with_exemplar(elapsed, id);
+            }
+            None => {
+                aggregate.observe(elapsed);
+                per_op.observe(elapsed);
+            }
+        }
+        let write_started = Instant::now();
         write_response(&mut writer, &response)?;
+        timeline.record_span("write", write_started, Instant::now());
+        if let Some(record) = timeline.finish(op) {
+            if let Some(slow_ms) = shared.config.slow_ms {
+                if record.total_us >= slow_ms.saturating_mul(1_000) {
+                    warn_slow_request(&record, slow_ms);
+                }
+            }
+            if let Some(ring) = &shared.trace {
+                ring.push(record);
+            }
+        }
         if is_shutdown {
             shared.shutdown.store(true, Ordering::SeqCst);
         }
@@ -689,10 +788,99 @@ fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io::Res
     writer.flush()
 }
 
-/// Decodes and answers one request line; `base` anchors the request's
-/// deadline. The bool is "shutdown requested".
-fn dispatch(shared: &Shared, line: &str, base: Instant) -> (Response, bool) {
-    let request = match decode_request(line) {
+/// The request's op as a static label (for per-op metrics and timeline
+/// records) — no allocation on the request path.
+fn op_name(decoded: &Result<Request, (ErrorKind, String)>) -> &'static str {
+    match decoded {
+        Ok(Request::Plan { .. }) => "plan",
+        Ok(Request::Trace { .. }) => "trace",
+        Ok(Request::Metrics { .. }) => "metrics",
+        Ok(Request::Ping { .. }) => "ping",
+        Ok(Request::Health { .. }) => "health",
+        Ok(Request::Ready { .. }) => "ready",
+        Ok(Request::Shutdown { .. }) => "shutdown",
+        Err(_) => "invalid",
+    }
+}
+
+/// The per-op latency series: `rsj_serve_request_seconds_<op>`. Static
+/// names (the registry is unlabelled) so the hot path never formats.
+/// The aggregate `rsj_serve_request_seconds` series is kept alongside
+/// for dashboard continuity.
+fn per_op_histogram(op: &str) -> &'static str {
+    match op {
+        "plan" => "rsj_serve_request_seconds_plan",
+        "trace" => "rsj_serve_request_seconds_trace",
+        "metrics" => "rsj_serve_request_seconds_metrics",
+        "ping" => "rsj_serve_request_seconds_ping",
+        "health" => "rsj_serve_request_seconds_health",
+        "ready" => "rsj_serve_request_seconds_ready",
+        "shutdown" => "rsj_serve_request_seconds_shutdown",
+        _ => "rsj_serve_request_seconds_invalid",
+    }
+}
+
+/// The single warn-level slow-request event: trace id, op, total and the
+/// full stage breakdown in one line, so log pipelines keep it atomic.
+fn warn_slow_request(record: &rsj_obs::TimelineRecord, slow_ms: u64) {
+    use std::fmt::Write as _;
+    let mut stages = String::new();
+    for s in &record.stages {
+        let _ = write!(
+            stages,
+            " {}={:.3}ms",
+            s.name,
+            s.duration_us() as f64 / 1_000.0
+        );
+    }
+    rsj_obs::warn!(
+        "slow request trace_id={} op={} total={:.3}ms threshold={slow_ms}ms stages:{stages}",
+        record.trace_id,
+        record.op,
+        record.total_us as f64 / 1_000.0,
+    );
+}
+
+/// Answers a `trace` op: the ring's newest records, filtered, as wire
+/// timelines. Filters apply across the whole ring; `last` caps the
+/// filtered result.
+fn handle_trace(
+    shared: &Shared,
+    last: Option<usize>,
+    min_duration_ms: Option<f64>,
+    trace_id: Option<String>,
+) -> Response {
+    const TRACE_DEFAULT_LAST: usize = 32;
+    let Some(ring) = &shared.trace else {
+        return Response::error(
+            ErrorKind::TracingDisabled,
+            "server runs without --trace-buffer; no timelines are retained",
+        );
+    };
+    let timelines = ring
+        .recent(ring.capacity())
+        .into_iter()
+        .filter(|r| min_duration_ms.is_none_or(|ms| r.total_us as f64 / 1_000.0 >= ms))
+        .filter(|r| trace_id.as_deref().is_none_or(|id| r.trace_id == id))
+        .take(last.unwrap_or(TRACE_DEFAULT_LAST))
+        .map(|r| (*r).clone())
+        .collect();
+    Response::Trace {
+        v: PROTOCOL_VERSION,
+        timelines,
+    }
+}
+
+/// Answers one decoded request; `base` anchors the request's deadline
+/// and `timeline` accumulates its stage intervals. The bool is
+/// "shutdown requested".
+fn dispatch(
+    shared: &Shared,
+    decoded: Result<Request, (ErrorKind, String)>,
+    base: Instant,
+    timeline: &mut rsj_obs::Timeline,
+) -> (Response, bool) {
+    let request = match decoded {
         Ok(request) => request,
         Err((kind, message)) => return (Response::error(kind, message), false),
     };
@@ -738,6 +926,12 @@ fn dispatch(shared: &Shared, line: &str, base: Instant) -> (Response, bool) {
             },
             true,
         ),
+        Request::Trace {
+            last,
+            min_duration_ms,
+            trace_id,
+            ..
+        } => (handle_trace(shared, last, min_duration_ms, trace_id), false),
         Request::Plan {
             distribution,
             cost,
@@ -745,6 +939,7 @@ fn dispatch(shared: &Shared, line: &str, base: Instant) -> (Response, bool) {
             seed,
             simulate,
             deadline_ms,
+            trace,
             ..
         } => {
             // A recovering server sheds plan work with a typed
@@ -758,10 +953,25 @@ fn dispatch(shared: &Shared, line: &str, base: Instant) -> (Response, bool) {
                 );
             }
             let deadline = deadline_ms.map(|ms| base + Duration::from_millis(ms));
-            (
-                handle_plan(shared, distribution, cost, solver, seed, simulate, deadline),
-                false,
-            )
+            let mut response = handle_plan(
+                shared,
+                distribution,
+                cost,
+                solver,
+                seed,
+                simulate,
+                deadline,
+                timeline,
+            );
+            // The `write` span can't be in this snapshot (the response is
+            // serialized after it's built); the ring's copy of the same
+            // trace, pushed after the write completes, has it.
+            if trace {
+                if let Response::Plan { timeline: slot, .. } = &mut response {
+                    *slot = timeline.snapshot("plan");
+                }
+            }
+            (response, false)
         }
     }
 }
@@ -798,6 +1008,7 @@ fn deadline_response(deadline: Instant) -> Response {
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_plan(
     shared: &Shared,
     distribution: DistSpec,
@@ -806,6 +1017,7 @@ fn handle_plan(
     seed: Option<u64>,
     simulate: Option<SimulateOptions>,
     deadline: Option<Instant>,
+    timeline: &mut rsj_obs::Timeline,
 ) -> Response {
     let started = Instant::now();
     // Shed-at-dequeue: a request whose deadline lapsed while queued is
@@ -830,21 +1042,24 @@ fn handle_plan(
         Ok(planner) => planner,
         Err(e) => return Response::error(classify(&e), e.to_string()),
     };
-    let build_seconds = started.elapsed().as_secs_f64();
+    let build_ended = Instant::now();
+    timeline.record_span("build", started, build_ended);
+    let build_seconds = (build_ended - started).as_secs_f64();
 
     let key = full_cache_key(&planner, simulate);
-    if let Some(key) = key.as_deref() {
-        if let Some(cached) = shared.cache.get(key) {
-            counter("rsj_serve_cache_hits_total").inc();
-            return plan_response(
-                &planner,
-                (*cached).clone(),
-                Origin::Cached,
-                build_seconds,
-                0.0,
-                started,
-            );
-        }
+    let cached = timeline.time("cache_lookup", || {
+        key.as_deref().and_then(|key| shared.cache.get(key))
+    });
+    if let Some(cached) = cached {
+        counter("rsj_serve_cache_hits_total").inc();
+        return plan_response(
+            &planner,
+            (*cached).clone(),
+            Origin::Cached,
+            build_seconds,
+            0.0,
+            started,
+        );
     }
     counter("rsj_serve_cache_misses_total").inc();
 
@@ -857,10 +1072,10 @@ fn handle_plan(
             key,
             deadline,
             Err((ErrorKind::Internal, "in-flight solve abandoned".to_string())),
-            || solve(shared, &planner, key, deadline),
+            || solve(shared, &planner, key, deadline, timeline),
         ),
         // Uncacheable requests have no stable identity to coalesce on.
-        None => Flighted::Led(solve_uncached(&planner, deadline)),
+        None => Flighted::Led(solve_uncached(&planner, deadline, timeline)),
     };
     let solve_seconds = solve_started.elapsed().as_secs_f64();
     let (outcome, origin) = match flighted {
@@ -870,6 +1085,9 @@ fn handle_plan(
         }
         Flighted::Joined(outcome) => {
             counter("rsj_serve_singleflight_coalesced_total").inc();
+            // A follower's wall time here is spent parked on the
+            // leader's flight, not solving.
+            timeline.record_span("singleflight_wait", solve_started, Instant::now());
             (outcome, Origin::Coalesced)
         }
         Flighted::TimedOut => {
@@ -892,22 +1110,32 @@ fn handle_plan(
 
 /// Runs the solver as a single-flight leader: cancellable by `deadline`,
 /// publishing into the cache on success.
-fn solve(shared: &Shared, planner: &Planner, key: &str, deadline: Option<Instant>) -> SolveOutcome {
-    let plan = solve_uncached(planner, deadline)?;
+fn solve(
+    shared: &Shared,
+    planner: &Planner,
+    key: &str,
+    deadline: Option<Instant>,
+    timeline: &mut rsj_obs::Timeline,
+) -> SolveOutcome {
+    let plan = solve_uncached(planner, deadline, timeline)?;
     shared.cache.insert(key.to_string(), Arc::clone(&plan));
     // Append-before-response: once the client hears this answer, the
     // record is already flushed to the OS, so it survives `kill -9`.
-    shared.journal_append(key, &plan);
+    timeline.time("journal_append", || shared.journal_append(key, &plan));
     Ok(plan)
 }
 
-fn solve_uncached(planner: &Planner, deadline: Option<Instant>) -> SolveOutcome {
+fn solve_uncached(
+    planner: &Planner,
+    deadline: Option<Instant>,
+    timeline: &mut rsj_obs::Timeline,
+) -> SolveOutcome {
     counter("rsj_serve_solver_invocations_total").inc();
     let cancel = match deadline {
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::none(),
     };
-    match planner.plan_with_cancel(&cancel) {
+    match planner.plan_traced(&cancel, timeline) {
         Ok(plan) => Ok(Arc::new(plan)),
         Err(e) => Err((classify(&e), e.to_string())),
     }
@@ -945,5 +1173,64 @@ fn plan_response(
             total_seconds: started.elapsed().as_secs_f64(),
         },
         plan,
+        trace_id: None,
+        timeline: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Subscriber state is process-global; this is the only test in the
+    // lib binary that installs one.
+    #[test]
+    fn slow_request_warns_once_with_trace_id_and_stage_breakdown() {
+        let sink = Arc::new(rsj_obs::MemorySink::new(rsj_obs::Level::Warn));
+        rsj_obs::set_subscriber(sink.clone());
+        let record = rsj_obs::TimelineRecord {
+            trace_id: "00000000000000000000000000c0ffee".to_string(),
+            op: "plan".to_string(),
+            total_us: 12_500,
+            stages: vec![
+                rsj_obs::StageRecord {
+                    name: "queue_wait".to_string(),
+                    start_us: 0,
+                    end_us: 1_000,
+                },
+                rsj_obs::StageRecord {
+                    name: "solve".to_string(),
+                    start_us: 1_000,
+                    end_us: 12_000,
+                },
+            ],
+        };
+        warn_slow_request(&record, 5);
+        rsj_obs::clear_subscriber();
+        let events = sink.events();
+        assert_eq!(events.len(), 1, "exactly one warn event: {events:?}");
+        let event = &events[0];
+        assert!(event.contains("slow request"), "{event}");
+        assert!(
+            event.contains("trace_id=00000000000000000000000000c0ffee"),
+            "{event}"
+        );
+        assert!(event.contains("op=plan"), "{event}");
+        assert!(event.contains("total=12.500ms"), "{event}");
+        assert!(event.contains("threshold=5ms"), "{event}");
+        assert!(event.contains("queue_wait=1.000ms"), "{event}");
+        assert!(event.contains("solve=11.000ms"), "{event}");
+    }
+
+    #[test]
+    fn per_op_histogram_names_are_static_and_distinct() {
+        let decoded: Result<Request, (ErrorKind, String)> = Ok(Request::ping());
+        assert_eq!(op_name(&decoded), "ping");
+        assert_eq!(per_op_histogram("ping"), "rsj_serve_request_seconds_ping");
+        assert_eq!(per_op_histogram("plan"), "rsj_serve_request_seconds_plan");
+        assert_eq!(
+            per_op_histogram("nonsense"),
+            "rsj_serve_request_seconds_invalid"
+        );
     }
 }

@@ -60,7 +60,10 @@ fn every_request_shape_round_trips() {
             seed: Some(17),
             simulate: Some(SimulateOptions { jobs: 32, seed: 4 }),
             deadline_ms: Some(1500),
+            trace_id: Some("00000000000000000000000000c0ffee".to_string()),
+            trace: true,
         },
+        Request::trace_query(Some(8), Some(1.5), Some("beef".to_string())),
     ];
     for request in requests {
         let line = encode(&request).expect("encode");
@@ -101,6 +104,21 @@ fn every_response_shape_round_trips() {
                 solve_seconds: 0.0,
                 total_seconds: 0.00012,
             },
+            trace_id: Some("00000000000000000000000000c0ffee".to_string()),
+            timeline: Some(rsj_obs::TimelineRecord {
+                trace_id: "00000000000000000000000000c0ffee".to_string(),
+                op: "plan".to_string(),
+                total_us: 1234,
+                stages: vec![rsj_obs::StageRecord {
+                    name: "solve".to_string(),
+                    start_us: 10,
+                    end_us: 1200,
+                }],
+            }),
+        },
+        Response::Trace {
+            v: PROTOCOL_VERSION,
+            timelines: vec![],
         },
     ];
     for response in responses {

@@ -261,6 +261,8 @@ fn malformed_and_invalid_requests_get_typed_errors() {
             seed: None,
             simulate: None,
             deadline_ms: None,
+            trace_id: None,
+            trace: false,
         })
         .expect("call");
     assert!(
@@ -405,6 +407,8 @@ fn simulate_on_request_attaches_batch_stats() {
             seed: None,
             simulate: Some(reservation_strategies::SimulateOptions { jobs: 64, seed: 9 }),
             deadline_ms: None,
+            trace_id: None,
+            trace: false,
         })
         .expect("call");
     let (plan, _) = expect_plan(response);

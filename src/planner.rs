@@ -249,22 +249,43 @@ impl Planner {
     /// `RsjError::Core(CoreError::Cancelled)`; an uncancelled call is
     /// bit-for-bit identical to [`plan`](Self::plan).
     pub fn plan_with_cancel(&self, cancel: &CancelToken) -> Result<Plan> {
-        let seq = self
-            .solver
-            .sequence_cancellable(self.dist.as_ref(), &self.cost, cancel)?;
+        self.plan_traced(cancel, &mut rsj_obs::Timeline::disabled())
+    }
+
+    /// [`plan_with_cancel`](Self::plan_with_cancel) that also records the
+    /// solver's internal phases — `solve`, `score`, `simulate` — into
+    /// `timeline` for per-request tracing. A disabled timeline makes every
+    /// recording call a branch on `None` (no clocks, no allocation), so
+    /// [`plan_with_cancel`](Self::plan_with_cancel) delegates here and the output — including the
+    /// plan digest — is bit-for-bit identical either way.
+    pub fn plan_traced(
+        &self,
+        cancel: &CancelToken,
+        timeline: &mut rsj_obs::Timeline,
+    ) -> Result<Plan> {
+        let seq = timeline.time("solve", || {
+            self.solver
+                .sequence_cancellable(self.dist.as_ref(), &self.cost, cancel)
+        })?;
         cancel.check()?;
-        let expected_cost = expected_cost_analytic(&seq, self.dist.as_ref(), &self.cost);
-        let omniscient_cost = self.cost.omniscient(self.dist.as_ref());
+        let (expected_cost, omniscient_cost) = timeline.time("score", || {
+            (
+                expected_cost_analytic(&seq, self.dist.as_ref(), &self.cost),
+                self.cost.omniscient(self.dist.as_ref()),
+            )
+        });
         cancel.check()?;
         let simulation = match self.simulate {
-            Some(opts) => Some(rsj_sim::run_batch_seeded(
-                &seq,
-                self.dist.as_ref(),
-                &self.cost,
-                opts.jobs,
-                opts.seed,
-                &rsj_par::Parallelism::current(),
-            )?),
+            Some(opts) => Some(timeline.time("simulate", || {
+                rsj_sim::run_batch_seeded(
+                    &seq,
+                    self.dist.as_ref(),
+                    &self.cost,
+                    opts.jobs,
+                    opts.seed,
+                    &rsj_par::Parallelism::current(),
+                )
+            })?),
             None => None,
         };
         Ok(Plan {
