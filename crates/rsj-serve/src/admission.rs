@@ -7,8 +7,9 @@
 //! drains back to the **low watermark**. The hard `capacity` is a final
 //! backstop above the high watermark. Rejected connections get a typed
 //! [`ErrorKind::Overloaded`](crate::ErrorKind::Overloaded) line written
-//! by the accept loop — a few microseconds — instead of parking in an
-//! unbounded backlog.
+//! by a dedicated shed helper (the accept loop only enqueues the refused
+//! stream — a few microseconds, no peer-facing syscalls) instead of
+//! parking in an unbounded backlog.
 //!
 //! The hysteresis band (high → low) prevents shed/admit flapping right
 //! at the threshold: once overloaded, the server keeps shedding until it

@@ -40,6 +40,8 @@ pub enum ClientError {
     /// A [`ResilientClient`](crate::retry::ResilientClient) exhausted its
     /// retry budget. Carries the trace id of the final attempt so the
     /// failure can be correlated with server-side timelines and logs.
+    /// Match on [`root_cause`](ClientError::root_cause) to see through
+    /// this wrapping to the underlying transport error.
     RetriesExhausted {
         /// How many attempts were made.
         attempts: u32,
@@ -48,6 +50,22 @@ pub enum ClientError {
         /// The error the final attempt failed with.
         last: Box<ClientError>,
     },
+}
+
+impl ClientError {
+    /// The innermost failure, unwrapping any [`RetriesExhausted`]
+    /// layers. A `ResilientClient` whose retries run out wraps the final
+    /// attempt's error; callers that match on concrete transport
+    /// variants (`Io`, `ConnectionClosed`, `UnexpectedEof`, ...) should
+    /// match on `root_cause()` so the wrapping never hides them.
+    ///
+    /// [`RetriesExhausted`]: ClientError::RetriesExhausted
+    pub fn root_cause(&self) -> &ClientError {
+        match self {
+            ClientError::RetriesExhausted { last, .. } => last.root_cause(),
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {

@@ -493,6 +493,24 @@ mod tests {
     }
 
     #[test]
+    fn retries_exhausted_unwraps_to_its_root_cause() {
+        let wrapped = ClientError::RetriesExhausted {
+            attempts: 4,
+            trace_id: "abc".to_string(),
+            last: Box::new(ClientError::RetriesExhausted {
+                attempts: 2,
+                trace_id: "abc".to_string(),
+                last: Box::new(ClientError::ConnectionClosed),
+            }),
+        };
+        assert!(matches!(wrapped.root_cause(), ClientError::ConnectionClosed));
+        assert!(matches!(
+            ClientError::CircuitOpen.root_cause(),
+            ClientError::CircuitOpen
+        ));
+    }
+
+    #[test]
     fn backoff_grows_is_capped_and_is_deterministic() {
         let policy = RetryPolicy {
             base_backoff: Duration::from_millis(10),

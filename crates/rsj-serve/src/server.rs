@@ -5,9 +5,10 @@
 //!
 //! 1. the accept loop (non-blocking, polling the shutdown flag) offers
 //!    the connection to the [`AdmissionQueue`]; above the high watermark
-//!    the connection is *shed* on the spot with a typed
-//!    [`ErrorKind::Overloaded`] line instead of joining an unbounded
-//!    backlog;
+//!    the connection is *shed*: handed to a small shed-helper pool that
+//!    writes a typed [`ErrorKind::Overloaded`] line and closes it. The
+//!    accept thread itself never reads from or writes to a refused
+//!    peer's socket, so no peer behaviour can stall accepting;
 //! 2. a worker dequeues the connection, reads one line, decodes it
 //!    ([`crate::decode_request`]) and dispatches: `ping`/`metrics` answer
 //!    immediately, `plan` goes through the LRU cache, the single-flight
@@ -184,6 +185,11 @@ struct Shared {
     cache: PlanCache,
     flights: SingleFlight<SolveOutcome>,
     admission: AdmissionQueue<Pending>,
+    /// Connections refused by `admission`, awaiting their `overloaded`
+    /// reply from a shed helper. A plain bounded queue (no hysteresis);
+    /// when even this overflows, refused connections are dropped
+    /// unanswered rather than blocking the accept loop.
+    sheds: AdmissionQueue<TcpStream>,
     shutdown: Arc<AtomicBool>,
     /// Raised once startup recovery (if any) has finished; `plan`
     /// requests are shed with a typed `not_ready` until then.
@@ -306,12 +312,18 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let cache = PlanCache::new(config.cache_capacity, config.cache_shards);
         let admission = AdmissionQueue::new(config.admission);
+        let sheds = AdmissionQueue::new(AdmissionConfig {
+            capacity: SHED_BACKLOG,
+            high_watermark: SHED_BACKLOG,
+            low_watermark: SHED_BACKLOG,
+        });
         let trace = (config.trace_buffer > 0).then(|| rsj_obs::TraceRing::new(config.trace_buffer));
         let shared = Arc::new(Shared {
             config,
             cache,
             flights: SingleFlight::new(),
             admission,
+            sheds,
             shutdown: Arc::new(AtomicBool::new(false)),
             recovered: AtomicBool::new(false),
             recovery: Mutex::new(None),
@@ -376,6 +388,16 @@ impl Server {
             })
             .collect();
 
+        let shed_helpers: Vec<_> = (0..SHED_HELPERS)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rsj-serve-shed-{i}"))
+                    .spawn(move || shed_helper_loop(&shared))
+                    .expect("spawn shed helper")
+            })
+            .collect();
+
         let mut conn_id: u64 = 0;
         while !shared.shutting_down() {
             match listener.accept() {
@@ -391,7 +413,7 @@ impl Server {
                     };
                     conn_id += 1;
                     if let Err(rejected) = shared.admission.try_admit(pending) {
-                        shed_connection(rejected.stream, &shared);
+                        enqueue_shed(rejected.stream, &shared);
                     }
                     queue_depth_gauge(&shared);
                 }
@@ -409,8 +431,12 @@ impl Server {
         // concurrent `shutdown` request landing on a worker) is harmless.
         rsj_obs::info!("rsj-serve draining {} workers", workers.len());
         shared.admission.close();
+        shared.sheds.close();
         for w in workers {
             let _ = w.join();
+        }
+        for h in shed_helpers {
+            let _ = h.join();
         }
         if let Some(t) = recovery_thread {
             let _ = t.join();
@@ -509,11 +535,45 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Fast-rejects a connection the admission queue refused: one typed
-/// `overloaded` line, then close. The write gets a short timeout so a
-/// hostile peer cannot wedge the accept loop.
-fn shed_connection(stream: TcpStream, shared: &Shared) {
+/// Shed helpers handling refused connections; sized small on purpose —
+/// a shed reply is one bounded read and one bounded write.
+const SHED_HELPERS: usize = 2;
+
+/// Refused connections waiting for a helper; past this, sheds are
+/// dropped unanswered.
+const SHED_BACKLOG: usize = 256;
+
+/// Hands a refused connection to the shed helpers for its `overloaded`
+/// reply. The accept loop does nothing but this enqueue — no reads, no
+/// writes, no per-peer timeouts — so no peer behaviour can wedge
+/// accepting. If the shed backlog is itself full (or draining), the
+/// connection is dropped unanswered and counted: under that much
+/// overload the close *is* the reply.
+fn enqueue_shed(stream: TcpStream, shared: &Shared) {
     counter("rsj_serve_shed_total").inc();
+    if shared.sheds.try_admit(stream).is_err() {
+        counter("rsj_serve_shed_dropped_total").inc();
+    }
+}
+
+/// One shed helper: writes typed `overloaded` replies (and peeks trace
+/// ids) for connections the admission queue refused, keeping every
+/// peer-facing syscall off the accept thread. Drains like a worker on
+/// shutdown: sheds enqueued before the close still get their reply.
+fn shed_helper_loop(shared: &Shared) {
+    loop {
+        match shared.sheds.pop(READ_POLL) {
+            Pop::Item(stream) => shed_connection(stream, shared),
+            Pop::TimedOut => {}
+            Pop::Closed => break,
+        }
+    }
+}
+
+/// Rejects one refused connection: a typed `overloaded` line, then
+/// close. Runs on a shed helper; the read and write are each bounded, so
+/// a hostile peer can hold a helper for ~300 ms at most.
+fn shed_connection(stream: TcpStream, shared: &Shared) {
     let trace_id = shed_trace_id(&stream);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
     let mut writer = BufWriter::new(stream);
@@ -533,30 +593,47 @@ fn shed_connection(stream: TcpStream, shared: &Shared) {
 }
 
 /// Best-effort peek at a shed request's `trace_id`, so even an
-/// `overloaded` reply joins the client's logs. Bounded like the shed
-/// write: one read of at most 64 KiB under a 100 ms timeout — clients
+/// `overloaded` reply joins the client's logs. Bounded by a *total*
+/// deadline, not a per-syscall timeout: each raw read's timeout is set
+/// to the remaining budget, so a peer dripping one byte at a time cannot
+/// stretch the wait past ~100 ms however it paces the bytes. Clients
 /// write their request at connect, so the line is normally already
-/// buffered, and a silent peer costs the accept loop at most the grace
-/// window (the same order as the existing 200 ms write timeout).
+/// buffered and the first read returns it whole.
 fn shed_trace_id(stream: &TcpStream) -> Option<String> {
+    const BUDGET: Duration = Duration::from_millis(100);
+    const MAX_PEEK_BYTES: usize = 64 * 1024;
     #[derive(serde::Deserialize)]
     struct TraceIdField {
         #[serde(default)]
         trace_id: Option<String>,
     }
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut reader = BufReader::new(stream.try_clone().ok()?);
-    let mut line = String::new();
-    match Read::by_ref(&mut reader)
-        .take(64 * 1024)
-        .read_line(&mut line)
-    {
-        Ok(n) if n > 0 => {
-            let parsed: TraceIdField = serde_json::from_str(line.trim()).ok()?;
-            sanitize_trace_id(parsed.trace_id.as_deref())
+    let deadline = Instant::now() + BUDGET;
+    let mut raw = stream;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let line = loop {
+        if let Some(end) = buf.iter().position(|b| *b == b'\n') {
+            break &buf[..end];
         }
-        _ => None,
-    }
+        if buf.len() >= MAX_PEEK_BYTES {
+            return None; // no newline in the first 64 KiB: not a request line
+        }
+        let remaining = deadline.checked_duration_since(Instant::now())?;
+        if remaining.is_zero() {
+            return None;
+        }
+        stream.set_read_timeout(Some(remaining)).ok()?;
+        match raw.read(&mut chunk) {
+            // EOF with no newline: a partial line is still one request.
+            Ok(0) => break &buf[..],
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            // Timeout (WouldBlock/TimedOut) or a hard error: give up.
+            Err(_) => return None,
+        }
+    };
+    let parsed: TraceIdField = serde_json::from_slice(line).ok()?;
+    sanitize_trace_id(parsed.trace_id.as_deref())
 }
 
 fn counter(name: &str) -> rsj_obs::Counter {
@@ -670,8 +747,9 @@ fn handle_connection(pending: Pending, shared: &Shared) -> std::io::Result<()> {
         if line.trim().is_empty() {
             continue;
         }
+        let line_at = Instant::now();
         let is_first = first_base.is_some();
-        let base = first_base.take().unwrap_or_else(Instant::now);
+        let base = first_base.take().unwrap_or(line_at);
 
         served += 1;
         if served > shared.config.max_requests_per_conn {
@@ -722,6 +800,11 @@ fn handle_connection(pending: Pending, shared: &Shared) -> std::io::Result<()> {
             }
             if is_first {
                 t.record_span("queue_wait", accepted_at, dequeued_at);
+                // The worker sat in read() from dequeue until the line
+                // arrived: client think time, not server latency —
+                // recorded so the timeline has no unattributed gap, and
+                // named so the slow-warn gate can subtract it.
+                t.record_span("read_wait", dequeued_at, line_at);
             }
             t.record_span("decode", started, decode_ended);
             t
@@ -758,7 +841,7 @@ fn handle_connection(pending: Pending, shared: &Shared) -> std::io::Result<()> {
         timeline.record_span("write", write_started, Instant::now());
         if let Some(record) = timeline.finish(op) {
             if let Some(slow_ms) = shared.config.slow_ms {
-                if record.total_us >= slow_ms.saturating_mul(1_000) {
+                if attributable_us(&record) >= slow_ms.saturating_mul(1_000) {
                     warn_slow_request(&record, slow_ms);
                 }
             }
@@ -818,6 +901,18 @@ fn per_op_histogram(op: &str) -> &'static str {
         "shutdown" => "rsj_serve_request_seconds_shutdown",
         _ => "rsj_serve_request_seconds_invalid",
     }
+}
+
+/// The server-attributable share of a request's wall time: everything
+/// except `read_wait`, the span spent waiting for the client's first
+/// bytes after dequeue. That wait belongs to the client — a peer that
+/// connects and sits idle before sending must not read as a slow
+/// *request* — so the `--slow-ms` gate compares against this, not
+/// `total_us`.
+fn attributable_us(record: &rsj_obs::TimelineRecord) -> u64 {
+    record
+        .total_us
+        .saturating_sub(record.stage_us("read_wait").unwrap_or(0))
 }
 
 /// The single warn-level slow-request event: trace id, op, total and the
@@ -1220,6 +1315,38 @@ mod tests {
         assert!(event.contains("threshold=5ms"), "{event}");
         assert!(event.contains("queue_wait=1.000ms"), "{event}");
         assert!(event.contains("solve=11.000ms"), "{event}");
+    }
+
+    #[test]
+    fn client_idle_before_the_first_line_is_not_slow() {
+        // 12.5 ms wall, but 10 ms of it was waiting for the client's
+        // first bytes: only the remaining 2.5 ms counts against a 5 ms
+        // slow threshold.
+        let record = rsj_obs::TimelineRecord {
+            trace_id: "00000000000000000000000000c0ffee".to_string(),
+            op: "plan".to_string(),
+            total_us: 12_500,
+            stages: vec![
+                rsj_obs::StageRecord {
+                    name: "read_wait".to_string(),
+                    start_us: 0,
+                    end_us: 10_000,
+                },
+                rsj_obs::StageRecord {
+                    name: "solve".to_string(),
+                    start_us: 10_000,
+                    end_us: 12_000,
+                },
+            ],
+        };
+        assert_eq!(attributable_us(&record), 2_500);
+        assert!(attributable_us(&record) < 5_000, "must not warn at 5ms");
+        // Without a read_wait stage the full wall time is attributable.
+        let no_wait = rsj_obs::TimelineRecord {
+            stages: Vec::new(),
+            ..record
+        };
+        assert_eq!(attributable_us(&no_wait), 12_500);
     }
 
     #[test]
