@@ -1,8 +1,12 @@
-//! Criterion: the `O(n²)` scaling of the Theorem 5 dynamic program as the
-//! discretization sample count grows (the Table 4 axis).
+//! Criterion: scaling of the Theorem 5 dynamic program as the
+//! discretization sample count grows (the Table 4 axis) — the `O(n²)`
+//! exact pass against the `O(n log n)` monotone fast path, exposing the
+//! crossover point.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rsj_core::{optimal_discrete, CostModel};
+use rsj_core::{
+    optimal_discrete, optimal_discrete_exact, optimal_discrete_monotone, CancelToken, CostModel,
+};
 use rsj_dist::{discretize, DiscretizationScheme, LogNormal};
 
 fn bench_dp_scaling(c: &mut Criterion) {
@@ -15,6 +19,28 @@ fn bench_dp_scaling(c: &mut Criterion) {
         group.throughput(Throughput::Elements((n * n) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &discrete, |b, d| {
             b.iter(|| optimal_discrete(d, &cost).unwrap());
+        });
+    }
+    group.finish();
+
+    // Exact O(n²) pass vs the monotone O(n log n) fast path on the same
+    // grids: the `exact/…` and `monotone/…` curves cross where the
+    // envelope bookkeeping stops dominating — small n favours neither
+    // much, large n favours monotone by orders of magnitude.
+    let mut group = c.benchmark_group("dp_exact_vs_monotone");
+    let cancel = CancelToken::none();
+    for n in [100usize, 500, 2000, 8000] {
+        let discrete = discretize(&dist, DiscretizationScheme::EqualProbability, n, 1e-7).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("exact", n), &discrete, |b, d| {
+            b.iter(|| optimal_discrete_exact(d, &cost).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("monotone", n), &discrete, |b, d| {
+            b.iter(|| {
+                optimal_discrete_monotone(d, &cost, &cancel)
+                    .unwrap()
+                    .expect("gate fires on the lognormal grid")
+            });
         });
     }
     group.finish();

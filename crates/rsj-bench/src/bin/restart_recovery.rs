@@ -78,6 +78,7 @@ fn dp_solver() -> SolverSpec {
         scheme: DiscretizationScheme::EqualProbability,
         n: 600,
         epsilon: 1e-6,
+        monotone: true,
     }
 }
 

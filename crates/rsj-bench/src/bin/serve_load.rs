@@ -98,6 +98,7 @@ fn request_for(i: usize) -> Request {
             scheme: DiscretizationScheme::EqualProbability,
             n: 300,
             epsilon: 1e-6,
+            monotone: true,
         },
     )
 }
@@ -114,6 +115,7 @@ fn unique_request(i: usize) -> Request {
             scheme: DiscretizationScheme::EqualProbability,
             n: 600,
             epsilon: 1e-6,
+            monotone: true,
         },
     )
 }

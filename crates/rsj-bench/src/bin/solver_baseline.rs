@@ -18,8 +18,8 @@
 use rsj_bench::perf::{digest_f64s, HostInfo, PERF_SCHEMA_VERSION};
 use rsj_bench::scenarios::{paper_distributions, Fidelity, EPSILON};
 use rsj_bench::{report, DEFAULT_SEED};
-use rsj_core::heuristics::optimal_discrete;
-use rsj_core::{BruteForce, CostModel, DiscretizedDp, EvalMethod, Strategy};
+use rsj_core::heuristics::{optimal_discrete, optimal_discrete_exact, optimal_discrete_monotone};
+use rsj_core::{BruteForce, CancelToken, CostModel, DiscretizedDp, EvalMethod, Strategy};
 use rsj_dist::{discretize, DiscretizationScheme};
 use rsj_obs::{MetricsSnapshot, Stopwatch};
 use rsj_par::Parallelism;
@@ -57,6 +57,12 @@ struct SolverBaseline {
     host: HostInfo,
     /// Worker-thread counts the suite was swept over.
     threads_swept: Vec<usize>,
+    /// Serial wall-time ratio `exact / monotone` of the Theorem 5 DP on
+    /// the n = 10000 lognormal grid (the `dp_core_*_n10000` rows): the
+    /// headline win of the `O(n log n)` fast path. The perf gate fails a
+    /// PR that lets this fall below 5.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    monotone_speedup_n10000: Option<f64>,
     timings: Vec<SolverTiming>,
     /// Global registry after the run: solver wall-time histograms with
     /// p50/p95/p99 plus candidate/state and worker-pool counters.
@@ -205,6 +211,39 @@ fn main() -> std::io::Result<()> {
             assert!(s1.is_finite() && c.is_finite());
             vec![s1, c]
         });
+        // Monotone fast path vs exact O(n²) pass on one deep grid — the
+        // core-solver comparison the perf gate tracks. The discretization
+        // is built outside the timed region so both rows measure the DP
+        // alone; digests must match exactly (bit-identity contract).
+        {
+            let lognormal = paper_distributions()
+                .into_iter()
+                .find(|nd| nd.name == "Lognormal")
+                .expect("Table 1 has the lognormal row");
+            let deep = discretize(
+                lognormal.dist.as_ref(),
+                DiscretizationScheme::EqualTime,
+                10_000,
+                EPSILON,
+            )
+            .expect("deep discretization succeeds");
+            let solution_vec = |sol: rsj_core::DpSolution| {
+                let mut out = vec![sol.expected_cost];
+                out.extend(sol.values);
+                out
+            };
+            time("dp_core_monotone_n10000", "Lognormal", true, &mut || {
+                solution_vec(
+                    optimal_discrete_monotone(&deep, &cost, &CancelToken::none())
+                        .expect("no cancellation")
+                        .expect("gate fires on the lognormal grid"),
+                )
+            });
+            time("dp_core_exact_n10000", "Lognormal", true, &mut || {
+                solution_vec(optimal_discrete_exact(&deep, &cost).expect("exact pass solves"))
+            });
+        }
+
         time("dp_discrete_direct", "Exponential", true, &mut || {
             let dist = paper_distributions()
                 .into_iter()
@@ -260,12 +299,42 @@ fn main() -> std::io::Result<()> {
         }
     }
 
+    // The monotone fast path must reproduce the exact pass bit-for-bit:
+    // a digest difference between the two core rows is a solver bug, not
+    // a performance detail.
+    let core_digests: Vec<&str> = ["dp_core_monotone_n10000", "dp_core_exact_n10000"]
+        .iter()
+        .filter_map(|s| timings.iter().find(|t| &t.solver == s))
+        .map(|t| t.digest.as_str())
+        .collect();
+    assert_eq!(
+        core_digests[0], core_digests[1],
+        "monotone DP digest diverged from the exact pass"
+    );
+    let serial_wall = |solver: &str| {
+        timings
+            .iter()
+            .find(|t| t.solver == solver && t.threads == *sweep.first().expect("sweep nonempty"))
+            .map(|t| t.wall_seconds)
+    };
+    let monotone_speedup_n10000 = match (
+        serial_wall("dp_core_exact_n10000"),
+        serial_wall("dp_core_monotone_n10000"),
+    ) {
+        (Some(exact), Some(fast)) if fast > 0.0 => Some(exact / fast),
+        _ => None,
+    };
+    if let Some(speedup) = monotone_speedup_n10000 {
+        rsj_obs::info!("monotone DP speedup on the n=10000 grid: {speedup:.1}x");
+    }
+
     let baseline = SolverBaseline {
         schema_version: PERF_SCHEMA_VERSION,
         fidelity: format!("{fidelity:?}"),
         seed: DEFAULT_SEED,
         host,
         threads_swept: sweep,
+        monotone_speedup_n10000,
         timings,
         metrics: rsj_obs::global_registry().snapshot(),
     };

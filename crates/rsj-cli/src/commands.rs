@@ -27,8 +27,17 @@ fn to_json<T: Serialize>(value: &T) -> String {
 /// the [`Planner`] facade, so `--json` output is the facade's [`Plan`]
 /// (digest included) — byte-comparable with `rsj-serve` responses.
 ///
+/// With `explain_solver` the report also attributes the solve: which DP
+/// path fired (the `O(n log n)` monotone envelope vs the exact `O(n²)`
+/// pass, and why) and whether the discretization table came warm from
+/// the process-wide cache. The same labels ride on the trace timeline's
+/// `solve` stage args in serve mode, so offline and traced runs can be
+/// cross-checked. In `--json` mode the explanation wraps the plan as
+/// `{"plan": ..., "solver_explanation": ...}` — opt-in, so plain plan
+/// output stays byte-comparable.
+///
 /// [`Plan`]: reservation_strategies::Plan
-pub fn run_plan(cfg: &PlanConfig, json: bool) -> Result<String, String> {
+pub fn run_plan(cfg: &PlanConfig, json: bool, explain_solver: bool) -> Result<String, String> {
     let plan = Planner::builder()
         .distribution(cfg.distribution.clone())
         .cost_rates(cfg.cost.alpha, cfg.cost.beta, cfg.cost.gamma)
@@ -37,8 +46,21 @@ pub fn run_plan(cfg: &PlanConfig, json: bool) -> Result<String, String> {
         .map_err(|e| e.to_string())?
         .plan()
         .map_err(|e| e.to_string())?;
+    // Read the per-thread attribution immediately: the planner cleared it
+    // right before this solve, so it cannot be stale.
+    let dp_path = explain_solver.then(rsj_core::last_dp_path).flatten();
+    let eval_source = explain_solver.then(rsj_dist::last_eval_source).flatten();
 
     if json {
+        if explain_solver {
+            return Ok(to_json(&json!({
+                "plan": plan,
+                "solver_explanation": json!({
+                    "dp_path": dp_path.map(rsj_core::DpPath::as_str),
+                    "eval_table": eval_source.map(rsj_dist::EvalTableSource::as_str),
+                }),
+            })));
+        }
         return Ok(to_json(&plan));
     }
 
@@ -76,6 +98,23 @@ pub fn run_plan(cfg: &PlanConfig, json: bool) -> Result<String, String> {
             "tail gap:         P(X ≥ last) = {:.2e}\n",
             plan.coverage_gap
         ));
+    }
+    if explain_solver {
+        let path = match dp_path {
+            Some(rsj_core::DpPath::Monotone) => "monotone O(n log n) envelope (runtime gate fired)",
+            Some(rsj_core::DpPath::ExactDeclined) => {
+                "exact O(n²) pass (monotone gate declined at runtime)"
+            }
+            Some(rsj_core::DpPath::ExactForced) => "exact O(n²) pass (monotone fast path disabled)",
+            None => "no discretized DP (closed-form or sampling heuristic)",
+        };
+        let table = match eval_source {
+            Some(rsj_dist::EvalTableSource::CacheHit) => "warm (process-wide cache hit)",
+            Some(rsj_dist::EvalTableSource::Built) => "cold (discretized and evaluated fresh)",
+            None => "none (solver did not discretize)",
+        };
+        out.push_str(&format!("solver path:      {path}\n"));
+        out.push_str(&format!("eval table:       {table}\n"));
     }
     Ok(out)
 }
@@ -377,11 +416,79 @@ mod tests {
     #[test]
     fn plan_text_output() {
         let cfg = plan_config(HeuristicSpec::MeanByMean);
-        let out = run_plan(&cfg, false).unwrap();
+        let out = run_plan(&cfg, false, false).unwrap();
         assert!(out.contains("mean_by_mean"), "{out}");
         assert!(out.contains("request ladder"), "{out}");
         assert!(out.contains("vs omniscient"), "{out}");
         assert!(out.contains("plan digest"), "{out}");
+        assert!(!out.contains("solver path"), "{out}");
+    }
+
+    #[test]
+    fn plan_explain_solver_attributes_the_dp_path() {
+        // A DP solve on a lognormal grid: the monotone gate fires and the
+        // first build of this table is cold.
+        rsj_dist::clear_eval_cache();
+        let cfg = plan_config(HeuristicSpec::Dp {
+            scheme: rsj_dist::DiscretizationScheme::EqualProbability,
+            n: 307,
+            epsilon: 1e-7,
+            monotone: true,
+        });
+        let out = run_plan(&cfg, false, true).unwrap();
+        assert!(
+            out.contains("solver path:      monotone O(n log n)"),
+            "{out}"
+        );
+        assert!(out.contains("eval table:       cold"), "{out}");
+
+        // The same config again: the table now comes from the cache.
+        let out = run_plan(&cfg, false, true).unwrap();
+        assert!(out.contains("eval table:       warm"), "{out}");
+
+        // Fast path off: the exact pass is attributed as forced.
+        let cfg = plan_config(HeuristicSpec::Dp {
+            scheme: rsj_dist::DiscretizationScheme::EqualProbability,
+            n: 307,
+            epsilon: 1e-7,
+            monotone: false,
+        });
+        let out = run_plan(&cfg, false, true).unwrap();
+        assert!(
+            out.contains("exact O(n²) pass (monotone fast path disabled)"),
+            "{out}"
+        );
+
+        // A closed-form heuristic never runs the DP or discretizes.
+        let cfg = plan_config(HeuristicSpec::MeanByMean);
+        let out = run_plan(&cfg, false, true).unwrap();
+        assert!(out.contains("no discretized DP"), "{out}");
+        assert!(out.contains("eval table:       none"), "{out}");
+    }
+
+    #[test]
+    fn plan_explain_solver_json_wraps_plan_and_explanation() {
+        // No cache clear here: clearing would race the warm-hit assertion
+        // of the sibling explain test; this test's n = 211 key is unique
+        // in the process, so its first build is cold regardless.
+        let cfg = plan_config(HeuristicSpec::Dp {
+            scheme: rsj_dist::DiscretizationScheme::EqualTime,
+            n: 211,
+            epsilon: 1e-7,
+            monotone: true,
+        });
+        let out = run_plan(&cfg, true, true).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["plan"]["digest"].as_str().unwrap().len(), 16);
+        assert_eq!(
+            v["solver_explanation"]["dp_path"].as_str(),
+            Some("monotone")
+        );
+        assert_eq!(v["solver_explanation"]["eval_table"].as_str(), Some("cold"));
+        // The unwrapped plan JSON is unchanged by the flag being off.
+        let plain = run_plan(&cfg, true, false).unwrap();
+        let p: serde_json::Value = serde_json::from_str(&plain).unwrap();
+        assert_eq!(p["digest"], v["plan"]["digest"]);
     }
 
     #[test]
@@ -390,8 +497,9 @@ mod tests {
             scheme: rsj_dist::DiscretizationScheme::EqualTime,
             n: 200,
             epsilon: 1e-7,
+            monotone: true,
         });
-        let out = run_plan(&cfg, true).unwrap();
+        let out = run_plan(&cfg, true, false).unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert!(v["normalized_cost"].as_f64().unwrap() > 1.0);
         assert!(v["sequence"].as_array().unwrap().len() > 2);

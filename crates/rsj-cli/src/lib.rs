@@ -35,6 +35,9 @@ rsj — reservation strategies for stochastic jobs (IPDPS 2019)
 
 USAGE:
     rsj plan     --config <plan.json>     compute a request ladder
+                 [--explain-solver]       also report which DP path solved it
+                                          (monotone fast path vs exact O(n²))
+                                          and whether the eval table was warm
     rsj risk     --config <plan.json>     cost quantiles / attempt counts of the plan
     rsj evaluate --config <eval.json>     score an explicit sequence
     rsj fit      --csv <traces.csv>       fit a LogNormal per application

@@ -78,9 +78,12 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&format!("cannot read {path}: {e}")),
             };
             match command.as_str() {
-                "plan" => serde_json::from_str(&text)
-                    .map_err(|e| format!("invalid plan config: {e}"))
-                    .and_then(|cfg| run_plan(&cfg, json)),
+                "plan" => {
+                    let explain = args.iter().any(|a| a == "--explain-solver");
+                    serde_json::from_str(&text)
+                        .map_err(|e| format!("invalid plan config: {e}"))
+                        .and_then(|cfg| run_plan(&cfg, json, explain))
+                }
                 "risk" => serde_json::from_str(&text)
                     .map_err(|e| format!("invalid plan config: {e}"))
                     .and_then(|cfg| rsj_cli::run_risk(&cfg, json)),

@@ -384,7 +384,7 @@ mod tests {
         assert!(text.contains("plan digest"), "{text}");
 
         // The served digest equals the offline `rsj plan --json` digest.
-        let offline = crate::commands::run_plan(&cfg, true).unwrap();
+        let offline = crate::commands::run_plan(&cfg, true, false).unwrap();
         let offline: serde_json::Value = serde_json::from_str(&offline).unwrap();
         let served = run_request(&addr, &action, true, RequestOptions::default()).unwrap();
         let served: serde_json::Value = serde_json::from_str(&served).unwrap();

@@ -12,7 +12,17 @@
 //! We work with the *unnormalized* `Wᵢ = E*ᵢ · Sᵢ` (`Sᵢ = Σ_{k≥i} fₖ`),
 //! which removes the per-state renormalization and keeps the whole program
 //! at two prefix-sum arrays.
+//!
+//! ## Fast path
+//!
+//! The per-state minimization is totally monotone (see `dp_monotone`), so
+//! [`optimal_discrete`] first attempts the `O(n log n)` envelope pass and
+//! falls back to the exact `O(n²)` scan when the runtime gate declines or
+//! a comparison is too close to trust. Whenever the fast path completes it
+//! is bit-for-bit identical to the exact pass; [`optimal_discrete_exact`]
+//! forces the `O(n²)` pass for A/B runs and verification.
 
+use super::dp_monotone;
 use super::{Strategy, TailPolicy};
 use crate::cancel::CancelToken;
 use crate::cost::CostModel;
@@ -28,8 +38,66 @@ use rsj_par::Parallelism;
 /// the paper's `n = 1000` grids always stay serial.
 const DP_PAR_MIN_SPAN: usize = 4096;
 
-/// States of the backward pass between cancellation polls.
-const DP_CANCEL_STRIDE: usize = 64;
+/// States of the backward pass between cancellation polls (shared with
+/// the monotone fast path so both react on the same cadence).
+pub(super) const DP_CANCEL_STRIDE: usize = 64;
+
+/// Which pass produced the most recent DP solution on this thread.
+///
+/// Solvers record this as a side channel so callers that only hold a
+/// `Box<dyn Strategy>` (the CLI's `--explain-solver`, the planner's
+/// trace-timeline annotation) can attribute a solve to the fast path or
+/// the exact fallback without threading a new return type through every
+/// entry point. Thread-local, so concurrent server requests cannot read
+/// each other's attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DpPath {
+    /// The `O(n log n)` monotone envelope pass completed (gate fired).
+    Monotone,
+    /// The gate declined (or a comparison was too close to trust) and the
+    /// exact `O(n²)` pass ran as the fallback.
+    ExactDeclined,
+    /// The exact `O(n²)` pass was forced — `monotone: false` in the
+    /// solver spec, or a direct call to an `optimal_discrete_exact*`
+    /// entry point.
+    ExactForced,
+}
+
+impl DpPath {
+    /// Short stable label for trace args and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DpPath::Monotone => "monotone",
+            DpPath::ExactDeclined => "exact_gate_declined",
+            DpPath::ExactForced => "exact_forced",
+        }
+    }
+}
+
+thread_local! {
+    static LAST_DP_PATH: std::cell::Cell<Option<DpPath>> =
+        const { std::cell::Cell::new(None) };
+}
+
+fn record_dp_path(path: DpPath) {
+    LAST_DP_PATH.with(|c| c.set(Some(path)));
+}
+
+/// Discards any previously recorded path so a following
+/// [`last_dp_path`] cannot read attribution left over from an earlier,
+/// unrelated solve on this thread. Call before dispatching a solver.
+pub fn clear_last_dp_path() {
+    LAST_DP_PATH.with(|c| c.set(None));
+}
+
+/// The path recorded by the most recent `optimal_discrete*` call on this
+/// thread, without clearing it (several observers — the trace timeline,
+/// the CLI explanation — may read the same solve). `None` when no
+/// discretized DP has run since [`clear_last_dp_path`] — e.g. a
+/// closed-form heuristic solved the plan.
+pub fn last_dp_path() -> Option<DpPath> {
+    LAST_DP_PATH.with(|c| c.get())
+}
 
 /// Optimal solution of STOCHASTIC for a discrete distribution.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,18 +112,16 @@ pub struct DpSolution {
 
 /// Solves STOCHASTIC exactly for a discrete distribution (Theorem 5),
 /// using the process-wide [`Parallelism::current`] pool for large grids.
+/// Dispatches to the `O(n log n)` monotone fast path when its gate
+/// accepts (the common case), falling back to the exact `O(n²)` pass
+/// otherwise; either way the result is the same bits.
 pub fn optimal_discrete(dist: &DiscreteDistribution, cost: &CostModel) -> Result<DpSolution> {
     optimal_discrete_par(dist, cost, &Parallelism::current())
 }
 
-/// [`optimal_discrete`] with an explicit worker pool.
-///
-/// The per-state minimization over `j ∈ [i, n)` evaluates a pure
-/// function of precomputed prefix arrays, so it fans out as a chunked
-/// min-reduction once the span exceeds `DP_PAR_MIN_SPAN`. Ties keep
-/// the smallest `j` (serial scan used strict `<`; the reduction keeps
-/// the left operand on ties and chunks are combined in index order), so
-/// the solution is bit-for-bit identical at any thread count.
+/// [`optimal_discrete`] with an explicit worker pool (used only by the
+/// exact fallback — the envelope pass is inherently sequential and needs
+/// no workers, which also makes it trivially thread-count-deterministic).
 pub fn optimal_discrete_par(
     dist: &DiscreteDistribution,
     cost: &CostModel,
@@ -77,18 +143,141 @@ pub fn optimal_discrete_cancellable(
     let _span = rsj_obs::span!("dp.optimal_discrete");
     let v = dist.values();
     let f = dist.probs();
-    let n = v.len();
-    let s = dist.suffix_masses(); // s[i] = Σ_{k≥i} f_k, s[n] = 0
+    let s = dist.suffix_masses();
+    let a = prefix_weighted_values(v, f);
+    if let Some(m) = dp_monotone::try_solve(v, f, &s, &a, cost, cancel)? {
+        if rsj_obs::metrics_enabled() {
+            let reg = rsj_obs::global_registry();
+            reg.counter("rsj_core_dp_solves_total").inc();
+            reg.counter("rsj_core_dp_states_total").add(v.len() as u64);
+            reg.counter("rsj_core_dp_monotone_solves_total").inc();
+            reg.counter("rsj_core_dp_monotone_evals_total").add(m.evals);
+        }
+        rsj_obs::debug!(
+            "dp monotone fast path solved {} states in {} candidate evals",
+            v.len(),
+            m.evals
+        );
+        record_dp_path(DpPath::Monotone);
+        return solution_from(&m.w, &m.choice, v, &s);
+    }
+    if rsj_obs::metrics_enabled() {
+        rsj_obs::global_registry()
+            .counter("rsj_core_dp_monotone_declined_total")
+            .inc();
+    }
+    rsj_obs::debug!(
+        "dp monotone gate declined on {} states; running exact O(n²) pass",
+        v.len()
+    );
+    record_dp_path(DpPath::ExactDeclined);
+    exact_pass(v, &s, &a, cost, par, cancel)
+}
 
-    // Prefix sums of fₖ·vₖ: a[i] = Σ_{k<i} fₖ·vₖ. Together with the
-    // suffix masses these hoist every distribution evaluation out of the
-    // O(n²) inner loop — each candidate is pure arithmetic on the
-    // precomputed arrays (no `cdf`/survival calls per `(i, j)` pair).
+/// The exact `O(n²)` Theorem 5 pass, bypassing the monotone gate. This is
+/// the reference implementation the fast path must match bit-for-bit;
+/// keep it for A/B runs (`SolverSpec::Dp { monotone: false, .. }`), for
+/// the equivalence suite, and as the fallback when the gate declines.
+pub fn optimal_discrete_exact(dist: &DiscreteDistribution, cost: &CostModel) -> Result<DpSolution> {
+    optimal_discrete_exact_par(dist, cost, &Parallelism::current())
+}
+
+/// [`optimal_discrete_exact`] with an explicit worker pool.
+///
+/// The per-state minimization over `j ∈ [i, n)` evaluates a pure
+/// function of precomputed prefix arrays, so it fans out as a chunked
+/// min-reduction once the span exceeds `DP_PAR_MIN_SPAN`. Ties keep
+/// the smallest `j` (serial scan used strict `<`; the reduction keeps
+/// the left operand on ties and chunks are combined in index order), so
+/// the solution is bit-for-bit identical at any thread count.
+pub fn optimal_discrete_exact_par(
+    dist: &DiscreteDistribution,
+    cost: &CostModel,
+    par: &Parallelism,
+) -> Result<DpSolution> {
+    optimal_discrete_exact_cancellable(dist, cost, par, &CancelToken::none())
+}
+
+/// [`optimal_discrete_exact_par`] with cooperative cancellation.
+pub fn optimal_discrete_exact_cancellable(
+    dist: &DiscreteDistribution,
+    cost: &CostModel,
+    par: &Parallelism,
+    cancel: &CancelToken,
+) -> Result<DpSolution> {
+    let _wall = rsj_obs::ScopedTimer::global("rsj_core_dp_wall_seconds");
+    let _span = rsj_obs::span!("dp.optimal_discrete_exact");
+    let v = dist.values();
+    let f = dist.probs();
+    let s = dist.suffix_masses();
+    let a = prefix_weighted_values(v, f);
+    record_dp_path(DpPath::ExactForced);
+    exact_pass(v, &s, &a, cost, par, cancel)
+}
+
+/// Attempts the monotone fast path *without* the exact fallback:
+/// `Ok(None)` when the gate declines or a comparison aborts. Benchmarks
+/// and the equivalence suite use this to time and verify the envelope
+/// pass in isolation; production callers want [`optimal_discrete`],
+/// which never returns `None`.
+pub fn optimal_discrete_monotone(
+    dist: &DiscreteDistribution,
+    cost: &CostModel,
+    cancel: &CancelToken,
+) -> Result<Option<DpSolution>> {
+    let _wall = rsj_obs::ScopedTimer::global("rsj_core_dp_wall_seconds");
+    let _span = rsj_obs::span!("dp.optimal_discrete_monotone");
+    let v = dist.values();
+    let f = dist.probs();
+    let s = dist.suffix_masses();
+    let a = prefix_weighted_values(v, f);
+    match dp_monotone::try_solve(v, f, &s, &a, cost, cancel)? {
+        Some(m) => {
+            if rsj_obs::metrics_enabled() {
+                let reg = rsj_obs::global_registry();
+                reg.counter("rsj_core_dp_solves_total").inc();
+                reg.counter("rsj_core_dp_states_total").add(v.len() as u64);
+                reg.counter("rsj_core_dp_monotone_solves_total").inc();
+                reg.counter("rsj_core_dp_monotone_evals_total").add(m.evals);
+            }
+            record_dp_path(DpPath::Monotone);
+            solution_from(&m.w, &m.choice, v, &s).map(Some)
+        }
+        None => {
+            if rsj_obs::metrics_enabled() {
+                rsj_obs::global_registry()
+                    .counter("rsj_core_dp_monotone_declined_total")
+                    .inc();
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Prefix sums of `fₖ·vₖ`: `a[i] = Σ_{k<i} fₖ·vₖ`. Together with the
+/// suffix masses these hoist every distribution evaluation out of the
+/// inner loop — each candidate is pure arithmetic on the precomputed
+/// arrays (no `cdf`/survival calls per `(i, j)` pair). Shared by both
+/// passes so their candidate values are computed from identical inputs.
+fn prefix_weighted_values(v: &[f64], f: &[f64]) -> Vec<f64> {
+    let n = v.len();
     let mut a = vec![0.0; n + 1];
     for i in 0..n {
         a[i + 1] = a[i] + f[i] * v[i];
     }
+    a
+}
 
+/// The exact `O(n²)` backward pass over precomputed arrays.
+fn exact_pass(
+    v: &[f64],
+    s: &[f64],
+    a: &[f64],
+    cost: &CostModel,
+    par: &Parallelism,
+    cancel: &CancelToken,
+) -> Result<DpSolution> {
+    let n = v.len();
     // w[i] = Wᵢ = E*ᵢ·Sᵢ; choice[i] = minimizing j.
     let mut w = vec![0.0; n + 1];
     let mut choice = vec![0usize; n];
@@ -109,12 +298,16 @@ pub fn optimal_discrete_cancellable(
         // Branch on the span alone — never the thread count — so even
         // degenerate inputs (NaN candidates) reduce identically at any
         // parallelism: the pool's single-thread path uses the same chunked
-        // fold as its multi-thread path.
+        // fold as its multi-thread path. The range-based reduction shares
+        // the slice variant's chunk shape and association exactly, so
+        // dropping the per-state index vector changed no output bits.
         let (best, best_j) = if span >= DP_PAR_MIN_SPAN {
-            let candidates: Vec<usize> = (i..n).collect();
-            par.try_par_map_reduce(
-                &candidates,
-                |_, &j| (cand_at(j), j),
+            par.try_par_reduce_range(
+                span,
+                |k| {
+                    let j = i + k;
+                    (cand_at(j), j)
+                },
                 |a, b| if b.0 < a.0 { b } else { a },
             )
             .map_err(|e| CoreError::InvalidHeuristicParameter {
@@ -141,7 +334,27 @@ pub fn optimal_discrete_cancellable(
         choice[i] = best_j;
     }
 
-    // Backtrack the chosen reservations.
+    if rsj_obs::metrics_enabled() {
+        let reg = rsj_obs::global_registry();
+        reg.counter("rsj_core_dp_solves_total").inc();
+        reg.counter("rsj_core_dp_states_total").add(n as u64);
+        // The O(n²) inner minimization: Σ_{i} (n - i) transitions.
+        reg.counter("rsj_core_dp_transitions_total")
+            .add((n as u64 * (n as u64 + 1)) / 2);
+    }
+    rsj_obs::debug!(
+        "dp solved {} states: cost {:.6}",
+        n,
+        if s[0] > 0.0 { w[0] / s[0] } else { f64::NAN }
+    );
+    solution_from(&w, &choice, v, s)
+}
+
+/// Backtracks the chosen reservations and packages the solution — shared
+/// verbatim by both passes so the output shape (and the `w[0] / s[0]`
+/// normalization) is computed identically.
+fn solution_from(w: &[f64], choice: &[usize], v: &[f64], s: &[f64]) -> Result<DpSolution> {
+    let n = v.len();
     let mut indices = Vec::new();
     let mut i = 0;
     while i < n {
@@ -153,20 +366,6 @@ pub fn optimal_discrete_cancellable(
     if values.is_empty() {
         return Err(CoreError::EmptySequence);
     }
-    if rsj_obs::metrics_enabled() {
-        let reg = rsj_obs::global_registry();
-        reg.counter("rsj_core_dp_solves_total").inc();
-        reg.counter("rsj_core_dp_states_total").add(n as u64);
-        // The O(n²) inner minimization: Σ_{i} (n - i) transitions.
-        reg.counter("rsj_core_dp_transitions_total")
-            .add((n as u64 * (n as u64 + 1)) / 2);
-    }
-    rsj_obs::debug!(
-        "dp solved {} states: cost {:.6}, {} reservations",
-        n,
-        w[0] / s[0],
-        values.len()
-    );
     Ok(DpSolution {
         expected_cost: w[0] / s[0],
         values,
@@ -218,12 +417,15 @@ pub struct DiscretizedDp {
     scheme: DiscretizationScheme,
     n: usize,
     epsilon: f64,
+    monotone: bool,
     /// Tail policy for the unbounded-support extension.
     pub policy: TailPolicy,
 }
 
 impl DiscretizedDp {
-    /// Creates the heuristic; the paper uses `n = 1000`, `ε = 1e-7`.
+    /// Creates the heuristic; the paper uses `n = 1000`, `ε = 1e-7`. The
+    /// monotone fast path is on by default (it changes no output bits);
+    /// see [`with_monotone`](Self::with_monotone) for A/B runs.
     pub fn new(scheme: DiscretizationScheme, n: usize, epsilon: f64) -> Result<Self> {
         if n == 0 {
             return Err(CoreError::InvalidHeuristicParameter {
@@ -241,6 +443,7 @@ impl DiscretizedDp {
             scheme,
             n,
             epsilon,
+            monotone: true,
             policy: TailPolicy::default(),
         })
     }
@@ -248,6 +451,20 @@ impl DiscretizedDp {
     /// Paper parameters: `n = 1000`, `ε = 1e-7`.
     pub fn paper(scheme: DiscretizationScheme) -> Self {
         Self::new(scheme, 1000, 1e-7).expect("paper parameters are valid")
+    }
+
+    /// Enables or disables the `O(n log n)` monotone fast path (on by
+    /// default). Disabling forces the exact `O(n²)` pass on every solve —
+    /// the output is identical either way; the knob exists for A/B timing
+    /// runs and for pinning down a suspected fast-path discrepancy.
+    pub fn with_monotone(mut self, on: bool) -> Self {
+        self.monotone = on;
+        self
+    }
+
+    /// Whether the monotone fast path is enabled.
+    pub fn monotone(&self) -> bool {
+        self.monotone
     }
 
     /// The configured discretization scheme.
@@ -287,8 +504,16 @@ impl Strategy for DiscretizedDp {
         // Cached discretization + evaluation table: repeated solves over
         // the same (dist, scheme, n, ε) skip every quantile/cdf call.
         let eval = discretize_eval(dist, self.scheme, self.n, self.epsilon)?;
-        let solution =
-            optimal_discrete_cancellable(&eval.discrete, cost, &Parallelism::current(), cancel)?;
+        let solution = if self.monotone {
+            optimal_discrete_cancellable(&eval.discrete, cost, &Parallelism::current(), cancel)?
+        } else {
+            optimal_discrete_exact_cancellable(
+                &eval.discrete,
+                cost,
+                &Parallelism::current(),
+                cancel,
+            )?
+        };
         let mut times = solution.values;
         let bounded = dist.support().is_bounded();
         if bounded {
@@ -514,7 +739,8 @@ mod tests {
     #[test]
     fn parallel_dp_matches_serial_bit_for_bit() {
         // Large enough that inner spans exceed DP_PAR_MIN_SPAN and the
-        // chunked min-reduction actually runs multi-threaded.
+        // chunked min-reduction actually runs multi-threaded. Forces the
+        // exact pass: the monotone fast path never uses the pool.
         let d = rsj_dist::discretize(
             &Exponential::new(1.0).unwrap(),
             DiscretizationScheme::EqualProbability,
@@ -523,12 +749,33 @@ mod tests {
         )
         .unwrap();
         let c = CostModel::new(0.95, 1.0, 1.05).unwrap();
-        let serial = optimal_discrete_par(&d, &c, &rsj_par::Parallelism::serial()).unwrap();
-        let par4 = optimal_discrete_par(&d, &c, &rsj_par::Parallelism::new(4).unwrap()).unwrap();
+        let serial = optimal_discrete_exact_par(&d, &c, &rsj_par::Parallelism::serial()).unwrap();
+        let par4 =
+            optimal_discrete_exact_par(&d, &c, &rsj_par::Parallelism::new(4).unwrap()).unwrap();
         assert_eq!(serial.indices, par4.indices);
         assert_eq!(serial.expected_cost.to_bits(), par4.expected_cost.to_bits());
         for (a, b) in serial.values.iter().zip(&par4.values) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The auto-dispatch path (which takes the monotone branch here)
+        // produces the very same bits.
+        let auto = optimal_discrete(&d, &c).unwrap();
+        assert_eq!(auto.indices, serial.indices);
+        assert_eq!(auto.expected_cost.to_bits(), serial.expected_cost.to_bits());
+    }
+
+    #[test]
+    fn monotone_knob_changes_no_bits() {
+        let d = Exponential::new(1.0).unwrap();
+        let c = CostModel::new(0.95, 1.0, 1.05).unwrap();
+        let fast = DiscretizedDp::new(DiscretizationScheme::EqualProbability, 400, 1e-7).unwrap();
+        let slow = fast.clone().with_monotone(false);
+        assert!(fast.monotone() && !slow.monotone());
+        let a = fast.sequence(&d, &c).unwrap();
+        let b = slow.sequence(&d, &c).unwrap();
+        assert_eq!(a.times().len(), b.times().len());
+        for (x, y) in a.times().iter().zip(b.times()) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 }

@@ -1,0 +1,272 @@
+//! O(n log n) fast path for the Theorem 5 backward pass (system S26).
+//!
+//! ## Why the recurrence is totally monotone
+//!
+//! Writing the unnormalized candidate cost of picking reservation `j` at
+//! state `i` the way `dp.rs` does,
+//!
+//! ```text
+//! cand(i, j) = (α·vⱼ + γ)·sᵢ + β·(a_{j+1} − aᵢ) + β·vⱼ·s_{j+1} + w_{j+1}
+//! ```
+//!
+//! every term is either a function of `j` alone, of `i` alone (`−β·aᵢ`,
+//! which shifts all candidates of a state equally and cannot change the
+//! argmin), or the product `slope(j)·sᵢ` with `slope(j) = α·vⱼ + γ`. Each
+//! candidate is therefore an affine function of the query point `x = sᵢ`,
+//! and the per-state minimization is a lower-envelope-of-lines query.
+//! Because support values are strictly increasing and `α ≥ 0`, slopes are
+//! nondecreasing in `j`; because suffix masses are non-increasing in `i`,
+//! the backward pass queries nondecreasing `x`. This is exactly the
+//! concave least-weight-subsequence structure (the quadrangle inequality
+//! holds *by algebra* — a proven sufficient condition, not an empirical
+//! sample of matrix rows), so the Hirschberg–Larmore / Galil–Giancarlo
+//! deque of candidate intervals solves all `n` minimizations in
+//! `O(n log n)` comparisons.
+//!
+//! ## Bit-identity discipline
+//!
+//! The serial `O(n²)` scan compares *floating-point* candidate values and
+//! keeps the leftmost `j` on exact ties. This module reproduces those
+//! decisions rather than approximating them:
+//!
+//! * every comparison evaluates `cand(p, ·)` with the **identical
+//!   expression and operation order** as the serial scan, so the numbers
+//!   compared are the very bits the serial scan would compare;
+//! * `beats(c, d, p)` (with `c < d`) is `cand(p, c) ≤ cand(p, d)` — an
+//!   exact tie is decided in favour of the smaller index, matching the
+//!   serial scan's strict-`<` update rule;
+//! * whenever a comparison is too close to call — the relative difference
+//!   is within [`MONOTONE_MARGIN`], where rounding could order the floats
+//!   differently from the envelope's real-arithmetic reasoning — or any
+//!   candidate is non-finite, the fast path **aborts** and the caller
+//!   falls back to the exact pass, which is correct by definition;
+//! * `w[i]` is computed by re-evaluating `cand(i, winner)`, so the stored
+//!   value is the same expression the serial scan stores.
+//!
+//! The equivalence suite (`tests/dp_monotone_equivalence.rs`) and the CI
+//! `perf-smoke` digest diff enforce the guarantee end to end.
+
+use super::dp::DP_CANCEL_STRIDE;
+use crate::cancel::CancelToken;
+use crate::cost::CostModel;
+use crate::error::Result;
+use std::collections::VecDeque;
+
+/// Relative margin below which a cross-candidate comparison is considered
+/// too close to trust. f64 evaluation of one candidate is accurate to a
+/// few ulps (~1e-16 relative); 1e-12 leaves four orders of magnitude of
+/// headroom while staying far below the spacing of genuinely distinct
+/// candidates on real grids, so spurious aborts are rare. Exact ties
+/// (difference of 0.0) are *not* aborts — they are decided leftmost, the
+/// same way the serial scan decides them.
+const MONOTONE_MARGIN: f64 = 1e-12;
+
+/// A successful fast-path solve: the unnormalized value table `w`
+/// (`w[i] = E*ᵢ·Sᵢ`, length `n + 1`), the per-state argmin `choice`, and
+/// the number of candidate evaluations performed (the `O(n log n)` work
+/// counter recorded as `rsj_core_dp_monotone_evals_total`).
+pub(super) struct MonotoneSolve {
+    pub w: Vec<f64>,
+    pub choice: Vec<usize>,
+    pub evals: u64,
+}
+
+/// The runtime gate: `O(n)` verification of the sufficient condition the
+/// envelope argument needs — finite strictly increasing values, finite
+/// nonnegative masses, finite non-increasing suffix masses and a finite
+/// cost model with `α ≥ 0`. Inputs built through [`DiscreteDistribution`]
+/// and [`CostModel`] always satisfy this; the gate re-checks the raw
+/// arrays so the fast path never *assumes* upstream validation (and so
+/// tests can hand it adversarial slices directly).
+///
+/// [`DiscreteDistribution`]: rsj_dist::DiscreteDistribution
+pub fn monotone_gate(values: &[f64], probs: &[f64], suffix: &[f64], cost: &CostModel) -> bool {
+    let n = values.len();
+    if n == 0 || probs.len() != n || suffix.len() != n + 1 {
+        return false;
+    }
+    if !(cost.alpha.is_finite() && cost.beta.is_finite() && cost.gamma.is_finite())
+        || cost.alpha < 0.0
+    {
+        return false;
+    }
+    let mut prev = f64::NEG_INFINITY;
+    for &v in values {
+        if !v.is_finite() || v <= prev {
+            return false;
+        }
+        prev = v;
+    }
+    if probs.iter().any(|&f| !f.is_finite() || f < 0.0) {
+        return false;
+    }
+    let mut prev = f64::INFINITY;
+    for &s in suffix {
+        if !s.is_finite() || s > prev {
+            return false;
+        }
+        prev = s;
+    }
+    true
+}
+
+/// One contiguous block of *future query states* `[lo, hi]` on which the
+/// line `j` is the current envelope minimum. The deque holds segments in
+/// increasing-state order; together they partition the states not yet
+/// queried.
+struct Seg {
+    j: usize,
+    lo: usize,
+    hi: usize,
+}
+
+/// Attempts the fast path. `Ok(None)` means the gate declined or a
+/// comparison hit the margin/finiteness abort — the caller must run the
+/// exact pass. `Ok(Some(..))` is bit-identical to what the exact pass
+/// would produce (see the module docs for the discipline that makes this
+/// hold and the test suite that enforces it).
+pub(super) fn try_solve(
+    v: &[f64],
+    f: &[f64],
+    s: &[f64],
+    a: &[f64],
+    cost: &CostModel,
+    cancel: &CancelToken,
+) -> Result<Option<MonotoneSolve>> {
+    if !monotone_gate(v, f, s, cost) {
+        return Ok(None);
+    }
+    let n = v.len();
+    let mut w = vec![0.0; n + 1];
+    let mut choice = vec![0usize; n];
+    let mut evals: u64 = 0;
+
+    // The exact pass's candidate expression, verbatim: same ops, same
+    // order, so every number compared or stored here is the number the
+    // serial scan would have produced.
+    let cand_at = |w: &[f64], i: usize, j: usize| {
+        (cost.alpha * v[j] + cost.gamma) * s[i]
+            + cost.beta * (a[j + 1] - a[i])
+            + cost.beta * v[j] * s[j + 1]
+            + w[j + 1]
+    };
+    // Does line `c` win against line `d` (c < d) at state `p`, in the
+    // serial scan's float-level sense? `None` = too close to call.
+    let beats = |w: &[f64], evals: &mut u64, c: usize, d: usize, p: usize| -> Option<bool> {
+        let ca = cand_at(w, p, c);
+        let cd = cand_at(w, p, d);
+        *evals += 2;
+        if !ca.is_finite() || !cd.is_finite() {
+            return None;
+        }
+        let delta = ca - cd;
+        if delta == 0.0 {
+            return Some(true); // exact tie → leftmost index, like the serial scan
+        }
+        if delta.abs() <= MONOTONE_MARGIN * ca.abs().max(cd.abs()) {
+            return None;
+        }
+        Some(delta < 0.0)
+    };
+
+    let mut dq: VecDeque<Seg> = VecDeque::with_capacity(64);
+    for i in (0..n).rev() {
+        if (n - i).is_multiple_of(DP_CANCEL_STRIDE) {
+            cancel.check()?;
+        }
+        // Insert line c = i. It has the smallest slope so far, so it wins
+        // on a (possibly empty) prefix [0, h] of the remaining states:
+        // pop front segments it beats outright, then binary-search the
+        // boundary inside the first surviving segment.
+        let c = i;
+        loop {
+            let Some(front) = dq.front_mut() else {
+                dq.push_front(Seg { j: c, lo: 0, hi: i });
+                break;
+            };
+            match beats(&w, &mut evals, c, front.j, front.hi) {
+                None => return Ok(None),
+                Some(true) => {
+                    dq.pop_front();
+                }
+                Some(false) => {
+                    // c loses at front.hi; find the largest state in
+                    // [front.lo, front.hi) where it still wins, if any.
+                    let (mut lo, mut hi) = (front.lo, front.hi);
+                    while lo < hi {
+                        let mid = lo + (hi - lo) / 2;
+                        match beats(&w, &mut evals, c, front.j, mid) {
+                            None => return Ok(None),
+                            Some(true) => lo = mid + 1,
+                            Some(false) => hi = mid,
+                        }
+                    }
+                    // `lo` is the first state where c loses; states below
+                    // it (including any range freed by the pops above)
+                    // belong to c.
+                    if lo > 0 {
+                        front.lo = lo;
+                        dq.push_front(Seg {
+                            j: c,
+                            lo: 0,
+                            hi: lo - 1,
+                        });
+                    }
+                    break;
+                }
+            }
+        }
+
+        // Query state i: the deque partitions [0, i], so the back segment
+        // contains i and its line is the envelope minimum there.
+        let back = dq.back().expect("deque partitions [0, i]");
+        debug_assert!(back.lo <= i && i <= back.hi);
+        let winner = back.j;
+        let best = cand_at(&w, i, winner);
+        evals += 1;
+        if !best.is_finite() {
+            // The serial scan would propagate this non-finite value into
+            // every later comparison; don't try to reproduce that here.
+            return Ok(None);
+        }
+        w[i] = best;
+        choice[i] = winner;
+
+        // State i will never be queried again: shrink the partition to
+        // [0, i-1].
+        if let Some(back) = dq.back_mut() {
+            if back.lo == i {
+                dq.pop_back();
+            } else {
+                back.hi = i - 1;
+            }
+        }
+    }
+
+    Ok(Some(MonotoneSolve { w, choice, evals }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_accepts_valid_and_rejects_broken_arrays() {
+        let cost = CostModel::reservation_only();
+        let v = [1.0, 2.0, 4.0];
+        let f = [0.5, 0.3, 0.2];
+        let s = [1.0, 0.5, 0.2, 0.0];
+        assert!(monotone_gate(&v, &f, &s, &cost));
+        // Non-increasing values break the slope ordering.
+        assert!(!monotone_gate(&[1.0, 1.0, 4.0], &f, &s, &cost));
+        assert!(!monotone_gate(&[4.0, 2.0, 1.0], &f, &s, &cost));
+        // Non-monotone suffix masses break the query ordering.
+        assert!(!monotone_gate(&v, &f, &[0.2, 0.5, 1.0, 0.0], &cost));
+        // Non-finite entries anywhere decline.
+        assert!(!monotone_gate(&[1.0, f64::NAN, 4.0], &f, &s, &cost));
+        assert!(!monotone_gate(&v, &[0.5, f64::INFINITY, 0.2], &s, &cost));
+        // Mismatched shapes decline.
+        assert!(!monotone_gate(&v, &f[..2], &s, &cost));
+        assert!(!monotone_gate(&[], &[], &[0.0], &cost));
+    }
+}

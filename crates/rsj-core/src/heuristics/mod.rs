@@ -12,14 +12,18 @@
 
 mod brute_force;
 mod dp;
+mod dp_monotone;
 mod simple;
 mod spec;
 
 pub use brute_force::{BruteForce, EvalMethod, SweepPoint};
 pub use dp::{
-    discrete_sequence_cost, optimal_discrete, optimal_discrete_cancellable, optimal_discrete_par,
-    DiscretizedDp, DpSolution,
+    clear_last_dp_path, discrete_sequence_cost, last_dp_path, optimal_discrete,
+    optimal_discrete_cancellable, optimal_discrete_exact, optimal_discrete_exact_cancellable,
+    optimal_discrete_exact_par, optimal_discrete_monotone, optimal_discrete_par, DiscretizedDp,
+    DpPath, DpSolution,
 };
+pub use dp_monotone::monotone_gate;
 pub use simple::{MeanByMean, MeanDoubling, MeanStdev, MedianByMedian};
 pub use spec::{SolverSpec, DEFAULT_EPSILON, DEFAULT_GRID, DEFAULT_SAMPLES};
 

@@ -34,6 +34,9 @@ fn default_samples() -> usize {
 fn default_epsilon() -> f64 {
     DEFAULT_EPSILON
 }
+fn default_true() -> bool {
+    true
+}
 
 /// Which reservation strategy to run, with its parameters.
 ///
@@ -67,6 +70,11 @@ pub enum SolverSpec {
         /// Truncation quantile ε (default 1e-7).
         #[serde(default = "default_epsilon")]
         epsilon: f64,
+        /// Whether the `O(n log n)` monotone fast path may be used
+        /// (default true). The output is bit-identical either way; set
+        /// false to force the exact `O(n²)` pass for A/B runs.
+        #[serde(default = "default_true")]
+        monotone: bool,
     },
     /// §4.3 Mean-by-Mean.
     MeanByMean,
@@ -95,9 +103,12 @@ impl SolverSpec {
                 };
                 Box::new(BruteForce::new(grid, samples, method, seed)?)
             }
-            SolverSpec::Dp { scheme, n, epsilon } => {
-                Box::new(DiscretizedDp::new(scheme, n, epsilon)?)
-            }
+            SolverSpec::Dp {
+                scheme,
+                n,
+                epsilon,
+                monotone,
+            } => Box::new(DiscretizedDp::new(scheme, n, epsilon)?.with_monotone(monotone)),
             SolverSpec::MeanByMean => Box::new(MeanByMean::default()),
             SolverSpec::MeanStdev => Box::new(MeanStdev::default()),
             SolverSpec::MeanDoubling => Box::new(MeanDoubling::default()),
@@ -141,9 +152,15 @@ impl SolverSpec {
             } => format!(
                 "brute_force(grid={grid},samples={samples},analytic={analytic},seed={seed})"
             ),
-            SolverSpec::Dp { scheme, n, epsilon } => {
-                format!("{}(n={n},epsilon={epsilon})", self.name_for(scheme))
-            }
+            SolverSpec::Dp {
+                scheme,
+                n,
+                epsilon,
+                monotone,
+            } => format!(
+                "{}(n={n},epsilon={epsilon},monotone={monotone})",
+                self.name_for(scheme)
+            ),
             _ => format!("{}()", self.name()),
         }
     }
@@ -193,11 +210,13 @@ impl SolverSpec {
                 scheme: DiscretizationScheme::EqualTime,
                 n: DEFAULT_SAMPLES,
                 epsilon: DEFAULT_EPSILON,
+                monotone: true,
             },
             SolverSpec::Dp {
                 scheme: DiscretizationScheme::EqualProbability,
                 n: DEFAULT_SAMPLES,
                 epsilon: DEFAULT_EPSILON,
+                monotone: true,
             },
         ]
     }
@@ -240,11 +259,13 @@ impl std::str::FromStr for SolverSpec {
                 scheme: DiscretizationScheme::EqualTime,
                 n: DEFAULT_SAMPLES,
                 epsilon: DEFAULT_EPSILON,
+                monotone: true,
             },
             "dp_equal_probability" | "equal_probability" => SolverSpec::Dp {
                 scheme: DiscretizationScheme::EqualProbability,
                 n: DEFAULT_SAMPLES,
                 epsilon: DEFAULT_EPSILON,
+                monotone: true,
             },
             "mean_by_mean" => SolverSpec::MeanByMean,
             "mean_stdev" => SolverSpec::MeanStdev,
@@ -290,7 +311,8 @@ mod tests {
             SolverSpec::Dp {
                 scheme: DiscretizationScheme::EqualTime,
                 n: DEFAULT_SAMPLES,
-                epsilon: DEFAULT_EPSILON
+                epsilon: DEFAULT_EPSILON,
+                monotone: true,
             }
         );
     }

@@ -38,8 +38,9 @@ pub struct EvalTable {
 impl EvalTable {
     /// Evaluates `dist` at each of the strictly increasing `points`.
     ///
-    /// Cost: one `cdf` + one `survival` call per point plus a single
-    /// adaptive quadrature for the tail beyond the last point.
+    /// Cost: one `cdf_batch` + one `survival_batch` sweep over the grid
+    /// (values bit-identical to per-point `cdf`/`survival` calls) plus a
+    /// single adaptive quadrature for the tail beyond the last point.
     pub fn build(dist: &dyn ContinuousDistribution, points: Vec<f64>) -> Result<Self> {
         if points.is_empty() {
             return Err(DistError::DegenerateSample {
@@ -58,8 +59,14 @@ impl EvalTable {
             prev = p;
         }
         let n = points.len();
-        let cdf: Vec<f64> = points.iter().map(|&p| dist.cdf(p)).collect();
-        let survival: Vec<f64> = points.iter().map(|&p| dist.survival(p)).collect();
+        // Batch evaluation: one virtual dispatch per column instead of one
+        // per grid point, with values bit-identical to per-point calls
+        // (the `cdf_batch`/`survival_batch` contract, enforced by
+        // `table_matches_direct_calls_bit_for_bit` below).
+        let mut cdf = vec![0.0; n];
+        dist.cdf_batch(&points, &mut cdf);
+        let mut survival = vec![0.0; n];
+        dist.survival_batch(&points, &mut survival);
 
         // Conditional means, back to front. The last entry is the exact
         // `E[X | X > v_n]` (one quadrature inside the default trait
@@ -151,6 +158,54 @@ static CACHE: OnceLock<Mutex<HashMap<CacheKey, Arc<DiscretizedEval>>>> = OnceLoc
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
+/// How the most recent [`discretize_eval`] call on this thread obtained
+/// its table. A per-thread side channel (like `rsj-core`'s DP-path
+/// attribution) so solve explanations can say "warm" or "cold" without
+/// racing other threads' cache traffic the way global hit/miss deltas
+/// would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalTableSource {
+    /// Served from the process-wide cache (warm).
+    CacheHit,
+    /// Discretized and evaluated fresh (cold); the entry was then cached
+    /// if the distribution has a faithful cache key.
+    Built,
+}
+
+impl EvalTableSource {
+    /// Short stable label for trace args and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EvalTableSource::CacheHit => "warm",
+            EvalTableSource::Built => "cold",
+        }
+    }
+}
+
+thread_local! {
+    static LAST_EVAL_SOURCE: std::cell::Cell<Option<EvalTableSource>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Discards any previously recorded source so a following
+/// [`last_eval_source`] cannot read attribution left over from an
+/// earlier, unrelated solve on this thread.
+pub fn clear_last_eval_source() {
+    LAST_EVAL_SOURCE.with(|c| c.set(None));
+}
+
+/// The source recorded by the most recent [`discretize_eval`] call on
+/// this thread, without clearing it; `None` when none has run since
+/// [`clear_last_eval_source`] (e.g. a closed-form heuristic that never
+/// discretizes).
+pub fn last_eval_source() -> Option<EvalTableSource> {
+    LAST_EVAL_SOURCE.with(|c| c.get())
+}
+
+fn record_eval_source(source: EvalTableSource) {
+    LAST_EVAL_SOURCE.with(|c| c.set(Some(source)));
+}
+
 fn cache() -> &'static Mutex<HashMap<CacheKey, Arc<DiscretizedEval>>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
@@ -178,10 +233,12 @@ pub fn discretize_eval(
     if let Some(key) = &key {
         if let Some(hit) = cache().lock().expect("eval cache lock").get(key) {
             HITS.fetch_add(1, Ordering::Relaxed);
+            record_eval_source(EvalTableSource::CacheHit);
             return Ok(Arc::clone(hit));
         }
         MISSES.fetch_add(1, Ordering::Relaxed);
     }
+    record_eval_source(EvalTableSource::Built);
 
     let discrete = discretize(dist, scheme, n, epsilon)?;
     let table = EvalTable::build(dist, discrete.values().to_vec())?;

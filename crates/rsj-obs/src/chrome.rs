@@ -25,6 +25,7 @@ pub fn chrome_trace_json(records: &[TimelineRecord]) -> String {
             record.total_us,
             tid,
             &record.trace_id,
+            &[],
         ));
         let mut stages: Vec<_> = record.stages.iter().collect();
         // Sort by start, longest first on ties, so enclosing events
@@ -38,7 +39,15 @@ pub fn chrome_trace_json(records: &[TimelineRecord]) -> String {
         for stage in stages {
             let ts = stage.start_us.min(record.total_us);
             let dur = stage.end_us.min(record.total_us).saturating_sub(ts);
-            events.push(event(&stage.name, "stage", ts, dur, tid, &record.trace_id));
+            events.push(event(
+                &stage.name,
+                "stage",
+                ts,
+                dur,
+                tid,
+                &record.trace_id,
+                &stage.args,
+            ));
         }
     }
     let doc = json!({
@@ -48,8 +57,23 @@ pub fn chrome_trace_json(records: &[TimelineRecord]) -> String {
     serde_json::to_string_pretty(&doc).expect("chrome trace serializes")
 }
 
-/// One complete ("X") trace event.
-fn event(name: &str, cat: &str, ts: u64, dur: u64, tid: u64, trace_id: &str) -> Value {
+/// One complete ("X") trace event. Stage annotations ride along in the
+/// event's `args` next to the trace id, so Perfetto shows e.g. which DP
+/// path a `solve` span took.
+#[allow(clippy::too_many_arguments)]
+fn event(
+    name: &str,
+    cat: &str,
+    ts: u64,
+    dur: u64,
+    tid: u64,
+    trace_id: &str,
+    extra: &[(String, String)],
+) -> Value {
+    let mut args: Vec<(String, Value)> = vec![("trace_id".to_string(), json!(trace_id))];
+    for (key, value) in extra {
+        args.push((key.clone(), json!(value)));
+    }
     json!({
         "name": name,
         "cat": cat,
@@ -58,7 +82,7 @@ fn event(name: &str, cat: &str, ts: u64, dur: u64, tid: u64, trace_id: &str) -> 
         "dur": dur,
         "pid": 1u64,
         "tid": tid,
-        "args": json!({ "trace_id": trace_id }),
+        "args": Value::Map(args),
     })
 }
 
@@ -77,11 +101,13 @@ mod tests {
                     name: "queue_wait".to_string(),
                     start_us: 0,
                     end_us: 100,
+                    args: Vec::new(),
                 },
                 StageRecord {
                     name: "solve".to_string(),
                     start_us: 120,
                     end_us: 900,
+                    args: Vec::new(),
                 },
             ],
         }
@@ -113,6 +139,7 @@ mod tests {
             name: "late".to_string(),
             start_us: 950,
             end_us: 2_000,
+            args: Vec::new(),
         });
         let text = chrome_trace_json(&[record]);
         let doc: Value = serde_json::from_str(&text).unwrap();

@@ -109,6 +109,13 @@ pub struct StageRecord {
     /// Microseconds from the timeline epoch to the stage end
     /// (`>= start_us`).
     pub end_us: u64,
+    /// Key/value annotations attached after the stage ran (e.g. the
+    /// `solve` stage carries `dp_path` and `eval_table` so traces can
+    /// attribute fast-path speedups). Empty for most stages; omitted
+    /// from the wire when empty, so pre-annotation traces round-trip
+    /// unchanged.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub args: Vec<(String, String)>,
 }
 
 impl StageRecord {
@@ -156,7 +163,17 @@ struct Inner {
     /// Overrides `ctx`'s hex id in the frozen record (a client-adopted id).
     adopted_id: Option<String>,
     epoch: Instant,
-    stages: Vec<(&'static str, u64, u64)>,
+    stages: Vec<LiveStage>,
+}
+
+/// A recorded stage before freezing; args accumulate via
+/// [`Timeline::annotate_last`].
+#[derive(Debug)]
+struct LiveStage {
+    name: &'static str,
+    start_us: u64,
+    end_us: u64,
+    args: Vec<(String, String)>,
 }
 
 /// A per-request stage recorder. See the module docs.
@@ -227,7 +244,23 @@ impl Timeline {
         if let Some(inner) = &mut self.inner {
             let start_us = micros_since(inner.epoch, start);
             let end_us = micros_since(inner.epoch, end).max(start_us);
-            inner.stages.push((name, start_us, end_us));
+            inner.stages.push(LiveStage {
+                name,
+                start_us,
+                end_us,
+                args: Vec::new(),
+            });
+        }
+    }
+
+    /// Attaches a `key = value` annotation to the most recently recorded
+    /// stage (e.g. the DP path the `solve` stage took, known only after
+    /// it returns). No-op when disabled or before any stage is recorded.
+    pub fn annotate_last(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        if let Some(inner) = &mut self.inner {
+            if let Some(stage) = inner.stages.last_mut() {
+                stage.args.push((key.into(), value.into()));
+            }
         }
     }
 
@@ -241,7 +274,12 @@ impl Timeline {
                 let out = f();
                 let start_us = micros_since(inner.epoch, start);
                 let end_us = micros_since(inner.epoch, Instant::now()).max(start_us);
-                inner.stages.push((name, start_us, end_us));
+                inner.stages.push(LiveStage {
+                    name,
+                    start_us,
+                    end_us,
+                    args: Vec::new(),
+                });
                 out
             }
         }
@@ -259,10 +297,11 @@ impl Timeline {
             stages: inner
                 .stages
                 .iter()
-                .map(|&(name, start_us, end_us)| StageRecord {
-                    name: name.to_string(),
-                    start_us,
-                    end_us,
+                .map(|stage| StageRecord {
+                    name: stage.name.to_string(),
+                    start_us: stage.start_us,
+                    end_us: stage.end_us,
+                    args: stage.args.clone(),
                 })
                 .collect(),
         })

@@ -119,6 +119,7 @@ fn build_record(index: usize, raw: &RawRecord) -> TimelineRecord {
                 name: STAGE_NAMES[name % STAGE_NAMES.len()].to_string(),
                 start_us,
                 end_us,
+                args: Vec::new(),
             }
         })
         .collect();

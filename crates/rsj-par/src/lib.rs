@@ -111,6 +111,58 @@ mod tests {
     }
 
     #[test]
+    fn range_reduce_matches_slice_reduce_bit_for_bit() {
+        // The DP inner loop swaps the slice variant for the range variant
+        // to drop per-state index allocations; the two must share one
+        // reduction tree exactly, at any thread count.
+        let items: Vec<f64> = (0..10_000)
+            .map(|i| ((i as f64) * 0.316).cos() / (1.0 + i as f64))
+            .collect();
+        let via_slice = Parallelism::new(4)
+            .unwrap()
+            .try_par_map_reduce(&items, |_, x| *x, |a, b| a + b)
+            .unwrap()
+            .unwrap();
+        for threads in [1, 2, 4, 7] {
+            let via_range = Parallelism::new(threads)
+                .unwrap()
+                .try_par_reduce_range(items.len(), |i| items[i], |a, b| a + b)
+                .unwrap()
+                .unwrap();
+            assert_eq!(
+                via_slice.to_bits(),
+                via_range.to_bits(),
+                "{threads} threads"
+            );
+        }
+        // Min-with-index reductions (the DP shape) agree too.
+        let naive = items
+            .iter()
+            .enumerate()
+            .fold(None::<(f64, usize)>, |best, (i, &v)| match best {
+                Some((bv, _)) if bv <= v => best,
+                _ => Some((v, i)),
+            })
+            .unwrap();
+        let ranged = Parallelism::new(3)
+            .unwrap()
+            .try_par_reduce_range(
+                items.len(),
+                |i| (items[i], i),
+                |a, b| if b.0 < a.0 { b } else { a },
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(naive, ranged);
+        assert_eq!(
+            Parallelism::new(4)
+                .unwrap()
+                .try_par_reduce_range(0, |i| i, |a, _| a),
+            Ok(None)
+        );
+    }
+
+    #[test]
     fn empty_inputs_are_fine() {
         let empty: Vec<u32> = Vec::new();
         assert_eq!(

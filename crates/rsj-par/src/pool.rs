@@ -204,6 +204,43 @@ impl Parallelism {
         Ok(partials.into_iter().reduce(reduce))
     }
 
+    /// Range variant of [`Parallelism::try_par_map_reduce`]: maps `f`
+    /// over `0..len` and reduces with the *same* chunk shape and
+    /// association (left-to-right within each chunk, then left-to-right
+    /// across chunk partials). For a given `len` the reduction tree is
+    /// identical to the slice variant's, so replacing
+    /// `try_par_map_reduce(&(0..len).collect::<Vec<_>>(), …)` with this
+    /// method changes no output bits — it only drops the index-vector
+    /// allocation (the DP inner loop used to allocate one per state).
+    pub fn try_par_reduce_range<R, F, G>(
+        &self,
+        len: usize,
+        map: F,
+        reduce: G,
+    ) -> Result<Option<R>, ParError>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        G: Fn(R, R) -> R + Sync,
+    {
+        if len == 0 {
+            return Ok(None);
+        }
+        let chunk = chunk_size(len);
+        let n_chunks = len.div_ceil(chunk);
+        let partials = self.run_chunks(n_chunks, |c| {
+            let start = c * chunk;
+            let end = (start + chunk).min(len);
+            let mut acc = map(start);
+            for i in start + 1..end {
+                acc = reduce(acc, map(i));
+            }
+            acc
+        })?;
+        record_tasks(len);
+        Ok(partials.into_iter().reduce(reduce))
+    }
+
     /// Executes `f` once per chunk index and returns the chunk results in
     /// chunk order. This is the scheduling core: workers claim chunk
     /// indices from a shared atomic counter; a captured panic aborts

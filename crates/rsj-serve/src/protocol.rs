@@ -708,6 +708,7 @@ mod tests {
                     name: "solve".to_string(),
                     start_us: 10,
                     end_us: 1200,
+                    args: Vec::new(),
                 }],
             }],
         };

@@ -503,7 +503,10 @@ mod tests {
                 last: Box::new(ClientError::ConnectionClosed),
             }),
         };
-        assert!(matches!(wrapped.root_cause(), ClientError::ConnectionClosed));
+        assert!(matches!(
+            wrapped.root_cause(),
+            ClientError::ConnectionClosed
+        ));
         assert!(matches!(
             ClientError::CircuitOpen.root_cause(),
             ClientError::CircuitOpen

@@ -1292,11 +1292,13 @@ mod tests {
                     name: "queue_wait".to_string(),
                     start_us: 0,
                     end_us: 1_000,
+                    args: Vec::new(),
                 },
                 rsj_obs::StageRecord {
                     name: "solve".to_string(),
                     start_us: 1_000,
                     end_us: 12_000,
+                    args: Vec::new(),
                 },
             ],
         };
@@ -1331,11 +1333,13 @@ mod tests {
                     name: "read_wait".to_string(),
                     start_us: 0,
                     end_us: 10_000,
+                    args: Vec::new(),
                 },
                 rsj_obs::StageRecord {
                     name: "solve".to_string(),
                     start_us: 10_000,
                     end_us: 12_000,
+                    args: Vec::new(),
                 },
             ],
         };

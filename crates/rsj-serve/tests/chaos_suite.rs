@@ -54,6 +54,7 @@ fn request_for(conn: u64) -> (DistSpec, SolverSpec) {
         scheme: DiscretizationScheme::EqualProbability,
         n: 150,
         epsilon: 1e-6,
+        monotone: true,
     };
     (dists[(conn % 3) as usize].clone(), solver)
 }

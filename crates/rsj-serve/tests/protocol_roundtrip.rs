@@ -38,6 +38,7 @@ fn every_request_shape_round_trips() {
                 scheme: rsj_dist::DiscretizationScheme::EqualTime,
                 n: 500,
                 epsilon: 1e-6,
+                monotone: true,
             },
         ),
         Request::Plan {
@@ -113,6 +114,7 @@ fn every_response_shape_round_trips() {
                     name: "solve".to_string(),
                     start_us: 10,
                     end_us: 1200,
+                    args: Vec::new(),
                 }],
             }),
         },

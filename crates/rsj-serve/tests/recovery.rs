@@ -57,6 +57,7 @@ fn dp_solver() -> SolverSpec {
         scheme: DiscretizationScheme::EqualProbability,
         n: 200,
         epsilon: 1e-6,
+        monotone: true,
     }
 }
 

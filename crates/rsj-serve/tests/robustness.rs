@@ -179,6 +179,7 @@ fn deadlines_shed_at_dequeue_and_cancel_mid_solve() {
             scheme: DiscretizationScheme::EqualProbability,
             n: 150,
             epsilon: 1e-6,
+            monotone: true,
         },
     );
     let response = client
@@ -240,6 +241,7 @@ fn concurrent_identical_misses_coalesce_onto_one_solve() {
             scheme: DiscretizationScheme::EqualProbability,
             n: 900,
             epsilon: 1e-7,
+            monotone: true,
         },
     );
     let start = Arc::new(Barrier::new(CLIENTS));

@@ -41,6 +41,7 @@ fn fast_dp() -> SolverSpec {
         scheme: DiscretizationScheme::EqualProbability,
         n: 150,
         epsilon: 1e-6,
+        monotone: true,
     }
 }
 

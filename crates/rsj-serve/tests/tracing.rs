@@ -69,6 +69,7 @@ fn fast_dp() -> SolverSpec {
         scheme: DiscretizationScheme::EqualProbability,
         n: 150,
         epsilon: 1e-6,
+        monotone: true,
     }
 }
 
@@ -79,6 +80,7 @@ fn heavy_dp() -> SolverSpec {
         scheme: DiscretizationScheme::EqualProbability,
         n: 2000,
         epsilon: 1e-6,
+        monotone: true,
     }
 }
 

@@ -108,6 +108,14 @@ pub struct AdaptiveConfig {
     /// only.
     #[serde(default = "default_true")]
     pub empirical_fallback: bool,
+    /// Reuse the candidate plan from an earlier refit round when the
+    /// fitted model is unchanged — keyed by the model's faithful
+    /// [`ContinuousDistribution::cache_key`], so a warm hit returns a
+    /// plan bit-identical to what a fresh solve would produce (default
+    /// true). Models without a faithful key (the empirical fallback) are
+    /// always planned cold.
+    #[serde(default = "default_true")]
+    pub warm_start: bool,
 }
 
 impl Default for AdaptiveConfig {
@@ -121,6 +129,7 @@ impl Default for AdaptiveConfig {
             censor_after: None,
             resilience: ResilienceConfig::fault_free(),
             empirical_fallback: true,
+            warm_start: true,
         }
     }
 }
@@ -202,6 +211,10 @@ pub struct RefitRecord {
     pub model: String,
     /// Cumulative cost ratio vs the oracle up to this point.
     pub mean_ratio_so_far: f64,
+    /// The candidate plan came from the warm-start memo (the fitted model
+    /// was unchanged since an earlier round) instead of a fresh solve.
+    #[serde(default)]
+    pub warm: bool,
 }
 
 /// Full outcome of an adaptive run.
@@ -352,6 +365,12 @@ pub fn run_adaptive(
         })?;
     let mut current_mean = prior.mean();
     let mut current_model_name = format!("prior: {}", prior.name());
+    // Warm-start memo: candidate plans from earlier refit rounds, keyed by
+    // the fitted model's faithful cache key. Strategies are deterministic
+    // functions of (model, cost), so replaying a memoized plan for an
+    // identical model is bit-for-bit what a fresh solve would return.
+    let mut plan_memo: std::collections::HashMap<String, ReservationSequence> =
+        std::collections::HashMap::new();
     let mut observations: Vec<Observation> = Vec::new();
     let mut jobs = Vec::with_capacity(n_jobs);
     let mut refits = Vec::new();
@@ -442,6 +461,7 @@ pub fn run_adaptive(
         fallbacks += usize::from(fallback);
         let mut accepted = false;
         let mut replanned = false;
+        let mut warm = false;
         if let Some(model) = candidate {
             let drift = model.mean() / current_mean;
             if !(drift.is_finite() && (1.0 / config.max_drift..=config.max_drift).contains(&drift))
@@ -453,33 +473,64 @@ pub fn run_adaptive(
                 if drift.is_finite() && drift > 0.0 {
                     current_mean *= drift.clamp(1.0 / config.max_drift, config.max_drift);
                 }
-            } else if let Ok(candidate_plan) = strategy.sequence(&*model, cost) {
-                let e_cur = expected_cost_with_extension(&plan, &*model, cost);
-                let e_new = expected_cost_with_extension(&candidate_plan, &*model, cost);
-                accepted = true;
-                current_mean = model.mean();
-                current_model_name = model.name();
-                if e_cur.is_finite()
-                    && e_new.is_finite()
-                    && e_new < e_cur * (1.0 - config.hysteresis)
-                {
-                    plan = candidate_plan;
-                    replans += 1;
-                    replanned = true;
-                }
             } else {
-                // The refit model produced no valid plan: keep last-good.
-                rejected += 1;
+                // Candidate plan: warm from the memo when this exact model
+                // was already planned, cold (a full solve) otherwise.
+                let refit_start = std::time::Instant::now();
+                let memo_key = if config.warm_start {
+                    model.cache_key()
+                } else {
+                    None
+                };
+                let planned = match memo_key.as_ref().and_then(|k| plan_memo.get(k)) {
+                    Some(hit) => {
+                        warm = true;
+                        Ok(hit.clone())
+                    }
+                    None => strategy.sequence(&*model, cost),
+                };
+                if rsj_obs::metrics_enabled() {
+                    let name = if warm {
+                        "rsj_sim_adaptive_refit_seconds_warm"
+                    } else {
+                        "rsj_sim_adaptive_refit_seconds_cold"
+                    };
+                    rsj_obs::global_registry()
+                        .histogram(name)
+                        .observe(refit_start.elapsed().as_secs_f64());
+                }
+                if let Ok(candidate_plan) = planned {
+                    if let (false, Some(key)) = (warm, memo_key) {
+                        plan_memo.insert(key, candidate_plan.clone());
+                    }
+                    let e_cur = expected_cost_with_extension(&plan, &*model, cost);
+                    let e_new = expected_cost_with_extension(&candidate_plan, &*model, cost);
+                    accepted = true;
+                    current_mean = model.mean();
+                    current_model_name = model.name();
+                    if e_cur.is_finite()
+                        && e_new.is_finite()
+                        && e_new < e_cur * (1.0 - config.hysteresis)
+                    {
+                        plan = candidate_plan;
+                        replans += 1;
+                        replanned = true;
+                    }
+                } else {
+                    // The refit model produced no valid plan: keep last-good.
+                    rejected += 1;
+                }
             }
         } else {
             rejected += 1;
         }
         rsj_obs::debug!(
-            "refit after {} jobs: accepted {}, replanned {}, fallback {}, model {}, ratio {:.4}",
+            "refit after {} jobs: accepted {}, replanned {}, fallback {}, warm {}, model {}, ratio {:.4}",
             j0,
             accepted,
             replanned,
             fallback,
+            warm,
             current_model_name,
             total_cost / oracle_total
         );
@@ -490,6 +541,7 @@ pub fn run_adaptive(
             fallback,
             model: current_model_name.clone(),
             mean_ratio_so_far: total_cost / oracle_total,
+            warm,
         });
     }
 
@@ -506,6 +558,9 @@ pub fn run_adaptive(
             .add(censored_count as u64);
         reg.counter("rsj_sim_adaptive_gave_up_total")
             .add(gave_up as u64);
+        let warm_plans = refits.iter().filter(|r| r.warm).count();
+        reg.counter("rsj_sim_adaptive_warm_plans_total")
+            .add(warm_plans as u64);
         // Hysteresis holds: the refit was accepted as the working model
         // but the improvement did not clear the replan threshold.
         let holds = refits.iter().filter(|r| r.accepted && !r.replanned).count();
@@ -656,6 +711,76 @@ mod tests {
             ..AdaptiveConfig::default()
         };
         assert!(run_adaptive(&truth, &truth, &strategy, &cost, 10, &bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn warm_start_is_bit_identical_to_cold_and_actually_hits() {
+        // Give-up faults (max_failures = 1, short MTBF) make some refit
+        // blocks contribute zero observations, so consecutive rounds fit
+        // the identical model and the warm memo fires. The warm run must
+        // be bit-for-bit identical to the cold run everywhere except the
+        // `warm` flags themselves.
+        let (truth, cost) = scenario();
+        let strategy = MeanByMean::default();
+        let mk_cfg = |warm_start| AdaptiveConfig {
+            family: ModelFamily::Exponential,
+            refit_interval: 2,
+            min_observations: 2,
+            resilience: ResilienceConfig {
+                faults: crate::fault::FaultConfig {
+                    seed: 11,
+                    mtbf: Some(20.0),
+                    preemption_rate: None,
+                    walltime_jitter: None,
+                },
+                max_failures: 1,
+                ..ResilienceConfig::default()
+            },
+            warm_start,
+            ..AdaptiveConfig::default()
+        };
+        let run = |warm_start: bool| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            run_adaptive(
+                &truth,
+                &truth,
+                &strategy,
+                &cost,
+                80,
+                &mk_cfg(warm_start),
+                &mut rng,
+            )
+            .unwrap()
+        };
+        let warm = run(true);
+        let cold = run(false);
+        assert!(
+            warm.refits.iter().any(|r| r.warm),
+            "no-new-observation rounds must produce at least one warm hit"
+        );
+        assert!(
+            cold.refits.iter().all(|r| !r.warm),
+            "warm_start = false must never mark a refit warm"
+        );
+        assert_eq!(warm.jobs, cold.jobs);
+        assert_eq!(warm.total_cost.to_bits(), cold.total_cost.to_bits());
+        assert_eq!(
+            warm.mean_cost_ratio.to_bits(),
+            cold.mean_cost_ratio.to_bits()
+        );
+        assert_eq!(
+            (warm.replans, warm.rejected_refits, warm.fallbacks),
+            (cold.replans, cold.rejected_refits, cold.fallbacks)
+        );
+        assert_eq!(warm.final_model, cold.final_model);
+        assert_eq!(warm.refits.len(), cold.refits.len());
+        for (w, c) in warm.refits.iter().zip(&cold.refits) {
+            assert_eq!(
+                (w.after_jobs, w.accepted, w.replanned, w.fallback, &w.model),
+                (c.after_jobs, c.accepted, c.replanned, c.fallback, &c.model)
+            );
+            assert_eq!(w.mean_ratio_so_far.to_bits(), c.mean_ratio_so_far.to_bits());
+        }
     }
 
     #[test]

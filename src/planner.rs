@@ -263,10 +263,22 @@ impl Planner {
         cancel: &CancelToken,
         timeline: &mut rsj_obs::Timeline,
     ) -> Result<Plan> {
-        let seq = timeline.time("solve", || {
+        // Attribution side channels are per-thread and overwritten by
+        // every solve; clear them first so closed-form heuristics (which
+        // never touch them) cannot inherit a previous solve's labels.
+        rsj_core::clear_last_dp_path();
+        rsj_dist::clear_last_eval_source();
+        let solved = timeline.time("solve", || {
             self.solver
                 .sequence_cancellable(self.dist.as_ref(), &self.cost, cancel)
-        })?;
+        });
+        if let Some(path) = rsj_core::last_dp_path() {
+            timeline.annotate_last("dp_path", path.as_str());
+        }
+        if let Some(source) = rsj_dist::last_eval_source() {
+            timeline.annotate_last("eval_table", source.as_str());
+        }
+        let seq = solved?;
         cancel.check()?;
         let (expected_cost, omniscient_cost) = timeline.time("score", || {
             (
@@ -344,6 +356,65 @@ mod tests {
     }
 
     #[test]
+    fn traced_plan_annotates_solve_stage_with_attribution() {
+        let planner = Planner::builder()
+            .distribution(DistSpec::LogNormal {
+                mu: 3.0,
+                sigma: 0.5,
+            })
+            .solver(SolverSpec::Dp {
+                scheme: rsj_dist::DiscretizationScheme::EqualProbability,
+                n: 223,
+                epsilon: 1e-7,
+                monotone: true,
+            })
+            .build()
+            .unwrap();
+        let mut timeline =
+            rsj_obs::Timeline::begin(rsj_obs::TraceContext::generate(), std::time::Instant::now());
+        planner
+            .plan_traced(&CancelToken::none(), &mut timeline)
+            .unwrap();
+        let record = timeline.finish("plan").unwrap();
+        let solve = record
+            .stages
+            .iter()
+            .find(|s| s.name == "solve")
+            .expect("solve stage recorded");
+        assert!(
+            solve
+                .args
+                .iter()
+                .any(|(k, v)| k == "dp_path" && v == "monotone"),
+            "solve stage args: {:?}",
+            solve.args
+        );
+        assert!(
+            solve
+                .args
+                .iter()
+                .any(|(k, v)| k == "eval_table" && (v == "warm" || v == "cold")),
+            "solve stage args: {:?}",
+            solve.args
+        );
+
+        // A closed-form solver leaves the stage unannotated.
+        let planner = Planner::builder()
+            .distribution(DistSpec::Exponential { lambda: 1.0 })
+            .solver_name("mean_by_mean")
+            .build()
+            .unwrap();
+        let mut timeline =
+            rsj_obs::Timeline::begin(rsj_obs::TraceContext::generate(), std::time::Instant::now());
+        planner
+            .plan_traced(&CancelToken::none(), &mut timeline)
+            .unwrap();
+        let record = timeline.finish("plan").unwrap();
+        let solve = record.stages.iter().find(|s| s.name == "solve").unwrap();
+        assert!(solve.args.is_empty(), "{:?}", solve.args);
+    }
+
+    #[test]
     fn invalid_cost_rates_fail_at_build() {
         let err = Planner::builder()
             .distribution(DistSpec::Exponential { lambda: 1.0 })
@@ -390,6 +461,7 @@ mod tests {
                 scheme: rsj_dist::DiscretizationScheme::EqualProbability,
                 n: 500,
                 epsilon: 1e-7,
+                monotone: true,
             },
             SolverSpec::MeanByMean,
         ] {
