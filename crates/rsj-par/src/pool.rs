@@ -93,18 +93,24 @@ impl Parallelism {
     /// global override if any, else `RSJ_THREADS`, else the machine
     /// parallelism. A malformed `RSJ_THREADS` logs a warning and degrades
     /// to serial execution rather than silently grabbing every core.
+    ///
+    /// The env/hardware fallback is resolved once per process: it costs
+    /// an environment read plus a syscall, and call sites treat this as
+    /// cheap enough for per-request paths. [`Parallelism::install_global`]
+    /// still overrides it at any time.
     pub fn current() -> Self {
         let global = GLOBAL_THREADS.load(Ordering::Relaxed);
         if let Some(threads) = NonZeroUsize::new(global) {
             return Parallelism { threads };
         }
-        match Self::from_env() {
+        static FALLBACK: std::sync::OnceLock<Parallelism> = std::sync::OnceLock::new();
+        *FALLBACK.get_or_init(|| match Self::from_env() {
             Ok(par) => par,
             Err(e) => {
                 rsj_obs::warn!("{e}; falling back to serial execution");
                 Self::serial()
             }
-        }
+        })
     }
 
     /// Installs `self` as the process-wide default returned by

@@ -4,7 +4,9 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{encode, ErrorKind, HealthInfo, Request, Response};
+use reservation_strategies::PlanRequest;
+
+use crate::protocol::{encode, BatchItem, ErrorKind, HealthInfo, Request, Response};
 
 /// Longest response line the client will buffer before giving up with
 /// [`ClientError::ResponseTooLarge`] — the client-side mirror of the
@@ -186,6 +188,26 @@ impl Client {
             if reply.ends_with('\n') {
                 return Ok(reply);
             }
+        }
+    }
+
+    /// Solves a whole batch of plan requests in one round trip (protocol
+    /// v2 `plan_batch`). Returns the per-item results in input order;
+    /// each item is independently a plan or a typed error, so a batch
+    /// with one bad distribution still yields plans for the rest. A
+    /// batch-level server error (shed, not ready, …) surfaces as
+    /// [`ClientError::Protocol`]; use
+    /// [`ResilientClient::plan_batch`](crate::retry::ResilientClient::plan_batch)
+    /// for retries that re-send only the failed items.
+    pub fn plan_batch(&mut self, items: Vec<PlanRequest>) -> Result<Vec<BatchItem>, ClientError> {
+        match self.call(&Request::plan_batch(items))? {
+            Response::PlanBatch { results, .. } => Ok(results),
+            Response::Error { kind, message, .. } => Err(ClientError::Protocol(format!(
+                "plan_batch failed: {kind}: {message}"
+            ))),
+            other => Err(ClientError::Protocol(format!(
+                "expected plan_batch, got {other:?}"
+            ))),
         }
     }
 

@@ -1,20 +1,34 @@
 //! # rsj-serve
 //!
 //! A multi-client planning service for *Reservation Strategies for
-//! Stochastic Jobs* (system S22 of DESIGN.md): a long-running TCP server
-//! that computes reservation plans on demand, behind the stable
-//! [`Planner`](reservation_strategies::Planner) facade.
+//! Stochastic Jobs* (systems S22–S25 and S27 of DESIGN.md): a
+//! long-running TCP server that computes reservation plans on demand,
+//! behind the stable [`Planner`](reservation_strategies::Planner) facade.
 //!
-//! * **Protocol** ([`protocol`]) — versioned, line-delimited JSON: one
-//!   request object per line (`op`: `plan` / `metrics` / `ping` /
-//!   `shutdown`), one response object per line. Plan requests are exactly
+//! * **Protocol** ([`protocol`]) — negotiated, line-delimited JSON: one
+//!   request object per line (`op`: `plan` / `plan_batch` / `trace` /
+//!   `metrics` / `health` / `ready` / `ping` / `shutdown`), one response
+//!   object per line. Requests carry an optional version `v` (absent
+//!   means v1); the server answers at the version the request spoke and
+//!   rejects unknown versions with a typed `unsupported_version` error at
+//!   v1, so old clients keep their exact bytes. Plan requests are exactly
 //!   a `Planner` configuration on the wire (`DistSpec` + `CostModel` +
 //!   `SolverSpec` + optional simulate), and plan responses embed the
 //!   facade's [`Plan`](reservation_strategies::Plan) verbatim, FNV-1a
 //!   sequence digest included — so served plans diff bit-for-bit against
-//!   offline artifacts.
-//! * **Server** ([`server`]) — a fixed accept loop feeding a bounded
-//!   worker pool through an admission-controlled queue ([`admission`]:
+//!   offline artifacts. Protocol v2's `plan_batch` submits many items in
+//!   one frame and returns per-item tagged [`BatchItem`] results in input
+//!   order — one round trip, one trace id, one batch-level deadline —
+//!   with a failing item confined to its slot.
+//! * **Reactor** ([`poll`] / [`server`]) — a single-threaded nonblocking
+//!   epoll front end (std-only, raw `libc`) that owns every connection's
+//!   read buffering, incremental line assembly, partial-write resumption
+//!   and idle deadline, so a slow or idle peer costs a buffer rather than
+//!   a thread. Complete frames cross a bounded MPMC queue into a fixed
+//!   worker pool; each worker drains up to a configurable batch of
+//!   queued requests grouped by table-order key so same-table solves
+//!   share a warm eval table.
+//! * **Server** ([`server`]) — admission control ([`admission`]:
 //!   watermark-hysteresis load shedding with typed `overloaded`
 //!   fast-rejects), per-request deadlines enforced at dequeue and
 //!   propagated into the solvers as cooperative cancellation,
@@ -27,9 +41,11 @@
 //!   queue-wait histograms, Prometheus exposition via the `metrics` op).
 //! * **Client** ([`client`]) — a small blocking client used by
 //!   `rsj request` and the integration tests, with typed errors for torn
-//!   and oversized responses; [`retry`] wraps it into a
-//!   [`ResilientClient`] with seeded-jitter backoff, retry budgets and a
-//!   circuit breaker.
+//!   and oversized responses and a [`Client::plan_batch`] wrapper for the
+//!   v2 batch op; [`retry`] wraps it into a [`ResilientClient`] with
+//!   seeded-jitter backoff, retry budgets, a circuit breaker, and
+//!   batch-aware retries that re-submit only the retryable slots of a
+//!   partially failed batch.
 //! * **Chaos** ([`chaos`]) — a seed-reproducible fault-injection policy
 //!   and TCP proxy for hardening tests and the `serve_load` bench, plus a
 //!   seeded journal-[`CorruptionPolicy`] for recovery testing.
@@ -62,6 +78,7 @@ pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod journal;
+pub mod poll;
 pub mod protocol;
 pub mod recovery;
 pub mod retry;
@@ -75,9 +92,10 @@ pub use chaos::{ChaosPolicy, ChaosProxy, Corruption, CorruptionPolicy, ProxyHand
 pub use client::{Client, ClientError};
 pub use journal::{JournalRecord, JournalWriter, RecordFault, RecordScanner};
 pub use protocol::{
-    classify, decode_request, encode, sanitize_trace_id, ErrorKind, HealthInfo, Provenance,
-    Request, Response, Timings, PROTOCOL_VERSION,
+    classify, decode_request, encode, sanitize_trace_id, BatchItem, ErrorKind, HealthInfo,
+    Provenance, Request, Response, Timings, PROTOCOL_VERSION, PROTOCOL_VERSION_MAX,
 };
+pub use reservation_strategies::PlanRequest;
 pub use recovery::{recover, RecoveryStats};
 pub use retry::{
     BreakerConfig, BreakerState, CircuitBreaker, ResilientClient, RetryClass, RetryPolicy,

@@ -1,11 +1,18 @@
 //! The versioned wire protocol: line-delimited JSON over TCP.
 //!
 //! Every message is one JSON object on one line, terminated by `\n`.
-//! Requests carry an `op` tag (`plan`, `trace`, `metrics`, `ping`,
-//! `shutdown`) and a protocol version `v`; responses carry a `status` tag
-//! (`plan`, `trace`, `metrics`, `pong`, `shutting_down`, `error`).
-//! Unknown ops, malformed JSON and unsupported versions all produce a
-//! typed [`Response::Error`] — the connection stays usable afterwards.
+//! Requests carry an `op` tag (`plan`, `plan_batch`, `trace`, `metrics`,
+//! `ping`, `shutdown`) and a protocol version `v`; responses carry a
+//! `status` tag (`plan`, `plan_batch`, `trace`, `metrics`, `pong`,
+//! `shutting_down`, `error`). Unknown ops, malformed JSON and unsupported
+//! versions all produce a typed [`Response::Error`] — the connection
+//! stays usable afterwards.
+//!
+//! **Version negotiation.** `v` defaults to 1 when omitted, so every
+//! bare-`op` frame and pre-v2 client works unchanged; the server accepts
+//! `1..=`[`PROTOCOL_VERSION_MAX`] and answers each request in the version
+//! it arrived in. v2 adds the `plan_batch` op — a vec of plan requests
+//! answered with per-item tagged results ([`BatchItem`]).
 //!
 //! Plan requests may carry a client-chosen `trace_id`; the server adopts
 //! and echoes it on every reply to that request — success, typed error,
@@ -19,16 +26,24 @@
 //! configuration on the wire" and the response embeds the facade's
 //! [`Plan`] verbatim.
 
-use reservation_strategies::{Plan, RsjError, SimulateOptions};
+use reservation_strategies::{Plan, PlanRequest, RsjError, SimulateOptions};
 use rsj_core::{CostModel, SolverSpec};
 use rsj_dist::DistSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::recovery::RecoveryStats;
 
-/// The protocol version this build speaks. Requests with a different `v`
-/// are rejected with [`ErrorKind::UnsupportedVersion`].
+/// The baseline protocol version, and the default when a frame omits `v`
+/// — so every bare-`op` one-liner and every pre-v2 client keeps working
+/// unchanged. The server answers each request in the version it arrived
+/// in.
 pub const PROTOCOL_VERSION: u32 = 1;
+
+/// The newest protocol version this build speaks. v2 adds the
+/// `plan_batch` op; every v1 frame is also a valid v2 frame. Requests
+/// outside `1..=PROTOCOL_VERSION_MAX` are rejected with
+/// [`ErrorKind::UnsupportedVersion`].
+pub const PROTOCOL_VERSION_MAX: u32 = 2;
 
 fn default_version() -> u32 {
     PROTOCOL_VERSION
@@ -79,6 +94,31 @@ pub enum Request {
         /// Ask the server to record a stage timeline for this request and
         /// embed it in the response, even when the server-wide trace ring
         /// is off.
+        #[serde(default)]
+        trace: bool,
+    },
+    /// Compute a whole batch of plans in one round trip (protocol v2).
+    /// Items are solved grouped by their shared eval table, so a batch of
+    /// cache misses over one distribution costs one discretization instead
+    /// of N. Each item succeeds or fails independently — the response is a
+    /// vec of per-item tagged results in input order.
+    PlanBatch {
+        /// Protocol version; `plan_batch` requires `v: 2`.
+        #[serde(default = "default_version")]
+        v: u32,
+        /// The plan requests, each a full planner configuration (same
+        /// shape as the facade's `PlanRequest`).
+        items: Vec<PlanRequest>,
+        /// Batch-level deadline in milliseconds, measured like a `plan`
+        /// deadline; when it expires, remaining unsolved items fail with
+        /// [`ErrorKind::DeadlineExceeded`].
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        deadline_ms: Option<u64>,
+        /// Client-supplied trace id for the whole batch (one id; items are
+        /// distinguished by per-item `item` stage annotations).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace_id: Option<String>,
+        /// Embed the server-side stage timeline in the response.
         #[serde(default)]
         trace: bool,
     },
@@ -167,20 +207,38 @@ impl Request {
         }
     }
 
-    /// Sets the per-request deadline on a plan request; a no-op for the
-    /// other ops (they answer immediately).
+    /// A v2 batch request over `items` with no deadline and no tracing.
+    pub fn plan_batch(items: Vec<PlanRequest>) -> Self {
+        Request::PlanBatch {
+            v: PROTOCOL_VERSION_MAX,
+            items,
+            deadline_ms: None,
+            trace_id: None,
+            trace: false,
+        }
+    }
+
+    /// Sets the per-request (or batch-level) deadline on a plan or
+    /// plan-batch request; a no-op for the other ops (they answer
+    /// immediately).
     pub fn with_deadline_ms(mut self, ms: u64) -> Self {
-        if let Request::Plan { deadline_ms, .. } = &mut self {
-            *deadline_ms = Some(ms);
+        match &mut self {
+            Request::Plan { deadline_ms, .. } | Request::PlanBatch { deadline_ms, .. } => {
+                *deadline_ms = Some(ms);
+            }
+            _ => {}
         }
         self
     }
 
-    /// Attaches a client-chosen trace id to a plan request (or sets the
-    /// id filter on a trace request); a no-op for the other ops.
+    /// Attaches a client-chosen trace id to a plan or plan-batch request
+    /// (or sets the id filter on a trace request); a no-op for the other
+    /// ops.
     pub fn with_trace_id(mut self, id: impl Into<String>) -> Self {
         match &mut self {
-            Request::Plan { trace_id, .. } | Request::Trace { trace_id, .. } => {
+            Request::Plan { trace_id, .. }
+            | Request::PlanBatch { trace_id, .. }
+            | Request::Trace { trace_id, .. } => {
                 *trace_id = Some(id.into());
             }
             _ => {}
@@ -188,11 +246,14 @@ impl Request {
         self
     }
 
-    /// Asks for an embedded stage timeline on a plan request; a no-op for
-    /// the other ops.
+    /// Asks for an embedded stage timeline on a plan or plan-batch
+    /// request; a no-op for the other ops.
     pub fn with_trace(mut self) -> Self {
-        if let Request::Plan { trace, .. } = &mut self {
-            *trace = true;
+        match &mut self {
+            Request::Plan { trace, .. } | Request::PlanBatch { trace, .. } => {
+                *trace = true;
+            }
+            _ => {}
         }
         self
     }
@@ -200,7 +261,9 @@ impl Request {
     /// The trace id the request carries, if any.
     pub fn trace_id(&self) -> Option<&str> {
         match self {
-            Request::Plan { trace_id, .. } | Request::Trace { trace_id, .. } => trace_id.as_deref(),
+            Request::Plan { trace_id, .. }
+            | Request::PlanBatch { trace_id, .. }
+            | Request::Trace { trace_id, .. } => trace_id.as_deref(),
             _ => None,
         }
     }
@@ -260,6 +323,7 @@ impl Request {
     pub fn version(&self) -> u32 {
         match *self {
             Request::Plan { v, .. }
+            | Request::PlanBatch { v, .. }
             | Request::Trace { v, .. }
             | Request::Metrics { v }
             | Request::Ping { v }
@@ -320,7 +384,8 @@ pub struct Timings {
 pub enum ErrorKind {
     /// The line was not valid JSON or not a known request shape.
     MalformedRequest,
-    /// The request's `v` does not match [`PROTOCOL_VERSION`].
+    /// The request's `v` falls outside the versions this build speaks
+    /// (`1..=`[`PROTOCOL_VERSION_MAX`]), or a v2-only op claimed v1.
     UnsupportedVersion,
     /// The distribution spec failed validation.
     InvalidDistribution,
@@ -431,6 +496,57 @@ pub struct HealthInfo {
     pub recovery: Option<RecoveryStats>,
 }
 
+/// One item of a `plan_batch` response: independently a plan or a typed
+/// error, tagged like a top-level response (`status`: `plan` / `error`).
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum BatchItem {
+    /// The item's plan, bit-identical to what a standalone `plan` op for
+    /// the same request would return.
+    Plan {
+        /// The computed (or cached) plan.
+        plan: Plan,
+        /// Who computed it and whether the cache served it.
+        provenance: Provenance,
+    },
+    /// The item failed; its neighbours are unaffected.
+    Error {
+        /// Stable machine-readable discriminant.
+        kind: ErrorKind,
+        /// Human-readable explanation.
+        message: String,
+    },
+}
+
+impl BatchItem {
+    /// Shorthand for an error item.
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Self {
+        BatchItem::Error {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// Whether the item carries a plan.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, BatchItem::Plan { .. })
+    }
+
+    /// The item's error kind, when it failed.
+    pub fn error_kind(&self) -> Option<ErrorKind> {
+        match self {
+            BatchItem::Error { kind, .. } => Some(*kind),
+            BatchItem::Plan { .. } => None,
+        }
+    }
+
+    /// Whether a failed item is worth retrying (transient error kind).
+    pub fn is_retryable_error(&self) -> bool {
+        self.error_kind().is_some_and(|k| k.is_retryable())
+    }
+}
+
 /// A server response.
 // One short-lived Response exists per request and is serialized right
 // away, so the size skew of the Plan variant costs nothing; boxing it
@@ -456,6 +572,21 @@ pub enum Response {
         trace_id: Option<String>,
         /// The server-side stage timeline, when the request asked for it
         /// with `trace: true`.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        timeline: Option<rsj_obs::TimelineRecord>,
+    },
+    /// Per-item results of a `plan_batch` request, in input order
+    /// (protocol v2).
+    PlanBatch {
+        /// Protocol version.
+        v: u32,
+        /// One tagged result per requested item.
+        results: Vec<BatchItem>,
+        /// The batch's trace id (one id for the whole batch).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace_id: Option<String>,
+        /// The server-side stage timeline (one `item` stage per solved
+        /// item), when the request asked with `trace: true`.
         #[serde(default, skip_serializing_if = "Option::is_none")]
         timeline: Option<rsj_obs::TimelineRecord>,
     },
@@ -541,19 +672,21 @@ impl Response {
     /// The trace id the response carries, if any.
     pub fn trace_id(&self) -> Option<&str> {
         match self {
-            Response::Plan { trace_id, .. } | Response::Error { trace_id, .. } => {
-                trace_id.as_deref()
-            }
+            Response::Plan { trace_id, .. }
+            | Response::PlanBatch { trace_id, .. }
+            | Response::Error { trace_id, .. } => trace_id.as_deref(),
             _ => None,
         }
     }
 
-    /// Stamps `id` onto the variants that carry a trace id (plan and
-    /// error responses); a no-op for the rest.
+    /// Stamps `id` onto the variants that carry a trace id (plan,
+    /// plan-batch and error responses); a no-op for the rest.
     pub fn with_trace_id(mut self, id: Option<String>) -> Self {
         if id.is_some() {
             match &mut self {
-                Response::Plan { trace_id, .. } | Response::Error { trace_id, .. } => {
+                Response::Plan { trace_id, .. }
+                | Response::PlanBatch { trace_id, .. }
+                | Response::Error { trace_id, .. } => {
                     *trace_id = id;
                 }
                 _ => {}
@@ -561,18 +694,72 @@ impl Response {
         }
         self
     }
+
+    /// The protocol version the response claims.
+    pub fn version(&self) -> u32 {
+        match *self {
+            Response::Plan { v, .. }
+            | Response::PlanBatch { v, .. }
+            | Response::Trace { v, .. }
+            | Response::Metrics { v, .. }
+            | Response::Pong { v }
+            | Response::Health { v, .. }
+            | Response::Ready { v }
+            | Response::ShuttingDown { v }
+            | Response::Error { v, .. } => v,
+        }
+    }
+
+    /// Restamps the response in `version` — the negotiation step: the
+    /// server answers each request in the version the request arrived in.
+    /// Provenance `protocol` fields follow the stamp.
+    pub fn with_version(mut self, version: u32) -> Self {
+        match &mut self {
+            Response::Plan { v, provenance, .. } => {
+                *v = version;
+                provenance.protocol = version;
+            }
+            Response::PlanBatch { v, results, .. } => {
+                *v = version;
+                for item in results {
+                    if let BatchItem::Plan { provenance, .. } = item {
+                        provenance.protocol = version;
+                    }
+                }
+            }
+            Response::Trace { v, .. }
+            | Response::Metrics { v, .. }
+            | Response::Pong { v }
+            | Response::Health { v, .. }
+            | Response::Ready { v }
+            | Response::ShuttingDown { v }
+            | Response::Error { v, .. } => *v = version,
+        }
+        self
+    }
 }
 
-/// Parses one request line, enforcing the protocol version. The error arm
-/// is ready to ship as a [`Response::Error`].
+/// Parses one request line, enforcing version negotiation: `v` must fall
+/// in `1..=PROTOCOL_VERSION_MAX` (default [`PROTOCOL_VERSION`] when
+/// omitted), and v2-only ops (`plan_batch`) must claim `v: 2`. The error
+/// arm is ready to ship as a [`Response::Error`].
 pub fn decode_request(line: &str) -> Result<Request, (ErrorKind, String)> {
     let request: Request = serde_json::from_str(line.trim())
         .map_err(|e| (ErrorKind::MalformedRequest, format!("bad request: {e}")))?;
     let v = request.version();
-    if v != PROTOCOL_VERSION {
+    if !(PROTOCOL_VERSION..=PROTOCOL_VERSION_MAX).contains(&v) {
         return Err((
             ErrorKind::UnsupportedVersion,
-            format!("protocol version {v} not supported (server speaks {PROTOCOL_VERSION})"),
+            format!(
+                "protocol version {v} not supported \
+                 (server speaks {PROTOCOL_VERSION}..={PROTOCOL_VERSION_MAX})"
+            ),
+        ));
+    }
+    if matches!(request, Request::PlanBatch { .. }) && v < 2 {
+        return Err((
+            ErrorKind::UnsupportedVersion,
+            "the plan_batch op requires protocol v:2".to_string(),
         ));
     }
     Ok(request)
@@ -594,6 +781,61 @@ mod tests {
         let (kind, msg) = decode_request(r#"{"op":"ping","v":99}"#).unwrap_err();
         assert_eq!(kind, ErrorKind::UnsupportedVersion);
         assert!(msg.contains("99"), "{msg}");
+    }
+
+    #[test]
+    fn v2_frames_decode_and_plan_batch_is_v2_only() {
+        // Any v1 op is also accepted at v2 (the server answers in kind).
+        let req = decode_request(r#"{"op":"ping","v":2}"#).unwrap();
+        assert_eq!(req.version(), 2);
+        // plan_batch decodes at v2…
+        let req = decode_request(
+            r#"{"op":"plan_batch","v":2,"items":[{"distribution":{"family":"exponential","lambda":1.0}}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::plan_batch(vec![PlanRequest::new(DistSpec::Exponential { lambda: 1.0 })])
+        );
+        // …and a bare plan_batch frame (defaulting to v1) is rejected with
+        // a pointer at v2, not a confusing malformed_request.
+        let (kind, msg) = decode_request(
+            r#"{"op":"plan_batch","items":[{"distribution":{"family":"exponential","lambda":1.0}}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(kind, ErrorKind::UnsupportedVersion);
+        assert!(msg.contains("v:2"), "{msg}");
+    }
+
+    #[test]
+    fn batch_response_round_trips_mixed_items() {
+        let resp = Response::PlanBatch {
+            v: PROTOCOL_VERSION_MAX,
+            results: vec![
+                BatchItem::error(ErrorKind::InvalidDistribution, "lambda must be positive"),
+                BatchItem::error(ErrorKind::DeadlineExceeded, "batch deadline expired"),
+            ],
+            trace_id: Some("batch-1".into()),
+            timeline: None,
+        };
+        assert_eq!(resp.trace_id(), Some("batch-1"));
+        let line = encode(&resp).unwrap();
+        assert!(line.contains(r#""status":"plan_batch""#), "{line}");
+        assert!(line.contains(r#""status":"error""#), "{line}");
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(resp.version(), 2);
+        assert_eq!(resp.with_version(1).version(), 1);
+    }
+
+    #[test]
+    fn with_version_restamps_everything_including_provenance() {
+        let resp = Response::Pong { v: 1 }.with_version(2);
+        assert_eq!(resp.version(), 2);
+        let err = Response::error(ErrorKind::Internal, "x").with_version(2);
+        assert_eq!(err.version(), 2);
+        let line = encode(&err).unwrap();
+        assert!(line.contains(r#""v":2"#), "{line}");
     }
 
     #[test]

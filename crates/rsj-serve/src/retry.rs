@@ -21,10 +21,11 @@
 use std::net::ToSocketAddrs;
 use std::time::{Duration, Instant};
 
+use reservation_strategies::PlanRequest;
 use rsj_par::substream_seed;
 
 use crate::client::{Client, ClientError};
-use crate::protocol::{ErrorKind, Request, Response};
+use crate::protocol::{BatchItem, ErrorKind, Request, Response};
 
 /// Backoff shape and retry limits for [`ResilientClient`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -368,6 +369,189 @@ impl ResilientClient {
                 // Constant base pause while warming: recovery finishes on
                 // its own schedule, escalating backoff only delays the
                 // first post-recovery request.
+                RetryClass::Warming => self.policy.backoff(call, 0),
+                _ => self.policy.backoff(call, retry),
+            };
+            std::thread::sleep(pause);
+            retry += 1;
+            self.retries_spent += 1;
+        }
+    }
+
+    /// Solves `items` via the v2 `plan_batch` op with *partial-batch*
+    /// retry: after each attempt, items that came back as plans (or as
+    /// typed errors retrying can't fix) keep their results, and only the
+    /// retryable failures are re-sent as a smaller batch on the next
+    /// attempt. A batch-level shed (`overloaded`, `not_ready`) or a
+    /// transport error re-sends every still-unresolved item; `not_ready`
+    /// follows the same warming rules as [`call`](Self::call) (constant
+    /// backoff, no breaker feed).
+    ///
+    /// Every attempt carries a fresh minted trace id (recorded in
+    /// [`last_trace_id`](Self::last_trace_id)) so each wire exchange
+    /// correlates with exactly one server-side timeline.
+    ///
+    /// `Ok` returns per-item results in input order, faithfully: when
+    /// retries run out, the last typed error each unresolved item saw is
+    /// returned in its slot. `Err` is reserved for failures that left
+    /// some items with *no* server answer at all (transport errors,
+    /// wrapped in [`ClientError::RetriesExhausted`]) and for fail-fast
+    /// conditions ([`ClientError::CircuitOpen`], protocol violations).
+    pub fn plan_batch(
+        &mut self,
+        items: Vec<PlanRequest>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<BatchItem>, ClientError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let call = self.calls;
+        self.calls += 1;
+        // What a non-final attempt leaves behind, to fill unresolved
+        // slots (or wrap) if the attempt turns out to be the last one.
+        enum Leftover {
+            /// The server answered per item; `results` holds everything.
+            Answered,
+            /// A retryable batch-level typed error.
+            BatchError(ErrorKind, String),
+            /// A transient transport failure; no answer for this attempt.
+            Transport(ClientError),
+        }
+        let mut results: Vec<Option<BatchItem>> = (0..items.len()).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..items.len()).collect();
+        let mut retry: u32 = 0;
+        loop {
+            if !self.breaker.allow(Instant::now()) {
+                return Err(ClientError::CircuitOpen);
+            }
+            let trace_id = rsj_obs::TraceContext::generate().trace_id_hex();
+            self.last_trace_id = Some(trace_id.clone());
+            let sub: Vec<PlanRequest> = pending.iter().map(|&i| items[i].clone()).collect();
+            let mut request = Request::plan_batch(sub).with_trace_id(trace_id.clone());
+            if let Some(ms) = deadline_ms {
+                request = request.with_deadline_ms(ms);
+            }
+            let outcome = self.attempt(&request);
+            rsj_obs::debug!(
+                "batch call {call} attempt {}/{} trace_id={trace_id} pending={}: {}",
+                retry + 1,
+                self.policy.max_attempts,
+                pending.len(),
+                describe_outcome(&outcome),
+            );
+            // What this attempt leaves behind for the retry loop (and for
+            // the unresolved slots if this was the last attempt).
+            let (class, leftover) = match outcome {
+                Ok(Response::PlanBatch {
+                    results: answered, ..
+                }) => {
+                    if answered.len() != pending.len() {
+                        return Err(ClientError::Protocol(format!(
+                            "plan_batch answered {} items for a {}-item batch",
+                            answered.len(),
+                            pending.len()
+                        )));
+                    }
+                    // Keep every answer; only retryable per-item errors
+                    // stay pending for the next (smaller) attempt.
+                    let mut still = Vec::new();
+                    for (slot, item) in pending.iter().copied().zip(answered) {
+                        let retryable = item.is_retryable_error();
+                        results[slot] = Some(item);
+                        if retryable {
+                            still.push(slot);
+                        }
+                    }
+                    pending = still;
+                    if pending.is_empty() {
+                        self.breaker.on_success(Instant::now());
+                        return Ok(results
+                            .into_iter()
+                            .map(|r| r.expect("every slot answered"))
+                            .collect());
+                    }
+                    // Partial failure: the backend is struggling, but the
+                    // connection itself answered — keep it open.
+                    self.breaker.on_failure(Instant::now());
+                    (RetryClass::Done, Leftover::Answered)
+                }
+                Ok(Response::Error { kind, message, .. }) => {
+                    match if kind == ErrorKind::NotReady {
+                        RetryClass::Warming
+                    } else if kind.is_retryable() {
+                        RetryClass::Transient
+                    } else {
+                        RetryClass::Done
+                    } {
+                        // A batch-level error retrying can't fix answers
+                        // every unresolved item at once.
+                        RetryClass::Done => {
+                            for &slot in &pending {
+                                results[slot] = Some(BatchItem::error(kind, message.clone()));
+                            }
+                            return Ok(results
+                                .into_iter()
+                                .map(|r| r.expect("every slot answered"))
+                                .collect());
+                        }
+                        class => (class, Leftover::BatchError(kind, message)),
+                    }
+                }
+                Ok(response) => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected plan_batch, got {response:?}"
+                    )))
+                }
+                Err(e) => {
+                    if !is_transient(&e) {
+                        return Err(e);
+                    }
+                    (RetryClass::Transient, Leftover::Transport(e))
+                }
+            };
+            if class == RetryClass::Transient {
+                self.breaker.on_failure(Instant::now());
+                self.conn = None; // reconnect on the next attempt
+            }
+            if retry + 1 >= self.policy.max_attempts
+                || self.retries_spent >= self.policy.retry_budget
+            {
+                // The last answer fills every unresolved slot, faithfully.
+                // A transport failure on the final attempt wraps only if
+                // some item never saw a server answer at all.
+                return match leftover {
+                    Leftover::Answered => Ok(results
+                        .into_iter()
+                        .map(|r| r.expect("every slot answered"))
+                        .collect()),
+                    Leftover::BatchError(kind, message) => {
+                        for &slot in &pending {
+                            results[slot] = Some(BatchItem::error(kind, message.clone()));
+                        }
+                        Ok(results
+                            .into_iter()
+                            .map(|r| r.expect("every slot answered"))
+                            .collect())
+                    }
+                    Leftover::Transport(last) => {
+                        if results.iter().all(Option::is_some) {
+                            // Every item carries the typed error an earlier
+                            // attempt answered with.
+                            Ok(results
+                                .into_iter()
+                                .map(|r| r.expect("every slot answered"))
+                                .collect())
+                        } else {
+                            Err(ClientError::RetriesExhausted {
+                                attempts: retry + 1,
+                                trace_id,
+                                last: Box::new(last),
+                            })
+                        }
+                    }
+                };
+            }
+            let pause = match class {
                 RetryClass::Warming => self.policy.backoff(call, 0),
                 _ => self.policy.backoff(call, retry),
             };

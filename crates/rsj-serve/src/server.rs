@@ -1,43 +1,54 @@
-//! The planning server: a fixed accept loop feeding a bounded pool of
-//! connection-handler threads through an admission-controlled queue.
+//! The planning server: a single-threaded readiness reactor feeding a
+//! bounded pool of solver workers through an admission-controlled queue.
 //!
 //! Life of a request:
 //!
-//! 1. the accept loop (non-blocking, polling the shutdown flag) offers
-//!    the connection to the [`AdmissionQueue`]; above the high watermark
-//!    the connection is *shed*: handed to a small shed-helper pool that
-//!    writes a typed [`ErrorKind::Overloaded`] line and closes it. The
-//!    accept thread itself never reads from or writes to a refused
-//!    peer's socket, so no peer behaviour can stall accepting;
-//! 2. a worker dequeues the connection, reads one line, decodes it
-//!    ([`crate::decode_request`]) and dispatches: `ping`/`metrics` answer
-//!    immediately, `plan` goes through the LRU cache, the single-flight
-//!    group, or the [`Planner`] facade, `shutdown` raises the flag. A
+//! 1. the reactor thread ([`poll`](crate::poll): epoll on Linux,
+//!    `poll(2)` elsewhere) owns the listener and every connection state:
+//!    nonblocking reads assemble line-delimited frames in a per-connection
+//!    buffer, partial writes park on writable interest, and an idle
+//!    deadline evicts peers that stop making progress. A slowloris or
+//!    byte-drip peer costs a buffer, not a thread — bytes without a
+//!    newline never extend the idle deadline;
+//! 2. only *complete decoded requests* cross the bounded MPMC
+//!    [`AdmissionQueue`]. Above the high watermark the request is *shed*
+//!    on the reactor thread with a typed [`ErrorKind::Overloaded`] line.
+//!    Workers drain up to `batch` queued requests at once, grouping
+//!    same-table plan requests adjacently so consecutive solves share one
+//!    warm discretization table, and dispatch: `ping`/`metrics` answer
+//!    immediately, `plan` goes through the LRU cache, the table-grouped
+//!    single-flight, or the [`Planner`] facade, `plan_batch` solves a
+//!    whole vector of plan requests sharing tables via
+//!    [`Planner::plan_many`] semantics, `shutdown` raises the flag. A
 //!    request carrying `deadline_ms` is shed at dequeue if already
 //!    expired, and its solve is cancelled cooperatively (via
 //!    [`CancelToken`]) if the deadline fires mid-flight;
-//! 3. once the flag is up the accept loop stops accepting, the queue is
-//!    closed, and workers drain: every connection already admitted gets
-//!    an answer to the request it is processing before its worker exits.
+//! 3. finished responses return to the reactor over an outbox (a queue
+//!    plus a self-pipe waker) and are flushed with partial-write
+//!    resumption. Once the shutdown flag is up the reactor stops
+//!    accepting, the queue is closed, and in-flight requests drain:
+//!    every request already admitted gets its answer before exit.
 //!
-//! Workers are panic-tolerant: a panicking connection handler (a bug, or
-//! an injected [`ChaosPolicy`] fault) kills that connection only — the
-//! worker catches the unwind, counts it, and pulls the next connection.
+//! Workers are panic-tolerant: a panicking request handler (a bug, or an
+//! injected [`ChaosPolicy`] fault) kills that connection only — the
+//! worker catches the unwind, counts it, and pulls the next request.
 //!
-//! Determinism: solvers run on the caller thread via the facade, and every
+//! Determinism: solvers run on the worker thread via the facade, and every
 //! internally parallel stage goes through `rsj-par`, which is bit-identical
 //! at any thread count — so concurrent clients asking the same question
-//! get byte-identical plans whether computed, recomputed, cached, or
-//! coalesced onto another client's in-flight solve.
+//! get byte-identical plans whether computed, recomputed, cached, batched,
+//! or coalesced onto another client's in-flight solve.
 
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use reservation_strategies::{CancelToken, Plan, Planner, SimulateOptions};
+use reservation_strategies::{CancelToken, Plan, PlanRequest, Planner, SimulateOptions};
 use rsj_core::{CostModel, SolverSpec};
 use rsj_dist::DistSpec;
 
@@ -45,9 +56,10 @@ use crate::admission::{AdmissionConfig, AdmissionQueue, Pop};
 use crate::cache::PlanCache;
 use crate::chaos::ChaosPolicy;
 use crate::journal::{JournalRecord, JournalWriter, JOURNAL_FILE};
+use crate::poll::{Event, Interest, Poller};
 use crate::protocol::{
-    classify, decode_request, encode, sanitize_trace_id, ErrorKind, HealthInfo, Provenance,
-    Request, Response, Timings, PROTOCOL_VERSION,
+    classify, decode_request, encode, sanitize_trace_id, BatchItem, ErrorKind, HealthInfo,
+    Provenance, Request, Response, Timings, PROTOCOL_VERSION, PROTOCOL_VERSION_MAX,
 };
 use crate::recovery::{recover, RecoveryStats};
 use crate::singleflight::{Flighted, SingleFlight};
@@ -94,12 +106,14 @@ pub struct ServerConfig {
     /// Bind address; use port 0 to let the OS pick (read it back with
     /// [`Server::local_addr`]).
     pub addr: String,
-    /// Connection-handler threads.
+    /// Solver worker threads (the reactor itself is one extra thread).
     pub workers: usize,
     /// Requests served on one connection before it is closed with a
     /// `too_many_requests` error.
     pub max_requests_per_conn: usize,
-    /// Idle-read timeout per connection; an idle client is disconnected.
+    /// Idle deadline per connection: a peer that neither completes a
+    /// request line nor drains its response within this window is
+    /// disconnected. Partial bytes do not extend it.
     pub read_timeout: Duration,
     /// Total plans held by the LRU cache (0 disables caching).
     pub cache_capacity: usize,
@@ -109,6 +123,10 @@ pub struct ServerConfig {
     pub max_line_bytes: usize,
     /// Admission-queue sizing (capacity and shed watermarks).
     pub admission: AdmissionConfig,
+    /// How many queued requests one worker drains per wakeup; same-table
+    /// plan requests in a drained batch are grouped adjacently so their
+    /// solves share one warm discretization table. 1 disables batching.
+    pub batch: usize,
     /// Fault-injection schedule; `None` in production.
     pub chaos: Option<ChaosPolicy>,
     /// Crash-safety settings; `None` serves memory-only (a restart loses
@@ -134,6 +152,7 @@ impl Default for ServerConfig {
             cache_shards: 8,
             max_line_bytes: 1 << 20,
             admission: AdmissionConfig::default(),
+            batch: 8,
             chaos: None,
             durability: None,
             trace_buffer: 0,
@@ -159,17 +178,73 @@ impl ShutdownHandle {
     }
 }
 
-/// A connection waiting in the admission queue.
-struct Pending {
-    stream: TcpStream,
-    accepted_at: Instant,
-    conn_id: u64,
-}
-
 /// What one plan solve produced, as shared through the single-flight
 /// group: the plan, or the typed error every coalesced caller should
 /// echo.
 type SolveOutcome = Result<Arc<Plan>, (ErrorKind, String)>;
+
+/// One complete decoded request crossing from the reactor to a worker.
+/// The socket never crosses: workers compute, the reactor does all I/O.
+struct WorkItem {
+    /// Reactor slab slot of the owning connection.
+    token: usize,
+    /// Guards against slab-slot reuse between enqueue and completion.
+    conn_id: u64,
+    /// Zero-based request ordinal on its connection (chaos keying).
+    req_index: u64,
+    decoded: Result<Request, (ErrorKind, String)>,
+    /// Protocol version the client spoke; the response answers in kind.
+    version: u32,
+    /// Deadline anchor: accept time for a connection's first request,
+    /// line-arrival time after that.
+    base: Instant,
+    client_trace_id: Option<String>,
+    op: &'static str,
+    /// When decoding began, anchoring the request-latency histograms.
+    started: Instant,
+    enqueued_at: Instant,
+    timeline: rsj_obs::Timeline,
+}
+
+/// A finished response travelling back to the reactor.
+struct WorkResult {
+    token: usize,
+    conn_id: u64,
+    /// The encoded response line (newline included); `None` means the
+    /// handler panicked and the connection must close unanswered.
+    payload: Option<String>,
+    /// Close the connection once the payload is flushed.
+    close: bool,
+    timeline: rsj_obs::Timeline,
+    op: &'static str,
+}
+
+/// Worker→reactor return channel: a locked queue plus the poller's
+/// self-pipe waker so a parked reactor notices completions immediately.
+struct Outbox {
+    queue: Mutex<VecDeque<WorkResult>>,
+    waker: OnceLock<crate::poll::Waker>,
+}
+
+impl Outbox {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            waker: OnceLock::new(),
+        }
+    }
+
+    fn push(&self, result: WorkResult) {
+        self.queue.lock().expect("outbox lock").push_back(result);
+        if let Some(waker) = self.waker.get() {
+            waker.wake();
+        }
+    }
+
+    fn take(&self) -> VecDeque<WorkResult> {
+        std::mem::take(&mut *self.queue.lock().expect("outbox lock"))
+    }
+}
 
 /// The journal's write-side state, installed once recovery completes.
 struct JournalState {
@@ -184,12 +259,8 @@ struct Shared {
     config: ServerConfig,
     cache: PlanCache,
     flights: SingleFlight<SolveOutcome>,
-    admission: AdmissionQueue<Pending>,
-    /// Connections refused by `admission`, awaiting their `overloaded`
-    /// reply from a shed helper. A plain bounded queue (no hysteresis);
-    /// when even this overflows, refused connections are dropped
-    /// unanswered rather than blocking the accept loop.
-    sheds: AdmissionQueue<TcpStream>,
+    admission: AdmissionQueue<WorkItem>,
+    outbox: Outbox,
     shutdown: Arc<AtomicBool>,
     /// Raised once startup recovery (if any) has finished; `plan`
     /// requests are shed with a typed `not_ready` until then.
@@ -312,18 +383,13 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let cache = PlanCache::new(config.cache_capacity, config.cache_shards);
         let admission = AdmissionQueue::new(config.admission);
-        let sheds = AdmissionQueue::new(AdmissionConfig {
-            capacity: SHED_BACKLOG,
-            high_watermark: SHED_BACKLOG,
-            low_watermark: SHED_BACKLOG,
-        });
         let trace = (config.trace_buffer > 0).then(|| rsj_obs::TraceRing::new(config.trace_buffer));
         let shared = Arc::new(Shared {
             config,
             cache,
             flights: SingleFlight::new(),
             admission,
-            sheds,
+            outbox: Outbox::new(),
             shutdown: Arc::new(AtomicBool::new(false)),
             recovered: AtomicBool::new(false),
             recovery: Mutex::new(None),
@@ -348,7 +414,7 @@ impl Server {
     }
 
     /// Serves until shutdown is signaled (by a `shutdown` request or a
-    /// [`ShutdownHandle`]), then drains in-flight connections and returns.
+    /// [`ShutdownHandle`]), then drains in-flight requests and returns.
     pub fn run(self) -> std::io::Result<()> {
         let Server {
             listener,
@@ -358,7 +424,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         rsj_obs::info!("rsj-serve listening on {local_addr}");
 
-        // Recovery runs concurrently with the accept loop so the server
+        // Recovery runs concurrently with the reactor so the server
         // answers `ping`/`health` from the first instant; `plan` requests
         // get a typed `not_ready` until the cache is warm.
         let recovery_thread = match shared.config.durability.clone() {
@@ -378,6 +444,12 @@ impl Server {
             }
         };
 
+        // The waker must be installed before any worker can complete a
+        // request, so every outbox push can interrupt the reactor's wait.
+        let poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+        let _ = shared.outbox.waker.set(poller.waker());
+
         let workers: Vec<_> = (0..shared.config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -388,55 +460,25 @@ impl Server {
             })
             .collect();
 
-        let shed_helpers: Vec<_> = (0..SHED_HELPERS)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("rsj-serve-shed-{i}"))
-                    .spawn(move || shed_helper_loop(&shared))
-                    .expect("spawn shed helper")
-            })
-            .collect();
+        let mut reactor = Reactor {
+            poller,
+            listener: Some(listener),
+            shared: Arc::clone(&shared),
+            conns: Vec::new(),
+            free: Vec::new(),
+            recycled: Vec::new(),
+            next_conn_id: 0,
+            draining: false,
+            drain_deadline: None,
+        };
+        let result = reactor.run();
+        drop(reactor);
 
-        let mut conn_id: u64 = 0;
-        while !shared.shutting_down() {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    counter("rsj_serve_connections_total").inc();
-                    // Responses are single small lines; leaving Nagle on
-                    // costs a delayed-ACK round trip (~40ms) per request.
-                    let _ = stream.set_nodelay(true);
-                    let pending = Pending {
-                        stream,
-                        accepted_at: Instant::now(),
-                        conn_id,
-                    };
-                    conn_id += 1;
-                    if let Err(rejected) = shared.admission.try_admit(pending) {
-                        enqueue_shed(rejected.stream, &shared);
-                    }
-                    queue_depth_gauge(&shared);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
-
-        // Graceful drain: stop accepting, let every queued/in-flight
-        // connection finish its current request, then join the pool.
-        // `close` is idempotent, so racing a second shutdown signal (or a
-        // concurrent `shutdown` request landing on a worker) is harmless.
-        rsj_obs::info!("rsj-serve draining {} workers", workers.len());
+        // Idempotent if the reactor already began the drain; on the error
+        // path it is what wakes the workers so the join below can finish.
         shared.admission.close();
-        shared.sheds.close();
         for w in workers {
             let _ = w.join();
-        }
-        for h in shed_helpers {
-            let _ = h.join();
         }
         if let Some(t) = recovery_thread {
             let _ = t.join();
@@ -454,7 +496,653 @@ impl Server {
             }
         }
         rsj_obs::info!("rsj-serve stopped");
-        Ok(())
+        result
+    }
+}
+
+/// Slab token of the listener; connection tokens are slab indices, so
+/// they stay far below this.
+const TOKEN_LISTENER: usize = usize::MAX - 1;
+
+/// Upper bound on how long the reactor parks in `wait` before rechecking
+/// the shutdown flag and the idle deadlines.
+const EVENT_LOOP_TICK: Duration = Duration::from_millis(25);
+
+/// Complete-but-undispatched request lines buffered per connection before
+/// its readable interest is paused (pipelining backpressure).
+const PENDING_LINE_CAP: usize = 128;
+
+/// How long a drain waits for in-flight requests and unflushed responses
+/// before force-closing what remains.
+const DRAIN_GRACE: Duration = Duration::from_secs(10);
+
+/// How often a blocked worker `pop` wakes up to check the queue state;
+/// bounds how long a drain can wait on idle workers.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Read chunk size for connection sockets.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A deferred timeline finish: the `write` span can only be recorded
+/// once the response has fully reached the socket.
+struct PendingFinish {
+    timeline: rsj_obs::Timeline,
+    op: &'static str,
+    write_started: Instant,
+}
+
+/// Per-connection reactor state. All I/O for the connection happens on
+/// the reactor thread; at most one request per connection is in flight
+/// with the workers at a time, which preserves per-connection ordering.
+struct Conn {
+    stream: TcpStream,
+    conn_id: u64,
+    accepted_at: Instant,
+    /// Raw bytes read but not yet split into lines.
+    read_buf: Vec<u8>,
+    /// Where the next newline scan resumes (everything before it has
+    /// already been scanned).
+    scan_from: usize,
+    /// Complete request lines awaiting dispatch, with arrival times.
+    lines: VecDeque<(String, Instant)>,
+    /// The response currently being written, and how much has gone out.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Whether a request from this connection is with the workers.
+    in_flight: bool,
+    /// Requests started on this connection (for `max_requests_per_conn`).
+    served: usize,
+    /// `Some(accept time)` until the first request dispatches: the first
+    /// deadline counts time spent queued behind the reactor.
+    first_base: Option<Instant>,
+    /// Evict when now passes this with nothing in flight. Refreshed only
+    /// by *complete* request lines and *fully flushed* responses — a
+    /// byte-dripping peer never extends it.
+    idle_at: Instant,
+    eof: bool,
+    close_after_write: bool,
+    finish: Option<PendingFinish>,
+    /// The interest currently registered, to dedupe `reregister` calls.
+    interest: Interest,
+}
+
+/// How ingesting freshly read bytes ended.
+enum Ingest {
+    Ok,
+    /// A line (or an unterminated partial) exceeded `max_line_bytes`.
+    TooLarge,
+    /// A line was not valid UTF-8; close without a reply, like the old
+    /// buffered reader did on an invalid-data error.
+    BadUtf8,
+}
+
+/// Splits `read_buf` into complete lines, enforcing the line-length cap
+/// against partials too (so a peer cannot grow the buffer unboundedly by
+/// never sending a newline). Blank lines are skipped without counting.
+fn ingest_lines(conn: &mut Conn, max_line_bytes: usize, read_timeout: Duration) -> Ingest {
+    loop {
+        match conn.read_buf[conn.scan_from..]
+            .iter()
+            .position(|b| *b == b'\n')
+        {
+            Some(rel) => {
+                let end = conn.scan_from + rel;
+                let raw: Vec<u8> = conn.read_buf.drain(..=end).collect();
+                conn.scan_from = 0;
+                // The cap counts the newline, matching the old reader.
+                if raw.len() > max_line_bytes {
+                    return Ingest::TooLarge;
+                }
+                let Ok(line) = String::from_utf8(raw) else {
+                    return Ingest::BadUtf8;
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                conn.lines.push_back((line, Instant::now()));
+                conn.idle_at = Instant::now() + read_timeout;
+            }
+            None => {
+                conn.scan_from = conn.read_buf.len();
+                if conn.read_buf.len() > max_line_bytes {
+                    return Ingest::TooLarge;
+                }
+                if conn.eof && !conn.read_buf.is_empty() {
+                    // EOF: a partial unterminated line is still one
+                    // request.
+                    let raw = std::mem::take(&mut conn.read_buf);
+                    conn.scan_from = 0;
+                    let Ok(line) = String::from_utf8(raw) else {
+                        return Ingest::BadUtf8;
+                    };
+                    if !line.trim().is_empty() {
+                        conn.lines.push_back((line, Instant::now()));
+                    }
+                }
+                return Ingest::Ok;
+            }
+        }
+    }
+}
+
+/// The event loop: owns the poller, the listener and every connection.
+struct Reactor {
+    poller: Poller,
+    listener: Option<TcpListener>,
+    shared: Arc<Shared>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Tokens freed this iteration; merged into `free` only at the next
+    /// loop top so a stale event in the same batch cannot hit a new
+    /// connection that reused the slot.
+    recycled: Vec<usize>,
+    next_conn_id: u64,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+}
+
+impl Reactor {
+    fn run(&mut self) -> io::Result<()> {
+        let mut events: Vec<Event> = Vec::with_capacity(256);
+        loop {
+            self.free.append(&mut self.recycled);
+            if self.shared.shutting_down() && !self.draining {
+                self.begin_drain();
+            }
+            if self.draining {
+                let done = self.conns.iter().all(Option::is_none);
+                let expired = self
+                    .drain_deadline
+                    .is_some_and(|d| Instant::now() >= d);
+                if done {
+                    return Ok(());
+                }
+                if expired {
+                    for token in 0..self.conns.len() {
+                        self.close_conn(token);
+                    }
+                    return Ok(());
+                }
+            }
+            self.poller.wait(&mut events, Some(EVENT_LOOP_TICK))?;
+            for i in 0..events.len() {
+                let ev = events[i];
+                if ev.token == TOKEN_LISTENER {
+                    self.accept_ready()?;
+                    continue;
+                }
+                if ev.readable || ev.hangup {
+                    self.read_conn(ev.token);
+                }
+                if ev.writable {
+                    self.flush_conn(ev.token);
+                }
+            }
+            for result in self.shared.outbox.take() {
+                self.apply_result(result);
+            }
+            self.sweep_idle();
+        }
+    }
+
+    /// Stop accepting, close the queue, and close every connection with
+    /// nothing left to answer; the rest drain under [`DRAIN_GRACE`].
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+        rsj_obs::info!(
+            "rsj-serve draining {} workers",
+            self.shared.config.workers.max(1)
+        );
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        self.shared.admission.close();
+        let idle: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(t, slot)| slot.as_ref().map(|c| (t, c)))
+            .filter(|(_, c)| !c.in_flight && c.out.is_empty() && c.finish.is_none())
+            .map(|(t, _)| t)
+            .collect();
+        for token in idle {
+            rsj_obs::debug!("dropping idle connection for drain");
+            self.close_conn(token);
+        }
+    }
+
+    fn accept_ready(&mut self) -> io::Result<()> {
+        loop {
+            let Some(listener) = &self.listener else {
+                return Ok(());
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    counter("rsj_serve_connections_total").inc();
+                    // Responses are single small lines; leaving Nagle on
+                    // costs a delayed-ACK round trip (~40ms) per request.
+                    let _ = stream.set_nodelay(true);
+                    if let Err(e) = stream.set_nonblocking(true) {
+                        rsj_obs::warn!("cannot make accepted socket nonblocking: {e}");
+                        continue;
+                    }
+                    let now = Instant::now();
+                    let conn_id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    let token = match self.free.pop() {
+                        Some(t) => t,
+                        None => {
+                            self.conns.push(None);
+                            self.conns.len() - 1
+                        }
+                    };
+                    if let Err(e) =
+                        self.poller
+                            .register(stream.as_raw_fd(), token, Interest::READABLE)
+                    {
+                        rsj_obs::warn!("cannot register accepted socket: {e}");
+                        self.free.push(token);
+                        continue;
+                    }
+                    self.conns[token] = Some(Conn {
+                        stream,
+                        conn_id,
+                        accepted_at: now,
+                        read_buf: Vec::new(),
+                        scan_from: 0,
+                        lines: VecDeque::new(),
+                        out: Vec::new(),
+                        out_pos: 0,
+                        in_flight: false,
+                        served: 0,
+                        first_base: Some(now),
+                        idle_at: now + self.shared.config.read_timeout,
+                        eof: false,
+                        close_after_write: false,
+                        finish: None,
+                        interest: Interest::READABLE,
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Drain the socket to `WouldBlock`/EOF, split complete lines, and
+    /// dispatch what became runnable.
+    fn read_conn(&mut self, token: usize) {
+        let max_line_bytes = self.shared.config.max_line_bytes;
+        let read_timeout = self.shared.config.read_timeout;
+        let ingest;
+        {
+            let Some(Some(conn)) = self.conns.get_mut(token) else {
+                return;
+            };
+            let mut chunk = [0u8; READ_CHUNK];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        rsj_obs::debug!("connection ended with I/O error: {e}");
+                        self.close_conn(token);
+                        return;
+                    }
+                }
+            }
+            ingest = ingest_lines(conn, max_line_bytes, read_timeout);
+        }
+        match ingest {
+            Ingest::Ok => {}
+            Ingest::BadUtf8 => {
+                rsj_obs::debug!("connection sent a non-UTF-8 request line");
+                self.close_conn(token);
+                return;
+            }
+            Ingest::TooLarge => {
+                counter("rsj_serve_errors_total").inc();
+                let response = Response::error(
+                    ErrorKind::RequestTooLarge,
+                    format!("request exceeds {max_line_bytes} bytes"),
+                );
+                self.queue_direct_response(token, &response);
+                return;
+            }
+        }
+        self.pump(token);
+        self.maybe_close_finished(token);
+        self.update_interest(token);
+    }
+
+    /// Dispatch queued lines: decode on the reactor, then hand the
+    /// complete decoded request to the workers (or shed it, or answer a
+    /// connection-limit error directly). At most one request per
+    /// connection is in flight at a time.
+    fn pump(&mut self, token: usize) {
+        if self.draining {
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        loop {
+            let (line, line_at, conn_id, served, is_first, base, accepted_at);
+            {
+                let Some(Some(conn)) = self.conns.get_mut(token) else {
+                    return;
+                };
+                if conn.in_flight
+                    || !conn.out.is_empty()
+                    || conn.finish.is_some()
+                    || conn.close_after_write
+                {
+                    return;
+                }
+                let Some((l, at)) = conn.lines.pop_front() else {
+                    return;
+                };
+                conn.served += 1;
+                conn_id = conn.conn_id;
+                served = conn.served;
+                is_first = conn.first_base.is_some();
+                base = conn.first_base.take().unwrap_or(at);
+                accepted_at = conn.accepted_at;
+                line = l;
+                line_at = at;
+            }
+            if served > shared.config.max_requests_per_conn {
+                counter("rsj_serve_errors_total").inc();
+                let response = Response::error(
+                    ErrorKind::TooManyRequests,
+                    format!(
+                        "connection exceeded {} requests; reconnect to continue",
+                        shared.config.max_requests_per_conn
+                    ),
+                );
+                self.queue_direct_response(token, &response);
+                return;
+            }
+            let started = Instant::now();
+            let decoded = decode_request(&line);
+            let decode_ended = Instant::now();
+            let version = decoded
+                .as_ref()
+                .map(|r| r.version())
+                .unwrap_or(PROTOCOL_VERSION);
+            let (client_trace_id, want_trace) = match &decoded {
+                Ok(
+                    Request::Plan {
+                        trace_id, trace, ..
+                    }
+                    | Request::PlanBatch {
+                        trace_id, trace, ..
+                    },
+                ) => (sanitize_trace_id(trace_id.as_deref()), *trace),
+                _ => (None, false),
+            };
+            let op = op_name(&decoded);
+            // A timeline exists when the server retains traces, when slow
+            // logging needs a breakdown, or when this request asked for
+            // one. Otherwise the disabled timeline allocates nothing.
+            let tracing = want_trace || shared.trace.is_some() || shared.config.slow_ms.is_some();
+            let timeline = if tracing {
+                let mut t = rsj_obs::Timeline::begin(rsj_obs::TraceContext::generate(), base);
+                if let Some(id) = &client_trace_id {
+                    t.adopt_trace_id(id.clone());
+                }
+                if is_first {
+                    // The connection sat between accept and its first
+                    // complete line: client think time, not server
+                    // latency — recorded so the timeline has no
+                    // unattributed gap, and named so the slow-warn gate
+                    // can subtract it.
+                    t.record_span("read_wait", accepted_at, line_at);
+                }
+                t.record_span("decode", started, decode_ended);
+                t
+            } else {
+                rsj_obs::Timeline::disabled()
+            };
+            let item = WorkItem {
+                token,
+                conn_id,
+                req_index: (served - 1) as u64,
+                decoded,
+                version,
+                base,
+                client_trace_id,
+                op,
+                started,
+                enqueued_at: Instant::now(),
+                timeline,
+            };
+            match shared.admission.try_admit(item) {
+                Ok(()) => {
+                    queue_depth_gauge(&shared);
+                    if let Some(Some(conn)) = self.conns.get_mut(token) {
+                        conn.in_flight = true;
+                    }
+                    return;
+                }
+                Err(rejected) => {
+                    // Shed on the reactor thread: a typed fast-reject
+                    // costs one encode and one buffered write, never a
+                    // worker slot.
+                    counter("rsj_serve_shed_total").inc();
+                    let response = Response::error_traced(
+                        ErrorKind::Overloaded,
+                        format!(
+                            "admission queue above its high watermark ({} queued ≥ {}); retry with backoff",
+                            shared.admission.depth(),
+                            shared.admission.config().high_watermark
+                        ),
+                        rejected.client_trace_id,
+                    )
+                    .with_version(rejected.version);
+                    self.queue_direct_response(token, &response);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Queue a reactor-generated response (shed / limit / oversize) and
+    /// close the connection once it is flushed.
+    fn queue_direct_response(&mut self, token: usize, response: &Response) {
+        let Ok(mut body) = encode(response) else {
+            self.close_conn(token);
+            return;
+        };
+        body.push('\n');
+        {
+            let Some(Some(conn)) = self.conns.get_mut(token) else {
+                return;
+            };
+            conn.out = body.into_bytes();
+            conn.out_pos = 0;
+            conn.close_after_write = true;
+        }
+        self.flush_conn(token);
+    }
+
+    /// A worker finished a request: queue its response for writing (or
+    /// close the connection if the handler panicked).
+    fn apply_result(&mut self, result: WorkResult) {
+        let token = result.token;
+        {
+            let Some(Some(conn)) = self.conns.get_mut(token) else {
+                return;
+            };
+            if conn.conn_id != result.conn_id {
+                return;
+            }
+            conn.in_flight = false;
+        }
+        let Some(payload) = result.payload else {
+            self.close_conn(token);
+            return;
+        };
+        {
+            let Some(Some(conn)) = self.conns.get_mut(token) else {
+                return;
+            };
+            conn.out = payload.into_bytes();
+            conn.out_pos = 0;
+            conn.idle_at = Instant::now() + self.shared.config.read_timeout;
+            conn.finish = Some(PendingFinish {
+                timeline: result.timeline,
+                op: result.op,
+                write_started: Instant::now(),
+            });
+            if result.close {
+                conn.close_after_write = true;
+            }
+        }
+        self.flush_conn(token);
+    }
+
+    /// Write as much of the pending response as the socket accepts; a
+    /// short write parks on writable interest and resumes on the next
+    /// readiness event.
+    fn flush_conn(&mut self, token: usize) {
+        loop {
+            let Some(Some(conn)) = self.conns.get_mut(token) else {
+                return;
+            };
+            if conn.out_pos >= conn.out.len() {
+                break;
+            }
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.close_conn(token);
+                    return;
+                }
+                Ok(n) => {
+                    let Some(Some(conn)) = self.conns.get_mut(token) else {
+                        return;
+                    };
+                    conn.out_pos += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.update_interest(token);
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    rsj_obs::debug!("connection ended with I/O error: {e}");
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        // Fully flushed: record the write span, finish the timeline, and
+        // either close or look for the next pipelined request.
+        let shared = Arc::clone(&self.shared);
+        let finish;
+        let close;
+        {
+            let Some(Some(conn)) = self.conns.get_mut(token) else {
+                return;
+            };
+            if conn.out.is_empty() && conn.finish.is_none() && !conn.close_after_write {
+                return; // nothing was pending (spurious writable event)
+            }
+            conn.out.clear();
+            conn.out_pos = 0;
+            conn.idle_at = Instant::now() + shared.config.read_timeout;
+            finish = conn.finish.take();
+            close = conn.close_after_write;
+        }
+        if let Some(pf) = finish {
+            let mut timeline = pf.timeline;
+            timeline.record_span("write", pf.write_started, Instant::now());
+            if let Some(record) = timeline.finish(pf.op) {
+                if let Some(slow_ms) = shared.config.slow_ms {
+                    if attributable_us(&record) >= slow_ms.saturating_mul(1_000) {
+                        warn_slow_request(&record, slow_ms);
+                    }
+                }
+                if let Some(ring) = &shared.trace {
+                    ring.push(record);
+                }
+            }
+        }
+        if close || self.draining {
+            self.close_conn(token);
+            return;
+        }
+        self.pump(token);
+        self.maybe_close_finished(token);
+        self.update_interest(token);
+    }
+
+    /// Close a connection that has reached EOF with nothing left to do.
+    fn maybe_close_finished(&mut self, token: usize) {
+        let done = {
+            let Some(Some(conn)) = self.conns.get_mut(token) else {
+                return;
+            };
+            conn.eof && conn.lines.is_empty() && !conn.in_flight && conn.out.is_empty()
+        };
+        if done {
+            self.close_conn(token);
+        }
+    }
+
+    /// Converge the registered interest with what the connection needs:
+    /// readable unless paused (EOF, drain, or a full pipeline backlog),
+    /// writable only while a response is partially written.
+    fn update_interest(&mut self, token: usize) {
+        let draining = self.draining;
+        let Some(Some(conn)) = self.conns.get_mut(token) else {
+            return;
+        };
+        let desired = Interest {
+            readable: !conn.eof && !draining && conn.lines.len() < PENDING_LINE_CAP,
+            writable: conn.out_pos < conn.out.len(),
+        };
+        if desired != conn.interest {
+            conn.interest = desired;
+            let fd = conn.stream.as_raw_fd();
+            let _ = self.poller.reregister(fd, token, desired);
+        }
+    }
+
+    /// Evict connections whose idle deadline passed. `in_flight` protects
+    /// a slow solve; everything else — including a peer refusing to drain
+    /// its response — is fair game.
+    fn sweep_idle(&mut self) {
+        let now = Instant::now();
+        let idle: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(t, slot)| slot.as_ref().map(|c| (t, c)))
+            .filter(|(_, c)| !c.in_flight && now >= c.idle_at)
+            .map(|(t, _)| t)
+            .collect();
+        for token in idle {
+            rsj_obs::debug!("closing idle connection");
+            self.close_conn(token);
+        }
+    }
+
+    fn close_conn(&mut self, token: usize) {
+        let Some(slot) = self.conns.get_mut(token) else {
+            return;
+        };
+        let Some(conn) = slot.take() else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        self.recycled.push(token);
+        // Dropping `conn` closes the socket.
     }
 }
 
@@ -507,26 +1195,37 @@ fn open_journal(durability: &DurabilityConfig) -> std::io::Result<JournalState> 
     })
 }
 
-/// One worker: dequeue → handle, absorbing handler panics so a poisoned
-/// connection (or an injected chaos panic) never shrinks the pool.
+/// One worker: dequeue a batch, group same-table plans adjacently, and
+/// handle each, absorbing handler panics so a poisoned request (or an
+/// injected chaos panic) never shrinks the pool.
 fn worker_loop(shared: &Shared) {
+    let batch = shared.config.batch.max(1);
     loop {
         match shared.admission.pop(READ_POLL) {
-            Pop::Item(pending) => {
-                queue_depth_gauge(shared);
-                rsj_obs::global_registry()
-                    .histogram("rsj_serve_queue_wait_seconds")
-                    .observe(pending.accepted_at.elapsed().as_secs_f64());
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_connection(pending, shared)
-                }));
-                match outcome {
-                    Ok(Ok(())) => {}
-                    Ok(Err(e)) => rsj_obs::debug!("connection ended with I/O error: {e}"),
-                    Err(_) => {
-                        counter("rsj_serve_worker_panics_total").inc();
-                        rsj_obs::warn!("worker survived a connection-handler panic");
+            Pop::Item(first) => {
+                let mut items = vec![first];
+                while items.len() < batch {
+                    match shared.admission.try_pop() {
+                        Some(item) => items.push(item),
+                        None => break,
                     }
+                }
+                queue_depth_gauge(shared);
+                if items.len() > 1 {
+                    // Stable decorate-sort: plan requests over the same
+                    // (distribution, cost) land adjacently so consecutive
+                    // solves reuse one warm discretization table;
+                    // non-plan ops sort first in FIFO order.
+                    let mut keyed: Vec<(Option<String>, usize, WorkItem)> = items
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, item)| (table_order_key(&item), i, item))
+                        .collect();
+                    keyed.sort_by(|a, b| (a.0.as_deref(), a.1).cmp(&(b.0.as_deref(), b.1)));
+                    items = keyed.into_iter().map(|(_, _, item)| item).collect();
+                }
+                for item in items {
+                    process_item(shared, item);
                 }
             }
             Pop::TimedOut => {}
@@ -535,105 +1234,133 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Shed helpers handling refused connections; sized small on purpose —
-/// a shed reply is one bounded read and one bounded write.
-const SHED_HELPERS: usize = 2;
-
-/// Refused connections waiting for a helper; past this, sheds are
-/// dropped unanswered.
-const SHED_BACKLOG: usize = 256;
-
-/// Hands a refused connection to the shed helpers for its `overloaded`
-/// reply. The accept loop does nothing but this enqueue — no reads, no
-/// writes, no per-peer timeouts — so no peer behaviour can wedge
-/// accepting. If the shed backlog is itself full (or draining), the
-/// connection is dropped unanswered and counted: under that much
-/// overload the close *is* the reply.
-fn enqueue_shed(stream: TcpStream, shared: &Shared) {
-    counter("rsj_serve_shed_total").inc();
-    if shared.sheds.try_admit(stream).is_err() {
-        counter("rsj_serve_shed_dropped_total").inc();
+/// The batch-grouping key: identical keys mean the solves share the same
+/// discretized evaluation table (distribution + exact cost bits), so
+/// running them back-to-back makes every solve after the first warm.
+fn table_order_key(item: &WorkItem) -> Option<String> {
+    match &item.decoded {
+        Ok(Request::Plan {
+            distribution, cost, ..
+        }) => {
+            let dist = serde_json::to_string(distribution).ok()?;
+            let cost = match cost {
+                Some(c) => format!(
+                    "{:x},{:x},{:x}",
+                    c.alpha.to_bits(),
+                    c.beta.to_bits(),
+                    c.gamma.to_bits()
+                ),
+                None => "default".to_string(),
+            };
+            Some(format!("{dist}|{cost}"))
+        }
+        _ => None,
     }
 }
 
-/// One shed helper: writes typed `overloaded` replies (and peeks trace
-/// ids) for connections the admission queue refused, keeping every
-/// peer-facing syscall off the accept thread. Drains like a worker on
-/// shutdown: sheds enqueued before the close still get their reply.
-fn shed_helper_loop(shared: &Shared) {
-    loop {
-        match shared.sheds.pop(READ_POLL) {
-            Pop::Item(stream) => shed_connection(stream, shared),
-            Pop::TimedOut => {}
-            Pop::Closed => break,
+/// Handle one item behind a panic shield; a panic closes that connection
+/// only (the reactor sees `payload: None`).
+fn process_item(shared: &Shared, item: WorkItem) {
+    let token = item.token;
+    let conn_id = item.conn_id;
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_item(shared, item)));
+    match outcome {
+        Ok(result) => shared.outbox.push(result),
+        Err(_) => {
+            counter("rsj_serve_worker_panics_total").inc();
+            rsj_obs::warn!("worker survived a connection-handler panic");
+            shared.outbox.push(WorkResult {
+                token,
+                conn_id,
+                payload: None,
+                close: true,
+                timeline: rsj_obs::Timeline::disabled(),
+                op: "invalid",
+            });
         }
     }
 }
 
-/// Rejects one refused connection: a typed `overloaded` line, then
-/// close. Runs on a shed helper; the read and write are each bounded, so
-/// a hostile peer can hold a helper for ~300 ms at most.
-fn shed_connection(stream: TcpStream, shared: &Shared) {
-    let trace_id = shed_trace_id(&stream);
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
-    let mut writer = BufWriter::new(stream);
-    let config = shared.admission.config();
-    let _ = write_response(
-        &mut writer,
-        &Response::error_traced(
-            ErrorKind::Overloaded,
-            format!(
-                "admission queue above its high watermark ({} queued ≥ {}); retry with backoff",
-                shared.admission.depth(),
-                config.high_watermark
-            ),
-            trace_id,
-        ),
-    );
-}
-
-/// Best-effort peek at a shed request's `trace_id`, so even an
-/// `overloaded` reply joins the client's logs. Bounded by a *total*
-/// deadline, not a per-syscall timeout: each raw read's timeout is set
-/// to the remaining budget, so a peer dripping one byte at a time cannot
-/// stretch the wait past ~100 ms however it paces the bytes. Clients
-/// write their request at connect, so the line is normally already
-/// buffered and the first read returns it whole.
-fn shed_trace_id(stream: &TcpStream) -> Option<String> {
-    const BUDGET: Duration = Duration::from_millis(100);
-    const MAX_PEEK_BYTES: usize = 64 * 1024;
-    #[derive(serde::Deserialize)]
-    struct TraceIdField {
-        #[serde(default)]
-        trace_id: Option<String>,
+/// Worker-side request handling: chaos injection, dispatch, metrics, and
+/// response encoding. Pure compute — no socket I/O happens here.
+fn handle_item(shared: &Shared, item: WorkItem) -> WorkResult {
+    let WorkItem {
+        token,
+        conn_id,
+        req_index,
+        decoded,
+        version,
+        base,
+        client_trace_id,
+        op,
+        started,
+        enqueued_at,
+        mut timeline,
+    } = item;
+    let dequeued = Instant::now();
+    rsj_obs::global_registry()
+        .histogram("rsj_serve_queue_wait_seconds")
+        .observe((dequeued - enqueued_at).as_secs_f64());
+    timeline.record_span("queue_wait", enqueued_at, dequeued);
+    if let Some(chaos) = &shared.config.chaos {
+        if let Some(delay) = chaos.dispatch_delay(conn_id, req_index) {
+            std::thread::sleep(delay);
+        }
+        if chaos.worker_panics(conn_id, req_index) {
+            panic!("chaos: injected worker panic (conn {conn_id}, request {req_index})");
+        }
     }
-    let deadline = Instant::now() + BUDGET;
-    let mut raw = stream;
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 4096];
-    let line = loop {
-        if let Some(end) = buf.iter().position(|b| *b == b'\n') {
-            break &buf[..end];
+    counter("rsj_serve_requests_total").inc();
+    // Generate-or-adopt: every response carries the client's id when it
+    // sent one, or the server-minted id when tracing is on.
+    let trace_id = timeline.trace_id().or_else(|| client_trace_id.clone());
+    let (response, is_shutdown) = dispatch(shared, decoded, base, &mut timeline);
+    let response = response.with_trace_id(trace_id.clone()).with_version(version);
+    if let Response::Error { kind, .. } = &response {
+        counter("rsj_serve_errors_total").inc();
+        if *kind == ErrorKind::DeadlineExceeded {
+            counter("rsj_serve_deadline_exceeded_total").inc();
         }
-        if buf.len() >= MAX_PEEK_BYTES {
-            return None; // no newline in the first 64 KiB: not a request line
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let registry = rsj_obs::global_registry();
+    let aggregate = registry.histogram("rsj_serve_request_seconds");
+    let per_op = registry.histogram(per_op_histogram(op));
+    match &trace_id {
+        Some(id) => {
+            aggregate.observe_with_exemplar(elapsed, id);
+            per_op.observe_with_exemplar(elapsed, id);
         }
-        let remaining = deadline.checked_duration_since(Instant::now())?;
-        if remaining.is_zero() {
-            return None;
+        None => {
+            aggregate.observe(elapsed);
+            per_op.observe(elapsed);
         }
-        stream.set_read_timeout(Some(remaining)).ok()?;
-        match raw.read(&mut chunk) {
-            // EOF with no newline: a partial line is still one request.
-            Ok(0) => break &buf[..],
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            // Timeout (WouldBlock/TimedOut) or a hard error: give up.
-            Err(_) => return None,
+    }
+    let encode_started = Instant::now();
+    let mut payload = match encode(&response) {
+        Ok(body) => body,
+        Err(e) => {
+            rsj_obs::warn!("response encoding failed: {e}");
+            r#"{"status":"error","v":1,"kind":"internal","message":"response encoding failed"}"#
+                .to_string()
         }
     };
-    let parsed: TraceIdField = serde_json::from_slice(line).ok()?;
-    sanitize_trace_id(parsed.trace_id.as_deref())
+    // One buffer per response: the reactor writes it in a single
+    // (possibly resumed) stream, so Nagle never sees a lone `\n`.
+    payload.push('\n');
+    timeline.record_span("encode", encode_started, Instant::now());
+    if is_shutdown {
+        shared.shutdown.store(true, Ordering::SeqCst);
+    }
+    WorkResult {
+        token,
+        conn_id,
+        payload: Some(payload),
+        close: is_shutdown,
+        timeline,
+        op,
+    }
 }
 
 fn counter(name: &str) -> rsj_obs::Counter {
@@ -646,236 +1373,12 @@ fn queue_depth_gauge(shared: &Shared) {
         .set(shared.admission.depth() as f64);
 }
 
-/// How often a blocked read wakes up to check the shutdown flag; bounds
-/// how long a drain can wait on idle connections.
-const READ_POLL: Duration = Duration::from_millis(100);
-
-/// Reading one line can end the connection (EOF, idle timeout, drain) or
-/// yield a line — possibly one that overflowed the size cap.
-enum LineRead {
-    Line(String),
-    TooLarge,
-    Closed,
-}
-
-/// Reads one `\n`-terminated line, waking every [`READ_POLL`] to honor
-/// shutdown and the idle deadline, and capping the length at
-/// `max_line_bytes`.
-fn read_line_bounded(
-    reader: &mut BufReader<TcpStream>,
-    shared: &Shared,
-) -> std::io::Result<LineRead> {
-    let deadline = Instant::now() + shared.config.read_timeout;
-    let mut line = String::new();
-    // One extra poll before a drain close: a request may have landed in
-    // the socket buffer between the read timing out and the flag check,
-    // and a concurrent shutdown caller deserves its response if possible.
-    let mut drain_grace_used = false;
-    loop {
-        // `take` caps this call at one byte over the limit so an
-        // overlong line is detectable without unbounded buffering.
-        let room = (shared.config.max_line_bytes + 1).saturating_sub(line.len());
-        match Read::by_ref(reader).take(room as u64).read_line(&mut line) {
-            // EOF: a partial unterminated line is still one request.
-            Ok(0) if line.trim().is_empty() => return Ok(LineRead::Closed),
-            Ok(n) => {
-                if line.len() > shared.config.max_line_bytes {
-                    return Ok(LineRead::TooLarge);
-                }
-                if n == 0 || line.ends_with('\n') {
-                    return Ok(LineRead::Line(line));
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Partial bytes (if any) stay in `line`; decide whether
-                // this connection should keep waiting.
-                if shared.shutting_down() {
-                    if drain_grace_used {
-                        rsj_obs::debug!("dropping idle connection for drain");
-                        return Ok(LineRead::Closed);
-                    }
-                    drain_grace_used = true;
-                    continue;
-                }
-                if Instant::now() >= deadline {
-                    rsj_obs::debug!("closing idle connection");
-                    return Ok(LineRead::Closed);
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-/// Serves one connection: a loop of read line → dispatch → write line.
-fn handle_connection(pending: Pending, shared: &Shared) -> std::io::Result<()> {
-    let Pending {
-        stream,
-        accepted_at,
-        conn_id,
-    } = pending;
-    let dequeued_at = Instant::now();
-    stream.set_read_timeout(Some(READ_POLL))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut served: usize = 0;
-    // The first request's deadline base is accept time, so time spent in
-    // the admission queue counts against it; later requests are timed
-    // from when their line arrives.
-    let mut first_base = Some(accepted_at);
-
-    loop {
-        let line = match read_line_bounded(&mut reader, shared)? {
-            LineRead::Line(line) => line,
-            LineRead::Closed => return Ok(()),
-            LineRead::TooLarge => {
-                write_response(
-                    &mut writer,
-                    &Response::error(
-                        ErrorKind::RequestTooLarge,
-                        format!("request exceeds {} bytes", shared.config.max_line_bytes),
-                    ),
-                )?;
-                counter("rsj_serve_errors_total").inc();
-                return Ok(());
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let line_at = Instant::now();
-        let is_first = first_base.is_some();
-        let base = first_base.take().unwrap_or(line_at);
-
-        served += 1;
-        if served > shared.config.max_requests_per_conn {
-            write_response(
-                &mut writer,
-                &Response::error(
-                    ErrorKind::TooManyRequests,
-                    format!(
-                        "connection exceeded {} requests; reconnect to continue",
-                        shared.config.max_requests_per_conn
-                    ),
-                ),
-            )?;
-            counter("rsj_serve_errors_total").inc();
-            return Ok(());
-        }
-
-        if let Some(chaos) = &shared.config.chaos {
-            let req = served as u64 - 1;
-            if let Some(delay) = chaos.dispatch_delay(conn_id, req) {
-                std::thread::sleep(delay);
-            }
-            if chaos.worker_panics(conn_id, req) {
-                panic!("chaos: injected worker panic (conn {conn_id}, request {req})");
-            }
-        }
-
-        let started = Instant::now();
-        counter("rsj_serve_requests_total").inc();
-        let decoded = decode_request(&line);
-        let decode_ended = Instant::now();
-        let (client_trace_id, want_trace) = match &decoded {
-            Ok(Request::Plan {
-                trace_id, trace, ..
-            }) => (sanitize_trace_id(trace_id.as_deref()), *trace),
-            _ => (None, false),
-        };
-        let op = op_name(&decoded);
-        // A timeline exists when the server retains traces, when slow
-        // logging needs a breakdown, or when this request asked for one.
-        // Otherwise the disabled timeline allocates nothing and every
-        // recording call below is a branch on `None`.
-        let tracing = want_trace || shared.trace.is_some() || shared.config.slow_ms.is_some();
-        let mut timeline = if tracing {
-            let mut t = rsj_obs::Timeline::begin(rsj_obs::TraceContext::generate(), base);
-            if let Some(id) = &client_trace_id {
-                t.adopt_trace_id(id.clone());
-            }
-            if is_first {
-                t.record_span("queue_wait", accepted_at, dequeued_at);
-                // The worker sat in read() from dequeue until the line
-                // arrived: client think time, not server latency —
-                // recorded so the timeline has no unattributed gap, and
-                // named so the slow-warn gate can subtract it.
-                t.record_span("read_wait", dequeued_at, line_at);
-            }
-            t.record_span("decode", started, decode_ended);
-            t
-        } else {
-            rsj_obs::Timeline::disabled()
-        };
-        // Generate-or-adopt: every response carries the client's id when
-        // it sent one, or the server-minted id when tracing is on.
-        let trace_id = timeline.trace_id().or_else(|| client_trace_id.clone());
-        let (response, is_shutdown) = dispatch(shared, decoded, base, &mut timeline);
-        let response = response.with_trace_id(trace_id.clone());
-        if let Response::Error { kind, .. } = &response {
-            counter("rsj_serve_errors_total").inc();
-            if *kind == ErrorKind::DeadlineExceeded {
-                counter("rsj_serve_deadline_exceeded_total").inc();
-            }
-        }
-        let elapsed = started.elapsed().as_secs_f64();
-        let registry = rsj_obs::global_registry();
-        let aggregate = registry.histogram("rsj_serve_request_seconds");
-        let per_op = registry.histogram(per_op_histogram(op));
-        match &trace_id {
-            Some(id) => {
-                aggregate.observe_with_exemplar(elapsed, id);
-                per_op.observe_with_exemplar(elapsed, id);
-            }
-            None => {
-                aggregate.observe(elapsed);
-                per_op.observe(elapsed);
-            }
-        }
-        let write_started = Instant::now();
-        write_response(&mut writer, &response)?;
-        timeline.record_span("write", write_started, Instant::now());
-        if let Some(record) = timeline.finish(op) {
-            if let Some(slow_ms) = shared.config.slow_ms {
-                if attributable_us(&record) >= slow_ms.saturating_mul(1_000) {
-                    warn_slow_request(&record, slow_ms);
-                }
-            }
-            if let Some(ring) = &shared.trace {
-                ring.push(record);
-            }
-        }
-        if is_shutdown {
-            shared.shutdown.store(true, Ordering::SeqCst);
-        }
-        // During a drain, finish the request being processed but take no
-        // further work from this connection.
-        if shared.shutting_down() {
-            return Ok(());
-        }
-    }
-}
-
-fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
-    let mut body = encode(response).map_err(|e| {
-        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("encode: {e}"))
-    })?;
-    // One write per response: a separate `\n` write would hand Nagle a
-    // second tiny segment and stall behind the peer's delayed ACK.
-    body.push('\n');
-    writer.write_all(body.as_bytes())?;
-    writer.flush()
-}
-
 /// The request's op as a static label (for per-op metrics and timeline
 /// records) — no allocation on the request path.
 fn op_name(decoded: &Result<Request, (ErrorKind, String)>) -> &'static str {
     match decoded {
         Ok(Request::Plan { .. }) => "plan",
+        Ok(Request::PlanBatch { .. }) => "plan_batch",
         Ok(Request::Trace { .. }) => "trace",
         Ok(Request::Metrics { .. }) => "metrics",
         Ok(Request::Ping { .. }) => "ping",
@@ -893,6 +1396,7 @@ fn op_name(decoded: &Result<Request, (ErrorKind, String)>) -> &'static str {
 fn per_op_histogram(op: &str) -> &'static str {
     match op {
         "plan" => "rsj_serve_request_seconds_plan",
+        "plan_batch" => "rsj_serve_request_seconds_plan_batch",
         "trace" => "rsj_serve_request_seconds_trace",
         "metrics" => "rsj_serve_request_seconds_metrics",
         "ping" => "rsj_serve_request_seconds_ping",
@@ -905,7 +1409,7 @@ fn per_op_histogram(op: &str) -> &'static str {
 
 /// The server-attributable share of a request's wall time: everything
 /// except `read_wait`, the span spent waiting for the client's first
-/// bytes after dequeue. That wait belongs to the client — a peer that
+/// bytes after accept. That wait belongs to the client — a peer that
 /// connects and sits idle before sending must not read as a slow
 /// *request* — so the `--slow-ms` gate compares against this, not
 /// `total_us`.
@@ -1068,6 +1572,29 @@ fn dispatch(
             }
             (response, false)
         }
+        Request::PlanBatch {
+            items,
+            deadline_ms,
+            trace,
+            ..
+        } => {
+            if !shared.is_recovered() {
+                counter("rsj_serve_not_ready_total").inc();
+                return (
+                    Response::error(ErrorKind::NotReady, not_ready_message(shared)),
+                    false,
+                );
+            }
+            // One batch-level deadline anchors every item's cancellation.
+            let deadline = deadline_ms.map(|ms| base + Duration::from_millis(ms));
+            let mut response = handle_plan_batch(shared, items, deadline, timeline);
+            if trace {
+                if let Response::PlanBatch { timeline: slot, .. } = &mut response {
+                    *slot = timeline.snapshot("plan_batch");
+                }
+            }
+            (response, false)
+        }
     }
 }
 
@@ -1159,12 +1686,17 @@ fn handle_plan(
     counter("rsj_serve_cache_misses_total").inc();
 
     let solve_started = Instant::now();
+    let group = planner.group_key();
     let flighted = match key.as_deref() {
-        // Identical concurrent misses coalesce onto one solver run; the
-        // abandoned value is what followers see if the leader panics
-        // (e.g. an injected chaos fault) — typed, not a hang.
-        Some(key) => shared.flights.run(
+        // Identical concurrent misses coalesce onto one solver run, and
+        // *same-table* concurrent misses (identical group key: same
+        // distribution and cost, different solver) serialize so their
+        // leaders share one warm discretization table. The abandoned
+        // value is what followers see if the leader panics (e.g. an
+        // injected chaos fault) — typed, not a hang.
+        Some(key) => shared.flights.run_grouped(
             key,
+            group.as_deref(),
             deadline,
             Err((ErrorKind::Internal, "in-flight solve abandoned".to_string())),
             || solve(shared, &planner, key, deadline, timeline),
@@ -1200,6 +1732,90 @@ fn handle_plan(
             started,
         ),
         Err((kind, message)) => Response::error(kind, message),
+    }
+}
+
+/// Answers a `plan_batch` op: cache hits answer per item, the misses
+/// solve through [`Planner::plan_many_traced`] — which sorts them by
+/// cache-key group so every same-table solve after the first reuses the
+/// warm discretization table — and each solved plan is journaled before
+/// the batch response is released.
+fn handle_plan_batch(
+    shared: &Shared,
+    items: Vec<PlanRequest>,
+    deadline: Option<Instant>,
+    timeline: &mut rsj_obs::Timeline,
+) -> Response {
+    if let Some(d) = deadline {
+        if Instant::now() >= d {
+            return deadline_response(d);
+        }
+    }
+    let count = items.len();
+    let mut results: Vec<Option<BatchItem>> = (0..count).map(|_| None).collect();
+    let mut misses: Vec<(usize, PlanRequest, Option<String>)> = Vec::new();
+    let mut hits = 0u64;
+    timeline.time("cache_lookup", || {
+        for (i, item) in items.into_iter().enumerate() {
+            match item.planner() {
+                Err(e) => results[i] = Some(BatchItem::error(classify(&e), e.to_string())),
+                Ok(planner) => {
+                    let key = full_cache_key(&planner, item.simulate);
+                    if let Some(hit) = key.as_deref().and_then(|k| shared.cache.get(k)) {
+                        hits += 1;
+                        results[i] = Some(BatchItem::Plan {
+                            plan: (*hit).clone(),
+                            provenance: make_provenance(item.solver.name(), true, false),
+                        });
+                        continue;
+                    }
+                    misses.push((i, item, key));
+                }
+            }
+        }
+    });
+    // One registry lookup per counter for the whole batch, not per item.
+    if hits > 0 {
+        counter("rsj_serve_cache_hits_total").add(hits);
+    }
+    if !misses.is_empty() {
+        counter("rsj_serve_cache_misses_total").add(misses.len() as u64);
+        counter("rsj_serve_solver_invocations_total").add(misses.len() as u64);
+        let cancel = match deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::none(),
+        };
+        let requests: Vec<PlanRequest> = misses.iter().map(|(_, req, _)| req.clone()).collect();
+        let solved = Planner::plan_many_traced(&requests, &cancel, timeline);
+        // Append-before-response, exactly like the singleton path: every
+        // plan in the batch is journaled before any client hears it.
+        timeline.time("journal_append", || {
+            for ((i, req, key), outcome) in misses.into_iter().zip(solved) {
+                results[i] = Some(match outcome {
+                    Ok(plan) => {
+                        let plan = Arc::new(plan);
+                        if let Some(key) = key {
+                            shared.cache.insert(key.clone(), Arc::clone(&plan));
+                            shared.journal_append(&key, &plan);
+                        }
+                        BatchItem::Plan {
+                            plan: (*plan).clone(),
+                            provenance: make_provenance(req.solver.name(), false, false),
+                        }
+                    }
+                    Err(e) => BatchItem::error(classify(&e), e.to_string()),
+                });
+            }
+        });
+    }
+    Response::PlanBatch {
+        v: PROTOCOL_VERSION_MAX,
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every batch item answered"))
+            .collect(),
+        trace_id: None,
+        timeline: None,
     }
 }
 
@@ -1244,6 +1860,20 @@ enum Origin {
     Coalesced,
 }
 
+/// Response provenance shared by the singleton and batch paths. The
+/// protocol field is restamped by `with_version` to the client's
+/// negotiated version before the response leaves the worker.
+fn make_provenance(solver: &str, cached: bool, coalesced: bool) -> Provenance {
+    Provenance {
+        server: concat!("rsj-serve/", env!("CARGO_PKG_VERSION")).to_string(),
+        protocol: PROTOCOL_VERSION,
+        solver: solver.to_string(),
+        threads: rsj_par::Parallelism::current().threads(),
+        cached,
+        coalesced,
+    }
+}
+
 fn plan_response(
     planner: &Planner,
     plan: Plan,
@@ -1254,14 +1884,11 @@ fn plan_response(
 ) -> Response {
     Response::Plan {
         v: PROTOCOL_VERSION,
-        provenance: Provenance {
-            server: concat!("rsj-serve/", env!("CARGO_PKG_VERSION")).to_string(),
-            protocol: PROTOCOL_VERSION,
-            solver: planner.solver_spec().name().to_string(),
-            threads: rsj_par::Parallelism::current().threads(),
-            cached: matches!(origin, Origin::Cached),
-            coalesced: matches!(origin, Origin::Coalesced),
-        },
+        provenance: make_provenance(
+            planner.solver_spec().name(),
+            matches!(origin, Origin::Cached),
+            matches!(origin, Origin::Coalesced),
+        ),
         timings: Timings {
             build_seconds,
             solve_seconds,
@@ -1360,8 +1987,86 @@ mod tests {
         assert_eq!(per_op_histogram("ping"), "rsj_serve_request_seconds_ping");
         assert_eq!(per_op_histogram("plan"), "rsj_serve_request_seconds_plan");
         assert_eq!(
+            per_op_histogram("plan_batch"),
+            "rsj_serve_request_seconds_plan_batch"
+        );
+        assert_eq!(
             per_op_histogram("nonsense"),
             "rsj_serve_request_seconds_invalid"
         );
+    }
+
+    fn item_for(request: Request) -> WorkItem {
+        WorkItem {
+            token: 0,
+            conn_id: 0,
+            req_index: 0,
+            decoded: Ok(request),
+            version: PROTOCOL_VERSION,
+            base: Instant::now(),
+            client_trace_id: None,
+            op: "plan",
+            started: Instant::now(),
+            enqueued_at: Instant::now(),
+            timeline: rsj_obs::Timeline::disabled(),
+        }
+    }
+
+    #[test]
+    fn table_order_key_groups_by_distribution_and_cost_only() {
+        let exp = DistSpec::Exponential { lambda: 1.0 };
+        let logn = DistSpec::LogNormal {
+            mu: 3.0,
+            sigma: 0.5,
+        };
+        let a = table_order_key(&item_for(Request::plan(exp.clone())));
+        let b = table_order_key(&item_for(Request::plan(exp)));
+        let c = table_order_key(&item_for(Request::plan(logn)));
+        assert!(a.is_some());
+        assert_eq!(a, b, "same distribution and cost share a table group");
+        assert_ne!(a, c, "different distributions never share");
+        assert_eq!(table_order_key(&item_for(Request::ping())), None);
+    }
+
+    #[test]
+    fn ingest_splits_lines_and_rejects_byte_drip_overflow() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let now = Instant::now();
+        let mut conn = Conn {
+            stream,
+            conn_id: 0,
+            accepted_at: now,
+            read_buf: Vec::new(),
+            scan_from: 0,
+            lines: VecDeque::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            in_flight: false,
+            served: 0,
+            first_base: Some(now),
+            idle_at: now,
+            eof: false,
+            close_after_write: false,
+            finish: None,
+            interest: Interest::READABLE,
+        };
+        conn.read_buf.extend_from_slice(b"{\"op\":\"ping\"}\n\n{\"op\":");
+        assert!(matches!(
+            ingest_lines(&mut conn, 64, Duration::from_secs(30)),
+            Ingest::Ok
+        ));
+        assert_eq!(conn.lines.len(), 1, "blank line skipped, partial held");
+        assert_eq!(conn.lines[0].0, "{\"op\":\"ping\"}\n");
+        assert_eq!(conn.read_buf, b"{\"op\":");
+        // A partial that outgrows the cap without ever sending a newline
+        // is rejected instead of buffering forever.
+        conn.read_buf.extend_from_slice(&[b'x'; 64]);
+        assert!(matches!(
+            ingest_lines(&mut conn, 64, Duration::from_secs(30)),
+            Ingest::TooLarge
+        ));
     }
 }

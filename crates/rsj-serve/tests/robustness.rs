@@ -101,12 +101,17 @@ fn overload_sheds_with_typed_errors_and_counters() {
     });
     std::thread::sleep(Duration::from_millis(300));
 
-    // This connection fills the queue's single slot...
-    let parked = Client::connect(addr).expect("connect parked");
+    // This request fills the queue's single slot (admission is
+    // per-request: only a complete decoded line occupies capacity, so
+    // the filler must actually send one)...
+    let parked = std::net::TcpStream::connect(addr).expect("connect parked");
+    (&parked)
+        .write_all(b"{\"op\":\"ping\"}\n")
+        .expect("park request");
     std::thread::sleep(Duration::from_millis(100));
 
-    // ...so further connections are fast-rejected with a typed line
-    // straight from the accept loop (no worker, hence no delay).
+    // ...so further requests are fast-rejected with a typed line
+    // straight from the reactor (no worker, hence no delay).
     let mut shed_seen = 0;
     for i in 0..3 {
         let mut client = Client::connect(addr).expect("connect shed");
@@ -125,12 +130,16 @@ fn overload_sheds_with_typed_errors_and_counters() {
     assert!(shed_seen >= 1, "at least one connection must be shed");
 
     // The busy client is answered once its delay elapses, and the parked
-    // connection is served once the worker frees.
+    // request is served once the worker frees.
     busy.join().expect("busy client");
-    let mut parked = parked;
-    parked.ping().expect("parked connection served after drain");
+    let mut line = String::new();
+    BufReader::new(&parked)
+        .read_line(&mut line)
+        .expect("parked request served after drain");
+    assert!(line.contains("\"pong\""), "parked request answered: {line}");
 
-    let metrics = parked.metrics().expect("metrics");
+    let mut metrics_client = Client::connect(addr).expect("connect metrics");
+    let metrics = metrics_client.metrics().expect("metrics");
     assert!(
         counter_value(&metrics, "rsj_serve_shed_total") >= shed_seen,
         "shed counter must record the fast-rejects:\n{metrics}"

@@ -180,8 +180,8 @@ fn not_ready_sheds_echo_the_client_trace_id() {
 fn overload_sheds_echo_the_client_trace_id() {
     let _guard = registry_lock();
     // One worker held busy by a chaos-delayed request, a one-slot
-    // admission queue filled by a second connection: the third connection
-    // is shed at accept, and the shed reply must still carry its id.
+    // admission queue filled by a second request: the third request is
+    // shed on the reactor, and the shed reply must still carry its id.
     let (addr, handle, join) = spawn_server(ServerConfig {
         workers: 1,
         admission: AdmissionConfig {
@@ -205,8 +205,11 @@ fn overload_sheds_echo_the_client_trace_id() {
     busy.flush().expect("flush ping");
     std::thread::sleep(Duration::from_millis(400));
 
-    // Fill the one queue slot, then give the accept loop time to park it.
-    let filler = std::net::TcpStream::connect(addr).expect("filler conn");
+    // Fill the one queue slot with a real request (admission is
+    // per-request now), then give the reactor time to park it.
+    let mut filler = std::net::TcpStream::connect(addr).expect("filler conn");
+    filler.write_all(line.as_bytes()).expect("write filler ping");
+    filler.flush().expect("flush filler ping");
     std::thread::sleep(Duration::from_millis(200));
 
     let mut client = Client::connect(addr).expect("shed conn");

@@ -69,13 +69,13 @@ pub mod error;
 pub mod planner;
 
 pub use error::RsjError;
-pub use planner::{plan_digest, Plan, Planner, PlannerBuilder, SimulateOptions};
+pub use planner::{plan_digest, Plan, PlanRequest, Planner, PlannerBuilder, SimulateOptions};
 pub use rsj_core::CancelToken;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::error::RsjError;
-    pub use crate::planner::{Plan, Planner, PlannerBuilder, SimulateOptions};
+    pub use crate::planner::{Plan, PlanRequest, Planner, PlannerBuilder, SimulateOptions};
     pub use rsj_core::prelude::*;
     pub use rsj_dist::prelude::*;
     pub use rsj_sim::prelude::*;

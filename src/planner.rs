@@ -82,6 +82,82 @@ pub struct Plan {
     pub simulation: Option<BatchStats>,
 }
 
+fn default_solver_spec() -> SolverSpec {
+    SolverSpec::MeanByMean
+}
+
+/// One item of a [`Planner::plan_many`] batch: a full planner
+/// configuration as plain serializable data. This is also the wire shape
+/// of a `plan_batch` item in the `rsj-serve` v2 protocol, so fleet
+/// clients can hand the same struct to the library and the server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanRequest {
+    /// The job-runtime law to plan for (required).
+    pub distribution: DistSpec,
+    /// Platform cost model; `None` means RESERVATIONONLY (`α=1`, `β=γ=0`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cost: Option<CostModel>,
+    /// Solver to dispatch to (default Mean-by-Mean).
+    #[serde(default = "default_solver_spec")]
+    pub solver: SolverSpec,
+    /// Optional re-seed where the solver uses randomness (Brute-Force).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub seed: Option<u64>,
+    /// Optional simulate-on-plan replay.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub simulate: Option<SimulateOptions>,
+}
+
+impl PlanRequest {
+    /// A request for `distribution` with every other field defaulted.
+    pub fn new(distribution: DistSpec) -> Self {
+        Self {
+            distribution,
+            cost: None,
+            solver: default_solver_spec(),
+            seed: None,
+            simulate: None,
+        }
+    }
+
+    /// Sets the solver (builder-style).
+    pub fn with_solver(mut self, solver: SolverSpec) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Sets the cost model (builder-style).
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = Some(cost);
+        self
+    }
+
+    /// Sets simulate-on-plan (builder-style).
+    pub fn with_simulate(mut self, simulate: SimulateOptions) -> Self {
+        self.simulate = Some(simulate);
+        self
+    }
+
+    /// Validates this request into a [`Planner`] (the same checks as
+    /// [`PlannerBuilder::build`], so errors are identical to the
+    /// single-plan path).
+    pub fn planner(&self) -> Result<Planner> {
+        let mut builder = Planner::builder()
+            .distribution(self.distribution.clone())
+            .solver(match self.seed {
+                Some(seed) => self.solver.clone().with_seed(seed),
+                None => self.solver.clone(),
+            });
+        if let Some(cost) = self.cost {
+            builder = builder.cost_rates(cost.alpha, cost.beta, cost.gamma);
+        }
+        if let Some(sim) = self.simulate {
+            builder = builder.simulate(sim);
+        }
+        builder.build()
+    }
+}
+
 /// How the solver was chosen, kept unresolved until [`PlannerBuilder::build`]
 /// so builder chaining stays infallible.
 #[derive(Debug, Clone)]
@@ -235,6 +311,98 @@ impl Planner {
             self.cost.gamma.to_bits(),
             self.solver_spec.config_key(),
         ))
+    }
+
+    /// The `distribution + cost` prefix of [`cache_key`](Self::cache_key):
+    /// two planners with the same group key discretize the same law, so
+    /// solving them back-to-back reuses one warm eval table regardless of
+    /// which solver each dispatches to. `None` when the distribution has
+    /// no faithful cache key (such planners never share).
+    pub fn group_key(&self) -> Option<String> {
+        let key = self.cache_key()?;
+        Some(match key.rsplit_once('|') {
+            Some((prefix, _solver)) => prefix.to_string(),
+            None => key,
+        })
+    }
+
+    /// Plans a whole batch, sharing one warm eval table per
+    /// [`group_key`](Self::group_key) group.
+    ///
+    /// Each item is planned independently — one invalid distribution or a
+    /// mid-batch failure never poisons its neighbours — and results come
+    /// back in input order. Internally the batch is solved in group order
+    /// (items sharing a `distribution + cost` prefix run consecutively) so
+    /// the discretized eval-table memo stays warm across a group, which is
+    /// where the batched server op gets its cache-miss throughput.
+    ///
+    /// Every item is bit-for-bit identical to what a standalone
+    /// [`plan`](Self::plan) of the same request returns.
+    pub fn plan_many(requests: &[PlanRequest]) -> Vec<Result<Plan>> {
+        Self::plan_many_with_cancel(requests, &CancelToken::none())
+    }
+
+    /// [`plan_many`](Self::plan_many) with cooperative cancellation. A
+    /// fired token fails the *remaining* items with
+    /// `CoreError::Cancelled`; already-solved items keep their results.
+    pub fn plan_many_with_cancel(
+        requests: &[PlanRequest],
+        cancel: &CancelToken,
+    ) -> Vec<Result<Plan>> {
+        Self::plan_many_traced(requests, cancel, &mut rsj_obs::Timeline::disabled())
+    }
+
+    /// [`plan_many_with_cancel`](Self::plan_many_with_cancel) that records
+    /// one `item` stage per solved request into `timeline`, annotated with
+    /// the item's batch index, eval-table attribution (`warm`/`cold`) and
+    /// outcome.
+    pub fn plan_many_traced(
+        requests: &[PlanRequest],
+        cancel: &CancelToken,
+        timeline: &mut rsj_obs::Timeline,
+    ) -> Vec<Result<Plan>> {
+        let mut planners: Vec<Option<Result<Planner>>> =
+            requests.iter().map(|r| Some(r.planner())).collect();
+        // Solve in group order: stable sort keeps input order inside a
+        // group and leaves keyless planners at the tail in input order.
+        let keys: Vec<Option<String>> = planners
+            .iter()
+            .map(|p| match p {
+                Some(Ok(planner)) => planner.group_key(),
+                _ => None,
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by(|&a, &b| match (&keys[a], &keys[b]) {
+            (Some(ka), Some(kb)) => ka.cmp(kb).then(a.cmp(&b)),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => a.cmp(&b),
+        });
+        let mut results: Vec<Option<Result<Plan>>> = (0..requests.len()).map(|_| None).collect();
+        for &i in &order {
+            let outcome = match planners[i].take().expect("each item visited once") {
+                Err(e) => Err(e),
+                Ok(planner) => {
+                    rsj_dist::clear_last_eval_source();
+                    let out = timeline.time("item", || planner.plan_with_cancel(cancel));
+                    timeline.annotate_last("item", i.to_string());
+                    if let Some(source) = rsj_dist::last_eval_source() {
+                        timeline.annotate_last("eval_table", source.as_str());
+                    }
+                    match &out {
+                        Ok(plan) => timeline.annotate_last("digest", plan.digest.as_str()),
+                        Err(e) => timeline.annotate_last("error", e.to_string()),
+                    }
+                    out
+                }
+            };
+            results[i] = Some(outcome);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("each item solved once"))
+            .collect()
     }
 
     /// Computes the reservation sequence and scores it.
@@ -491,6 +659,105 @@ mod tests {
             assert_eq!(a.digest, b.digest);
             assert_eq!(a.sequence, b.sequence);
         }
+    }
+
+    #[test]
+    fn plan_many_matches_singleton_plans_bit_for_bit() {
+        let dp = SolverSpec::Dp {
+            scheme: rsj_dist::DiscretizationScheme::EqualProbability,
+            n: 180,
+            epsilon: 1e-7,
+            monotone: true,
+        };
+        // Interleave two groups plus a closed-form item so the grouped
+        // solve order differs from input order.
+        let requests = vec![
+            PlanRequest::new(DistSpec::LogNormal { mu: 3.0, sigma: 0.5 }).with_solver(dp.clone()),
+            PlanRequest::new(DistSpec::LogNormal { mu: 1.0, sigma: 0.25 }).with_solver(dp.clone()),
+            PlanRequest::new(DistSpec::Exponential { lambda: 1.0 }),
+            PlanRequest::new(DistSpec::LogNormal { mu: 3.0, sigma: 0.5 })
+                .with_solver(dp.clone())
+                .with_cost(CostModel::new(1.0, 0.5, 0.1).unwrap()),
+            PlanRequest::new(DistSpec::LogNormal { mu: 1.0, sigma: 0.25 }).with_solver(dp),
+        ];
+        let batch = Planner::plan_many(&requests);
+        assert_eq!(batch.len(), requests.len());
+        for (req, got) in requests.iter().zip(&batch) {
+            let solo = req.planner().unwrap().plan().unwrap();
+            let got = got.as_ref().expect("batch item ok");
+            assert_eq!(got.digest, solo.digest);
+            assert_eq!(got.sequence, solo.sequence);
+            assert_eq!(got.expected_cost.to_bits(), solo.expected_cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn plan_many_keeps_bad_items_independent() {
+        let requests = vec![
+            PlanRequest::new(DistSpec::Exponential { lambda: 1.0 }),
+            PlanRequest::new(DistSpec::Exponential { lambda: -1.0 }),
+            PlanRequest::new(DistSpec::Exponential { lambda: 2.0 }),
+        ];
+        let batch = Planner::plan_many(&requests);
+        assert!(batch[0].is_ok());
+        assert!(batch[1].is_err());
+        assert!(batch[2].is_ok());
+    }
+
+    #[test]
+    fn plan_many_traced_records_item_stages_with_indices() {
+        let requests = vec![
+            PlanRequest::new(DistSpec::Exponential { lambda: 1.0 }),
+            PlanRequest::new(DistSpec::Exponential { lambda: 2.0 }),
+        ];
+        let mut timeline =
+            rsj_obs::Timeline::begin(rsj_obs::TraceContext::generate(), std::time::Instant::now());
+        let batch = Planner::plan_many_traced(&requests, &CancelToken::none(), &mut timeline);
+        assert!(batch.iter().all(|r| r.is_ok()));
+        let record = timeline.finish("plan_batch").unwrap();
+        let items: Vec<_> = record.stages.iter().filter(|s| s.name == "item").collect();
+        assert_eq!(items.len(), 2);
+        let mut indices: Vec<String> = items
+            .iter()
+            .flat_map(|s| s.args.iter())
+            .filter(|(k, _)| k == "item")
+            .map(|(_, v)| v.clone())
+            .collect();
+        indices.sort();
+        assert_eq!(indices, vec!["0".to_string(), "1".to_string()]);
+    }
+
+    #[test]
+    fn fired_cancel_fails_remaining_plan_many_items() {
+        let token = CancelToken::new();
+        token.cancel();
+        let requests = vec![PlanRequest::new(DistSpec::Exponential { lambda: 1.0 })];
+        let batch = Planner::plan_many_with_cancel(&requests, &token);
+        assert_eq!(
+            batch[0].as_ref().unwrap_err(),
+            &RsjError::Core(rsj_core::CoreError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn group_key_is_the_cache_key_without_the_solver() {
+        let planner = Planner::builder()
+            .distribution(DistSpec::Exponential { lambda: 1.0 })
+            .solver_name("mean_by_mean")
+            .build()
+            .unwrap();
+        let cache_key = planner.cache_key().unwrap();
+        let group_key = planner.group_key().unwrap();
+        assert!(cache_key.starts_with(&group_key));
+        assert!(!group_key.contains("mean_by_mean"));
+        // A different solver over the same law shares the group.
+        let other = Planner::builder()
+            .distribution(DistSpec::Exponential { lambda: 1.0 })
+            .solver_name("mean_doubling")
+            .build()
+            .unwrap();
+        assert_eq!(other.group_key().unwrap(), group_key);
+        assert_ne!(other.cache_key().unwrap(), cache_key);
     }
 
     #[test]
